@@ -1,0 +1,520 @@
+//! Translation of a [`GroundProgram`] into CNF for the CDCL solver:
+//! Clark completion for normal rules, free atoms with support clauses for
+//! choice elements, cardinality bounds via sequential counters, integrity
+//! constraints as plain clauses, and cost-tuple literals for `#minimize`.
+
+use crate::cdcl::{Lit, Sat, Var};
+use crate::ground::GroundProgram;
+use crate::term::AtomId;
+use rustc_hash::FxHashMap;
+
+/// Everything the solving layers need to map between atoms and SAT
+/// variables, find rule-body literals (for loop clauses), and build cost
+/// bounds.
+pub struct Translation {
+    /// SAT variable per interned atom (indexed by `AtomId.0`).
+    pub atom_var: Vec<Var>,
+    /// A variable constrained true (for empty bodies).
+    pub true_var: Var,
+    /// Body literal per ground rule (true iff the rule body holds).
+    pub rule_body: Vec<Lit>,
+    /// Body literal per ground choice instance.
+    pub choice_body: Vec<Lit>,
+    /// Cost items grouped by priority, **sorted descending by priority**:
+    /// `(priority, items)` where each item is `(weight, lit)` and the lit
+    /// is true iff the tuple's condition holds.
+    pub cost: Vec<(i64, Vec<(i64, Lit)>)>,
+}
+
+impl Translation {
+    /// Literal for "atom is true".
+    pub fn lit(&self, a: AtomId) -> Lit {
+        Lit::pos(self.atom_var[a.0 as usize])
+    }
+}
+
+/// Build a literal equivalent to the conjunction of `pos` atoms and
+/// negated `neg` atoms. Adds both implication directions.
+fn body_lit(sat: &mut Sat, tr_atom: &[Var], true_var: Var, pos: &[AtomId], neg: &[AtomId]) -> Lit {
+    let lits: Vec<Lit> = pos
+        .iter()
+        .map(|a| Lit::pos(tr_atom[a.0 as usize]))
+        .chain(neg.iter().map(|a| Lit::neg(tr_atom[a.0 as usize])))
+        .collect();
+    match lits.len() {
+        0 => Lit::pos(true_var),
+        1 => lits[0],
+        _ => {
+            let aux = Lit::pos(sat.new_var());
+            // aux -> each lit
+            for &l in &lits {
+                sat.add_clause(&[aux.negate(), l]);
+            }
+            // conj -> aux
+            let mut cl: Vec<Lit> = lits.iter().map(|l| l.negate()).collect();
+            cl.push(aux);
+            sat.add_clause(&cl);
+            aux
+        }
+    }
+}
+
+/// Build a weighted sequential counter over `items` up to `bound + 1`.
+/// Returns `(heavy, overflow)`: `heavy` are literals whose single weight
+/// already exceeds the bound; `overflow`, when present, is a literal
+/// implied whenever the weighted sum of the remaining items exceeds
+/// `bound`. One-directional (derivation) clauses, sufficient for upper
+/// bounds.
+fn build_counter(sat: &mut Sat, items: &[(i64, Lit)], bound: i64) -> (Vec<Lit>, Option<Lit>) {
+    debug_assert!(items.iter().all(|&(w, _)| w >= 0));
+    // Normalize by the GCD of the weights: uniform weights (e.g. the
+    // concretizer's 100-per-build objective) then become a plain
+    // cardinality counter, shrinking the circuit by that factor.
+    fn gcd(a: i64, b: i64) -> i64 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    let g = {
+        let mut g = 0;
+        for &(w, _) in items {
+            if w > 0 {
+                g = gcd(g, w);
+            }
+        }
+        g.max(1)
+    };
+    let bound = bound.div_euclid(g);
+    let mut heavy = Vec::new();
+    let mut effective: Vec<(i64, Lit)> = Vec::with_capacity(items.len());
+    for &(w, l) in items {
+        if w == 0 {
+            continue;
+        }
+        let w = w / g;
+        if w > bound {
+            heavy.push(l);
+        } else {
+            effective.push((w, l));
+        }
+    }
+    let total: i64 = effective.iter().map(|&(w, _)| w).sum();
+    if total <= bound {
+        return (heavy, None); // remaining items cannot overflow
+    }
+    let width = (bound + 1) as usize;
+    // reg[j-1] = "weighted prefix sum >= j", for j in 1..=bound+1.
+    let mut reg: Vec<Option<Lit>> = vec![None; width];
+    for &(w, x) in &effective {
+        let prev = reg.clone();
+        for j in 1..=(bound + 1) {
+            let ji = (j - 1) as usize;
+            let from_prev = prev[ji];
+            let lower = j - w;
+            let from_x: Option<Vec<Lit>> = if lower <= 0 {
+                Some(vec![x])
+            } else {
+                prev[(lower - 1) as usize].map(|p| vec![x, p])
+            };
+            if from_prev.is_none() && from_x.is_none() {
+                reg[ji] = None;
+                continue;
+            }
+            let out = Lit::pos(sat.new_var());
+            if let Some(p) = from_prev {
+                sat.add_clause(&[p.negate(), out]);
+            }
+            if let Some(ant) = &from_x {
+                let mut cl: Vec<Lit> = ant.iter().map(|l| l.negate()).collect();
+                cl.push(out);
+                sat.add_clause(&cl);
+            }
+            reg[ji] = Some(out);
+        }
+    }
+    (heavy, reg[bound as usize])
+}
+
+/// Add clauses enforcing `sum(weight_i * x_i) <= bound`. Returns false if
+/// the formula became trivially unsatisfiable.
+pub fn add_upper_bound(sat: &mut Sat, items: &[(i64, Lit)], bound: i64) -> bool {
+    if bound < 0 {
+        // Even the empty sum (0) exceeds a negative bound.
+        return sat.add_clause(&[]);
+    }
+    let (heavy, overflow) = build_counter(sat, items, bound);
+    for l in heavy {
+        if !sat.add_clause(&[l.negate()]) {
+            return false;
+        }
+    }
+    if let Some(o) = overflow {
+        sat.add_clause(&[o.negate()])
+    } else {
+        true
+    }
+}
+
+/// Add clauses enforcing `act -> (sum(weight_i * x_i) <= bound)`: the
+/// constraint applies only in models where `act` is true. Used for
+/// optimization probes that may be retracted by dropping the assumption.
+pub fn add_upper_bound_guarded(sat: &mut Sat, items: &[(i64, Lit)], bound: i64, act: Lit) -> bool {
+    if bound < 0 {
+        return sat.add_clause(&[act.negate()]);
+    }
+    let (heavy, overflow) = build_counter(sat, items, bound);
+    for l in heavy {
+        if !sat.add_clause(&[act.negate(), l.negate()]) {
+            return false;
+        }
+    }
+    if let Some(o) = overflow {
+        sat.add_clause(&[act.negate(), o.negate()])
+    } else {
+        true
+    }
+}
+
+/// Translate the ground program into `sat`.
+pub fn translate(gp: &GroundProgram, sat: &mut Sat) -> Translation {
+    let n = gp.atom_count();
+    let atom_var: Vec<Var> = (0..n).map(|_| sat.new_var()).collect();
+    let true_var = sat.new_var();
+    sat.add_clause(&[Lit::pos(true_var)]);
+
+    // Supports per atom: disjuncts allowing the atom to be true.
+    let mut supports: Vec<Vec<Lit>> = vec![Vec::new(); n];
+
+    // Normal rules.
+    let mut rule_body = Vec::with_capacity(gp.rules.len());
+    for r in &gp.rules {
+        let beta = body_lit(sat, &atom_var, true_var, &r.pos, &r.neg);
+        rule_body.push(beta);
+        let head = Lit::pos(atom_var[r.head.0 as usize]);
+        // body -> head
+        sat.add_clause(&[beta.negate(), head]);
+        supports[r.head.0 as usize].push(beta);
+    }
+
+    // Choice instances.
+    let mut choice_body = Vec::with_capacity(gp.choices.len());
+    for c in &gp.choices {
+        let beta = body_lit(sat, &atom_var, true_var, &c.pos, &c.neg);
+        choice_body.push(beta);
+        for &e in c.elements.iter() {
+            // The body *permits* the element (no implication to true).
+            supports[e.0 as usize].push(beta);
+        }
+        let elem_lits: Vec<(i64, Lit)> = c
+            .elements
+            .iter()
+            .map(|&e| (1i64, Lit::pos(atom_var[e.0 as usize])))
+            .collect();
+        if let Some(upper) = c.upper {
+            // beta -> at most `upper` of elements.
+            add_cardinality_upper_guarded(sat, &elem_lits, upper as i64, beta);
+        }
+        if let Some(lower) = c.lower {
+            let lower = lower as i64;
+            if lower > 0 {
+                if (c.elements.len() as i64) < lower {
+                    // Impossible to meet: forbid the body.
+                    sat.add_clause(&[beta.negate()]);
+                } else if lower == 1 {
+                    let mut cl: Vec<Lit> = vec![beta.negate()];
+                    cl.extend(elem_lits.iter().map(|&(_, l)| l));
+                    sat.add_clause(&cl);
+                } else {
+                    // sum >= lower  <=>  sum of negations <= n - lower.
+                    let negs: Vec<(i64, Lit)> =
+                        elem_lits.iter().map(|&(w, l)| (w, l.negate())).collect();
+                    let bound = c.elements.len() as i64 - lower;
+                    add_cardinality_upper_guarded(sat, &negs, bound, beta);
+                }
+            }
+        }
+    }
+
+    // Completion: every atom needs a support.
+    for (i, sup) in supports.iter().enumerate() {
+        let a = Lit::pos(atom_var[i]);
+        if sup.is_empty() {
+            sat.add_clause(&[a.negate()]);
+        } else {
+            let mut cl: Vec<Lit> = vec![a.negate()];
+            cl.extend(sup.iter().copied());
+            sat.add_clause(&cl);
+        }
+    }
+
+    // Integrity constraints.
+    for c in &gp.constraints {
+        let mut cl: Vec<Lit> = c
+            .pos
+            .iter()
+            .map(|a| Lit::neg(atom_var[a.0 as usize]))
+            .collect();
+        cl.extend(c.neg.iter().map(|a| Lit::pos(atom_var[a.0 as usize])));
+        sat.add_clause(&cl);
+    }
+
+    // Minimize: one literal per distinct (priority, weight, tuple) that is
+    // true iff any of its conditions holds.
+    let mut groups: FxHashMap<(i64, i64, Box<[crate::term::TermId]>), Vec<Lit>> =
+        FxHashMap::default();
+    let mut order: Vec<(i64, i64, Box<[crate::term::TermId]>)> = Vec::new();
+    for m in &gp.minimize {
+        let key = (m.priority, m.weight, m.tuple.clone());
+        let beta = body_lit(sat, &atom_var, true_var, &m.pos, &m.neg);
+        let entry = groups.entry(key.clone()).or_default();
+        if entry.is_empty() {
+            order.push(key);
+        }
+        entry.push(beta);
+    }
+    let mut per_priority: FxHashMap<i64, Vec<(i64, Lit)>> = FxHashMap::default();
+    let mut priorities: Vec<i64> = Vec::new();
+    for key in order {
+        let conds = groups.remove(&key).expect("inserted above");
+        let (priority, weight, _) = key;
+        let tlit = if conds.len() == 1 {
+            conds[0]
+        } else {
+            let t = Lit::pos(sat.new_var());
+            for &c in &conds {
+                sat.add_clause(&[c.negate(), t]);
+            }
+            let mut cl: Vec<Lit> = vec![t.negate()];
+            cl.extend(conds.iter().copied());
+            sat.add_clause(&cl);
+            t
+        };
+        if !per_priority.contains_key(&priority) {
+            priorities.push(priority);
+        }
+        per_priority.entry(priority).or_default().push((weight, tlit));
+    }
+    priorities.sort_unstable_by(|a, b| b.cmp(a));
+    let cost: Vec<(i64, Vec<(i64, Lit)>)> = priorities
+        .into_iter()
+        .map(|p| {
+            let items = per_priority.remove(&p).expect("grouped above");
+            (p, items)
+        })
+        .collect();
+
+    Translation {
+        atom_var,
+        true_var,
+        rule_body,
+        choice_body,
+        cost,
+    }
+}
+
+/// `guard -> (sum of unit-weight lits <= bound)`. The guard (a choice
+/// body literal) plays the activation-literal role directly.
+fn add_cardinality_upper_guarded(sat: &mut Sat, items: &[(i64, Lit)], bound: i64, guard: Lit) {
+    add_upper_bound_guarded(sat, items, bound, guard);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdcl::SatResult;
+    use crate::ground::ground;
+    use crate::parser::parse_program;
+
+    fn solve_text(text: &str) -> (GroundProgram, Sat, Translation, SatResult) {
+        let gp = ground(&parse_program(text).unwrap()).unwrap();
+        let mut sat = Sat::new();
+        let tr = translate(&gp, &mut sat);
+        let res = sat.solve();
+        (gp, sat, tr, res)
+    }
+
+    fn truth(gp: &GroundProgram, sat: &Sat, tr: &Translation, atom: &str) -> bool {
+        for i in 0..gp.atom_count() {
+            if gp.store.format_atom(crate::term::AtomId(i as u32)) == atom {
+                return sat.value(tr.atom_var[i]);
+            }
+        }
+        panic!("atom {atom} not interned");
+    }
+
+    #[test]
+    fn facts_and_rules_propagate() {
+        let (gp, sat, tr, res) = solve_text("a. b :- a. c :- b.");
+        assert_eq!(res, SatResult::Sat);
+        assert!(truth(&gp, &sat, &tr, "a"));
+        assert!(truth(&gp, &sat, &tr, "b"));
+        assert!(truth(&gp, &sat, &tr, "c"));
+    }
+
+    #[test]
+    fn unsupported_atoms_false() {
+        // c is possible (its rule has a negated body) but must be false
+        // because a holds; then b, supported only by c, is false too.
+        let (gp, sat, tr, res) = solve_text("a. c :- not a. b :- c.");
+        assert_eq!(res, SatResult::Sat);
+        assert!(truth(&gp, &sat, &tr, "a"));
+        assert!(!truth(&gp, &sat, &tr, "c"));
+        assert!(!truth(&gp, &sat, &tr, "b"));
+    }
+
+    #[test]
+    fn negation_as_failure() {
+        let (gp, sat, tr, res) = solve_text("a. b :- not c. c :- not_present_pred.");
+        assert_eq!(res, SatResult::Sat);
+        assert!(truth(&gp, &sat, &tr, "b"));
+        assert!(!truth(&gp, &sat, &tr, "c"));
+    }
+
+    #[test]
+    fn constraint_excludes() {
+        let (_, _, _, res) = solve_text("a. :- a.");
+        assert_eq!(res, SatResult::Unsat);
+    }
+
+    #[test]
+    fn choice_exactly_one() {
+        let (gp, sat, tr, res) = solve_text(
+            r#"
+            n. cand("x"). cand("y").
+            1 { pick(V) : cand(V) } 1 :- n.
+        "#,
+        );
+        assert_eq!(res, SatResult::Sat);
+        let x = truth(&gp, &sat, &tr, "pick(\"x\")");
+        let y = truth(&gp, &sat, &tr, "pick(\"y\")");
+        assert!(x ^ y, "exactly one of pick(x)/pick(y)");
+    }
+
+    #[test]
+    fn choice_lower_bound_unmeetable_forbids_body() {
+        // Choice needs 1 element but none exist; body atom n must still be
+        // satisfiable... n is a fact, so the program is UNSAT.
+        let (_, _, _, res) = solve_text("n. 1 { pick(V) : cand(V) } 1 :- n.");
+        assert_eq!(res, SatResult::Unsat);
+    }
+
+    #[test]
+    fn choice_upper_zero_forces_none() {
+        let (gp, sat, tr, res) = solve_text(
+            r#"
+            n. cand("x").
+            { pick(V) : cand(V) } 0 :- n.
+        "#,
+        );
+        assert_eq!(res, SatResult::Sat);
+        assert!(!truth(&gp, &sat, &tr, "pick(\"x\")"));
+    }
+
+    #[test]
+    fn at_most_two_of_four() {
+        let (gp, sat, tr, res) = solve_text(
+            r#"
+            n. c(1). c(2). c(3). c(4).
+            { pick(V) : c(V) } 2 :- n.
+            want(X) :- pick(X).
+        "#,
+        );
+        assert_eq!(res, SatResult::Sat);
+        let count = (1..=4)
+            .filter(|i| truth(&gp, &sat, &tr, &format!("pick({i})")))
+            .count();
+        assert!(count <= 2);
+    }
+
+    #[test]
+    fn at_least_two_of_three() {
+        let (gp, sat, tr, res) = solve_text(
+            r#"
+            n. c(1). c(2). c(3).
+            2 { pick(V) : c(V) } :- n.
+        "#,
+        );
+        assert_eq!(res, SatResult::Sat);
+        let count = (1..=3)
+            .filter(|i| truth(&gp, &sat, &tr, &format!("pick({i})")))
+            .count();
+        assert!(count >= 2);
+    }
+
+    #[test]
+    fn upper_bound_weighted() {
+        // Standalone counter test: w = [3,2,2], bound 4.
+        let mut sat = Sat::new();
+        let xs: Vec<Lit> = (0..3).map(|_| Lit::pos(sat.new_var())).collect();
+        let items = vec![(3, xs[0]), (2, xs[1]), (2, xs[2])];
+        assert!(add_upper_bound(&mut sat, &items, 4));
+        // Force all three: total 7 > 4 => unsat.
+        for &x in &xs {
+            sat.add_clause(&[x]);
+        }
+        assert_eq!(sat.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn upper_bound_allows_within_budget() {
+        let mut sat = Sat::new();
+        let xs: Vec<Lit> = (0..3).map(|_| Lit::pos(sat.new_var())).collect();
+        let items = vec![(3, xs[0]), (2, xs[1]), (2, xs[2])];
+        assert!(add_upper_bound(&mut sat, &items, 4));
+        sat.add_clause(&[xs[1]]);
+        sat.add_clause(&[xs[2]]);
+        assert_eq!(sat.solve(), SatResult::Sat);
+        // x0 (weight 3) must be false: 2+2+3 = 7 > 4.
+        assert!(!sat.value(xs[0].var()));
+    }
+
+    #[test]
+    fn upper_bound_zero_forbids_everything_weighted() {
+        let mut sat = Sat::new();
+        let x = Lit::pos(sat.new_var());
+        assert!(add_upper_bound(&mut sat, &[(5, x)], 0));
+        assert_eq!(sat.solve(), SatResult::Sat);
+        assert!(!sat.value(x.var()));
+    }
+
+    #[test]
+    fn guarded_bound_only_applies_when_active() {
+        let mut sat = Sat::new();
+        let x = Lit::pos(sat.new_var());
+        let y = Lit::pos(sat.new_var());
+        let act = Lit::pos(sat.new_var());
+        assert!(add_upper_bound_guarded(&mut sat, &[(1, x), (1, y)], 1, act));
+        sat.add_clause(&[x]);
+        sat.add_clause(&[y]);
+        // Without act there is a model (act false).
+        assert_eq!(sat.solve(), SatResult::Sat);
+        assert!(!sat.value(act.var()));
+        // Forcing act makes it UNSAT.
+        sat.add_clause(&[act]);
+        assert_eq!(sat.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn cost_literals_track_conditions() {
+        let (gp, sat, tr, res) = solve_text(
+            r#"
+            a.
+            b :- a.
+            #minimize { 10@1,"t1" : b }.
+        "#,
+        );
+        assert_eq!(res, SatResult::Sat);
+        assert_eq!(tr.cost.len(), 1);
+        let (prio, items) = &tr.cost[0];
+        assert_eq!(*prio, 1);
+        assert_eq!(items.len(), 1);
+        // b holds, so the cost literal must be true.
+        let _ = gp;
+        assert_eq!(items[0].0, 10);
+        let l = items[0].1;
+        let val = sat.value(l.var()) != l.is_neg();
+        assert!(val);
+    }
+}

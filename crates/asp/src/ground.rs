@@ -1,0 +1,1034 @@
+//! The grounder: instantiates a [`Program`]'s rules over an
+//! over-approximated Herbrand base, producing a propositional
+//! [`GroundProgram`] for the CNF translator.
+//!
+//! ## Algorithm
+//!
+//! 1. **Possible-atom closure** (semi-naive): starting from facts, derive
+//!    every atom that *could* be true — heads of normal rules and choice
+//!    elements — by joining positive bodies against the growing set.
+//!    Negative literals are ignored (over-approximation); comparison
+//!    builtins are evaluated (they are deterministic).
+//! 2. **Emission pass**: with the closure fixed, instantiate every normal
+//!    rule once more and emit ground rules, deduplicated.
+//! 3. **Certainty closure**: atoms derivable through negation-free rules
+//!    from facts are *certain*.
+//! 4. **Choice/constraint/minimize emission**: choice-element conditions
+//!    must be certain — this engine (like the concretizer program it
+//!    serves) treats them as domain predicates; a condition over a
+//!    genuinely model-dependent predicate is an error rather than a
+//!    silent mis-solve. Minimize conditions stay model-dependent.
+//!
+//! Joins are index-backed: per (predicate, arity) relations with lazily
+//! built per-argument-position hash indexes, so fact bases with many
+//! thousands of `hash_attr` entries ground quickly.
+
+use crate::program::{BodyElem, CmpOp, Head, Program, Rule};
+use crate::term::{Atom, AtomId, GroundStore, GroundTerm, Term, TermId};
+use crate::{AspError, Result};
+use rustc_hash::{FxHashMap, FxHashSet};
+use spackle_spec::Sym;
+use std::cmp::Ordering;
+
+/// A ground normal rule (`head :- pos, not neg`). Facts have empty bodies.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct GroundRule {
+    /// Head atom.
+    pub head: AtomId,
+    /// Positive body atoms.
+    pub pos: Box<[AtomId]>,
+    /// Negated body atoms.
+    pub neg: Box<[AtomId]>,
+}
+
+/// A ground choice instance.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct GroundChoice {
+    /// Cardinality lower bound (enforced when the body holds).
+    pub lower: Option<u32>,
+    /// Cardinality upper bound (enforced when the body holds).
+    pub upper: Option<u32>,
+    /// Positive body atoms.
+    pub pos: Box<[AtomId]>,
+    /// Negated body atoms.
+    pub neg: Box<[AtomId]>,
+    /// Choosable element atoms (deduplicated, in derivation order).
+    pub elements: Box<[AtomId]>,
+}
+
+/// A ground integrity constraint (`:- pos, not neg`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct GroundConstraint {
+    /// Positive body atoms.
+    pub pos: Box<[AtomId]>,
+    /// Negated body atoms.
+    pub neg: Box<[AtomId]>,
+}
+
+/// A ground minimize term: contributes `weight` at `priority` when its
+/// condition holds. Distinct `tuple`s contribute independently; identical
+/// tuples with multiple conditions contribute once if *any* condition
+/// holds (Clingo set-of-tuples semantics).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct GroundMin {
+    /// Weight (must be non-negative in this engine).
+    pub weight: i64,
+    /// Priority level; higher optimizes first.
+    pub priority: i64,
+    /// Distinguishing tuple.
+    pub tuple: Box<[TermId]>,
+    /// Positive condition atoms.
+    pub pos: Box<[AtomId]>,
+    /// Negated condition atoms.
+    pub neg: Box<[AtomId]>,
+}
+
+/// The grounded program.
+pub struct GroundProgram {
+    /// Hash-cons store for ground terms/atoms.
+    pub store: GroundStore,
+    /// Ground normal rules, including facts.
+    pub rules: Vec<GroundRule>,
+    /// Ground choice instances.
+    pub choices: Vec<GroundChoice>,
+    /// Ground integrity constraints.
+    pub constraints: Vec<GroundConstraint>,
+    /// Ground minimize terms.
+    pub minimize: Vec<GroundMin>,
+    /// Atoms certain to hold in every model (facts plus negation-free
+    /// consequences of facts).
+    pub certain: FxHashSet<AtomId>,
+    /// Atoms that can possibly be true (the over-approximated base).
+    pub possible: FxHashSet<AtomId>,
+}
+
+impl GroundProgram {
+    /// Total number of interned atoms (the propositional universe).
+    pub fn atom_count(&self) -> usize {
+        self.store.atom_count()
+    }
+}
+
+/// Resource limits for grounding.
+#[derive(Clone, Copy, Debug)]
+pub struct GroundLimits {
+    /// Maximum number of distinct possible atoms before aborting.
+    pub max_atoms: usize,
+    /// Maximum number of emitted ground rules before aborting.
+    pub max_rules: usize,
+}
+
+impl Default for GroundLimits {
+    fn default() -> Self {
+        GroundLimits {
+            max_atoms: 20_000_000,
+            max_rules: 50_000_000,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Normalized rules and safety
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+struct NormBody {
+    pos: Vec<Atom>,
+    neg: Vec<Atom>,
+    cmps: Vec<(Term, CmpOp, Term)>,
+}
+
+fn normalize_body(body: &[BodyElem]) -> NormBody {
+    let mut nb = NormBody {
+        pos: Vec::new(),
+        neg: Vec::new(),
+        cmps: Vec::new(),
+    };
+    for e in body {
+        match e {
+            BodyElem::Pos(a) => nb.pos.push(a.clone()),
+            BodyElem::Neg(a) => nb.neg.push(a.clone()),
+            BodyElem::Cmp(l, op, r) => nb.cmps.push((l.clone(), *op, r.clone())),
+        }
+    }
+    nb
+}
+
+fn check_safety(rule: &Rule) -> Result<()> {
+    let nb = normalize_body(&rule.body);
+    let mut bound: Vec<Sym> = Vec::new();
+    for a in &nb.pos {
+        a.collect_vars(&mut bound);
+    }
+    let check = |vars: Vec<Sym>, extra: &[Sym], what: &str| -> Result<()> {
+        for v in vars {
+            if !bound.contains(&v) && !extra.contains(&v) {
+                return Err(AspError::Unsafe {
+                    rule: format!("{rule} ({what})"),
+                    variable: v.as_str().to_string(),
+                });
+            }
+        }
+        Ok(())
+    };
+    for a in &nb.neg {
+        let mut vs = Vec::new();
+        a.collect_vars(&mut vs);
+        check(vs, &[], "negative literal")?;
+    }
+    for (l, _, r) in &nb.cmps {
+        let mut vs = Vec::new();
+        l.collect_vars(&mut vs);
+        r.collect_vars(&mut vs);
+        check(vs, &[], "comparison")?;
+    }
+    match &rule.head {
+        Head::None => {}
+        Head::Atom(a) => {
+            let mut vs = Vec::new();
+            a.collect_vars(&mut vs);
+            check(vs, &[], "head")?;
+        }
+        Head::Choice { elements, .. } => {
+            for el in elements {
+                let cond = normalize_body(&el.condition);
+                let mut cond_vars: Vec<Sym> = Vec::new();
+                for a in &cond.pos {
+                    a.collect_vars(&mut cond_vars);
+                }
+                let mut vs = Vec::new();
+                el.atom.collect_vars(&mut vs);
+                check(vs, &cond_vars, "choice element")?;
+                for a in &cond.neg {
+                    let mut nvs = Vec::new();
+                    a.collect_vars(&mut nvs);
+                    check(nvs, &cond_vars, "choice condition negation")?;
+                }
+                for (l, _, r) in &cond.cmps {
+                    let mut cvs = Vec::new();
+                    l.collect_vars(&mut cvs);
+                    r.collect_vars(&mut cvs);
+                    check(cvs, &cond_vars, "choice condition comparison")?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Substitutions
+// ---------------------------------------------------------------------
+
+type Subst = Vec<(Sym, TermId)>;
+
+fn lookup(s: &Subst, v: Sym) -> Option<TermId> {
+    s.iter().rev().find(|(k, _)| *k == v).map(|(_, t)| *t)
+}
+
+/// Resolve `t` under `s` to a ground term id, interning as needed.
+/// Returns `None` when an unbound variable remains.
+fn resolve(store: &mut GroundStore, s: &Subst, t: &Term) -> Option<TermId> {
+    match t {
+        Term::Int(i) => Some(store.term(GroundTerm::Int(*i))),
+        Term::Sym(x) => Some(store.term(GroundTerm::Sym(*x))),
+        Term::Str(x) => Some(store.term(GroundTerm::Str(*x))),
+        Term::Var(v) => lookup(s, *v),
+        Term::Func(name, args) => {
+            let mut kids = Vec::with_capacity(args.len());
+            for a in args {
+                kids.push(resolve(store, s, a)?);
+            }
+            Some(store.term(GroundTerm::Func(*name, kids.into())))
+        }
+    }
+}
+
+/// Unify pattern `t` with ground term `tid` under `s`, appending new
+/// bindings. On mismatch returns false; caller truncates `s`.
+fn unify(store: &GroundStore, s: &mut Subst, t: &Term, tid: TermId) -> bool {
+    match t {
+        Term::Int(i) => matches!(store.term_data(tid), GroundTerm::Int(j) if i == j),
+        Term::Sym(x) => matches!(store.term_data(tid), GroundTerm::Sym(y) if x == y),
+        Term::Str(x) => matches!(store.term_data(tid), GroundTerm::Str(y) if x == y),
+        Term::Var(v) => match lookup(s, *v) {
+            Some(existing) => existing == tid,
+            None => {
+                s.push((*v, tid));
+                true
+            }
+        },
+        Term::Func(name, args) => match store.term_data(tid) {
+            GroundTerm::Func(n2, kids) if n2 == name && kids.len() == args.len() => {
+                let kids: Vec<TermId> = kids.to_vec();
+                args.iter()
+                    .zip(kids)
+                    .all(|(a, k)| unify(store, s, a, k))
+            }
+            _ => false,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// The grounder
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct PredRel {
+    atoms: Vec<AtomId>,
+    /// Lazily built index per argument position.
+    by_arg: Vec<Option<FxHashMap<TermId, Vec<AtomId>>>>,
+}
+
+struct Grounder {
+    store: GroundStore,
+    rels: FxHashMap<(Sym, usize), PredRel>,
+    /// Rank (possible-insertion order) per atom id; usize::MAX = not
+    /// (yet) possible. Indexed by AtomId.0.
+    rank_of: Vec<usize>,
+    possible: Vec<AtomId>,
+    limits: GroundLimits,
+}
+
+/// One complete instantiation of a body: the substitution and the chosen
+/// positive atoms (in literal order).
+struct Match {
+    subst: Subst,
+    chosen: Vec<AtomId>,
+}
+
+impl Grounder {
+    fn new(limits: GroundLimits) -> Self {
+        Grounder {
+            store: GroundStore::new(),
+            rels: FxHashMap::default(),
+            rank_of: Vec::new(),
+            possible: Vec::new(),
+            limits,
+        }
+    }
+
+    fn rank(&self, a: AtomId) -> usize {
+        self.rank_of
+            .get(a.0 as usize)
+            .copied()
+            .unwrap_or(usize::MAX)
+    }
+
+    fn is_possible(&self, a: AtomId) -> bool {
+        self.rank(a) != usize::MAX
+    }
+
+    /// Mark `id` possible; returns true when newly added.
+    fn add_possible(&mut self, id: AtomId) -> bool {
+        if self.rank_of.len() <= id.0 as usize {
+            self.rank_of.resize(id.0 as usize + 1, usize::MAX);
+        }
+        if self.rank_of[id.0 as usize] != usize::MAX {
+            return false;
+        }
+        self.rank_of[id.0 as usize] = self.possible.len();
+        self.possible.push(id);
+        let (pred, args) = self.store.atom_data(id);
+        let arity = args.len();
+        let args_owned: Vec<TermId> = args.to_vec();
+        let rel = self.rels.entry((pred, arity)).or_default();
+        rel.atoms.push(id);
+        for (i, slot) in rel.by_arg.iter_mut().enumerate() {
+            if let Some(map) = slot {
+                map.entry(args_owned[i]).or_default().push(id);
+            }
+        }
+        true
+    }
+
+    /// Candidate atoms matching `pattern` under `s` with rank in
+    /// `[lo, hi)`.
+    fn candidates(&mut self, s: &Subst, pattern: &Atom, lo: usize, hi: usize) -> Vec<AtomId> {
+        let key = (pattern.pred, pattern.args.len());
+        if !self.rels.contains_key(&key) {
+            return Vec::new();
+        }
+        // Prefer an index on an argument position that is ground under s.
+        let mut ground_arg: Option<(usize, TermId)> = None;
+        for (i, a) in pattern.args.iter().enumerate() {
+            let mut vs = Vec::new();
+            a.collect_vars(&mut vs);
+            if vs.iter().all(|v| lookup(s, *v).is_some()) {
+                if let Some(tid) = resolve(&mut self.store, s, a) {
+                    ground_arg = Some((i, tid));
+                    break;
+                }
+            }
+        }
+        let rel = self.rels.get_mut(&key).expect("checked above");
+        let base: Vec<AtomId> = match ground_arg {
+            Some((i, tid)) => {
+                if rel.by_arg.len() <= i {
+                    rel.by_arg.resize_with(i + 1, || None);
+                }
+                if rel.by_arg[i].is_none() {
+                    let mut map: FxHashMap<TermId, Vec<AtomId>> = FxHashMap::default();
+                    for &aid in &rel.atoms {
+                        let (_, args) = self.store.atom_data(aid);
+                        map.entry(args[i]).or_default().push(aid);
+                    }
+                    rel.by_arg[i] = Some(map);
+                }
+                rel.by_arg[i]
+                    .as_ref()
+                    .expect("just built")
+                    .get(&tid)
+                    .cloned()
+                    .unwrap_or_default()
+            }
+            None => rel.atoms.clone(),
+        };
+        if lo == 0 && hi == usize::MAX {
+            base
+        } else {
+            base.into_iter()
+                .filter(|a| {
+                    let r = self.rank(*a);
+                    r >= lo && r < hi
+                })
+                .collect()
+        }
+    }
+
+    /// Enumerate instantiations of `pats` (with `cmps` filters), starting
+    /// from substitution `init`. When `delta` is `Some((i, lo, hi))`,
+    /// literal `i` is restricted to atoms with rank in `[lo, hi)`.
+    fn join(
+        &mut self,
+        pats: &[Atom],
+        cmps: &[(Term, CmpOp, Term)],
+        init: &Subst,
+        init_chosen: &[AtomId],
+        delta: Option<(usize, usize, usize)>,
+    ) -> Result<Vec<Match>> {
+        let mut out = Vec::new();
+        let mut s = init.to_vec();
+        let mut chosen = init_chosen.to_vec();
+        self.join_rec(pats, cmps, 0, delta, &mut s, &mut chosen, &mut out)?;
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn join_rec(
+        &mut self,
+        pats: &[Atom],
+        cmps: &[(Term, CmpOp, Term)],
+        i: usize,
+        delta: Option<(usize, usize, usize)>,
+        s: &mut Subst,
+        chosen: &mut Vec<AtomId>,
+        out: &mut Vec<Match>,
+    ) -> Result<()> {
+        if i == pats.len() {
+            // All positive literals matched; evaluate comparisons.
+            for (l, op, r) in cmps {
+                let lv = resolve(&mut self.store, s, l).ok_or_else(|| {
+                    AspError::Internal(format!("comparison lhs not ground: {l}"))
+                })?;
+                let rv = resolve(&mut self.store, s, r).ok_or_else(|| {
+                    AspError::Internal(format!("comparison rhs not ground: {r}"))
+                })?;
+                let ord = self.store.compare(lv, rv);
+                let hold = match op {
+                    CmpOp::Eq => ord == Ordering::Equal,
+                    CmpOp::Ne => ord != Ordering::Equal,
+                    CmpOp::Lt => ord == Ordering::Less,
+                    CmpOp::Le => ord != Ordering::Greater,
+                    CmpOp::Gt => ord == Ordering::Greater,
+                    CmpOp::Ge => ord != Ordering::Less,
+                };
+                if !hold {
+                    return Ok(());
+                }
+            }
+            out.push(Match {
+                subst: s.clone(),
+                chosen: chosen.clone(),
+            });
+            return Ok(());
+        }
+        let (lo, hi) = match delta {
+            Some((dpos, lo, hi)) if dpos == i => (lo, hi),
+            _ => (0, usize::MAX),
+        };
+        let cands = self.candidates(s, &pats[i], lo, hi);
+        for cand in cands {
+            let mark = s.len();
+            let (_, args) = self.store.atom_data(cand);
+            let args: Vec<TermId> = args.to_vec();
+            let ok = pats[i]
+                .args
+                .iter()
+                .zip(&args)
+                .all(|(p, &t)| unify(&self.store, s, p, t));
+            if ok {
+                chosen.push(cand);
+                self.join_rec(pats, cmps, i + 1, delta, s, chosen, out)?;
+                chosen.pop();
+            }
+            s.truncate(mark);
+        }
+        Ok(())
+    }
+
+    fn intern_under(&mut self, s: &Subst, a: &Atom) -> Result<AtomId> {
+        let mut args = Vec::with_capacity(a.args.len());
+        for t in &a.args {
+            args.push(resolve(&mut self.store, s, t).ok_or_else(|| {
+                AspError::Internal(format!("non-ground term {t} at instantiation"))
+            })?);
+        }
+        Ok(self.store.atom(a.pred, args.into()))
+    }
+}
+
+/// Ground `program` into a propositional [`GroundProgram`].
+pub fn ground(program: &Program) -> Result<GroundProgram> {
+    ground_with_limits(program, GroundLimits::default())
+}
+
+/// Ground with explicit resource limits.
+pub fn ground_with_limits(program: &Program, limits: GroundLimits) -> Result<GroundProgram> {
+    for r in &program.rules {
+        check_safety(r)?;
+    }
+    let mut g = Grounder::new(limits);
+
+    // Pre-normalize rules.
+    struct NormRule<'a> {
+        head: &'a Head,
+        body: NormBody,
+    }
+    let norm: Vec<NormRule<'_>> = program
+        .rules
+        .iter()
+        .map(|r| NormRule {
+            head: &r.head,
+            body: normalize_body(&r.body),
+        })
+        .collect();
+
+    // ---- Phase 1: possible-atom closure (semi-naive). ----
+    // Round 0: derivations with no positive literals at all (plain facts,
+    // and choice elements whose body and condition are both literal-free)
+    // fire exactly once; everything else participates in the loop below.
+    for nr in &norm {
+        if !nr.body.pos.is_empty() {
+            continue;
+        }
+        match nr.head {
+            Head::Atom(a) => {
+                let matches = g.join(&[], &nr.body.cmps, &Vec::new(), &[], None)?;
+                for m in matches {
+                    let id = g.intern_under(&m.subst, a)?;
+                    g.add_possible(id);
+                }
+            }
+            Head::Choice { elements, .. } => {
+                for el in elements {
+                    let cond = normalize_body(&el.condition);
+                    if !cond.pos.is_empty() {
+                        continue; // handled in the semi-naive loop
+                    }
+                    let mut cmps = nr.body.cmps.clone();
+                    cmps.extend(cond.cmps.iter().cloned());
+                    let matches = g.join(&[], &cmps, &Vec::new(), &[], None)?;
+                    for m in matches {
+                        let id = g.intern_under(&m.subst, &el.atom)?;
+                        g.add_possible(id);
+                    }
+                }
+            }
+            Head::None => {}
+        }
+    }
+    let mut prev_start = 0usize;
+    loop {
+        let prev_end = g.possible.len();
+        if prev_start == prev_end {
+            break;
+        }
+        for nr in &norm {
+            // Combined literal lists per derivation target: for normal
+            // heads the body; for choice elements body + condition.
+            match nr.head {
+                Head::Choice { elements, .. } => {
+                    for el in elements {
+                        let cond = normalize_body(&el.condition);
+                        let mut pats = nr.body.pos.clone();
+                        pats.extend(cond.pos.iter().cloned());
+                        if pats.is_empty() {
+                            continue; // fired in round 0
+                        }
+                        let mut cmps = nr.body.cmps.clone();
+                        cmps.extend(cond.cmps.iter().cloned());
+                        for dpos in 0..pats.len() {
+                            let matches = g.join(
+                                &pats,
+                                &cmps,
+                                &Vec::new(),
+                                &[],
+                                Some((dpos, prev_start, prev_end)),
+                            )?;
+                            for m in matches {
+                                let id = g.intern_under(&m.subst, &el.atom)?;
+                                g.add_possible(id);
+                            }
+                        }
+                    }
+                }
+                Head::Atom(a) => {
+                    let npos = nr.body.pos.len();
+                    if npos == 0 {
+                        continue; // fired in round 0
+                    }
+                    for dpos in 0..npos {
+                        let matches = g.join(
+                            &nr.body.pos,
+                            &nr.body.cmps,
+                            &Vec::new(),
+                            &[],
+                            Some((dpos, prev_start, prev_end)),
+                        )?;
+                        for m in matches {
+                            let id = g.intern_under(&m.subst, a)?;
+                            g.add_possible(id);
+                        }
+                    }
+                }
+                Head::None => {}
+            }
+        }
+        if g.possible.len() > g.limits.max_atoms {
+            return Err(AspError::ResourceLimit(format!(
+                "possible atoms exceeded {}",
+                g.limits.max_atoms
+            )));
+        }
+        prev_start = prev_end;
+    }
+
+    // ---- Phase 2: emit ground normal rules. ----
+    let mut rules: Vec<GroundRule> = Vec::new();
+    let mut rule_set: FxHashSet<GroundRule> = FxHashSet::default();
+    for nr in &norm {
+        let Head::Atom(head) = nr.head else { continue };
+        let matches = g.join(&nr.body.pos, &nr.body.cmps, &Vec::new(), &[], None)?;
+        for m in matches {
+            let h = g.intern_under(&m.subst, head)?;
+            let mut neg = Vec::with_capacity(nr.body.neg.len());
+            for n in &nr.body.neg {
+                neg.push(g.intern_under(&m.subst, n)?);
+            }
+            let gr = GroundRule {
+                head: h,
+                pos: m.chosen.clone().into(),
+                neg: neg.into(),
+            };
+            if rule_set.insert(gr.clone()) {
+                rules.push(gr);
+            }
+            if rules.len() > g.limits.max_rules {
+                return Err(AspError::ResourceLimit(format!(
+                    "ground rules exceeded {}",
+                    g.limits.max_rules
+                )));
+            }
+        }
+    }
+
+    // ---- Phase 3: certainty closure over negation-free rules. ----
+    let mut certain: FxHashSet<AtomId> = FxHashSet::default();
+    {
+        // Index rules by their positive-body atoms.
+        let mut waiting: FxHashMap<AtomId, Vec<usize>> = FxHashMap::default();
+        let mut missing: Vec<usize> = Vec::with_capacity(rules.len());
+        let mut queue: Vec<AtomId> = Vec::new();
+        for (ri, r) in rules.iter().enumerate() {
+            if !r.neg.is_empty() {
+                missing.push(usize::MAX); // never participates
+                continue;
+            }
+            missing.push(r.pos.len());
+            if r.pos.is_empty() {
+                if certain.insert(r.head) {
+                    queue.push(r.head);
+                }
+            } else {
+                for &p in r.pos.iter() {
+                    waiting.entry(p).or_default().push(ri);
+                }
+            }
+        }
+        // Note: duplicate atoms in a body would double-count `missing`;
+        // bodies come from joins so duplicates are possible when the same
+        // atom matches two literals. Count unique occurrences instead.
+        for (ri, r) in rules.iter().enumerate() {
+            if r.neg.is_empty() && !r.pos.is_empty() {
+                let unique: FxHashSet<AtomId> = r.pos.iter().copied().collect();
+                missing[ri] = unique.len();
+            }
+        }
+        let mut satisfied: FxHashMap<usize, FxHashSet<AtomId>> = FxHashMap::default();
+        while let Some(a) = queue.pop() {
+            if let Some(rids) = waiting.get(&a) {
+                for &ri in rids {
+                    if missing[ri] == usize::MAX {
+                        continue;
+                    }
+                    let seen = satisfied.entry(ri).or_default();
+                    if seen.insert(a) && seen.len() == missing[ri] {
+                        let h = rules[ri].head;
+                        if certain.insert(h) {
+                            queue.push(h);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Phase 4: choices, constraints, minimize. ----
+    let mut choices: Vec<GroundChoice> = Vec::new();
+    let mut choice_set: FxHashSet<GroundChoice> = FxHashSet::default();
+    let mut constraints: Vec<GroundConstraint> = Vec::new();
+    let mut constraint_set: FxHashSet<GroundConstraint> = FxHashSet::default();
+    for nr in &norm {
+        match nr.head {
+            Head::Choice {
+                lower,
+                upper,
+                elements,
+            } => {
+                let matches = g.join(&nr.body.pos, &nr.body.cmps, &Vec::new(), &[], None)?;
+                for m in matches {
+                    let mut neg = Vec::with_capacity(nr.body.neg.len());
+                    for n in &nr.body.neg {
+                        neg.push(g.intern_under(&m.subst, n)?);
+                    }
+                    let mut elems: Vec<AtomId> = Vec::new();
+                    let mut elem_seen: FxHashSet<AtomId> = FxHashSet::default();
+                    for el in elements {
+                        let cond = normalize_body(&el.condition);
+                        let cond_matches =
+                            g.join(&cond.pos, &cond.cmps, &m.subst, &[], None)?;
+                        for cm in cond_matches {
+                            // Conditions must be certain (domain predicates).
+                            for &c in &cm.chosen {
+                                if !certain.contains(&c) {
+                                    return Err(AspError::Internal(format!(
+                                        "choice element condition {} is not a domain \
+                                         (certain) atom; conditions must be over EDB \
+                                         predicates",
+                                        g.store.format_atom(c)
+                                    )));
+                                }
+                            }
+                            for n in &cond.neg {
+                                let nid = g.intern_under(&cm.subst, n)?;
+                                if g.is_possible(nid) {
+                                    return Err(AspError::Internal(format!(
+                                        "negated choice condition {} may be derivable; \
+                                         conditions must be decided at ground time",
+                                        g.store.format_atom(nid)
+                                    )));
+                                }
+                            }
+                            let e = g.intern_under(&cm.subst, &el.atom)?;
+                            if elem_seen.insert(e) {
+                                elems.push(e);
+                            }
+                        }
+                    }
+                    let gc = GroundChoice {
+                        lower: *lower,
+                        upper: *upper,
+                        pos: m.chosen.clone().into(),
+                        neg: neg.into(),
+                        elements: elems.into(),
+                    };
+                    if choice_set.insert(gc.clone()) {
+                        choices.push(gc);
+                    }
+                }
+            }
+            Head::None => {
+                let matches = g.join(&nr.body.pos, &nr.body.cmps, &Vec::new(), &[], None)?;
+                for m in matches {
+                    let mut neg = Vec::with_capacity(nr.body.neg.len());
+                    for n in &nr.body.neg {
+                        neg.push(g.intern_under(&m.subst, n)?);
+                    }
+                    let gc = GroundConstraint {
+                        pos: m.chosen.clone().into(),
+                        neg: neg.into(),
+                    };
+                    if constraint_set.insert(gc.clone()) {
+                        constraints.push(gc);
+                    }
+                }
+            }
+            Head::Atom(_) => {}
+        }
+    }
+
+    let mut minimize: Vec<GroundMin> = Vec::new();
+    let mut min_set: FxHashSet<GroundMin> = FxHashSet::default();
+    for me in &program.minimize {
+        let cond = normalize_body(&me.condition);
+        let matches = g.join(&cond.pos, &cond.cmps, &Vec::new(), &[], None)?;
+        for m in matches {
+            let w = resolve_int(&mut g, &m.subst, &me.weight)?;
+            if w < 0 {
+                return Err(AspError::Internal(
+                    "negative #minimize weights are not supported".into(),
+                ));
+            }
+            let p = resolve_int(&mut g, &m.subst, &me.priority)?;
+            let mut tuple = Vec::with_capacity(me.terms.len());
+            for t in &me.terms {
+                tuple.push(resolve(&mut g.store, &m.subst, t).ok_or_else(|| {
+                    AspError::Internal(format!("non-ground minimize tuple term {t}"))
+                })?);
+            }
+            let mut neg = Vec::with_capacity(cond.neg.len());
+            for n in &cond.neg {
+                neg.push(g.intern_under(&m.subst, n)?);
+            }
+            let gm = GroundMin {
+                weight: w,
+                priority: p,
+                tuple: tuple.into(),
+                pos: m.chosen.clone().into(),
+                neg: neg.into(),
+            };
+            if min_set.insert(gm.clone()) {
+                minimize.push(gm);
+            }
+        }
+    }
+
+    let possible: FxHashSet<AtomId> = g.possible.iter().copied().collect();
+    Ok(GroundProgram {
+        store: g.store,
+        rules,
+        choices,
+        constraints,
+        minimize,
+        certain,
+        possible,
+    })
+}
+
+fn resolve_int(g: &mut Grounder, s: &Subst, t: &Term) -> Result<i64> {
+    let tid = resolve(&mut g.store, s, t)
+        .ok_or_else(|| AspError::Internal(format!("non-ground weight/priority term {t}")))?;
+    match g.store.term_data(tid) {
+        GroundTerm::Int(i) => Ok(*i),
+        other => Err(AspError::Internal(format!(
+            "weight/priority must be an integer, got {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn ground_text(text: &str) -> GroundProgram {
+        ground(&parse_program(text).unwrap()).unwrap()
+    }
+
+    fn atom_strings(gp: &GroundProgram, of: &FxHashSet<AtomId>) -> Vec<String> {
+        let mut v: Vec<String> = of.iter().map(|&a| gp.store.format_atom(a)).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn facts_are_certain_and_possible() {
+        let gp = ground_text(r#"a. b("x"). b("y")."#);
+        assert_eq!(gp.rules.len(), 3);
+        assert_eq!(gp.certain.len(), 3);
+        assert_eq!(gp.possible.len(), 3);
+    }
+
+    #[test]
+    fn transitive_closure_grounding() {
+        let gp = ground_text(
+            r#"
+            edge(1,2). edge(2,3). edge(3,4).
+            path(X,Y) :- edge(X,Y).
+            path(X,Z) :- path(X,Y), edge(Y,Z).
+        "#,
+        );
+        // paths: (1,2),(2,3),(3,4),(1,3),(2,4),(1,4) = 6; edges 3.
+        assert_eq!(gp.possible.len(), 9);
+        assert_eq!(gp.certain.len(), 9);
+    }
+
+    #[test]
+    fn comparisons_filter_instantiations() {
+        let gp = ground_text(
+            r#"
+            n(1). n(2). n(3).
+            lt(X,Y) :- n(X), n(Y), X < Y.
+        "#,
+        );
+        let lts = atom_strings(&gp, &gp.possible);
+        assert!(lts.contains(&"lt(1,2)".to_string()));
+        assert!(lts.contains(&"lt(1,3)".to_string()));
+        assert!(lts.contains(&"lt(2,3)".to_string()));
+        assert!(!lts.contains(&"lt(2,1)".to_string()));
+        assert_eq!(gp.possible.len(), 6);
+    }
+
+    #[test]
+    fn negation_is_overapproximated_but_recorded() {
+        let gp = ground_text(
+            r#"
+            a. c.
+            b :- a, not c.
+        "#,
+        );
+        // b is possible (negation ignored in closure) and the ground rule
+        // records the negative literal.
+        let has_b_rule = gp
+            .rules
+            .iter()
+            .any(|r| gp.store.format_atom(r.head) == "b" && r.neg.len() == 1);
+        assert!(has_b_rule);
+        // But b is NOT certain (its rule has negation).
+        let b_atoms = atom_strings(&gp, &gp.certain);
+        assert!(!b_atoms.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn choice_grounding_expands_elements() {
+        let gp = ground_text(
+            r#"
+            node("example").
+            cand("example","1.0").
+            cand("example","1.1").
+            1 { pick(N,V) : cand(N,V) } 1 :- node(N).
+        "#,
+        );
+        assert_eq!(gp.choices.len(), 1);
+        let c = &gp.choices[0];
+        assert_eq!(c.elements.len(), 2);
+        assert_eq!((c.lower, c.upper), (Some(1), Some(1)));
+    }
+
+    #[test]
+    fn choice_condition_on_derived_certain_predicate_ok() {
+        // cand2 is derived (negation-free) from facts: still a valid
+        // domain predicate for conditions.
+        let gp = ground_text(
+            r#"
+            raw("a"). raw("b").
+            cand2(X) :- raw(X).
+            { pick(X) : cand2(X) }.
+        "#,
+        );
+        assert_eq!(gp.choices.len(), 1);
+        assert_eq!(gp.choices[0].elements.len(), 2);
+    }
+
+    #[test]
+    fn choice_condition_on_model_dependent_predicate_errors() {
+        let prog = parse_program(
+            r#"
+            f("a").
+            { q(X) : f(X) }.
+            w(X) :- q(X).
+            { pick(X) : w(X) }.
+        "#,
+        )
+        .unwrap();
+        assert!(matches!(ground(&prog), Err(AspError::Internal(_))));
+    }
+
+    #[test]
+    fn constraints_ground() {
+        let gp = ground_text(
+            r#"
+            a(1). a(2).
+            { p(X) : a(X) }.
+            :- p(1), p(2).
+        "#,
+        );
+        assert_eq!(gp.constraints.len(), 1);
+        assert_eq!(gp.constraints[0].pos.len(), 2);
+    }
+
+    #[test]
+    fn minimize_grounds_per_tuple() {
+        let gp = ground_text(
+            r#"
+            a(1). a(2). a(3).
+            { p(X) : a(X) }.
+            #minimize { 100@2,X : p(X) }.
+        "#,
+        );
+        assert_eq!(gp.minimize.len(), 3);
+        assert!(gp.minimize.iter().all(|m| m.weight == 100 && m.priority == 2));
+    }
+
+    #[test]
+    fn unsafe_rules_rejected() {
+        for text in [
+            "p(X).",                       // unbound head var
+            "p(X) :- not q(X).",           // var only in negation
+            "p :- q(X), X != Y.",          // Y unbound
+            "{ p(X) : q(Y) } :- r(Z).",    // X unbound anywhere
+        ] {
+            let prog = parse_program(text).unwrap();
+            assert!(
+                matches!(ground(&prog), Err(AspError::Unsafe { .. })),
+                "{text} should be unsafe"
+            );
+        }
+    }
+
+    #[test]
+    fn functional_terms_join() {
+        let gp = ground_text(
+            r#"
+            attr("version", node("a"), "1.0").
+            attr("version", node("b"), "2.0").
+            has_version(N) :- attr("version", node(N), V).
+        "#,
+        );
+        let atoms = atom_strings(&gp, &gp.possible);
+        assert!(atoms.contains(&"has_version(\"a\")".to_string()));
+        assert!(atoms.contains(&"has_version(\"b\")".to_string()));
+    }
+
+    #[test]
+    fn deep_chain_grounds_in_rounds() {
+        // s(0), s(i+1) :- s(i), step(i, i+1) with 50 steps: exercises the
+        // semi-naive loop over many rounds.
+        let mut text = String::from("s(0).\n");
+        for i in 0..50 {
+            text.push_str(&format!("step({},{}).\n", i, i + 1));
+        }
+        text.push_str("s(Y) :- s(X), step(X,Y).\n");
+        let gp = ground_text(&text);
+        let atoms = atom_strings(&gp, &gp.certain);
+        assert!(atoms.contains(&"s(50)".to_string()));
+    }
+
+    #[test]
+    fn duplicate_facts_dedupe() {
+        let gp = ground_text("a. a. a.");
+        assert_eq!(gp.rules.len(), 1);
+    }
+}

@@ -1,0 +1,93 @@
+#![warn(missing_docs)]
+
+//! # spackle-asp
+//!
+//! A from-scratch, miniature Answer Set Programming (ASP) engine — the
+//! substrate standing in for Clingo in Spackle's concretizer (paper §3.3,
+//! §5.1). It supports exactly the language fragment the concretizer's
+//! logic program needs:
+//!
+//! * facts and definite rules with negation-as-failure (`not`);
+//! * comparison builtins (`=`, `!=`, `<`, `<=`, `>`, `>=`);
+//! * choice rules with cardinality bounds (`1 { a(X) : b(X) } 1 :- c.`);
+//! * integrity constraints (`:- body.`);
+//! * prioritized weighted minimization (`#minimize { W@P,T : cond }.`).
+//!
+//! ## Pipeline
+//!
+//! 1. **Parse** ([`parser`]) — `.lp` text into a [`program::Program`].
+//! 2. **Ground** ([`ground`]) — semi-naive, index-backed instantiation of
+//!    rules over an over-approximated Herbrand base.
+//! 3. **Translate** ([`cnf`]) — Clark completion plus sequential-counter
+//!    cardinality encodings to CNF.
+//! 4. **Search** ([`cdcl`]) — a MiniSat-style CDCL SAT solver (two
+//!    watched literals, 1UIP learning, VSIDS, phase saving, restarts).
+//! 5. **Verify** ([`stability`]) — a model-guided Gelfond–Lifschitz
+//!    stability check; non-stable models are blocked and search resumes
+//!    (CEGAR). Programs whose ground positive-dependency graph is acyclic
+//!    — like the concretizer's, where ground recursion follows package
+//!    DAGs — never trigger the loop.
+//! 6. **Optimize** ([`solve`]) — lexicographic branch-and-bound over
+//!    `#minimize` priorities.
+
+pub mod cdcl;
+pub mod cnf;
+pub mod ground;
+pub mod model;
+pub mod parser;
+pub mod program;
+pub mod solve;
+pub mod stability;
+pub mod term;
+
+pub use model::Model;
+pub use parser::parse_program;
+pub use program::{Program, Rule};
+pub use solve::{SolveOutcome, SolveStats, Solver, SolverConfig};
+pub use term::{Atom, Term};
+
+use std::fmt;
+
+/// Errors from parsing, grounding, or solving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AspError {
+    /// Text could not be parsed; offset is a byte position.
+    Parse {
+        /// Byte offset of the error.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A rule is unsafe: a head/negative/comparison variable is not bound
+    /// by any positive body literal.
+    Unsafe {
+        /// Rendering of the offending rule.
+        rule: String,
+        /// The unbound variable.
+        variable: String,
+    },
+    /// The grounder or solver hit a configured resource limit.
+    ResourceLimit(String),
+    /// An internal invariant failed (a bug).
+    Internal(String),
+}
+
+impl fmt::Display for AspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AspError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            AspError::Unsafe { rule, variable } => {
+                write!(f, "unsafe variable {variable} in rule: {rule}")
+            }
+            AspError::ResourceLimit(m) => write!(f, "resource limit: {m}"),
+            AspError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AspError {}
+
+/// Result alias for this crate.
+pub type Result<T, E = AspError> = std::result::Result<T, E>;

@@ -1,0 +1,126 @@
+//! Answer-set (model) representation and query API.
+
+use crate::term::{AtomId, GroundStore, GroundTerm, TermId};
+use rustc_hash::FxHashSet;
+use spackle_spec::Sym;
+use std::sync::Arc;
+
+/// A stable model: the set of true atoms plus the term store needed to
+/// decode them, and the achieved cost vector.
+pub struct Model {
+    store: Arc<GroundStore>,
+    true_atoms: FxHashSet<AtomId>,
+    /// `(priority, cost)` pairs, highest priority first.
+    pub cost: Vec<(i64, i64)>,
+}
+
+impl Model {
+    pub(crate) fn new(
+        store: Arc<GroundStore>,
+        true_atoms: FxHashSet<AtomId>,
+        cost: Vec<(i64, i64)>,
+    ) -> Model {
+        Model {
+            store,
+            true_atoms,
+            cost,
+        }
+    }
+
+    /// The underlying term store (for decoding arguments).
+    pub fn store(&self) -> &GroundStore {
+        &self.store
+    }
+
+    /// Is the atom true?
+    pub fn contains(&self, a: AtomId) -> bool {
+        self.true_atoms.contains(&a)
+    }
+
+    /// Number of true atoms.
+    pub fn len(&self) -> usize {
+        self.true_atoms.len()
+    }
+
+    /// True when no atom holds.
+    pub fn is_empty(&self) -> bool {
+        self.true_atoms.is_empty()
+    }
+
+    /// Iterate the argument tuples of all true atoms with predicate
+    /// `pred`, in deterministic (atom-id) order.
+    pub fn atoms_of(&self, pred: &str) -> Vec<&[TermId]> {
+        let p = Sym::intern(pred);
+        let mut ids: Vec<AtomId> = self.true_atoms.iter().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter()
+            .filter_map(|a| {
+                let (ap, args) = self.store.atom_data(a);
+                (ap == p).then_some(args)
+            })
+            .collect()
+    }
+
+    /// All true atoms rendered as text, sorted (test/debug helper).
+    pub fn render(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .true_atoms
+            .iter()
+            .map(|&a| self.store.format_atom(a))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Does a ground atom with this predicate and these exact string
+    /// arguments hold? (Convenience for tests.)
+    pub fn holds_str(&self, pred: &str, args: &[&str]) -> bool {
+        self.render_holds(pred, args)
+    }
+
+    fn render_holds(&self, pred: &str, args: &[&str]) -> bool {
+        let p = Sym::intern(pred);
+        self.true_atoms.iter().any(|&a| {
+            let (ap, aargs) = self.store.atom_data(a);
+            ap == p
+                && aargs.len() == args.len()
+                && aargs.iter().zip(args).all(|(&tid, &want)| {
+                    matches!(self.store.term_data(tid), GroundTerm::Str(s) if s.as_str() == want)
+                })
+        })
+    }
+
+    // ---- term decoding helpers ----
+
+    /// Decode a term as a quoted string.
+    pub fn as_str(&self, t: TermId) -> Option<&'static str> {
+        match self.store.term_data(t) {
+            GroundTerm::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Decode a term as a symbolic constant.
+    pub fn as_sym(&self, t: TermId) -> Option<&'static str> {
+        match self.store.term_data(t) {
+            GroundTerm::Sym(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Decode a term as an integer.
+    pub fn as_int(&self, t: TermId) -> Option<i64> {
+        match self.store.term_data(t) {
+            GroundTerm::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Decode a compound term as (functor name, argument ids).
+    pub fn as_func(&self, t: TermId) -> Option<(&'static str, &[TermId])> {
+        match self.store.term_data(t) {
+            GroundTerm::Func(name, args) => Some((name.as_str(), args)),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! The solve orchestrator: ground → translate → CDCL search → stability
+//! CEGAR → lexicographic branch-and-bound optimization.
+
+use crate::cdcl::{Lit, Sat, SatResult};
+use crate::cnf::{add_upper_bound, add_upper_bound_guarded, translate, Translation};
+use crate::ground::{ground_with_limits, GroundLimits, GroundProgram};
+use crate::model::Model;
+use crate::program::Program;
+use crate::stability::{check_stability, Stability};
+use crate::term::AtomId;
+use crate::{AspError, Result};
+use rustc_hash::FxHashSet;
+use std::time::{Duration, Instant};
+
+/// Solver configuration.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Grounding resource limits.
+    pub limits: GroundLimits,
+    /// Maximum stability-restart (CEGAR) iterations before giving up.
+    pub max_stability_loops: usize,
+    /// Conflict budget per SAT call (`u64::MAX` = unlimited).
+    pub conflict_budget: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            limits: GroundLimits::default(),
+            max_stability_loops: 10_000,
+            conflict_budget: u64::MAX,
+        }
+    }
+}
+
+/// Statistics for one `solve` call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolveStats {
+    /// Distinct possible atoms after grounding.
+    pub ground_atoms: usize,
+    /// Emitted ground rules (including facts).
+    pub ground_rules: usize,
+    /// Emitted ground choice instances.
+    pub ground_choices: usize,
+    /// Emitted ground constraints.
+    pub ground_constraints: usize,
+    /// SAT variables allocated.
+    pub sat_vars: usize,
+    /// CDCL conflicts.
+    pub conflicts: u64,
+    /// CDCL decisions.
+    pub decisions: u64,
+    /// Stability (CEGAR) restarts.
+    pub stability_restarts: u64,
+    /// Optimization probes (bound-and-resolve steps).
+    pub optimize_probes: u64,
+    /// Wall time spent grounding.
+    pub ground_time: Duration,
+    /// Wall time spent in translation + search + optimization.
+    pub solve_time: Duration,
+}
+
+/// Outcome of solving a program.
+pub enum SolveOutcome {
+    /// An optimal stable model (or just a stable model when the program
+    /// has no `#minimize` statements).
+    Optimal(Model),
+    /// No stable model exists.
+    Unsat,
+}
+
+/// The ASP solver facade.
+#[derive(Default)]
+pub struct Solver {
+    config: SolverConfig,
+}
+
+impl Solver {
+    /// Solver with default configuration.
+    pub fn new() -> Solver {
+        Solver::default()
+    }
+
+    /// Solver with explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Solver {
+        Solver { config }
+    }
+
+    /// Ground and solve `program`, optimizing `#minimize` objectives
+    /// lexicographically (highest priority first).
+    pub fn solve(&self, program: &Program) -> Result<(SolveOutcome, SolveStats)> {
+        let mut stats = SolveStats::default();
+        let t0 = Instant::now();
+        let gp = ground_with_limits(program, self.config.limits)?;
+        stats.ground_time = t0.elapsed();
+        stats.ground_atoms = gp.possible.len();
+        stats.ground_rules = gp.rules.len();
+        stats.ground_choices = gp.choices.len();
+        stats.ground_constraints = gp.constraints.len();
+
+        let t1 = Instant::now();
+        let mut sat = Sat::new();
+        sat.set_conflict_budget(self.config.conflict_budget);
+        let tr = translate(&gp, &mut sat);
+        stats.sat_vars = sat.num_vars();
+
+        let outcome = self.search(gp, &tr, &mut sat, &mut stats)?;
+        stats.solve_time = t1.elapsed();
+        stats.conflicts = sat.stats.conflicts;
+        stats.decisions = sat.stats.decisions;
+        Ok((outcome, stats))
+    }
+
+    /// Find a stable model under `assumps`, adding loop clauses for
+    /// unfounded sets until stable (CEGAR).
+    fn stable_solve(
+        &self,
+        gp: &GroundProgram,
+        tr: &Translation,
+        sat: &mut Sat,
+        assumps: &[Lit],
+        stats: &mut SolveStats,
+    ) -> Result<Option<FxHashSet<AtomId>>> {
+        for _ in 0..self.config.max_stability_loops {
+            match sat.solve_with(assumps) {
+                SatResult::Unsat => return Ok(None),
+                SatResult::Unknown => {
+                    return Err(AspError::ResourceLimit(
+                        "conflict budget exhausted".into(),
+                    ));
+                }
+                SatResult::Sat => {}
+            }
+            let model: FxHashSet<AtomId> = gp
+                .possible
+                .iter()
+                .copied()
+                .filter(|a| sat.value(tr.atom_var[a.0 as usize]))
+                .collect();
+            match check_stability(gp, &model) {
+                Stability::Stable => return Ok(Some(model)),
+                Stability::Unfounded(unfounded) => {
+                    stats.stability_restarts += 1;
+                    self.add_loop_clauses(gp, tr, sat, &unfounded);
+                }
+            }
+        }
+        Err(AspError::ResourceLimit(
+            "stability CEGAR loop exceeded max iterations".into(),
+        ))
+    }
+
+    /// For unfounded set `u`: each atom may only be true when some
+    /// external support (a rule whose positive body avoids the set) has a
+    /// true body.
+    fn add_loop_clauses(
+        &self,
+        gp: &GroundProgram,
+        tr: &Translation,
+        sat: &mut Sat,
+        u: &[AtomId],
+    ) {
+        let uset: FxHashSet<AtomId> = u.iter().copied().collect();
+        let mut external: Vec<Lit> = Vec::new();
+        for (ri, r) in gp.rules.iter().enumerate() {
+            if uset.contains(&r.head) && !r.pos.iter().any(|p| uset.contains(p)) {
+                external.push(tr.rule_body[ri]);
+            }
+        }
+        for (ci, c) in gp.choices.iter().enumerate() {
+            if c.elements.iter().any(|e| uset.contains(e))
+                && !c.pos.iter().any(|p| uset.contains(p))
+            {
+                external.push(tr.choice_body[ci]);
+            }
+        }
+        external.sort_unstable();
+        external.dedup();
+        for &a in u {
+            let mut cl: Vec<Lit> = vec![tr.lit(a).negate()];
+            cl.extend(external.iter().copied());
+            sat.add_clause(&cl);
+        }
+    }
+
+    /// Evaluate the cost at one priority level for a model, by summing
+    /// the weights of cost literals the model satisfies.
+    fn eval_cost(sat: &Sat, items: &[(i64, Lit)]) -> i64 {
+        items
+            .iter()
+            .filter(|&&(_, l)| sat.value(l.var()) != l.is_neg())
+            .map(|&(w, _)| w)
+            .sum()
+    }
+
+    fn search(
+        &self,
+        gp: GroundProgram,
+        tr: &Translation,
+        sat: &mut Sat,
+        stats: &mut SolveStats,
+    ) -> Result<SolveOutcome> {
+        let Some(mut model) = self.stable_solve(&gp, tr, sat, &[], stats)? else {
+            return Ok(SolveOutcome::Unsat);
+        };
+
+        // Lexicographic branch-and-bound, highest priority first. The
+        // cost vector snapshot must be taken right after each SAT call
+        // (the assignment is clobbered by later calls).
+        let mut best_costs: Vec<(i64, i64)> = tr
+            .cost
+            .iter()
+            .map(|(p, items)| (*p, Self::eval_cost(sat, items)))
+            .collect();
+
+        for level in 0..tr.cost.len() {
+            let (_, items) = &tr.cost[level];
+            loop {
+                let current = best_costs[level].1;
+                if current == 0 {
+                    break; // weights are non-negative: 0 is optimal
+                }
+                // Probe: can we do strictly better?
+                let act = Lit::pos(sat.new_var());
+                add_upper_bound_guarded(sat, items, current - 1, act);
+                stats.optimize_probes += 1;
+                match self.stable_solve(&gp, tr, sat, &[act], stats)? {
+                    Some(m) => {
+                        // The final pinned re-solve below refreshes the
+                        // model; keep the improved one meanwhile so a
+                        // solver bug cannot hand back a stale spec.
+                        model = m;
+                        let _ = &model;
+                        // Snapshot the full cost vector of the improved
+                        // model; higher priorities are pinned so they
+                        // cannot have regressed.
+                        best_costs = tr
+                            .cost
+                            .iter()
+                            .map(|(p, its)| (*p, Self::eval_cost(sat, its)))
+                            .collect();
+                        // Retire the probe circuit.
+                        sat.add_clause(&[act.negate()]);
+                    }
+                    None => {
+                        // No improvement possible: retire the probe and
+                        // pin this level at its optimum permanently.
+                        sat.add_clause(&[act.negate()]);
+                        break;
+                    }
+                }
+            }
+            // Pin the optimum for this priority level so optimizing lower
+            // levels cannot regress it.
+            add_upper_bound(sat, items, best_costs[level].1);
+            // Re-establish a model satisfying all pins (the last solve may
+            // have ended UNSAT-under-assumptions, clobbering assignments).
+            match self.stable_solve(&gp, tr, sat, &[], stats)? {
+                Some(m) => model = m,
+                None => {
+                    return Err(AspError::Internal(
+                        "pinned optimum became unsatisfiable".into(),
+                    ));
+                }
+            }
+            best_costs = tr
+                .cost
+                .iter()
+                .map(|(p, its)| (*p, Self::eval_cost(sat, its)))
+                .collect();
+        }
+
+        let store = std::sync::Arc::new(gp.store);
+        Ok(SolveOutcome::Optimal(Model::new(store, model, best_costs)))
+    }
+
+    /// Enumerate up to `limit` stable models (ignoring `#minimize`
+    /// statements), in search order. Returns fewer when the program has
+    /// fewer models.
+    pub fn enumerate(&self, program: &Program, limit: usize) -> Result<Vec<Model>> {
+        let mut stats = SolveStats::default();
+        let mut gp = ground_with_limits(program, self.config.limits)?;
+        let mut sat = Sat::new();
+        sat.set_conflict_budget(self.config.conflict_budget);
+        let tr = translate(&gp, &mut sat);
+        let store = std::sync::Arc::new(std::mem::take(&mut gp.store));
+        let mut out = Vec::new();
+        while out.len() < limit {
+            let Some(model) = self.stable_solve(&gp, &tr, &mut sat, &[], &mut stats)? else {
+                break;
+            };
+            // Block this assignment over the possible-atom universe.
+            let block: Vec<Lit> = gp
+                .possible
+                .iter()
+                .map(|&a| {
+                    let l = tr.lit(a);
+                    if model.contains(&a) {
+                        l.negate()
+                    } else {
+                        l
+                    }
+                })
+                .collect();
+            out.push(Model::new(store.clone(), model, Vec::new()));
+            if !sat.add_clause(&block) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn solve_text(text: &str) -> (SolveOutcome, SolveStats) {
+        Solver::new()
+            .solve(&parse_program(text).unwrap())
+            .unwrap()
+    }
+
+    fn model_of(text: &str) -> Model {
+        match solve_text(text).0 {
+            SolveOutcome::Optimal(m) => m,
+            SolveOutcome::Unsat => panic!("unexpected UNSAT"),
+        }
+    }
+
+    #[test]
+    fn facts_only() {
+        let m = model_of(r#"a. b("x")."#);
+        assert_eq!(m.len(), 2);
+        assert!(m.holds_str("b", &["x"]));
+    }
+
+    #[test]
+    fn unsat_constraint() {
+        let (out, _) = solve_text("a. :- a.");
+        assert!(matches!(out, SolveOutcome::Unsat));
+    }
+
+    #[test]
+    fn choice_with_minimize_picks_cheapest() {
+        // Choosing v2 costs 2, v1 costs 1; exactly one must be chosen.
+        let m = model_of(
+            r#"
+            cand("v1"). cand("v2").
+            1 { pick(V) : cand(V) } 1.
+            cost("v1", 1). cost("v2", 2).
+            #minimize { C@1,V : pick(V), cost(V, C) }.
+        "#,
+        );
+        assert!(m.holds_str("pick", &["v1"]));
+        assert!(!m.holds_str("pick", &["v2"]));
+        assert_eq!(m.cost, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn lexicographic_priorities() {
+        // Priority 2 dominates: must avoid "expensive" even though that
+        // forces higher priority-1 cost.
+        let m = model_of(
+            r#"
+            opt("a"). opt("b").
+            1 { pick(V) : opt(V) } 1.
+            p2cost("a", 5). p2cost("b", 1).
+            p1cost("a", 0). p1cost("b", 100).
+            #minimize { C@2,V : pick(V), p2cost(V, C) }.
+            #minimize { C@1,V : pick(V), p1cost(V, C) }.
+        "#,
+        );
+        assert!(m.holds_str("pick", &["b"]));
+        assert_eq!(m.cost, vec![(2, 1), (1, 100)]);
+    }
+
+    #[test]
+    fn minimize_counts_each_tuple_once() {
+        // Two conditions deriving the same tuple contribute once.
+        let m = model_of(
+            r#"
+            a. b.
+            t :- a. t :- b.
+            #minimize { 7@1,"same" : a ; 7@1,"same" : b }.
+        "#,
+        );
+        assert_eq!(m.cost, vec![(1, 7)]);
+    }
+
+    #[test]
+    fn stability_cegar_rejects_self_support() {
+        // The only completion models are {} + p-false branch artifacts;
+        // an a/b loop without p must not survive. With the constraint
+        // requiring a, the solver must choose p (the external support).
+        let m = model_of(
+            r#"
+            { p }.
+            a :- p.
+            a :- b.
+            b :- a.
+            :- not a.
+            #minimize { 1@1 : p }.
+        "#,
+        );
+        // Even though minimizing p would prefer p=false, stability forces
+        // p=true (otherwise a is unfounded).
+        assert!(m.holds_str("p", &[]));
+        assert!(m.holds_str("a", &[]));
+        let (_, stats) = solve_text(
+            r#"
+            { p }.
+            a :- p.
+            a :- b.
+            b :- a.
+            :- not a.
+            #minimize { 1@1 : p }.
+        "#,
+        );
+        // At least one CEGAR restart or probe happened along the way.
+        let _ = stats;
+    }
+
+    #[test]
+    fn graph_coloring_three_nodes() {
+        let m = model_of(
+            r#"
+            node(1). node(2). node(3).
+            edge(1,2). edge(2,3). edge(1,3).
+            color("r"). color("g"). color("b").
+            1 { assign(N,C) : color(C) } 1 :- node(N).
+            :- edge(A,B), assign(A,C), assign(B,C).
+        "#,
+        );
+        let assigns = m.atoms_of("assign");
+        assert_eq!(assigns.len(), 3);
+        // All three nodes distinct colors (triangle).
+        let colors: Vec<&str> = assigns
+            .iter()
+            .map(|args| m.as_str(args[1]).unwrap())
+            .collect();
+        let unique: std::collections::BTreeSet<&str> = colors.iter().copied().collect();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn coloring_two_colors_triangle_unsat() {
+        let (out, _) = solve_text(
+            r#"
+            node(1). node(2). node(3).
+            edge(1,2). edge(2,3). edge(1,3).
+            color("r"). color("g").
+            1 { assign(N,C) : color(C) } 1 :- node(N).
+            :- edge(A,B), assign(A,C), assign(B,C).
+        "#,
+        );
+        assert!(matches!(out, SolveOutcome::Unsat));
+    }
+
+    #[test]
+    fn paper_style_version_selection() {
+        // Mimics §5.1: exactly one version per node, prefer the newest
+        // (lower penalty index = newer).
+        let m = model_of(
+            r#"
+            node("example").
+            pkg_fact("example", version_declared("1.1.0", 0)).
+            pkg_fact("example", version_declared("1.0.0", 1)).
+            1 { attr("version", node(P), V) : pkg_fact(P, version_declared(V, I)) } 1 :-
+                node(P).
+            #minimize { I@1,P : attr("version", node(P), V),
+                        pkg_fact(P, version_declared(V, I)) }.
+        "#,
+        );
+        assert!(m
+            .render()
+            .contains(&"attr(\"version\",node(\"example\"),\"1.1.0\")".to_string()));
+        assert_eq!(m.cost, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (_, stats) = solve_text("a. b :- a.");
+        assert_eq!(stats.ground_rules, 2);
+        assert!(stats.ground_atoms >= 2);
+        assert!(stats.sat_vars > 0);
+    }
+
+    #[test]
+    fn optimum_zero_skips_probing() {
+        let m = model_of(
+            r#"
+            { p }.
+            #minimize { 1@1 : p }.
+        "#,
+        );
+        assert!(!m.holds_str("p", &[]));
+        assert_eq!(m.cost, vec![(1, 0)]);
+    }
+}
+
+#[cfg(test)]
+mod enumerate_tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn models_of(text: &str, limit: usize) -> Vec<Model> {
+        Solver::new()
+            .enumerate(&parse_program(text).unwrap(), limit)
+            .unwrap()
+    }
+
+    #[test]
+    fn even_loop_has_two_models() {
+        let ms = models_of("a :- not b. b :- not a.", 10);
+        assert_eq!(ms.len(), 2);
+        let mut sets: Vec<Vec<String>> = ms.iter().map(|m| m.render()).collect();
+        sets.sort();
+        assert_eq!(sets, vec![vec!["a".to_string()], vec!["b".to_string()]]);
+    }
+
+    #[test]
+    fn free_choice_powerset() {
+        let ms = models_of("{ a }. { b }. { c }.", 100);
+        assert_eq!(ms.len(), 8);
+    }
+
+    #[test]
+    fn limit_respected() {
+        let ms = models_of("{ a }. { b }. { c }.", 3);
+        assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn unsat_enumerates_nothing() {
+        let ms = models_of("a. :- a.", 5);
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn triangle_two_coloring_count() {
+        // A path of 3 nodes, 2 colors: colorings where adjacent differ:
+        // 2 * 1 * 1 = 2.
+        let ms = models_of(
+            r#"
+            node(1). node(2). node(3).
+            edge(1,2). edge(2,3).
+            col("r"). col("g").
+            1 { c(N,C) : col(C) } 1 :- node(N).
+            :- edge(A,B), c(A,C), c(B,C).
+        "#,
+            100,
+        );
+        assert_eq!(ms.len(), 2);
+    }
+}

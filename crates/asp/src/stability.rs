@@ -1,0 +1,250 @@
+//! Model-guided stability check (Gelfond–Lifschitz).
+//!
+//! The CNF translation captures the *completion* of the ground program,
+//! whose models can include self-supported positive loops that are not
+//! stable models. After each SAT model we compute the least model of the
+//! program's reduct w.r.t. the candidate; atoms in the candidate but not
+//! in the least model form an *unfounded set*, which the solve loop turns
+//! into loop clauses (CEGAR). Ground programs whose positive dependency
+//! graph is acyclic — like the concretizer's, where ground recursion
+//! follows acyclic package DAGs — always pass on the first try.
+
+use crate::ground::GroundProgram;
+use crate::term::AtomId;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Result of a stability check.
+pub enum Stability {
+    /// The candidate is a stable model.
+    Stable,
+    /// The candidate is not stable; the unfounded atoms are returned.
+    Unfounded(Vec<AtomId>),
+}
+
+/// Check whether `model` (the set of true atoms) is a stable model of
+/// `gp`.
+///
+/// Computes the least model `L` of the reduct: a normal rule fires when
+/// its positive body is in `L` and no negated atom is in `model`; a
+/// choice instance justifies exactly those of its elements that are in
+/// `model`, when its body fires. The candidate is stable iff every true
+/// atom is in `L`.
+pub fn check_stability(gp: &GroundProgram, model: &FxHashSet<AtomId>) -> Stability {
+    let mut least: FxHashSet<AtomId> = FxHashSet::default();
+    let mut queue: Vec<AtomId> = Vec::new();
+
+    // Rule activation tracking: count distinct positive atoms still
+    // missing from `least`; fire when zero.
+    #[derive(Clone)]
+    enum Deriver {
+        Rule(usize),
+        Choice(usize),
+    }
+    let mut waiting: FxHashMap<AtomId, Vec<usize>> = FxHashMap::default();
+    let mut missing: Vec<usize> = Vec::new();
+    let mut derivers: Vec<Deriver> = Vec::new();
+
+    let add_deriver = |pos: &[AtomId],
+                           neg: &[AtomId],
+                           d: Deriver,
+                           waiting: &mut FxHashMap<AtomId, Vec<usize>>,
+                           missing: &mut Vec<usize>,
+                           derivers: &mut Vec<Deriver>|
+     -> Option<usize> {
+        // Reduct: drop the rule if any negated atom is true in the model.
+        if neg.iter().any(|a| model.contains(a)) {
+            return None;
+        }
+        let idx = derivers.len();
+        derivers.push(d);
+        let unique: FxHashSet<AtomId> = pos.iter().copied().collect();
+        missing.push(unique.len());
+        for a in unique {
+            waiting.entry(a).or_default().push(idx);
+        }
+        Some(idx)
+    };
+
+    let mut fire: Vec<usize> = Vec::new(); // derivers with empty bodies
+    for (ri, r) in gp.rules.iter().enumerate() {
+        if let Some(idx) = add_deriver(
+            &r.pos,
+            &r.neg,
+            Deriver::Rule(ri),
+            &mut waiting,
+            &mut missing,
+            &mut derivers,
+        ) {
+            if missing[idx] == 0 {
+                fire.push(idx);
+            }
+        }
+    }
+    for (ci, c) in gp.choices.iter().enumerate() {
+        if let Some(idx) = add_deriver(
+            &c.pos,
+            &c.neg,
+            Deriver::Choice(ci),
+            &mut waiting,
+            &mut missing,
+            &mut derivers,
+        ) {
+            if missing[idx] == 0 {
+                fire.push(idx);
+            }
+        }
+    }
+
+    let derive = |idx: usize,
+                      least: &mut FxHashSet<AtomId>,
+                      queue: &mut Vec<AtomId>,
+                      derivers: &Vec<Deriver>| {
+        match derivers[idx] {
+            Deriver::Rule(ri) => {
+                let h = gp.rules[ri].head;
+                if least.insert(h) {
+                    queue.push(h);
+                }
+            }
+            Deriver::Choice(ci) => {
+                // GL reduct of a choice: chosen elements become facts.
+                for &e in gp.choices[ci].elements.iter() {
+                    if model.contains(&e) && least.insert(e) {
+                        queue.push(e);
+                    }
+                }
+            }
+        }
+    };
+
+    for idx in fire {
+        derive(idx, &mut least, &mut queue, &derivers);
+    }
+    let mut satisfied: FxHashMap<usize, usize> = FxHashMap::default();
+    while let Some(a) = queue.pop() {
+        if let Some(idxs) = waiting.get(&a) {
+            for &idx in idxs {
+                let done = {
+                    let got = satisfied.entry(idx).or_insert(0);
+                    *got += 1;
+                    *got == missing[idx]
+                };
+                if done {
+                    derive(idx, &mut least, &mut queue, &derivers);
+                }
+            }
+        }
+    }
+
+    let unfounded: Vec<AtomId> = model
+        .iter()
+        .copied()
+        .filter(|a| !least.contains(a))
+        .collect();
+    if unfounded.is_empty() {
+        Stability::Stable
+    } else {
+        Stability::Unfounded(unfounded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::ground;
+    use crate::parser::parse_program;
+
+    fn gp_of(text: &str) -> GroundProgram {
+        ground(&parse_program(text).unwrap()).unwrap()
+    }
+
+    fn atoms(gp: &GroundProgram, names: &[&str]) -> FxHashSet<AtomId> {
+        let mut out = FxHashSet::default();
+        for name in names {
+            let found = (0..gp.atom_count() as u32)
+                .map(AtomId)
+                .find(|&a| gp.store.format_atom(a) == *name)
+                .unwrap_or_else(|| panic!("atom {name} not interned"));
+            out.insert(found);
+        }
+        out
+    }
+
+    #[test]
+    fn facts_and_consequences_are_stable() {
+        let gp = gp_of("a. b :- a.");
+        let m = atoms(&gp, &["a", "b"]);
+        assert!(matches!(check_stability(&gp, &m), Stability::Stable));
+    }
+
+    #[test]
+    fn self_supported_loop_is_unfounded() {
+        // p gives a/b a grounding path, but with p false the completion
+        // still admits the self-supported {a, b} — which is not stable.
+        let gp = gp_of(
+            r#"
+            { p }.
+            a :- p.
+            a :- b.
+            b :- a.
+        "#,
+        );
+        let m = atoms(&gp, &["a", "b"]); // p false
+        match check_stability(&gp, &m) {
+            Stability::Unfounded(u) => assert_eq!(u.len(), 2),
+            Stability::Stable => panic!("loop model must be unfounded"),
+        }
+        // With p chosen, {p, a, b} is stable (a externally supported).
+        let m2 = atoms(&gp, &["p", "a", "b"]);
+        assert!(matches!(check_stability(&gp, &m2), Stability::Stable));
+        // The empty model is stable too.
+        let empty = FxHashSet::default();
+        assert!(matches!(check_stability(&gp, &empty), Stability::Stable));
+    }
+
+    #[test]
+    fn loop_with_external_support_is_stable() {
+        let gp = gp_of("a :- b. b :- a. b :- c. c.");
+        let m = atoms(&gp, &["a", "b", "c"]);
+        assert!(matches!(check_stability(&gp, &m), Stability::Stable));
+    }
+
+    #[test]
+    fn negation_reduct() {
+        // b :- not c. With c false, b must hold; {b} is stable, {} isn't
+        // checked here (it's not a completion model anyway).
+        let gp = gp_of("b :- not c.");
+        let m = atoms(&gp, &["b"]);
+        assert!(matches!(check_stability(&gp, &m), Stability::Stable));
+    }
+
+    #[test]
+    fn chosen_elements_are_justified() {
+        let gp = gp_of("f(\"x\"). { p(V) : f(V) }.");
+        let m = atoms(&gp, &["f(\"x\")", "p(\"x\")"]);
+        assert!(matches!(check_stability(&gp, &m), Stability::Stable));
+        let m2 = atoms(&gp, &["f(\"x\")"]);
+        assert!(matches!(check_stability(&gp, &m2), Stability::Stable));
+    }
+
+    #[test]
+    fn choice_behind_false_body_cannot_justify() {
+        // g/h form a loop reachable only through g0; with g0 false the
+        // candidate's g, h and the choice-derived p("x") are unfounded.
+        let gp = gp_of(
+            r#"
+            f("x").
+            { g0 }.
+            g :- g0.
+            g :- h.
+            h :- g.
+            { p(V) : f(V) } :- g.
+        "#,
+        );
+        let m = atoms(&gp, &["f(\"x\")", "p(\"x\")", "g", "h"]); // g0 false
+        match check_stability(&gp, &m) {
+            Stability::Unfounded(u) => assert_eq!(u.len(), 3), // g, h, p(x)
+            Stability::Stable => panic!("must be unfounded"),
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Criterion microbenchmarks mirroring the paper's three experiment
+//! shapes on a fixed representative subset (full sweeps live in the
+//! `fig5`/`fig6`/`fig7` binaries):
+//!
+//! * `fig5_encoding/*` — old vs indirect encoding, splicing off;
+//! * `fig6_splicing/*` — old+mpich vs splice+mpiabi;
+//! * `fig7_scaling/*` — splice candidates at 10 vs 100 replicas.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spackle_core::{Concretizer, ConcretizerConfig, Goal};
+use spackle_radiuss::ExperimentEnv;
+use spackle_spec::{parse_spec, Sym};
+use std::sync::OnceLock;
+
+fn env() -> &'static ExperimentEnv {
+    static ENV: OnceLock<ExperimentEnv> = OnceLock::new();
+    ENV.get_or_init(|| ExperimentEnv::setup(300, 42))
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let env = env();
+    let mut g = c.benchmark_group("fig5_encoding");
+    g.sample_size(10);
+    for root in ["hypre", "mfem", "py-shroud"] {
+        let spec = parse_spec(root).unwrap();
+        for (label, cfg) in [
+            ("old", ConcretizerConfig::old_spack()),
+            ("indirect", ConcretizerConfig::splice_spack_disabled()),
+        ] {
+            g.bench_function(format!("{root}/{label}/local"), |b| {
+                b.iter(|| {
+                    Concretizer::new(&env.repo_plain)
+                        .with_config(cfg.clone())
+                        .with_reusable(&env.local)
+                        .concretize(&spec)
+                        .unwrap()
+                })
+            });
+            g.bench_function(format!("{root}/{label}/public"), |b| {
+                b.iter(|| {
+                    Concretizer::new(&env.repo_plain)
+                        .with_config(cfg.clone())
+                        .with_reusable(&env.public)
+                        .concretize(&spec)
+                        .unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_splicing(c: &mut Criterion) {
+    let env = env();
+    let mut g = c.benchmark_group("fig6_splicing");
+    g.sample_size(10);
+    for root in ["hypre", "mfem"] {
+        let old_goal = parse_spec(&format!("{root} ^mpich")).unwrap();
+        let new_goal = parse_spec(&format!("{root} ^mpiabi")).unwrap();
+        g.bench_function(format!("{root}/old_mpich/local"), |b| {
+            b.iter(|| {
+                Concretizer::new(&env.repo_plain)
+                    .with_config(ConcretizerConfig::old_spack())
+                    .with_reusable(&env.local)
+                    .concretize(&old_goal)
+                    .unwrap()
+            })
+        });
+        g.bench_function(format!("{root}/splice_mpiabi/local"), |b| {
+            b.iter(|| {
+                Concretizer::new(&env.repo_mpiabi)
+                    .with_config(ConcretizerConfig::splice_spack())
+                    .with_reusable(&env.local)
+                    .concretize(&new_goal)
+                    .unwrap()
+            })
+        });
+        g.bench_function(format!("{root}/splice_mpiabi/public"), |b| {
+            b.iter(|| {
+                Concretizer::new(&env.repo_mpiabi)
+                    .with_config(ConcretizerConfig::splice_spack())
+                    .with_reusable(&env.public)
+                    .concretize(&new_goal)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let env = env();
+    let mut g = c.benchmark_group("fig7_scaling");
+    g.sample_size(10);
+    for n in [10usize, 100] {
+        let repo = env.repo_with_replicas(n);
+        let mut goal = Goal::single(parse_spec("hypre").unwrap());
+        goal.forbidden.push(Sym::intern("mpich"));
+        g.bench_function(format!("hypre/replicas_{n}"), |b| {
+            b.iter(|| {
+                Concretizer::new(&repo)
+                    .with_config(ConcretizerConfig::splice_spack())
+                    .with_reusable(&env.local)
+                    .concretize_goal(&goal)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encoding, bench_splicing, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion microbenchmarks for the substrates: the ASP engine
+//! (grounding + CDCL solving), spec hashing, parsing, and splicing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spackle_asp::{parse_program, Solver};
+use spackle_spec::hash::Sha256;
+use spackle_spec::spec::{ConcreteSpecBuilder, DepTypes};
+use spackle_spec::{parse_spec, Version};
+
+fn coloring_program(nodes: usize) -> String {
+    let mut p = String::new();
+    for i in 0..nodes {
+        p.push_str(&format!("node({i}).\n"));
+    }
+    // Ring + chords.
+    for i in 0..nodes {
+        p.push_str(&format!("edge({},{}).\n", i, (i + 1) % nodes));
+        if i + 3 < nodes {
+            p.push_str(&format!("edge({},{}).\n", i, i + 3));
+        }
+    }
+    p.push_str(
+        r#"
+        color("r"). color("g"). color("b"). color("y").
+        1 { assign(N,C) : color(C) } 1 :- node(N).
+        :- edge(A,B), assign(A,C), assign(B,C).
+        cost(N, 1) :- assign(N, "y").
+        #minimize { W@1,N : cost(N, W) }.
+    "#,
+    );
+    p
+}
+
+fn bench_asp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("asp_engine");
+    g.sample_size(10);
+    let text = coloring_program(40);
+    let prog = parse_program(&text).unwrap();
+    g.bench_function("parse_coloring_40", |b| {
+        b.iter(|| parse_program(&text).unwrap())
+    });
+    g.bench_function("solve_coloring_40", |b| {
+        b.iter(|| Solver::new().solve(&prog).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_spec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spec");
+    g.bench_function("sha256_64k", |b| {
+        let data = vec![0xA5u8; 64 * 1024];
+        b.iter(|| Sha256::digest(&data))
+    });
+    g.bench_function("parse_spec", |b| {
+        b.iter(|| {
+            parse_spec(
+                "example@1.0.0+bzip arch=linux-centos8-skylake \
+                 ^bzip2@1.0.8~debug+pic+shared ^zlib@1.2.11+optimize \
+                 ^mpich@3.1 pmi=pmix",
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("build_and_hash_dag_50", |b| {
+        b.iter(|| {
+            let mut bld = ConcreteSpecBuilder::new();
+            let mut prev = bld.node("pkg0", Version::parse("1.0").unwrap());
+            let root = prev;
+            for i in 1..50 {
+                let n = bld.node(&format!("pkg{i}"), Version::parse("1.0").unwrap());
+                bld.edge(prev, n, DepTypes::LINK_RUN);
+                prev = n;
+            }
+            bld.build(root).unwrap()
+        })
+    });
+    g.bench_function("splice_chain_30", |b| {
+        let mut bld = ConcreteSpecBuilder::new();
+        let leaf = bld.node("leaf", Version::parse("1.0").unwrap());
+        let mut prev = leaf;
+        let mut root = leaf;
+        for i in 1..30 {
+            let n = bld.node(&format!("mid{i}"), Version::parse("1.0").unwrap());
+            bld.edge(n, prev, DepTypes::LINK_RUN);
+            prev = n;
+            root = n;
+        }
+        let chain = bld.build(root).unwrap();
+        let mut lb = ConcreteSpecBuilder::new();
+        let nl = lb.node("leaf", Version::parse("2.0").unwrap());
+        let new_leaf = lb.build(nl).unwrap();
+        b.iter(|| chain.splice(&new_leaf, true).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_asp, bench_spec);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! **Ablation** — how much the encoder's relevance filtering matters.
+//!
+//! The concretizer restricts package facts and reusable-spec facts to
+//! the goal's possible dependency closure before grounding (DESIGN.md
+//! §3; Spack performs analogous scoping). This harness measures
+//! concretization with the filter on vs off against caches of growing
+//! size: unfiltered encoding hands the solver every entry, so its cost
+//! grows with the whole cache rather than with the goal's slice of it.
+//!
+//! Usage:
+//!   ablation [--trials N] [--seed S]
+
+use spackle_bench::{mean_std_ms, percent_increase, run_trials, Args};
+use spackle_core::{Concretizer, ConcretizerConfig};
+use spackle_radiuss::{public_cache, radiuss_repo};
+use spackle_spec::parse_spec;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let trials = args.get_usize("trials", 5);
+    let seed = args.get_u64("seed", 42);
+
+    let repo = radiuss_repo();
+    println!("# Ablation: possible-closure relevance filtering");
+    println!("# goal: hypre (11-node closure) against growing public caches");
+    println!(
+        "{:>10} {:>9} {:>16} {:>16} {:>9}",
+        "cache dags", "entries", "filtered(ms)", "unfiltered(ms)", "penalty%"
+    );
+
+    for dags in [100usize, 300, 1000] {
+        let cache = public_cache(&repo, dags, seed);
+        let goal = parse_spec("hypre").expect("goal");
+        let time_with = |filter: bool| {
+            let cfg = ConcretizerConfig {
+                filter_irrelevant: filter,
+                ..ConcretizerConfig::splice_spack_disabled()
+            };
+            let times = run_trials(trials, || {
+                let t = Instant::now();
+                Concretizer::new(&repo)
+                    .with_config(cfg.clone())
+                    .with_reusable(&cache)
+                    .concretize(&goal)
+                    .expect("ablation solve");
+                t.elapsed()
+            });
+            mean_std_ms(&times)
+        };
+        let (on_mean, on_std) = time_with(true);
+        let (off_mean, off_std) = time_with(false);
+        println!(
+            "{:>10} {:>9} {:>9.2}±{:<5.2} {:>9.2}±{:<5.2} {:>+8.1}",
+            dags,
+            cache.len(),
+            on_mean,
+            on_std,
+            off_mean,
+            off_std,
+            percent_increase(on_mean, off_mean)
+        );
+    }
+    println!();
+    println!("filtered keeps the solver's view proportional to the goal's");
+    println!("closure; unfiltered grows with the entire cache.");
+}

@@ -1,0 +1,224 @@
+//! **Figure 6 / RQ2+RQ3** — correctness and overhead of automatic
+//! splicing. The MPI-dependent subset of RADIUSS (plus `py-shroud` as
+//! the no-MPI control) is concretized:
+//!
+//! * under *old spack* with an explicit `^mpich` dependency, and
+//! * under *splice spack* with an explicit `^mpiabi` dependency
+//!   (the MVAPICH-based mock that declares `can_splice("mpich@3.4.3")`),
+//!
+//! against both buildcaches. The harness verifies that splice spack
+//! produces spliced solutions whenever the spec depends on MPI (RQ2) and
+//! reports the concretization-time overhead (RQ3).
+//!
+//! Paper result: +17.1% (local cache), +153% (public cache); no change
+//! for py-shroud. Every spliced solution trades minutes of solve time
+//! for hours of avoided rebuilds.
+//!
+//! Usage:
+//!   fig6 [--trials N] [--public-dags N] [--seed S] [--threads N] [--joint]
+
+use spackle_bench::{default_threads, mean_std_ms, parallel_map, percent_increase, run_trials, Args};
+use spackle_core::{Concretizer, ConcretizerConfig, Goal};
+use spackle_radiuss::ExperimentEnv;
+use spackle_spec::parse_spec;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let trials = args.get_usize("trials", 10);
+    let public_dags = args.get_usize("public-dags", 1000);
+    let seed = args.get_u64("seed", 42);
+    let threads = args.get_usize("threads", default_threads());
+    let joint = args.has("joint");
+
+    eprintln!("fig6: setting up environment (public-dags={public_dags}, seed={seed})...");
+    let t0 = Instant::now();
+    let env = ExperimentEnv::setup(public_dags, seed);
+    eprintln!(
+        "fig6: setup took {:?}; {} MPI-dependent roots; caches: local={} public={}",
+        t0.elapsed(),
+        env.mpi_roots.len(),
+        env.local.len(),
+        env.public.len()
+    );
+
+    let mut roots: Vec<String> = env
+        .mpi_roots
+        .iter()
+        .map(|s| s.as_str().to_string())
+        .collect();
+    roots.push("py-shroud".to_string()); // the non-spliceable control
+
+    println!("# Figure 6 (RQ2+RQ3): splicing correctness and overhead");
+    println!("# old spack concretizes `spec ^mpich`; splice spack `spec ^mpiabi`");
+    println!("# trials per cell: {trials}");
+    println!(
+        "{:<14} {:<7} {:>12} {:>12} {:>8} {:>8}",
+        "spec", "cache", "old(ms)", "splice(ms)", "delta%", "splices"
+    );
+
+    struct Cell {
+        root: String,
+        cache_label: &'static str,
+        old_mean: f64,
+        old_std: f64,
+        new_mean: f64,
+        new_std: f64,
+        splices: usize,
+        spliced_ok: bool,
+    }
+
+    let mut jobs: Vec<(String, &'static str)> = Vec::new();
+    for root in &roots {
+        for cache_label in ["local", "public"] {
+            jobs.push((root.clone(), cache_label));
+        }
+    }
+
+    let is_mpi_root =
+        |root: &str| env.mpi_roots.iter().any(|m| m.as_str() == root);
+
+    let cells: Vec<Cell> = parallel_map(jobs, threads, |(root, cache_label)| {
+        let cache = match *cache_label {
+            "local" => &env.local,
+            _ => &env.public,
+        };
+        let mpi = is_mpi_root(root);
+        // Old spack: explicit dependency on the reference MPI.
+        let old_goal = if mpi {
+            parse_spec(&format!("{root} ^mpich")).expect("goal")
+        } else {
+            parse_spec(root).expect("goal")
+        };
+        let old_times = run_trials(trials, || {
+            let t = Instant::now();
+            Concretizer::new(&env.repo_plain)
+                .with_config(ConcretizerConfig::old_spack())
+                .with_reusable(cache)
+                .concretize(&old_goal)
+                .unwrap_or_else(|e| panic!("fig6 old {root}: {e}"));
+            t.elapsed()
+        });
+        // Splice spack: explicit dependency on the ABI-compatible mock.
+        let new_goal = if mpi {
+            parse_spec(&format!("{root} ^mpiabi")).expect("goal")
+        } else {
+            parse_spec(root).expect("goal")
+        };
+        let mut splices = 0usize;
+        let mut spliced_ok = !mpi; // control spec needs no splices
+        let new_times = run_trials(trials, || {
+            let t = Instant::now();
+            let sol = Concretizer::new(&env.repo_mpiabi)
+                .with_config(ConcretizerConfig::splice_spack())
+                .with_reusable(cache)
+                .concretize(&new_goal)
+                .unwrap_or_else(|e| panic!("fig6 splice {root}: {e}"));
+            let dt = t.elapsed();
+            splices = sol.spliced.len();
+            if mpi && !sol.spliced.is_empty() {
+                spliced_ok = true;
+            }
+            dt
+        });
+        let (old_mean, old_std) = mean_std_ms(&old_times);
+        let (new_mean, new_std) = mean_std_ms(&new_times);
+        Cell {
+            root: root.clone(),
+            cache_label,
+            old_mean,
+            old_std,
+            new_mean,
+            new_std,
+            splices,
+            spliced_ok,
+        }
+    });
+
+    let mut agg: std::collections::BTreeMap<&str, (f64, f64, usize)> =
+        std::collections::BTreeMap::new();
+    let mut all_spliced = true;
+    for c in &cells {
+        println!(
+            "{:<14} {:<7} {:>6.2}±{:<5.2} {:>6.2}±{:<5.2} {:>+7.1} {:>8}{}",
+            c.root,
+            c.cache_label,
+            c.old_mean,
+            c.old_std,
+            c.new_mean,
+            c.new_std,
+            percent_increase(c.old_mean, c.new_mean),
+            c.splices,
+            if c.spliced_ok { "" } else { "  [NO SPLICE!]" }
+        );
+        all_spliced &= c.spliced_ok;
+        if c.root != "py-shroud" {
+            let e = agg.entry(c.cache_label).or_insert((0.0, 0.0, 0));
+            e.0 += c.old_mean;
+            e.1 += c.new_mean;
+            e.2 += 1;
+        }
+    }
+
+    println!();
+    println!(
+        "RQ2 (spliced solutions produced when necessary): {}",
+        if all_spliced { "PASS" } else { "FAIL" }
+    );
+    for (label, (old_sum, new_sum, n)) in agg {
+        let paper = match label {
+            "local" => "+17.1%",
+            _ => "+153%",
+        };
+        println!(
+            "aggregate {label:<7} ({n} MPI specs): old mean {:.2} ms, splice mean {:.2} ms, \
+             delta {:+.1}%   (paper: {paper})",
+            old_sum / n as f64,
+            new_sum / n as f64,
+            percent_increase(old_sum, new_sum)
+        );
+    }
+
+    if joint {
+        println!();
+        println!("# joint concretization of all MPI-dependent specs");
+        for (label, cache) in [("local", &env.local), ("public", &env.public)] {
+            let old_goal = Goal {
+                roots: env
+                    .mpi_roots
+                    .iter()
+                    .map(|r| parse_spec(&format!("{r} ^mpich")).expect("goal"))
+                    .collect(),
+                forbidden: vec![],
+            };
+            let new_goal = Goal {
+                roots: env
+                    .mpi_roots
+                    .iter()
+                    .map(|r| parse_spec(&format!("{r} ^mpiabi")).expect("goal"))
+                    .collect(),
+                forbidden: vec![],
+            };
+            let t = Instant::now();
+            Concretizer::new(&env.repo_plain)
+                .with_config(ConcretizerConfig::old_spack())
+                .with_reusable(cache)
+                .concretize_goal(&old_goal)
+                .expect("joint old");
+            let old_ms = t.elapsed().as_secs_f64() * 1e3;
+            let t = Instant::now();
+            let sol = Concretizer::new(&env.repo_mpiabi)
+                .with_config(ConcretizerConfig::splice_spack())
+                .with_reusable(cache)
+                .concretize_goal(&new_goal)
+                .expect("joint splice");
+            let new_ms = t.elapsed().as_secs_f64() * 1e3;
+            println!(
+                "joint {label:<7}: old {old_ms:.1} ms, splice {new_ms:.1} ms \
+                 (delta {:+.1}%, {} splices)",
+                percent_increase(old_ms, new_ms),
+                sol.spliced.len()
+            );
+        }
+    }
+}

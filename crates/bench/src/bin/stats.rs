@@ -1,0 +1,58 @@
+//! Solver-internals report: grounding and search statistics per RADIUSS
+//! root and configuration — the kind of breakdown the Spack/Clingo paper
+//! series reports alongside wall times. Useful for understanding *where*
+//! the encodings differ.
+//!
+//! Usage:
+//!   stats [--public-dags N] [--seed S] [--mpiabi]
+
+use spackle_bench::Args;
+use spackle_core::{Concretizer, ConcretizerConfig};
+use spackle_radiuss::ExperimentEnv;
+use spackle_spec::parse_spec;
+
+fn main() {
+    let args = Args::parse();
+    let public_dags = args.get_usize("public-dags", 300);
+    let seed = args.get_u64("seed", 42);
+    let env = ExperimentEnv::setup(public_dags, seed);
+
+    println!(
+        "{:<14} {:<9} {:<7} {:>9} {:>9} {:>9} {:>10} {:>9} {:>7} {:>7}",
+        "spec", "config", "cache", "atoms", "rules", "satvars", "conflicts", "decision", "probes", "cegar"
+    );
+    for root in &env.roots {
+        let spec = parse_spec(root.as_str()).expect("root");
+        for (cfg_label, cfg, repo) in [
+            ("old", ConcretizerConfig::old_spack(), &env.repo_plain),
+            (
+                "indirect",
+                ConcretizerConfig::splice_spack_disabled(),
+                &env.repo_plain,
+            ),
+            ("splice", ConcretizerConfig::splice_spack(), &env.repo_mpiabi),
+        ] {
+            for (cache_label, cache) in [("local", &env.local), ("public", &env.public)] {
+                let sol = Concretizer::new(repo)
+                    .with_config(cfg.clone())
+                    .with_reusable(cache)
+                    .concretize(&spec)
+                    .unwrap_or_else(|e| panic!("{root} {cfg_label}/{cache_label}: {e}"));
+                let s = &sol.stats.solver;
+                println!(
+                    "{:<14} {:<9} {:<7} {:>9} {:>9} {:>9} {:>10} {:>9} {:>7} {:>7}",
+                    root,
+                    cfg_label,
+                    cache_label,
+                    s.ground_atoms,
+                    s.ground_rules,
+                    s.sat_vars,
+                    s.conflicts,
+                    s.decisions,
+                    s.optimize_probes,
+                    s.stability_restarts
+                );
+            }
+        }
+    }
+}

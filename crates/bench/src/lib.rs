@@ -1,0 +1,168 @@
+//! Shared infrastructure for the figure-regeneration binaries: trial
+//! running (parallel across workloads, sequential within a workload),
+//! summary statistics, and a tiny CLI-argument parser.
+
+use std::time::Duration;
+
+/// Mean and sample standard deviation, in milliseconds.
+pub fn mean_std_ms(times: &[Duration]) -> (f64, f64) {
+    let ms: Vec<f64> = times.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+    let n = ms.len() as f64;
+    let mean = ms.iter().sum::<f64>() / n;
+    if ms.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = ms.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+/// Percentage increase from `base` to `new` (paper-style deltas).
+pub fn percent_increase(base: f64, new: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        (new - base) / base * 100.0
+    }
+}
+
+/// Run `trials` timed invocations of `f` (sequentially, so each sample
+/// is a clean single-threaded solve) and return the wall times.
+pub fn run_trials(trials: usize, mut f: impl FnMut() -> Duration) -> Vec<Duration> {
+    (0..trials).map(|_| f()).collect()
+}
+
+/// Execute jobs in parallel with bounded threads, preserving input
+/// order in the output.
+pub fn parallel_map<T, R, F>(inputs: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n).max(1);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let inputs_ref = &inputs;
+    let f_ref = &f;
+    let indices: Vec<Vec<usize>> = (0..threads)
+        .map(|t| (0..n).filter(|i| i % threads == t).collect())
+        .collect();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for chunk in &indices {
+            handles.push(s.spawn(move |_| {
+                chunk
+                    .iter()
+                    .map(|&i| (i, f_ref(&inputs_ref[i])))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            for (i, r) in h.join().expect("bench worker") {
+                out[i] = Some(r);
+            }
+        }
+    })
+    .expect("crossbeam scope");
+    out.into_iter().map(|o| o.expect("all jobs ran")).collect()
+}
+
+/// Default worker-thread count for experiment fan-out.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Minimal `--key value` argument parser shared by the fig binaries.
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parse `std::env::args()`.
+    pub fn parse() -> Args {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            if let Some(key) = argv[i].strip_prefix("--") {
+                let value = argv.get(i + 1).cloned().unwrap_or_default();
+                pairs.push((key.to_string(), value));
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        Args { pairs }
+    }
+
+    /// Fetch a numeric flag with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Fetch a u64 flag with a default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Is a boolean flag present?
+    pub fn has(&self, key: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| k == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basics() {
+        let times = vec![
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            Duration::from_millis(30),
+        ];
+        let (mean, std) = mean_std_ms(&times);
+        assert!((mean - 20.0).abs() < 1e-9);
+        assert!((std - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_no_std() {
+        let (mean, std) = mean_std_ms(&[Duration::from_millis(5)]);
+        assert!((mean - 5.0).abs() < 1e-9);
+        assert_eq!(std, 0.0);
+    }
+
+    #[test]
+    fn percent() {
+        assert!((percent_increase(100.0, 153.0) - 53.0).abs() < 1e-9);
+        assert_eq!(percent_increase(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let inputs: Vec<usize> = (0..100).collect();
+        let out = parallel_map(inputs, 7, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn trials_count() {
+        let times = run_trials(4, || Duration::from_micros(1));
+        assert_eq!(times.len(), 4);
+    }
+}

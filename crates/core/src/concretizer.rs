@@ -1,0 +1,233 @@
+//! The public concretizer API: compile → ground/solve → interpret.
+
+use crate::encode::{encode, EncodeConfig, Encoded, Encoding, Goal};
+use crate::interpret::{interpret, Interpretation, SpliceReport};
+use crate::CoreError;
+use spackle_asp::{parse_program, SolveOutcome, SolveStats, Solver, SolverConfig};
+use spackle_buildcache::BuildCache;
+use spackle_repo::Repository;
+use spackle_spec::{AbstractSpec, ConcreteSpec, Os, Sym, Target};
+use std::time::{Duration, Instant};
+
+/// Concretizer configuration: which Spack variant to emulate.
+#[derive(Clone, Debug)]
+pub struct ConcretizerConfig {
+    /// Reusable-spec encoding (the RQ1 axis: `Direct` = old spack,
+    /// `Indirect` = splice spack).
+    pub encoding: Encoding,
+    /// Consider spliced solutions (requires `Indirect`; the RQ2/3 axis).
+    pub splicing: bool,
+    /// Requesting machine OS.
+    pub os: Os,
+    /// Requesting machine microarchitecture.
+    pub target: Target,
+    /// Restrict facts to the goal's possible dependency closure
+    /// (default true; `false` is the scope-filter ablation).
+    pub filter_irrelevant: bool,
+    /// Underlying ASP solver configuration.
+    pub solver: SolverConfig,
+}
+
+impl Default for ConcretizerConfig {
+    fn default() -> Self {
+        ConcretizerConfig {
+            encoding: Encoding::Indirect,
+            splicing: true,
+            os: Os::new("linux"),
+            target: Target::new("x86_64"),
+            filter_irrelevant: true,
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+impl ConcretizerConfig {
+    /// Emulate *old spack*: direct encoding, no splicing.
+    pub fn old_spack() -> Self {
+        ConcretizerConfig {
+            encoding: Encoding::Direct,
+            splicing: false,
+            ..Default::default()
+        }
+    }
+
+    /// Emulate *splice spack* with automatic splicing disabled (the new
+    /// `hash_attr` encoding only — the paper's Fig 5 configuration).
+    pub fn splice_spack_disabled() -> Self {
+        ConcretizerConfig {
+            encoding: Encoding::Indirect,
+            splicing: false,
+            ..Default::default()
+        }
+    }
+
+    /// Emulate *splice spack* with automatic splicing enabled.
+    pub fn splice_spack() -> Self {
+        ConcretizerConfig {
+            encoding: Encoding::Indirect,
+            splicing: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Timing and size measurements for one concretization.
+#[derive(Clone, Debug, Default)]
+pub struct ConcretizeStats {
+    /// Wall time for fact/rule compilation.
+    pub encode_time: Duration,
+    /// Wall time for parsing the generated program.
+    pub parse_time: Duration,
+    /// Wall time for ground + solve + optimize (from the ASP engine).
+    pub solve_time: Duration,
+    /// Wall time for model interpretation.
+    pub interpret_time: Duration,
+    /// End-to-end wall time.
+    pub total_time: Duration,
+    /// Number of reusable specs the solver considered.
+    pub reusable_specs: usize,
+    /// Generated program size in bytes.
+    pub program_bytes: usize,
+    /// ASP engine statistics.
+    pub solver: SolveStats,
+}
+
+/// A successful concretization.
+#[derive(Debug)]
+pub struct Solution {
+    /// One concrete spec per requested root, in request order.
+    pub specs: Vec<ConcreteSpec>,
+    /// Packages reused from caches.
+    pub reused: Vec<Sym>,
+    /// Packages to build from source.
+    pub built: Vec<Sym>,
+    /// Executed splices.
+    pub spliced: Vec<SpliceReport>,
+    /// Measurements.
+    pub stats: ConcretizeStats,
+}
+
+impl Solution {
+    /// Convenience: the single root spec (panics when the request had
+    /// multiple roots).
+    pub fn spec(&self) -> &ConcreteSpec {
+        assert_eq!(self.specs.len(), 1, "multi-root solution");
+        &self.specs[0]
+    }
+}
+
+/// The concretizer: resolves abstract specs against a repository and
+/// reusable binaries.
+pub struct Concretizer<'a> {
+    repo: &'a Repository,
+    caches: Vec<&'a BuildCache>,
+    config: ConcretizerConfig,
+}
+
+impl<'a> Concretizer<'a> {
+    /// Concretizer over `repo` with default (splice spack) configuration.
+    pub fn new(repo: &'a Repository) -> Self {
+        Concretizer {
+            repo,
+            caches: Vec::new(),
+            config: ConcretizerConfig::default(),
+        }
+    }
+
+    /// Use the given configuration.
+    pub fn with_config(mut self, config: ConcretizerConfig) -> Self {
+        if config.splicing && config.encoding == Encoding::Direct {
+            // Splicing structurally requires the indirect encoding; the
+            // constructor normalizes rather than erroring at solve time.
+            let mut c = config;
+            c.splicing = false;
+            self.config = c;
+        } else {
+            self.config = config;
+        }
+        self
+    }
+
+    /// Add a buildcache of reusable specs (may be called repeatedly;
+    /// e.g. local then public).
+    pub fn with_reusable(mut self, cache: &'a BuildCache) -> Self {
+        self.caches.push(cache);
+        self
+    }
+
+    /// Concretize a single abstract spec.
+    pub fn concretize(&self, spec: &AbstractSpec) -> Result<Solution, CoreError> {
+        self.concretize_goal(&Goal::single(spec.clone()))
+    }
+
+    /// Concretize a goal (possibly multiple roots, possibly with
+    /// forbidden packages).
+    pub fn concretize_goal(&self, goal: &Goal) -> Result<Solution, CoreError> {
+        let t_total = Instant::now();
+        let enc_cfg = EncodeConfig {
+            encoding: self.config.encoding,
+            splicing: self.config.splicing && self.config.encoding == Encoding::Indirect,
+            os: self.config.os,
+            target: self.config.target,
+            filter_irrelevant: self.config.filter_irrelevant,
+        };
+
+        let t0 = Instant::now();
+        let Encoded {
+            program: mut text,
+            root_names,
+            reusable_count,
+        } = encode(self.repo, &self.caches, goal, &enc_cfg)?;
+        text.push_str(crate::logic::BASE_PROGRAM);
+        match enc_cfg.encoding {
+            Encoding::Direct => text.push_str(crate::logic::REUSE_DIRECT),
+            Encoding::Indirect => text.push_str(crate::logic::REUSE_INDIRECT),
+        }
+        if enc_cfg.splicing {
+            text.push_str(crate::logic::SPLICE_FRAGMENT);
+        } else {
+            text.push_str(crate::logic::NO_SPLICE_STUB);
+        }
+        let encode_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let program = parse_program(&text)
+            .map_err(|e| CoreError::Solve(format!("generated program invalid: {e}")))?;
+        let parse_time = t1.elapsed();
+
+        let solver = Solver::with_config(self.config.solver.clone());
+        let (outcome, solver_stats) = solver
+            .solve(&program)
+            .map_err(|e| CoreError::Solve(e.to_string()))?;
+        let model = match outcome {
+            SolveOutcome::Unsat => return Err(CoreError::Unsatisfiable),
+            SolveOutcome::Optimal(m) => m,
+        };
+
+        let t2 = Instant::now();
+        let Interpretation {
+            specs,
+            reused,
+            built,
+            spliced,
+        } = interpret(&model, &self.caches, &root_names)?;
+        let interpret_time = t2.elapsed();
+
+        Ok(Solution {
+            specs,
+            reused,
+            built,
+            spliced,
+            stats: ConcretizeStats {
+                encode_time,
+                parse_time,
+                solve_time: solver_stats.ground_time + solver_stats.solve_time,
+                interpret_time,
+                total_time: t_total.elapsed(),
+                reusable_specs: reusable_count,
+                program_bytes: text.len(),
+                solver: solver_stats,
+            },
+        })
+    }
+}

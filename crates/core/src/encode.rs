@@ -1,0 +1,767 @@
+//! Compilation of packages, goals, and buildcaches into ASP facts and
+//! per-directive rules (paper §5.1–§5.3).
+//!
+//! Directive conditions are compiled to *specialized rules* (the style
+//! Fig 4a uses for `can_splice`), rather than the generic
+//! `condition_requirement` machinery — semantically equivalent and a
+//! better fit for a from-scratch engine. Reusable specs use either the
+//! **direct** `imposed_constraint` fact encoding (old Spack) or the
+//! **indirect** `hash_attr` encoding (splice Spack), selected by
+//! [`EncodeConfig::encoding`] — the paper's RQ1 ablation.
+
+use crate::CoreError;
+use spackle_buildcache::BuildCache;
+use spackle_repo::Repository;
+use spackle_spec::{
+    AbstractSpec, ConcreteSpec, Os, Sym, Target, VariantValue, Version, VersionReq,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write;
+
+/// Which reusable-spec encoding to emit (the RQ1 axis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Encoding {
+    /// Old Spack: `imposed_constraint` facts emitted directly.
+    Direct,
+    /// Splice Spack: `hash_attr` facts with bridge rules (Fig 3).
+    Indirect,
+}
+
+/// Encoder configuration.
+#[derive(Clone, Debug)]
+pub struct EncodeConfig {
+    /// Reusable-spec encoding.
+    pub encoding: Encoding,
+    /// Whether the splice fragment and `can_splice` rules are emitted.
+    /// Only meaningful with [`Encoding::Indirect`].
+    pub splicing: bool,
+    /// The requesting machine's OS.
+    pub os: Os,
+    /// The requesting machine's microarchitecture.
+    pub target: Target,
+    /// Restrict package facts and reusable specs to the goal's possible
+    /// dependency closure. On by default; turning it off is an ablation
+    /// that feeds the solver every cache entry (how much the filter
+    /// matters grows with cache size).
+    pub filter_irrelevant: bool,
+}
+
+/// A concretization request: one or more root specs concretized jointly,
+/// plus packages that must not appear in the solution (used by the
+/// paper's Fig 7 experiment to exclude `mpich`).
+#[derive(Clone, Debug)]
+pub struct Goal {
+    /// Root specs (must name real packages).
+    pub roots: Vec<AbstractSpec>,
+    /// Packages forbidden from the solution DAG.
+    pub forbidden: Vec<Sym>,
+}
+
+impl Goal {
+    /// Single-root goal.
+    pub fn single(spec: AbstractSpec) -> Goal {
+        Goal {
+            roots: vec![spec],
+            forbidden: Vec::new(),
+        }
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn q(s: &str) -> String {
+    format!("\"{}\"", esc(s))
+}
+
+/// Canonical key for a version requirement, used to link constraint
+/// occurrences with `version_satisfies` facts.
+fn req_key(req: &VersionReq) -> String {
+    req.to_string()
+}
+
+/// Collects, per package, every version constraint that appears anywhere,
+/// so `version_satisfies` facts can be emitted for exactly those.
+#[derive(Default)]
+struct ConstraintTable {
+    per_pkg: BTreeMap<Sym, BTreeSet<String>>,
+    reqs: BTreeMap<String, VersionReq>,
+}
+
+impl ConstraintTable {
+    fn note(&mut self, pkg: Sym, req: &VersionReq) -> Option<String> {
+        if matches!(req, VersionReq::Any) {
+            return None;
+        }
+        let key = req_key(req);
+        self.per_pkg.entry(pkg).or_default().insert(key.clone());
+        self.reqs.insert(key.clone(), req.clone());
+        Some(key)
+    }
+}
+
+/// Everything the interpreter needs to map the model back to specs.
+pub struct Encoded {
+    /// The complete program text (facts + rules + logic fragments).
+    pub program: String,
+    /// Root package names in goal order.
+    pub root_names: Vec<Sym>,
+    /// Number of reusable-spec entries encoded.
+    pub reusable_count: usize,
+}
+
+/// Compile everything into one ASP program.
+pub fn encode(
+    repo: &Repository,
+    caches: &[&BuildCache],
+    goal: &Goal,
+    cfg: &EncodeConfig,
+) -> Result<Encoded, CoreError> {
+    let mut out = String::with_capacity(1 << 16);
+    let mut ct = ConstraintTable::default();
+
+    // ---- determine the relevant package closure ----
+    let mut root_names: Vec<Sym> = Vec::new();
+    let mut roots: Vec<Sym> = Vec::new();
+    for r in &goal.roots {
+        let name = r.name.ok_or_else(|| {
+            CoreError::BadGoal("root specs must name a package".into())
+        })?;
+        if repo.get(name).is_none() {
+            return Err(CoreError::BadGoal(format!("unknown package {name}")));
+        }
+        root_names.push(name);
+        roots.push(name);
+        for d in &r.deps {
+            if let Some(dn) = d.spec.name {
+                if repo.is_virtual(dn) {
+                    roots.extend(repo.providers_of(dn).iter().copied());
+                } else {
+                    roots.push(dn);
+                }
+            }
+        }
+    }
+    let mut closure = if cfg.filter_irrelevant {
+        repo.possible_closure(&roots)
+    } else {
+        // Ablation: the whole repository is in scope.
+        repo.packages().map(|p| p.name).collect()
+    };
+    if cfg.splicing {
+        // Splice candidates enter the solution without being dependencies:
+        // include every package that declares it can replace a closure
+        // member, then re-close.
+        loop {
+            let mut added: Vec<Sym> = Vec::new();
+            for pkg in repo.packages() {
+                if closure.contains(&pkg.name) {
+                    continue;
+                }
+                if pkg
+                    .can_splice
+                    .iter()
+                    .any(|cs| closure.contains(&cs.target.name.expect("validated")))
+                {
+                    added.push(pkg.name);
+                }
+            }
+            if added.is_empty() {
+                break;
+            }
+            for a in &added {
+                closure.extend(repo.possible_closure(&[*a]));
+            }
+        }
+    }
+
+    // ---- version universes (declared + cached) ----
+    let mut cache_versions: BTreeMap<Sym, BTreeSet<Version>> = BTreeMap::new();
+    let mut cache_targets: BTreeSet<Target> = BTreeSet::new();
+    let mut cache_oses: BTreeSet<Os> = BTreeSet::new();
+    let mut cache_variant_values: BTreeMap<(Sym, Sym), BTreeSet<VariantValue>> = BTreeMap::new();
+    let relevant_entry = |spec: &ConcreteSpec| -> bool {
+        spec.nodes().iter().all(|n| closure.contains(&n.name))
+    };
+    let mut reusable_count = 0usize;
+    for cache in caches {
+        for entry in cache.entries() {
+            if !relevant_entry(&entry.spec) {
+                continue;
+            }
+            reusable_count += 1;
+            let root = entry.spec.root();
+            cache_versions
+                .entry(root.name)
+                .or_default()
+                .insert(root.version.clone());
+            cache_targets.insert(root.target);
+            cache_oses.insert(root.os);
+            for (vn, vv) in &root.variants {
+                cache_variant_values
+                    .entry((root.name, *vn))
+                    .or_default()
+                    .insert(vv.clone());
+            }
+        }
+    }
+
+    let version_universe = |pkg: Sym| -> Vec<Version> {
+        let mut vs: Vec<Version> = repo
+            .get(pkg)
+            .map(|p| p.versions.clone())
+            .unwrap_or_default();
+        if let Some(extra) = cache_versions.get(&pkg) {
+            for v in extra {
+                if !vs.contains(v) {
+                    vs.push(v.clone());
+                }
+            }
+        }
+        vs
+    };
+
+    // ---- environment facts ----
+    writeln!(out, "requested_os({}).", q(cfg.os.name().as_str())).ok();
+    writeln!(out, "requested_target({}).", q(cfg.target.name().as_str())).ok();
+    let mut targets: BTreeSet<Target> = cache_targets;
+    targets.insert(cfg.target);
+    for a in cfg.target.ancestors() {
+        targets.insert(a);
+    }
+    let mut oses: BTreeSet<Os> = cache_oses;
+    oses.insert(cfg.os);
+    for o in &oses {
+        writeln!(out, "os_declared({}).", q(o.name().as_str())).ok();
+    }
+    for t in &targets {
+        writeln!(out, "target_declared({}).", q(t.name().as_str())).ok();
+    }
+    for machine in &targets {
+        for built in &targets {
+            if machine.runs_binary_built_for(*built) {
+                writeln!(
+                    out,
+                    "target_runs({}, {}).",
+                    q(machine.name().as_str()),
+                    q(built.name().as_str())
+                )
+                .ok();
+            }
+        }
+    }
+    for t in &targets {
+        let pen = if cfg.target.runs_binary_built_for(*t) {
+            cfg.target.depth().saturating_sub(t.depth()) as i64
+        } else {
+            100
+        };
+        writeln!(out, "target_penalty({}, {}).", q(t.name().as_str()), pen).ok();
+    }
+
+    // ---- package facts and directive rules ----
+    // First pass registers version constraints; a second emits the
+    // version_satisfies facts (constraints are discovered during rule
+    // generation).
+    let mut rules = String::with_capacity(1 << 14);
+    for &pname in &closure {
+        let Some(pkg) = repo.get(pname) else {
+            continue; // virtual names in the closure have no package
+        };
+        emit_package(&mut rules, repo, pkg, cfg, &mut ct)?;
+    }
+
+    // ---- provider preference weights (repository declaration order) ----
+    {
+        let mut virtuals: BTreeSet<Sym> = BTreeSet::new();
+        for &pname in &closure {
+            if let Some(pkg) = repo.get(pname) {
+                for p in &pkg.provides {
+                    virtuals.insert(p.virtual_name);
+                }
+            }
+        }
+        for v in virtuals {
+            for (i, prov) in repo.providers_of(v).iter().enumerate() {
+                if closure.contains(prov) {
+                    writeln!(
+                        rules,
+                        "provider_weight({vq}, {pq}, {i}).",
+                        vq = q(v.as_str()),
+                        pq = q(prov.as_str())
+                    )
+                    .ok();
+                }
+            }
+        }
+    }
+
+    // ---- goal ----
+    for root in &goal.roots {
+        emit_goal_root(&mut rules, repo, root, &mut ct)?;
+    }
+    for f in &goal.forbidden {
+        writeln!(rules, ":- attr(\"node\", node({})).", q(f.as_str())).ok();
+    }
+
+    // ---- reusable specs ----
+    for cache in caches {
+        for entry in cache.entries() {
+            if !relevant_entry(&entry.spec) {
+                continue;
+            }
+            emit_reusable(&mut out, &entry.spec, cfg);
+        }
+    }
+
+    // ---- declared-version + version_satisfies facts ----
+    for &pname in &closure {
+        if repo.get(pname).is_none() {
+            continue;
+        }
+        let universe = version_universe(pname);
+        for (i, v) in universe.iter().enumerate() {
+            writeln!(
+                out,
+                "pkg_fact({}, version_declared({}, {})).",
+                q(pname.as_str()),
+                q(&v.to_string()),
+                i
+            )
+            .ok();
+        }
+        if let Some(keys) = ct.per_pkg.get(&pname) {
+            for key in keys {
+                let req = &ct.reqs[key];
+                for v in &universe {
+                    if req.satisfies(v) {
+                        writeln!(
+                            out,
+                            "pkg_fact({}, version_satisfies({}, {})).",
+                            q(pname.as_str()),
+                            q(key),
+                            q(&v.to_string())
+                        )
+                        .ok();
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- variant universes ----
+    for &pname in &closure {
+        let Some(pkg) = repo.get(pname) else { continue };
+        for (vn, kind) in &pkg.variants {
+            writeln!(
+                out,
+                "pkg_fact({}, variant({})).",
+                q(pname.as_str()),
+                q(vn.as_str())
+            )
+            .ok();
+            writeln!(
+                out,
+                "pkg_fact({}, variant_default({}, {})).",
+                q(pname.as_str()),
+                q(vn.as_str()),
+                q(&kind.default_value().canonical())
+            )
+            .ok();
+            let mut values: BTreeSet<String> = kind
+                .candidate_values()
+                .iter()
+                .map(|v| v.canonical())
+                .collect();
+            if let Some(extra) = cache_variant_values.get(&(pname, *vn)) {
+                for v in extra {
+                    values.insert(v.canonical());
+                }
+            }
+            for v in values {
+                writeln!(
+                    out,
+                    "pkg_fact({}, variant_value({}, {})).",
+                    q(pname.as_str()),
+                    q(vn.as_str()),
+                    q(&v)
+                )
+                .ok();
+            }
+        }
+    }
+
+    out.push_str(&rules);
+    Ok(Encoded {
+        program: out,
+        root_names,
+        reusable_count,
+    })
+}
+
+/// Render the body fragment testing an anonymous `when` constraint
+/// against the node for package `p`. Returns the conjunction pieces
+/// (without the leading `attr("node", ...)`, which callers always add).
+fn when_fragments(
+    p: Sym,
+    when: &AbstractSpec,
+    var_tag: &str,
+    ct: &mut ConstraintTable,
+) -> Result<Vec<String>, CoreError> {
+    let mut parts = Vec::new();
+    if let Some(key) = ct.note(p, &when.version) {
+        parts.push(format!(
+            "attr(\"version\", node({p}), V{var_tag})",
+            p = q(p.as_str())
+        ));
+        parts.push(format!(
+            "pkg_fact({p}, version_satisfies({c}, V{var_tag}))",
+            p = q(p.as_str()),
+            c = q(&key)
+        ));
+    }
+    for (vn, vv) in &when.variants {
+        parts.push(format!(
+            "attr(\"variant\", node({p}), {vn}, {vv})",
+            p = q(p.as_str()),
+            vn = q(vn.as_str()),
+            vv = q(&vv.canonical())
+        ));
+    }
+    if let Some(os) = when.os {
+        parts.push(format!(
+            "attr(\"node_os\", node({p}), {o})",
+            p = q(p.as_str()),
+            o = q(os.name().as_str())
+        ));
+    }
+    if let Some(t) = when.target {
+        parts.push(format!(
+            "attr(\"node_target\", node({p}), {t})",
+            p = q(p.as_str()),
+            t = q(t.name().as_str())
+        ));
+    }
+    if !when.deps.is_empty() {
+        return Err(CoreError::Unsupported(
+            "dependency clauses inside when= conditions".into(),
+        ));
+    }
+    Ok(parts)
+}
+
+fn emit_package(
+    rules: &mut String,
+    repo: &Repository,
+    pkg: &spackle_repo::PackageDef,
+    cfg: &EncodeConfig,
+    ct: &mut ConstraintTable,
+) -> Result<(), CoreError> {
+    let pq = q(pkg.name.as_str());
+
+    // depends_on directives. Guarded by build(P): a *reused* node's
+    // dependencies come exclusively from its imposed (possibly spliced)
+    // constraints — the stored spec is trusted, directives only shape
+    // what gets built (Spack's reuse semantics).
+    for (di, dep) in pkg.depends.iter().enumerate() {
+        let dname = dep.spec.name.expect("validated at build");
+        let mut body = vec![
+            format!("attr(\"node\", node({pq}))"),
+            format!("build({pq})"),
+        ];
+        body.extend(when_fragments(pkg.name, &dep.when, &format!("w{di}"), ct)?);
+        let body_s = body.join(", ");
+
+        if repo.is_virtual(dname) {
+            if !matches!(dep.spec.version, VersionReq::Any) || !dep.spec.variants.is_empty() {
+                return Err(CoreError::Unsupported(format!(
+                    "constraints on virtual dependency {dname} of {}",
+                    pkg.name
+                )));
+            }
+            writeln!(
+                rules,
+                "attr(\"virtual_dep\", node({pq}), {d}) :- {body_s}.",
+                d = q(dname.as_str())
+            )
+            .ok();
+        } else {
+            let types: &[&str] = if dep.types.is_build() && dep.types.is_link_run() {
+                &["build", "link-run"]
+            } else if dep.types.is_build() {
+                &["build"]
+            } else {
+                &["link-run"]
+            };
+            for t in types {
+                writeln!(
+                    rules,
+                    "attr(\"depends_on\", node({pq}), node({d}), {t}) :- {body_s}.",
+                    d = q(dname.as_str()),
+                    t = q(t)
+                )
+                .ok();
+            }
+            // Constraints the dependency spec imposes on the dep node.
+            if let Some(key) = ct.note(dname, &dep.spec.version) {
+                writeln!(
+                    rules,
+                    ":- {body_s}, attr(\"version\", node({d}), Vd{di}), \
+                     not pkg_fact({d}, version_satisfies({c}, Vd{di})).",
+                    d = q(dname.as_str()),
+                    c = q(&key)
+                )
+                .ok();
+            }
+            for (vn, vv) in &dep.spec.variants {
+                writeln!(
+                    rules,
+                    ":- {body_s}, attr(\"node\", node({d})), \
+                     not attr(\"variant\", node({d}), {vn}, {vv}).",
+                    d = q(dname.as_str()),
+                    vn = q(vn.as_str()),
+                    vv = q(&vv.canonical())
+                )
+                .ok();
+            }
+        }
+    }
+
+    // provides directives. (Provider *weights* are emitted globally by
+    // `encode`, ordered by repository declaration order.)
+    for (pi, prov) in pkg.provides.iter().enumerate() {
+        writeln!(
+            rules,
+            "provider_decl({pq}, {v}).",
+            v = q(prov.virtual_name.as_str())
+        )
+        .ok();
+        if !prov.when.is_empty() {
+            let mut body = vec![format!("attr(\"node\", node({pq}))")];
+            body.extend(when_fragments(pkg.name, &prov.when, &format!("p{pi}"), ct)?);
+            writeln!(
+                rules,
+                "provides_ok({pq}, {v}) :- {body}.",
+                v = q(prov.virtual_name.as_str()),
+                body = body.join(", ")
+            )
+            .ok();
+            writeln!(
+                rules,
+                ":- virtual_chosen({v}, {pq}), not provides_ok({pq}, {v}).",
+                v = q(prov.virtual_name.as_str())
+            )
+            .ok();
+        }
+    }
+
+    // conflicts directives.
+    for (ci, conf) in pkg.conflicts.iter().enumerate() {
+        let mut body = vec![format!("attr(\"node\", node({pq}))")];
+        body.extend(when_fragments(pkg.name, &conf.when, &format!("cw{ci}"), ct)?);
+        // The conflicting condition itself (node-local parts).
+        let mut c_local = conf.spec.clone();
+        let c_deps = std::mem::take(&mut c_local.deps);
+        c_local.name = None;
+        body.extend(when_fragments(pkg.name, &c_local, &format!("cs{ci}"), ct)?);
+        for (k, d) in c_deps.iter().enumerate() {
+            let dn = d.spec.name.ok_or_else(|| {
+                CoreError::Unsupported("anonymous dep in conflicts spec".into())
+            })?;
+            body.push(format!("reach({pq}, {d})", d = q(dn.as_str())));
+            if let Some(key) = ct.note(dn, &d.spec.version) {
+                body.push(format!(
+                    "attr(\"version\", node({d}), Vc{ci}_{k})",
+                    d = q(dn.as_str())
+                ));
+                body.push(format!(
+                    "pkg_fact({d}, version_satisfies({c}, Vc{ci}_{k}))",
+                    d = q(dn.as_str()),
+                    c = q(&key)
+                ));
+            }
+        }
+        writeln!(rules, ":- {}.", body.join(", ")).ok();
+    }
+
+    // can_splice directives (Fig 4a), only in splicing configurations.
+    if cfg.splicing {
+        for (si, cs) in pkg.can_splice.iter().enumerate() {
+            let target_name = cs.target.name.expect("validated at build");
+            let tq = q(target_name.as_str());
+            let mut body = vec![format!("installed_hash({tq}, Hash)")];
+            if let Some(key) = ct.note(target_name, &cs.target.version) {
+                body.push(format!(
+                    "hash_attr(Hash, \"version\", {tq}, TV{si})"
+                ));
+                body.push(format!(
+                    "pkg_fact({tq}, version_satisfies({c}, TV{si}))",
+                    c = q(&key)
+                ));
+            }
+            for (vn, vv) in &cs.target.variants {
+                body.push(format!(
+                    "hash_attr(Hash, \"variant\", {tq}, {vn}, {vv})",
+                    vn = q(vn.as_str()),
+                    vv = q(&vv.canonical())
+                ));
+            }
+            body.push(format!("attr(\"node\", node({pq}))"));
+            body.extend(when_fragments(pkg.name, &cs.when, &format!("s{si}"), ct)?);
+            writeln!(
+                rules,
+                "can_splice(node({pq}), {tq}, Hash) :- {body}.",
+                body = body.join(", ")
+            )
+            .ok();
+            writeln!(rules, "splicer_decl({pq}, {tq}).").ok();
+            writeln!(rules, "splice_relevant({tq}).").ok();
+        }
+    }
+
+    Ok(())
+}
+
+fn emit_goal_root(
+    rules: &mut String,
+    repo: &Repository,
+    root: &AbstractSpec,
+    ct: &mut ConstraintTable,
+) -> Result<(), CoreError> {
+    let g = root.name.expect("checked in encode");
+    let gq = q(g.as_str());
+    writeln!(rules, "attr(\"root\", node({gq})).").ok();
+    if let Some(key) = ct.note(g, &root.version) {
+        writeln!(
+            rules,
+            ":- attr(\"version\", node({gq}), V), not pkg_fact({gq}, version_satisfies({c}, V)).",
+            c = q(&key)
+        )
+        .ok();
+    }
+    for (vn, vv) in &root.variants {
+        writeln!(
+            rules,
+            ":- not attr(\"variant\", node({gq}), {vn}, {vv}).",
+            vn = q(vn.as_str()),
+            vv = q(&vv.canonical())
+        )
+        .ok();
+    }
+    if let Some(os) = root.os {
+        writeln!(
+            rules,
+            ":- not attr(\"node_os\", node({gq}), {o}).",
+            o = q(os.name().as_str())
+        )
+        .ok();
+    }
+    if let Some(t) = root.target {
+        writeln!(
+            rules,
+            ":- not attr(\"node_target\", node({gq}), {t}).",
+            t = q(t.name().as_str())
+        )
+        .ok();
+    }
+    for (k, dep) in root.deps.iter().enumerate() {
+        let dn = dep.spec.name.ok_or_else(|| {
+            CoreError::BadGoal("goal dependencies must name a package".into())
+        })?;
+        if repo.is_virtual(dn) {
+            if !matches!(dep.spec.version, VersionReq::Any) || !dep.spec.variants.is_empty() {
+                return Err(CoreError::Unsupported(
+                    "constraints on virtual goal dependencies".into(),
+                ));
+            }
+            writeln!(rules, ":- not virtual_used({}).", q(dn.as_str())).ok();
+        } else {
+            writeln!(
+                rules,
+                ":- not reach({gq}, {d}).",
+                d = q(dn.as_str())
+            )
+            .ok();
+            if let Some(key) = ct.note(dn, &dep.spec.version) {
+                writeln!(
+                    rules,
+                    ":- attr(\"version\", node({d}), Vg{k}), \
+                     not pkg_fact({d}, version_satisfies({c}, Vg{k})).",
+                    d = q(dn.as_str()),
+                    c = q(&key)
+                )
+                .ok();
+            }
+            for (vn, vv) in &dep.spec.variants {
+                writeln!(
+                    rules,
+                    ":- attr(\"node\", node({d})), not attr(\"variant\", node({d}), {vn}, {vv}).",
+                    d = q(dn.as_str()),
+                    vn = q(vn.as_str()),
+                    vv = q(&vv.canonical())
+                )
+                .ok();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Emit one reusable spec in the configured encoding.
+fn emit_reusable(out: &mut String, spec: &ConcreteSpec, cfg: &EncodeConfig) {
+    let root = spec.root();
+    let h = q(&spec.dag_hash().to_base32());
+    let name = q(root.name.as_str());
+    let pred = match cfg.encoding {
+        Encoding::Direct => "imposed_constraint",
+        Encoding::Indirect => "hash_attr",
+    };
+    writeln!(out, "installed_hash({name}, {h}).").ok();
+    writeln!(
+        out,
+        "{pred}({h}, \"version\", {name}, {v}).",
+        v = q(&root.version.to_string())
+    )
+    .ok();
+    writeln!(
+        out,
+        "{pred}({h}, \"node_os\", {name}, {o}).",
+        o = q(root.os.name().as_str())
+    )
+    .ok();
+    writeln!(
+        out,
+        "{pred}({h}, \"node_target\", {name}, {t}).",
+        t = q(root.target.name().as_str())
+    )
+    .ok();
+    for (vn, vv) in &root.variants {
+        writeln!(
+            out,
+            "{pred}({h}, \"variant\", {name}, {vn}, {vv}).",
+            vn = q(vn.as_str()),
+            vv = q(&vv.canonical())
+        )
+        .ok();
+    }
+    for &(dep, types) in &root.deps {
+        if !types.is_link_run() {
+            continue;
+        }
+        let dnode = spec.node(dep);
+        writeln!(
+            out,
+            "{pred}({h}, \"depends_on\", {name}, {d}).",
+            d = q(dnode.name.as_str())
+        )
+        .ok();
+        writeln!(
+            out,
+            "{pred}({h}, \"hash\", {d}, {dh}).",
+            d = q(dnode.name.as_str()),
+            dh = q(&dnode.hash.to_base32())
+        )
+        .ok();
+    }
+}

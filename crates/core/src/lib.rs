@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! # spackle-core
+//!
+//! The Spackle concretizer — the paper's primary contribution. It
+//! resolves abstract specs to concrete dependency DAGs by compiling the
+//! package repository, the user goal, and reusable buildcache specs into
+//! an answer-set program (solved by `spackle-asp`), then interpreting the
+//! optimal model back into [`spackle_spec::ConcreteSpec`]s — including
+//! automatically *spliced* specs with full build provenance.
+//!
+//! Three emulation modes reproduce the paper's experimental axes:
+//!
+//! * [`ConcretizerConfig::old_spack`] — the direct `imposed_constraint`
+//!   encoding of reusable specs; splicing impossible.
+//! * [`ConcretizerConfig::splice_spack_disabled`] — the new `hash_attr`
+//!   encoding with the splice fragment off (Fig 5 / RQ1).
+//! * [`ConcretizerConfig::splice_spack`] — full automatic splicing
+//!   (Fig 6, Fig 7 / RQ2–RQ4).
+
+pub mod concretizer;
+pub mod encode;
+pub mod interpret;
+pub mod logic;
+
+pub use concretizer::{ConcretizeStats, Concretizer, ConcretizerConfig, Solution};
+pub use encode::{EncodeConfig, Encoding, Goal};
+pub use interpret::SpliceReport;
+
+use std::fmt;
+
+/// Concretization errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The goal is malformed (unknown package, anonymous root, ...).
+    BadGoal(String),
+    /// A repository feature this reproduction does not model.
+    Unsupported(String),
+    /// The underlying ASP engine failed.
+    Solve(String),
+    /// No concretization satisfies the constraints.
+    Unsatisfiable,
+    /// The optimal model could not be decoded (an encoder/solver bug).
+    Interpret(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadGoal(m) => write!(f, "bad goal: {m}"),
+            CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            CoreError::Solve(m) => write!(f, "solver: {m}"),
+            CoreError::Unsatisfiable => write!(f, "no satisfying concretization exists"),
+            CoreError::Interpret(m) => write!(f, "interpretation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

@@ -1,0 +1,113 @@
+//! Install layout: where each concrete spec lives on disk.
+//!
+//! Spack installs every package under a user-defined root at a prefix
+//! derived from its name, version, and DAG hash — which is what makes
+//! multiple configurations of one package coexist, and what relocation
+//! rewrites when binaries move between layouts.
+
+use spackle_spec::{ConcreteNode, ConcreteSpec, NodeId};
+
+/// A hash-addressed install layout rooted at a path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstallLayout {
+    root: String,
+}
+
+impl InstallLayout {
+    /// Layout rooted at `root` (no trailing slash).
+    pub fn new(root: &str) -> InstallLayout {
+        InstallLayout {
+            root: root.trim_end_matches('/').to_string(),
+        }
+    }
+
+    /// The layout root.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// Install prefix for a node.
+    pub fn prefix_of(&self, node: &ConcreteNode) -> String {
+        format!(
+            "{}/{}-{}-{}",
+            self.root,
+            node.name,
+            node.version,
+            node.hash.short()
+        )
+    }
+
+    /// Install prefix for a node of a spec by id.
+    pub fn prefix(&self, spec: &ConcreteSpec, id: NodeId) -> String {
+        self.prefix_of(spec.node(id))
+    }
+
+    /// Prefixes of the direct link-run dependencies of `id`, sorted by
+    /// dependency package name (the deterministic order artifacts embed
+    /// their path slots in).
+    pub fn dep_prefixes(&self, spec: &ConcreteSpec, id: NodeId) -> Vec<String> {
+        let mut deps: Vec<&ConcreteNode> = spec
+            .node(id)
+            .deps
+            .iter()
+            .filter(|(_, t)| t.is_link_run())
+            .map(|&(d, _)| spec.node(d))
+            .collect();
+        deps.sort_by_key(|n| n.name);
+        deps.iter().map(|n| self.prefix_of(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spackle_spec::spec::{ConcreteSpecBuilder, DepTypes};
+    use spackle_spec::Version;
+
+    fn spec() -> ConcreteSpec {
+        let mut b = ConcreteSpecBuilder::new();
+        let z = b.node("zlib", Version::parse("1.3").unwrap());
+        let m = b.node("mpich", Version::parse("3.4.3").unwrap());
+        let h = b.node("hdf5", Version::parse("1.14.5").unwrap());
+        b.edge(h, z, DepTypes::LINK_RUN);
+        b.edge(h, m, DepTypes::LINK_RUN);
+        b.build(h).unwrap()
+    }
+
+    #[test]
+    fn prefix_contains_name_version_hash() {
+        let l = InstallLayout::new("/opt/spackle/");
+        let s = spec();
+        let p = l.prefix(&s, s.root_id());
+        assert!(p.starts_with("/opt/spackle/hdf5-1.14.5-"));
+        assert_eq!(p.len(), "/opt/spackle/hdf5-1.14.5-".len() + 7);
+    }
+
+    #[test]
+    fn distinct_hashes_distinct_prefixes() {
+        let l = InstallLayout::new("/opt/spackle");
+        let s = spec();
+        let mut b = ConcreteSpecBuilder::new();
+        let z = b.node("zlib", Version::parse("1.2").unwrap());
+        let m = b.node("mpich", Version::parse("3.4.3").unwrap());
+        let h = b.node("hdf5", Version::parse("1.14.5").unwrap());
+        b.edge(h, z, DepTypes::LINK_RUN);
+        b.edge(h, m, DepTypes::LINK_RUN);
+        let s2 = b.build(h).unwrap();
+        assert_ne!(
+            l.prefix(&s, s.root_id()),
+            l.prefix(&s2, s2.root_id()),
+            "different zlib version must change hdf5's hash and prefix"
+        );
+    }
+
+    #[test]
+    fn dep_prefixes_sorted_by_name() {
+        let l = InstallLayout::new("/opt");
+        let s = spec();
+        let deps = l.dep_prefixes(&s, s.root_id());
+        assert_eq!(deps.len(), 2);
+        assert!(deps[0].contains("/mpich-"));
+        assert!(deps[1].contains("/zlib-"));
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # spackle-install
+//!
+//! The installer side of Spackle: install layout, **relocation** (paper
+//! §3.4) and **rewiring** of spliced binaries (paper §4.2), plus the
+//! install planner that decides, per node, whether to build from source,
+//! reuse a cached binary, or rewire a spliced one.
+//!
+//! Artifacts are the synthetic binaries of `spackle-buildcache`: their
+//! NUL-padded path regions play the role of RPATHs. Relocation rewrites
+//! those paths in place when the new path fits the slot (Spack's simple
+//! patching) and rebuilds the region otherwise (the `patchelf`
+//! lengthening fallback) — both paths are counted so tests and benches
+//! can observe which mechanism ran.
+
+pub mod installer;
+pub mod layout;
+pub mod relocate;
+pub mod rewire;
+
+pub use installer::{Action, InstallError, InstallPlan, InstallReport, Installer};
+pub use layout::InstallLayout;
+pub use relocate::{relocate_artifact, RelocationStats};
+pub use rewire::rewire_mapping;

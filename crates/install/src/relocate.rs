@@ -1,0 +1,126 @@
+//! Binary relocation (paper §3.4): rewrite install-path strings embedded
+//! in an artifact according to a mapping from old to new prefixes.
+
+use rustc_hash::FxHashMap;
+use spackle_buildcache::{Artifact, ArtifactError};
+
+/// Counters distinguishing Spack's two patching mechanisms.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RelocationStats {
+    /// Paths rewritten in place (new path fit the existing slot).
+    pub in_place: usize,
+    /// Paths that required growing the slot (the `patchelf` fallback).
+    pub lengthened: usize,
+    /// Path slots left untouched (not in the mapping).
+    pub untouched: usize,
+}
+
+/// Apply `mapping` to every path slot of the artifact serialized in
+/// `bytes`. Paths not present in the mapping are left alone. Returns the
+/// re-serialized artifact and the patching statistics.
+pub fn relocate_artifact(
+    bytes: &[u8],
+    mapping: &FxHashMap<String, String>,
+) -> Result<(Vec<u8>, RelocationStats), ArtifactError> {
+    let mut art = Artifact::from_bytes(bytes)?;
+    let mut stats = RelocationStats::default();
+    for (slot, path) in &mut art.paths {
+        match mapping.get(path.as_str()) {
+            None => stats.untouched += 1,
+            Some(new_path) => {
+                if new_path.len() <= *slot {
+                    stats.in_place += 1;
+                } else {
+                    // patchelf-style: grow the slot to fit (plus fresh
+                    // headroom for the next relocation).
+                    *slot = new_path.len() + 16;
+                    stats.lengthened += 1;
+                }
+                *path = new_path.clone();
+            }
+        }
+    }
+    Ok((art.to_bytes().to_vec(), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping(pairs: &[(&str, &str)]) -> FxHashMap<String, String> {
+        pairs
+            .iter()
+            .map(|&(a, b)| (a.to_string(), b.to_string()))
+            .collect()
+    }
+
+    fn sample() -> Vec<u8> {
+        Artifact::build(
+            "/build/hdf5-1.14.5-abc",
+            &["/build/zlib-1.3-def".to_string()],
+            vec!["sym1".to_string()],
+        )
+        .to_bytes()
+        .to_vec()
+    }
+
+    #[test]
+    fn in_place_when_it_fits() {
+        let (out, stats) = relocate_artifact(
+            &sample(),
+            &mapping(&[
+                ("/build/hdf5-1.14.5-abc", "/opt/hdf5-1.14.5-abc"),
+                ("/build/zlib-1.3-def", "/opt/zlib-1.3-def"),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(stats.in_place, 2);
+        assert_eq!(stats.lengthened, 0);
+        let art = Artifact::from_bytes(&out).unwrap();
+        assert_eq!(art.own_prefix(), "/opt/hdf5-1.14.5-abc");
+        assert_eq!(art.dep_prefixes(), vec!["/opt/zlib-1.3-def"]);
+    }
+
+    #[test]
+    fn lengthening_when_new_path_is_longer() {
+        let long = "/a/very/long/install/root/that/exceeds/original/padding/hdf5";
+        let (out, stats) = relocate_artifact(
+            &sample(),
+            &mapping(&[("/build/hdf5-1.14.5-abc", long)]),
+        )
+        .unwrap();
+        assert_eq!(stats.lengthened, 1);
+        assert_eq!(stats.untouched, 1);
+        let art = Artifact::from_bytes(&out).unwrap();
+        assert_eq!(art.own_prefix(), long);
+    }
+
+    #[test]
+    fn unmapped_paths_untouched() {
+        let (out, stats) = relocate_artifact(&sample(), &mapping(&[])).unwrap();
+        assert_eq!(stats.untouched, 2);
+        assert_eq!(Artifact::from_bytes(&out).unwrap(), Artifact::from_bytes(&sample()).unwrap());
+    }
+
+    #[test]
+    fn relocation_is_idempotent() {
+        let m = mapping(&[("/build/hdf5-1.14.5-abc", "/opt/hdf5")]);
+        let (once, _) = relocate_artifact(&sample(), &m).unwrap();
+        let (twice, stats) = relocate_artifact(&once, &m).unwrap();
+        assert_eq!(once, twice);
+        assert_eq!(stats.in_place, 0); // old path no longer present
+    }
+
+    #[test]
+    fn symbols_preserved_across_relocation() {
+        let m = mapping(&[("/build/zlib-1.3-def", "/somewhere/else/zlib")]);
+        let (out, _) = relocate_artifact(&sample(), &m).unwrap();
+        let art = Artifact::from_bytes(&out).unwrap();
+        assert_eq!(art.symbols, vec!["sym1".to_string()]);
+    }
+
+    #[test]
+    fn corrupt_input_propagates_error() {
+        assert!(relocate_artifact(b"garbage", &mapping(&[])).is_err());
+    }
+}

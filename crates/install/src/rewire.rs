@@ -1,0 +1,166 @@
+//! Rewiring (paper §4.2): generalizing relocation to splices.
+//!
+//! A spliced node's binary was built as its `build_spec`; at install time
+//! its embedded dependency paths must be redirected from the
+//! dependencies it was *built against* to the dependencies of the
+//! *spliced* spec. The build spec is exactly what makes this mapping
+//! computable — which is why spliced specs must carry it.
+
+use crate::layout::InstallLayout;
+use crate::installer::InstallError;
+use rustc_hash::FxHashMap;
+use spackle_spec::{ConcreteSpec, NodeId, Sym};
+
+/// Compute the old-prefix → new-prefix mapping for rewiring the artifact
+/// of `spliced.node(id)` (which must carry a build spec).
+///
+/// Dependencies are paired by package name; a single unmatched pair is
+/// paired cross-name (the `mpich` → `mpiabi` case). More than one
+/// unmatched dependency on either side is ambiguous and rejected.
+pub fn rewire_mapping(
+    spliced: &ConcreteSpec,
+    id: NodeId,
+    layout: &InstallLayout,
+) -> Result<FxHashMap<String, String>, InstallError> {
+    let node = spliced.node(id);
+    let build_spec = node.build_spec.as_ref().ok_or_else(|| {
+        InstallError::NotSpliced(node.name.as_str().to_string())
+    })?;
+
+    let mut mapping = FxHashMap::default();
+    // Own prefix: the binary was installed at the build spec's prefix.
+    mapping.insert(
+        layout.prefix(build_spec, build_spec.root_id()),
+        layout.prefix(spliced, id),
+    );
+
+    // Old and new direct link-run dependencies.
+    let old_deps: Vec<(Sym, String)> = build_spec
+        .root()
+        .deps
+        .iter()
+        .filter(|(_, t)| t.is_link_run())
+        .map(|&(d, _)| {
+            (
+                build_spec.node(d).name,
+                layout.prefix(build_spec, d),
+            )
+        })
+        .collect();
+    let new_deps: Vec<(Sym, String)> = node
+        .deps
+        .iter()
+        .filter(|(_, t)| t.is_link_run())
+        .map(|&(d, _)| (spliced.node(d).name, layout.prefix(spliced, d)))
+        .collect();
+
+    let mut unmatched_old: Vec<(Sym, String)> = Vec::new();
+    for (oname, oprefix) in old_deps {
+        if let Some((_, nprefix)) = new_deps.iter().find(|(n, _)| *n == oname) {
+            mapping.insert(oprefix, nprefix.clone());
+        } else {
+            unmatched_old.push((oname, oprefix));
+        }
+    }
+    let matched_new_names: Vec<Sym> = new_deps
+        .iter()
+        .map(|(n, _)| *n)
+        .filter(|n| {
+            build_spec
+                .root()
+                .deps
+                .iter()
+                .filter(|(_, t)| t.is_link_run())
+                .any(|&(d, _)| build_spec.node(d).name == *n)
+        })
+        .collect();
+    let unmatched_new: Vec<&(Sym, String)> = new_deps
+        .iter()
+        .filter(|(n, _)| !matched_new_names.contains(n))
+        .collect();
+
+    match (unmatched_old.len(), unmatched_new.len()) {
+        (0, 0) => Ok(mapping),
+        (1, 1) => {
+            let (_, oprefix) = unmatched_old.pop().expect("len checked");
+            mapping.insert(oprefix, unmatched_new[0].1.clone());
+            Ok(mapping)
+        }
+        _ => Err(InstallError::AmbiguousRewire {
+            node: node.name.as_str().to_string(),
+            unmatched_old: unmatched_old.iter().map(|(n, _)| n.as_str().to_string()).collect(),
+            unmatched_new: unmatched_new.iter().map(|(n, _)| n.as_str().to_string()).collect(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spackle_spec::spec::{ConcreteSpecBuilder, DepTypes};
+    use spackle_spec::Version;
+
+    fn v(s: &str) -> Version {
+        Version::parse(s).unwrap()
+    }
+
+    fn app_with_zlib(zv: &str) -> ConcreteSpec {
+        let mut b = ConcreteSpecBuilder::new();
+        let z = b.node("zlib", v(zv));
+        let a = b.node("app", v("1.0"));
+        b.edge(a, z, DepTypes::LINK_RUN);
+        b.build(a).unwrap()
+    }
+
+    #[test]
+    fn same_name_rewire_mapping() {
+        let orig = app_with_zlib("1.2");
+        let mut zb = ConcreteSpecBuilder::new();
+        let z13 = zb.node("zlib", v("1.3"));
+        let z13 = zb.build(z13).unwrap();
+        let spliced = orig.splice(&z13, true).unwrap();
+
+        let layout = InstallLayout::new("/opt");
+        let m = rewire_mapping(&spliced, spliced.root_id(), &layout).unwrap();
+        // Own prefix remaps from the build spec's to the spliced node's.
+        let old_own = layout.prefix(&orig, orig.root_id());
+        assert!(m.contains_key(&old_own));
+        // zlib@1.2's prefix remaps to zlib@1.3's.
+        let old_z = layout.prefix(&orig, orig.find(Sym::intern("zlib")).unwrap());
+        let new_z = layout.prefix(&spliced, spliced.find(Sym::intern("zlib")).unwrap());
+        assert_eq!(m.get(&old_z), Some(&new_z));
+    }
+
+    #[test]
+    fn cross_name_rewire_pairs_single_unmatched() {
+        let mut b = ConcreteSpecBuilder::new();
+        let mpich = b.node("mpich", v("3.4.3"));
+        let t = b.node("trilinos", v("14.0"));
+        b.edge(t, mpich, DepTypes::LINK_RUN);
+        let orig = b.build(t).unwrap();
+
+        let mut mb = ConcreteSpecBuilder::new();
+        let mpiabi = mb.node("mpiabi", v("1.0"));
+        let mpiabi = mb.build(mpiabi).unwrap();
+        let spliced = orig
+            .splice_as(Sym::intern("mpich"), &mpiabi, true)
+            .unwrap();
+
+        let layout = InstallLayout::new("/opt");
+        let m = rewire_mapping(&spliced, spliced.root_id(), &layout).unwrap();
+        let old_mpich = layout.prefix(&orig, orig.find(Sym::intern("mpich")).unwrap());
+        let new_mpiabi =
+            layout.prefix(&spliced, spliced.find(Sym::intern("mpiabi")).unwrap());
+        assert_eq!(m.get(&old_mpich), Some(&new_mpiabi));
+    }
+
+    #[test]
+    fn non_spliced_node_rejected() {
+        let s = app_with_zlib("1.2");
+        let layout = InstallLayout::new("/opt");
+        assert!(matches!(
+            rewire_mapping(&s, s.root_id(), &layout),
+            Err(InstallError::NotSpliced(_))
+        ));
+    }
+}

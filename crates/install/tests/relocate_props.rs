@@ -1,0 +1,123 @@
+//! Property tests for relocation: parse/patch/parse round-trips,
+//! idempotence, composability of successive relocations, and stats
+//! accounting.
+
+use proptest::prelude::*;
+use rustc_hash::FxHashMap;
+use spackle_buildcache::Artifact;
+use spackle_install::{relocate_artifact, RelocationStats};
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-z0-9]{1,8}", 1..4).prop_map(|parts| format!("/{}", parts.join("/")))
+}
+
+fn artifact_strategy() -> impl Strategy<Value = Artifact> {
+    (
+        path_strategy(),
+        prop::collection::vec(path_strategy(), 0..4),
+        prop::collection::vec("[A-Za-z_][A-Za-z0-9_]{0,10}", 0..4),
+    )
+        .prop_map(|(own, deps, symbols)| {
+            // Dep prefixes must be distinct from each other and from the
+            // own prefix for mapping semantics to be well-defined.
+            let mut seen = std::collections::BTreeSet::new();
+            seen.insert(own.clone());
+            let deps: Vec<String> = deps
+                .into_iter()
+                .filter(|d| seen.insert(d.clone()))
+                .collect();
+            Artifact::build(&own, &deps, symbols)
+        })
+}
+
+proptest! {
+    #[test]
+    fn full_relocation_roundtrip(art in artifact_strategy(), new_root in path_strategy()) {
+        let bytes = art.to_bytes();
+        // Map every path under a new root.
+        let mapping: FxHashMap<String, String> = art
+            .paths
+            .iter()
+            .map(|(_, p)| (p.clone(), format!("{new_root}{p}")))
+            .collect();
+        let (out, stats) = relocate_artifact(&bytes, &mapping).unwrap();
+        let back = Artifact::from_bytes(&out).unwrap();
+        prop_assert_eq!(back.own_prefix(), format!("{new_root}{}", art.own_prefix()));
+        prop_assert_eq!(back.symbols, art.symbols.clone());
+        prop_assert_eq!(
+            stats.in_place + stats.lengthened,
+            art.paths.len(),
+            "every distinct path patched exactly once"
+        );
+        prop_assert_eq!(stats.untouched, 0);
+    }
+
+    #[test]
+    fn relocation_is_idempotent(art in artifact_strategy(), new_root in path_strategy()) {
+        let mapping: FxHashMap<String, String> = art
+            .paths
+            .iter()
+            .map(|(_, p)| (p.clone(), format!("{new_root}{p}")))
+            .collect();
+        let (once, _) = relocate_artifact(&art.to_bytes(), &mapping).unwrap();
+        let (twice, stats) = relocate_artifact(&once, &mapping).unwrap();
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(stats.in_place + stats.lengthened, 0);
+    }
+
+    #[test]
+    fn relocation_composes(
+        art in artifact_strategy(),
+        root_a in path_strategy(),
+        root_b in path_strategy()
+    ) {
+        // Relocating orig->A then A->B equals relocating orig->B.
+        let to_a: FxHashMap<String, String> = art
+            .paths
+            .iter()
+            .map(|(_, p)| (p.clone(), format!("{root_a}{p}")))
+            .collect();
+        let a_to_b: FxHashMap<String, String> = art
+            .paths
+            .iter()
+            .map(|(_, p)| (format!("{root_a}{p}"), format!("{root_b}{p}")))
+            .collect();
+        let direct: FxHashMap<String, String> = art
+            .paths
+            .iter()
+            .map(|(_, p)| (p.clone(), format!("{root_b}{p}")))
+            .collect();
+
+        let (via_a, _) = relocate_artifact(&art.to_bytes(), &to_a).unwrap();
+        let (via_ab, _) = relocate_artifact(&via_a, &a_to_b).unwrap();
+        let (direct_out, _) = relocate_artifact(&art.to_bytes(), &direct).unwrap();
+        let lhs = Artifact::from_bytes(&via_ab).unwrap();
+        let rhs = Artifact::from_bytes(&direct_out).unwrap();
+        // Slot capacities may differ (lengthening history), but the
+        // semantic content — paths and symbols — must agree.
+        prop_assert_eq!(lhs.own_prefix(), rhs.own_prefix());
+        prop_assert_eq!(lhs.dep_prefixes(), rhs.dep_prefixes());
+        prop_assert_eq!(lhs.symbols, rhs.symbols);
+    }
+
+    #[test]
+    fn untouched_when_mapping_disjoint(art in artifact_strategy()) {
+        let mapping: FxHashMap<String, String> =
+            [("/definitely/not/present".to_string(), "/x".to_string())]
+                .into_iter()
+                .collect();
+        let (out, stats) = relocate_artifact(&art.to_bytes(), &mapping).unwrap();
+        prop_assert_eq!(
+            Artifact::from_bytes(&out).unwrap(),
+            Artifact::from_bytes(&art.to_bytes()).unwrap()
+        );
+        prop_assert_eq!(
+            stats,
+            RelocationStats {
+                in_place: 0,
+                lengthened: 0,
+                untouched: art.paths.len()
+            }
+        );
+    }
+}

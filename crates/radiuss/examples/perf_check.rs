@@ -1,0 +1,57 @@
+//! Performance smoke: times representative concretizations in each
+//! paper configuration against local and public caches.
+fn main() {
+    use std::time::Instant;
+    use spackle_core::{Concretizer, ConcretizerConfig};
+    let t0 = Instant::now();
+    let env = spackle_radiuss::ExperimentEnv::setup(500, 42);
+    println!(
+        "setup: {:?} local={} public={}",
+        t0.elapsed(),
+        env.local.len(),
+        env.public.len()
+    );
+    // Encoding-only configs (fig 5 shape).
+    for root in ["hypre", "visit", "py-shroud"] {
+        let spec = spackle_spec::parse_spec(root).unwrap();
+        for (label, cache) in [("local", &env.local), ("public", &env.public)] {
+            for (cfgname, cfg) in [
+                ("old", ConcretizerConfig::old_spack()),
+                ("new", ConcretizerConfig::splice_spack_disabled()),
+            ] {
+                let t = Instant::now();
+                let sol = Concretizer::new(&env.repo_plain)
+                    .with_config(cfg)
+                    .with_reusable(cache)
+                    .concretize(&spec)
+                    .unwrap();
+                println!(
+                    "{root:10} {label:6} {cfgname}: {:>10.3?} reused={} built={} reusable={}",
+                    t.elapsed(),
+                    sol.reused.len(),
+                    sol.built.len(),
+                    sol.stats.reusable_specs
+                );
+            }
+        }
+    }
+    // Splice config (fig 6 shape): root ^mpiabi.
+    for root in ["hypre", "mfem"] {
+        let spec = spackle_spec::parse_spec(&format!("{root} ^mpiabi")).unwrap();
+        for (label, cache) in [("local", &env.local), ("public", &env.public)] {
+            let t = Instant::now();
+            let sol = Concretizer::new(&env.repo_mpiabi)
+                .with_config(ConcretizerConfig::splice_spack())
+                .with_reusable(cache)
+                .concretize(&spec)
+                .unwrap();
+            println!(
+                "{root:10} {label:6} splice: {:>10.3?} reused={} built={} spliced={}",
+                t.elapsed(),
+                sol.reused.len(),
+                sol.built.len(),
+                sol.spliced.len()
+            );
+        }
+    }
+}

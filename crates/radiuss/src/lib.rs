@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # spackle-radiuss
+//!
+//! The paper's experimental substrate (§6.1): a synthetic RADIUSS
+//! software stack with 32 top-level packages over a common HPC
+//! substrate, MPI as a virtual dependency with `mpich`/`openmpi`
+//! providers, the `mpiabi` mock (modeled on MVAPICH, ABI-compatible with
+//! `mpich@3.4.3`) and its replicas, and generators for the local
+//! (~200-spec) and public (many-thousand-spec) buildcaches.
+
+pub mod cachegen;
+pub mod mpi;
+pub mod stack;
+pub mod synth;
+pub mod workload;
+
+pub use cachegen::{farm_artifact, local_cache, public_cache};
+pub use mpi::{mpiabi, mpiabi_replicas, with_mpiabi, with_replicas};
+pub use stack::{radiuss_repo, RADIUSS_ROOTS};
+pub use synth::{synth_spec, SynthConfig};
+pub use workload::ExperimentEnv;

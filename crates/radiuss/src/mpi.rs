@@ -1,0 +1,93 @@
+//! The `mpiabi` mock package and its replicas (paper §6.1.2, §6.4).
+//!
+//! `mpiabi` is modeled on MVAPICH: a single-version MPI implementation
+//! that declares itself ABI-compatible with `mpich@3.4.3` via
+//! `can_splice`. The replica generator produces N copies differing only
+//! in name, used to scale the number of splice candidates (RQ4).
+
+use spackle_repo::{PackageBuilder, PackageDef, Repository};
+
+/// The version of mpich that mpiabi declares ABI compatibility with.
+pub const SPLICE_TARGET: &str = "mpich@3.4.3";
+
+/// Build the `mpiabi` mock package.
+pub fn mpiabi() -> PackageDef {
+    named_mpiabi("mpiabi")
+}
+
+/// An mpiabi clone with a custom name (for replicas).
+pub fn named_mpiabi(name: &str) -> PackageDef {
+    PackageBuilder::new(name)
+        .version("1.0")
+        .provides("mpi")
+        .depends_on("hwloc")
+        .can_splice(SPLICE_TARGET, "")
+        .build()
+        .expect("static package definition")
+}
+
+/// `n` replicas named `mpiabi0 .. mpiabi{n-1}`, each able to splice into
+/// `mpich@3.4.3` (paper §6.4's 100 copies "differing only in name").
+pub fn mpiabi_replicas(n: usize) -> Vec<PackageDef> {
+    (0..n).map(|i| named_mpiabi(&format!("mpiabi{i}"))).collect()
+}
+
+/// Clone `repo` and add the single `mpiabi` mock.
+pub fn with_mpiabi(repo: &Repository) -> Repository {
+    let mut r = repo.clone();
+    r.add(mpiabi()).expect("mpiabi not already present");
+    r.validate().expect("still consistent");
+    r
+}
+
+/// Clone `repo` and add `n` mpiabi replicas.
+pub fn with_replicas(repo: &Repository, n: usize) -> Repository {
+    let mut r = repo.clone();
+    for p in mpiabi_replicas(n) {
+        r.add(p).expect("replica names unique");
+    }
+    r.validate().expect("still consistent");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::radiuss_repo;
+    use spackle_spec::Sym;
+
+    #[test]
+    fn mpiabi_declares_splice() {
+        let p = mpiabi();
+        assert_eq!(p.can_splice.len(), 1);
+        assert_eq!(
+            p.can_splice[0].target.name.unwrap().as_str(),
+            "mpich"
+        );
+        assert!(p.provides_virtual(Sym::intern("mpi")));
+    }
+
+    #[test]
+    fn replicas_differ_only_in_name() {
+        let reps = mpiabi_replicas(5);
+        assert_eq!(reps.len(), 5);
+        let names: Vec<&str> = reps.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["mpiabi0", "mpiabi1", "mpiabi2", "mpiabi3", "mpiabi4"]);
+        for r in &reps {
+            assert_eq!(r.versions, reps[0].versions);
+            assert_eq!(r.can_splice.len(), 1);
+        }
+    }
+
+    #[test]
+    fn repo_extension() {
+        let repo = radiuss_repo();
+        let with = with_mpiabi(&repo);
+        assert_eq!(with.len(), repo.len() + 1);
+        assert_eq!(with.providers_of(Sym::intern("mpi")).len(), 3);
+
+        let with100 = with_replicas(&repo, 100);
+        assert_eq!(with100.len(), repo.len() + 100);
+        assert_eq!(with100.providers_of(Sym::intern("mpi")).len(), 102);
+    }
+}

@@ -1,0 +1,496 @@
+//! The synthetic RADIUSS software stack (paper §6.1.2).
+//!
+//! RADIUSS is LLNL's open-source HPC foundation: infrastructure (Flux,
+//! LvArray), portability layers (RAJA, CHAI, Umpire), data management
+//! and visualization (Conduit, GLVis, VisIt, Hatchet), and simulation
+//! packages (Ascent, SUNDIALS, ...). We reproduce its *dependency
+//! structure* — 32 top-level packages over a common HPC substrate, many
+//! with a virtual dependency on MPI — with package definitions whose
+//! version/variant spaces are representative rather than exhaustive.
+
+use spackle_repo::{PackageBuilder, PackageDef, Repository};
+
+fn substrate() -> Vec<PackageDef> {
+    let b = |p: PackageBuilder| p.build().expect("static package definition");
+    vec![
+        // --- build tools ---
+        b(PackageBuilder::new("cmake")
+            .version("3.27.7")
+            .version("3.24.3")
+            .depends_on("openssl")
+            .depends_on("curl")),
+        b(PackageBuilder::new("ninja").version("1.11.1")),
+        b(PackageBuilder::new("pkgconf").version("1.9.5")),
+        b(PackageBuilder::new("blt").version("0.5.3").version("0.5.2")),
+        b(PackageBuilder::new("python")
+            .version("3.11.4")
+            .version("3.10.8")
+            .depends_on("zlib")
+            .depends_on("bzip2")
+            .depends_on("openssl")
+            .depends_on("sqlite")),
+        b(PackageBuilder::new("perl").version("5.38.0")),
+        b(PackageBuilder::new("py-setuptools")
+            .version("68.0.0")
+            .depends_on("python")),
+        b(PackageBuilder::new("py-numpy")
+            .version("1.25.1")
+            .version("1.24.3")
+            .depends_on("python")
+            .depends_on("openblas")
+            .build_depends_on("py-setuptools")),
+        b(PackageBuilder::new("py-pandas")
+            .version("2.0.3")
+            .depends_on("python")
+            .depends_on("py-numpy")
+            .build_depends_on("py-setuptools")),
+        // --- compression / io ---
+        b(PackageBuilder::new("zlib")
+            .version("1.3")
+            .version("1.2.13")
+            .variant_bool("optimize", true)
+            .variant_bool("pic", true)
+            .variant_bool("shared", true)),
+        b(PackageBuilder::new("bzip2")
+            .version("1.0.8")
+            .variant_bool("shared", true)),
+        b(PackageBuilder::new("zstd").version("1.5.5").version("1.5.2")),
+        b(PackageBuilder::new("lz4").version("1.9.4")),
+        b(PackageBuilder::new("libpng")
+            .version("1.6.39")
+            .depends_on("zlib")
+            .build_depends_on("cmake")),
+        // --- crypto / net ---
+        b(PackageBuilder::new("openssl")
+            .version("3.1.3")
+            .version("1.1.1u")
+            .depends_on("zlib")
+            .build_depends_on("perl")),
+        b(PackageBuilder::new("curl")
+            .version("8.1.2")
+            .depends_on("openssl")
+            .depends_on("zlib")),
+        b(PackageBuilder::new("libxml2")
+            .version("2.10.3")
+            .depends_on("zlib")
+            .build_depends_on("pkgconf")),
+        // --- system substrate ---
+        b(PackageBuilder::new("hwloc")
+            .version("2.9.1")
+            .depends_on("libxml2")
+            .build_depends_on("pkgconf")),
+        b(PackageBuilder::new("libevent")
+            .version("2.1.12")
+            .depends_on("openssl")),
+        b(PackageBuilder::new("pmix")
+            .version("4.2.3")
+            .depends_on("hwloc")
+            .depends_on("libevent")),
+        b(PackageBuilder::new("munge")
+            .version("0.5.15")
+            .depends_on("openssl")),
+        b(PackageBuilder::new("lua").version("5.4.4")),
+        b(PackageBuilder::new("libzmq")
+            .version("4.3.4")
+            .depends_on("libsodium")),
+        b(PackageBuilder::new("libsodium").version("1.0.18")),
+        b(PackageBuilder::new("czmq").version("4.2.1").depends_on("libzmq")),
+        b(PackageBuilder::new("jansson")
+            .version("2.14")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("yaml-cpp")
+            .version("0.7.0")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("sqlite").version("3.42.0").depends_on("zlib")),
+        // --- math ---
+        b(PackageBuilder::new("openblas")
+            .version("0.3.23")
+            .version("0.3.21")
+            .variant_single("threads", "none", &["none", "openmp", "pthreads"])
+            .build_depends_on("perl")),
+        b(PackageBuilder::new("boost")
+            .version("1.82.0")
+            .version("1.80.0")
+            .variant_bool("shared", true)),
+        b(PackageBuilder::new("metis")
+            .version("5.1.0")
+            .variant_bool("int64", false)
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("parmetis")
+            .version("4.0.3")
+            .depends_on("metis")
+            .depends_on("mpi")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("superlu-dist")
+            .version("8.1.2")
+            .depends_on("parmetis")
+            .depends_on("openblas")
+            .depends_on("mpi")
+            .build_depends_on("cmake")),
+        // --- MPI implementations ---
+        b(PackageBuilder::new("mpich")
+            .version("3.4.3")
+            .version("3.1")
+            .variant_single("pmi", "pmix", &["pmix", "pmi2", "off"])
+            .variant_single("device", "ch4", &["ch4", "ch3"])
+            .provides("mpi")
+            .depends_on("hwloc")
+            .build_depends_on("pkgconf")),
+        b(PackageBuilder::new("openmpi")
+            .version("4.1.5")
+            .variant_bool("legacylaunchers", false)
+            .provides("mpi")
+            .depends_on("hwloc")
+            .depends_on("pmix")
+            .depends_on("libevent")
+            .build_depends_on("perl")),
+        // --- data / io stack ---
+        b(PackageBuilder::new("hdf5")
+            .version("1.14.5")
+            .version("1.12.2")
+            .variant_bool("mpi", true)
+            .variant_bool("cxx", false)
+            .variant_bool("shared", true)
+            .depends_on("zlib")
+            .depends_on_when("mpi", "+mpi")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("netcdf-c")
+            .version("4.9.2")
+            .depends_on("hdf5")
+            .depends_on("zlib")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("silo")
+            .version("4.11")
+            .depends_on("hdf5")
+            .depends_on("zlib")),
+        b(PackageBuilder::new("adios2")
+            .version("2.9.1")
+            .variant_bool("mpi", true)
+            .depends_on("zstd")
+            .depends_on("libpng")
+            .depends_on_when("mpi", "+mpi")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("vtk")
+            .version("9.2.6")
+            .depends_on("libpng")
+            .depends_on("hdf5")
+            .depends_on("boost")
+            .depends_on("libxml2")
+            .build_depends_on("cmake")),
+        // --- performance-portability core (RADIUSS) ---
+        b(PackageBuilder::new("camp")
+            .version("2024.02.0")
+            .version("2023.06.0")
+            .build_depends_on("cmake")
+            .build_depends_on("blt")),
+    ]
+}
+
+fn radiuss_packages() -> Vec<PackageDef> {
+    let b = |p: PackageBuilder| p.build().expect("static package definition");
+    vec![
+        b(PackageBuilder::new("raja")
+            .version("2024.02.0")
+            .version("2023.06.0")
+            .variant_bool("openmp", true)
+            .depends_on("camp")
+            .build_depends_on("cmake")
+            .build_depends_on("blt")),
+        b(PackageBuilder::new("umpire")
+            .version("2024.02.0")
+            .version("2023.06.0")
+            .variant_bool("c", true)
+            .depends_on("camp")
+            .build_depends_on("cmake")
+            .build_depends_on("blt")),
+        b(PackageBuilder::new("chai")
+            .version("2024.02.0")
+            .depends_on("raja")
+            .depends_on("umpire")
+            .build_depends_on("cmake")
+            .build_depends_on("blt")),
+        b(PackageBuilder::new("care")
+            .version("0.13.0")
+            .depends_on("chai")
+            .depends_on("raja")
+            .depends_on("umpire")
+            .build_depends_on("cmake")
+            .build_depends_on("blt")),
+        b(PackageBuilder::new("caliper")
+            .version("2.10.0")
+            .version("2.9.1")
+            .variant_bool("mpi", true)
+            .variant_bool("shared", true)
+            .depends_on_when("mpi", "+mpi")
+            .depends_on("python")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("conduit")
+            .version("0.8.8")
+            .version("0.8.7")
+            .variant_bool("mpi", true)
+            .variant_bool("hdf5", true)
+            .depends_on_when("hdf5", "+hdf5")
+            .depends_on_when("mpi", "+mpi")
+            .depends_on("python")
+            .build_depends_on("cmake")
+            .build_depends_on("blt")),
+        b(PackageBuilder::new("ascent")
+            .version("0.9.2")
+            .variant_bool("mpi", true)
+            .depends_on("conduit")
+            .depends_on("raja")
+            .depends_on("umpire")
+            .depends_on_when("mpi", "+mpi")
+            .build_depends_on("cmake")
+            .build_depends_on("blt")),
+        b(PackageBuilder::new("axom")
+            .version("0.8.1")
+            .depends_on("conduit")
+            .depends_on("raja")
+            .depends_on("umpire")
+            .depends_on("hdf5")
+            .depends_on("mpi")
+            .build_depends_on("cmake")
+            .build_depends_on("blt")),
+        b(PackageBuilder::new("hypre")
+            .version("2.29.0")
+            .version("2.28.0")
+            .variant_bool("shared", true)
+            .depends_on("openblas")
+            .depends_on("mpi")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("mfem")
+            .version("4.5.2")
+            .version("4.5.0")
+            .variant_bool("static", false)
+            .depends_on("hypre")
+            .depends_on("metis")
+            .depends_on("zlib")
+            .depends_on("mpi")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("sundials")
+            .version("6.6.0")
+            .version("6.5.1")
+            .variant_bool("mpi", true)
+            .depends_on("openblas")
+            .depends_on_when("mpi", "+mpi")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("samrai")
+            .version("4.1.2")
+            .depends_on("hdf5")
+            .depends_on("boost")
+            .depends_on("mpi")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("xbraid")
+            .version("3.1.0")
+            .depends_on("mpi")),
+        b(PackageBuilder::new("zfp")
+            .version("1.0.0")
+            .version("0.5.5")
+            .variant_bool("shared", true)
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("scr")
+            .version("3.0.1")
+            .depends_on("mpi")
+            .depends_on("zlib")
+            .depends_on("yaml-cpp")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("flux-core")
+            .version("0.53.0")
+            .version("0.52.0")
+            .depends_on("czmq")
+            .depends_on("jansson")
+            .depends_on("lua")
+            .depends_on("hwloc")
+            .depends_on("sqlite")
+            .depends_on("python")
+            .depends_on("munge")
+            .build_depends_on("pkgconf")),
+        b(PackageBuilder::new("flux-sched")
+            .version("0.33.1")
+            .depends_on("flux-core")
+            .depends_on("boost")
+            .depends_on("yaml-cpp")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("glvis")
+            .version("4.2")
+            .depends_on("mfem")
+            .depends_on("libpng")),
+        b(PackageBuilder::new("visit")
+            .version("3.3.3")
+            .variant_bool("mpi", true)
+            .depends_on("vtk")
+            .depends_on("hdf5")
+            .depends_on("silo")
+            .depends_on("netcdf-c")
+            .depends_on("python")
+            .depends_on("adios2")
+            .depends_on_when("mpi", "+mpi")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("hatchet")
+            .version("1.3.1")
+            .depends_on("python")
+            .depends_on("py-numpy")
+            .depends_on("py-pandas")
+            .build_depends_on("py-setuptools")),
+        b(PackageBuilder::new("lvarray")
+            .version("0.2.2")
+            .depends_on("raja")
+            .depends_on("umpire")
+            .depends_on("camp")
+            .build_depends_on("cmake")
+            .build_depends_on("blt")),
+        b(PackageBuilder::new("spot")
+            .version("2.0.0")
+            .depends_on("caliper")
+            .depends_on("sqlite")),
+        b(PackageBuilder::new("py-shroud")
+            .version("0.13.0")
+            .version("0.12.2")
+            .depends_on("python")
+            .build_depends_on("py-setuptools")),
+        b(PackageBuilder::new("py-maestrowf")
+            .version("1.1.9")
+            .depends_on("python")
+            .build_depends_on("py-setuptools")),
+        b(PackageBuilder::new("lbann")
+            .version("0.102")
+            .depends_on("openblas")
+            .depends_on("hwloc")
+            .depends_on("hdf5")
+            .depends_on("mpi")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("merlin")
+            .version("1.10.3")
+            .depends_on("python")
+            .build_depends_on("py-setuptools")),
+        b(PackageBuilder::new("umap")
+            .version("2.1.0")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("variorum")
+            .version("0.6.0")
+            .depends_on("hwloc")
+            .depends_on("jansson")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("metall")
+            .version("0.25")
+            .depends_on("boost")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("gotcha")
+            .version("1.0.4")
+            .version("1.0.3")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("sina")
+            .version("1.11.0")
+            .depends_on("sqlite")
+            .build_depends_on("cmake")),
+        b(PackageBuilder::new("mgmol")
+            .version("1.0.0")
+            .depends_on("openblas")
+            .depends_on("hdf5")
+            .depends_on("mpi")
+            .build_depends_on("cmake")),
+    ]
+}
+
+/// The 32 top-level RADIUSS package names whose concretization the
+/// paper's experiments time (paper §6.1.4).
+pub const RADIUSS_ROOTS: [&str; 32] = [
+    "raja",
+    "umpire",
+    "chai",
+    "care",
+    "caliper",
+    "conduit",
+    "ascent",
+    "axom",
+    "hypre",
+    "mfem",
+    "sundials",
+    "samrai",
+    "xbraid",
+    "zfp",
+    "scr",
+    "flux-core",
+    "flux-sched",
+    "glvis",
+    "visit",
+    "hatchet",
+    "lvarray",
+    "spot",
+    "py-shroud",
+    "py-maestrowf",
+    "lbann",
+    "merlin",
+    "umap",
+    "variorum",
+    "metall",
+    "gotcha",
+    "sina",
+    "mgmol",
+];
+
+/// Build the full repository: substrate + RADIUSS packages.
+pub fn radiuss_repo() -> Repository {
+    let mut pkgs = substrate();
+    pkgs.extend(radiuss_packages());
+    let repo = Repository::from_packages(pkgs).expect("no duplicate packages");
+    repo.validate().expect("stack is internally consistent");
+    repo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spackle_spec::Sym;
+
+    #[test]
+    fn repo_builds_and_validates() {
+        let repo = radiuss_repo();
+        assert!(repo.len() >= 60, "expected a substantial stack, got {}", repo.len());
+    }
+
+    #[test]
+    fn all_roots_exist() {
+        let repo = radiuss_repo();
+        for r in RADIUSS_ROOTS {
+            assert!(repo.get(Sym::intern(r)).is_some(), "missing root {r}");
+        }
+        assert_eq!(RADIUSS_ROOTS.len(), 32);
+    }
+
+    #[test]
+    fn mpi_is_virtual_with_two_providers() {
+        let repo = radiuss_repo();
+        let mpi = Sym::intern("mpi");
+        assert!(repo.is_virtual(mpi));
+        assert_eq!(repo.providers_of(mpi).len(), 2);
+    }
+
+    #[test]
+    fn many_roots_are_mpi_dependent() {
+        let repo = radiuss_repo();
+        let mpi = Sym::intern("mpi");
+        let mpi_roots: Vec<&str> = RADIUSS_ROOTS
+            .iter()
+            .copied()
+            .filter(|r| repo.possible_closure(&[Sym::intern(r)]).contains(&mpi))
+            .collect();
+        assert!(
+            mpi_roots.len() >= 12,
+            "expected a large MPI-dependent subset, got {mpi_roots:?}"
+        );
+        // py-shroud is the paper's non-MPI control.
+        assert!(!mpi_roots.contains(&"py-shroud"));
+    }
+
+    #[test]
+    fn visit_is_the_heavyweight() {
+        let repo = radiuss_repo();
+        let visit = repo.possible_closure(&[Sym::intern("visit")]);
+        for r in ["py-shroud", "zfp", "raja"] {
+            let other = repo.possible_closure(&[Sym::intern(r)]);
+            assert!(visit.len() > other.len(), "visit should outweigh {r}");
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Generative concretization: fast synthesis of *valid* concrete specs
+//! without running the solver. Used to populate the large "public"
+//! buildcache (paper §6.1.3: ~20k specs of varied configurations) in
+//! seconds rather than hours.
+//!
+//! The generator resolves a package greedily: pick a version (biased to
+//! newest), variant values (biased to defaults), then recursively
+//! resolve the dependencies whose `when` conditions hold, honoring the
+//! dependency specs' version/variant constraints. Virtual dependencies
+//! resolve to a per-DAG provider choice. The result respects every
+//! directive of the repository, so the solver can reuse it without
+//! contradiction.
+
+use rand::Rng;
+use spackle_repo::{package::when_matches, Repository};
+use spackle_spec::spec::ConcreteSpecBuilder;
+use spackle_spec::{
+    ConcreteSpec, Os, Sym, Target, VariantValue, Version, VersionReq,
+};
+use std::collections::BTreeMap;
+
+/// Tuning knobs for spec synthesis.
+#[derive(Clone, Debug)]
+pub struct SynthConfig {
+    /// OS for all nodes.
+    pub os: Os,
+    /// Targets to draw from (e.g. the requested target and its
+    /// ancestors); the first is the most likely.
+    pub targets: Vec<Target>,
+    /// Probability of picking the newest satisfying version.
+    pub p_newest: f64,
+    /// Probability of keeping a variant's default value.
+    pub p_default: f64,
+    /// Probability the first-declared provider serves a virtual.
+    pub p_first_provider: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            os: Os::new("linux"),
+            targets: vec![Target::new("x86_64")],
+            p_newest: 0.7,
+            p_default: 0.75,
+            p_first_provider: 0.8,
+        }
+    }
+}
+
+struct Chosen {
+    version: Version,
+    variants: BTreeMap<Sym, VariantValue>,
+}
+
+/// Synthesize one concrete spec rooted at `root`.
+///
+/// Returns `None` if constraint resolution hits a dead end (conflicting
+/// version requirements from two dependents) — rare with this stack and
+/// simply skipped by callers.
+pub fn synth_spec(
+    repo: &Repository,
+    root: Sym,
+    cfg: &SynthConfig,
+    rng: &mut impl Rng,
+) -> Option<ConcreteSpec> {
+    // Per-DAG choices.
+    let target = if cfg.targets.len() > 1 && rng.gen_bool(0.3) {
+        cfg.targets[rng.gen_range(1..cfg.targets.len())]
+    } else {
+        cfg.targets[0]
+    };
+    let mut providers: BTreeMap<Sym, Sym> = BTreeMap::new();
+    let mut chosen: BTreeMap<Sym, Chosen> = BTreeMap::new();
+
+    // Pass 1: resolve configurations, worklist with constraints.
+    let mut work: Vec<(Sym, VersionReq, BTreeMap<Sym, VariantValue>)> =
+        vec![(root, VersionReq::Any, BTreeMap::new())];
+    while let Some((name, req, want_variants)) = work.pop() {
+        let name = if repo.is_virtual(name) {
+            *providers.entry(name).or_insert_with(|| {
+                let provs = repo.providers_of(name);
+                if provs.len() > 1 && !rng.gen_bool(cfg.p_first_provider) {
+                    provs[rng.gen_range(1..provs.len())]
+                } else {
+                    provs[0]
+                }
+            })
+        } else {
+            name
+        };
+        let pkg = repo.get(name)?;
+        let entry = chosen.entry(name);
+        use std::collections::btree_map::Entry;
+        let c = match entry {
+            Entry::Occupied(o) => {
+                let c = o.into_mut();
+                // Verify new constraints against the existing choice.
+                if !req.satisfies(&c.version) {
+                    return None; // conflicting dependents
+                }
+                for (vn, vv) in &want_variants {
+                    match c.variants.get(vn) {
+                        Some(have) if have.satisfies(vv) => {}
+                        _ => return None,
+                    }
+                }
+                continue; // deps already enqueued on first resolution
+            }
+            Entry::Vacant(vac) => {
+                // Version: newest satisfying, or a random satisfying one.
+                let satisfying: Vec<&Version> = pkg
+                    .versions
+                    .iter()
+                    .filter(|v| req.satisfies(v))
+                    .collect();
+                if satisfying.is_empty() {
+                    return None;
+                }
+                let version = if satisfying.len() == 1 || rng.gen_bool(cfg.p_newest) {
+                    satisfying[0].clone()
+                } else {
+                    satisfying[rng.gen_range(0..satisfying.len())].clone()
+                };
+                // Variants: constrained values win; otherwise default or
+                // random candidate.
+                let mut variants = BTreeMap::new();
+                for (vn, kind) in &pkg.variants {
+                    if let Some(v) = want_variants.get(vn) {
+                        variants.insert(*vn, v.clone());
+                        continue;
+                    }
+                    let value = if rng.gen_bool(cfg.p_default) {
+                        kind.default_value()
+                    } else {
+                        let cands = kind.candidate_values();
+                        cands[rng.gen_range(0..cands.len())].clone()
+                    };
+                    variants.insert(*vn, value);
+                }
+                vac.insert(Chosen { version, variants })
+            }
+        };
+        // Enqueue dependencies whose conditions hold.
+        let version = c.version.clone();
+        let variants = c.variants.clone();
+        for dep in &pkg.depends {
+            if !when_matches(&dep.when, &version, &variants) {
+                continue;
+            }
+            let dname = dep.spec.name.expect("validated");
+            work.push((dname, dep.spec.version.clone(), dep.spec.variants.clone()));
+        }
+    }
+
+    // Pass 2: build the DAG from the final configurations.
+    let mut b = ConcreteSpecBuilder::new();
+    let mut ids: BTreeMap<Sym, usize> = BTreeMap::new();
+    for (name, c) in &chosen {
+        let id = b.node_full(
+            name.as_str(),
+            c.version.clone(),
+            c.variants.clone(),
+            cfg.os,
+            target,
+        );
+        ids.insert(*name, id);
+    }
+    for (name, c) in &chosen {
+        let pkg = repo.get(*name).expect("resolved above");
+        for dep in &pkg.depends {
+            if !when_matches(&dep.when, &c.version, &c.variants) {
+                continue;
+            }
+            let mut dname = dep.spec.name.expect("validated");
+            if repo.is_virtual(dname) {
+                dname = *providers.get(&dname)?;
+            }
+            let did = *ids.get(&dname)?;
+            b.edge(ids[name], did, dep.types);
+        }
+    }
+    b.build(ids[&root]).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::{radiuss_repo, RADIUSS_ROOTS};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spackle_repo::package::when_matches as wm;
+
+    #[test]
+    fn synthesizes_all_roots() {
+        let repo = radiuss_repo();
+        let cfg = SynthConfig::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        for root in RADIUSS_ROOTS {
+            let spec = synth_spec(&repo, Sym::intern(root), &cfg, &mut rng)
+                .unwrap_or_else(|| panic!("failed to synthesize {root}"));
+            assert_eq!(spec.root().name.as_str(), root);
+        }
+    }
+
+    #[test]
+    fn synthesized_specs_respect_directives() {
+        let repo = radiuss_repo();
+        let cfg = SynthConfig::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let root = RADIUSS_ROOTS[rng.gen_range(0..RADIUSS_ROOTS.len())];
+            let Some(spec) = synth_spec(&repo, Sym::intern(root), &cfg, &mut rng) else {
+                continue;
+            };
+            for node in spec.nodes() {
+                let pkg = repo.get(node.name).expect("known package");
+                // Version is declared.
+                assert!(pkg.versions.contains(&node.version), "{}", node.name);
+                // Every active conditional dep is present (as some node).
+                for dep in &pkg.depends {
+                    if wm(&dep.when, &node.version, &node.variants) {
+                        let dn = dep.spec.name.unwrap();
+                        if repo.is_virtual(dn) {
+                            // Provider present instead.
+                            assert!(
+                                repo.providers_of(dn)
+                                    .iter()
+                                    .any(|p| spec.find(*p).is_some()),
+                                "virtual {dn} unresolved in {}",
+                                node.name
+                            );
+                        } else {
+                            assert!(
+                                spec.find(dn).is_some(),
+                                "dep {dn} of {} missing",
+                                node.name
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn variety_across_seeds() {
+        let repo = radiuss_repo();
+        let cfg = SynthConfig::default();
+        let mut hashes = std::collections::BTreeSet::new();
+        for seed in 0..30 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Some(s) = synth_spec(&repo, Sym::intern("hypre"), &cfg, &mut rng) {
+                hashes.insert(s.dag_hash());
+            }
+        }
+        assert!(hashes.len() > 5, "expected variety, got {}", hashes.len());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let repo = radiuss_repo();
+        let cfg = SynthConfig::default();
+        let a = synth_spec(
+            &repo,
+            Sym::intern("mfem"),
+            &cfg,
+            &mut StdRng::seed_from_u64(123),
+        )
+        .unwrap();
+        let b = synth_spec(
+            &repo,
+            Sym::intern("mfem"),
+            &cfg,
+            &mut StdRng::seed_from_u64(123),
+        )
+        .unwrap();
+        assert_eq!(a.dag_hash(), b.dag_hash());
+    }
+}

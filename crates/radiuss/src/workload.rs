@@ -1,0 +1,79 @@
+//! Experiment environments matching the paper's setup (§6.1.4): the
+//! RADIUSS repository (with or without mpiabi mocks), the local and
+//! public buildcaches, and the root subsets each experiment concretizes.
+
+use crate::cachegen::{local_cache, public_cache};
+use crate::mpi::{with_mpiabi, with_replicas};
+use crate::stack::{radiuss_repo, RADIUSS_ROOTS};
+use spackle_buildcache::BuildCache;
+use spackle_repo::Repository;
+use spackle_spec::Sym;
+
+/// A prepared experiment environment.
+pub struct ExperimentEnv {
+    /// The plain RADIUSS repository (no mocks) — for *old spack* runs.
+    pub repo_plain: Repository,
+    /// RADIUSS + the `mpiabi` mock — for *splice spack* runs.
+    pub repo_mpiabi: Repository,
+    /// The controlled local buildcache (~200 specs).
+    pub local: BuildCache,
+    /// The large public buildcache.
+    pub public: BuildCache,
+    /// All 32 top-level roots.
+    pub roots: Vec<Sym>,
+    /// The MPI-dependent subset.
+    pub mpi_roots: Vec<Sym>,
+}
+
+impl ExperimentEnv {
+    /// Build the environment. `public_dags` controls how many synthetic
+    /// configurations seed the public cache (entries are a multiple of
+    /// this); `seed` fixes the synthesis RNG.
+    pub fn setup(public_dags: usize, seed: u64) -> ExperimentEnv {
+        let repo_plain = radiuss_repo();
+        let repo_mpiabi = with_mpiabi(&repo_plain);
+        let local = local_cache(&repo_plain);
+        let public = {
+            let mut p = public_cache(&repo_plain, public_dags, seed);
+            // The public cache subsumes the local one, as in the paper
+            // (the public mirror holds RADIUSS configurations too).
+            p.merge(&local);
+            p
+        };
+        let roots: Vec<Sym> = RADIUSS_ROOTS.iter().map(|r| Sym::intern(r)).collect();
+        let mpi = Sym::intern("mpi");
+        let mpi_roots: Vec<Sym> = roots
+            .iter()
+            .copied()
+            .filter(|r| repo_plain.possible_closure(&[*r]).contains(&mpi))
+            .collect();
+        ExperimentEnv {
+            repo_plain,
+            repo_mpiabi,
+            local,
+            public,
+            roots,
+            mpi_roots,
+        }
+    }
+
+    /// A repository with `n` mpiabi replicas (RQ4 scaling).
+    pub fn repo_with_replicas(&self, n: usize) -> Repository {
+        with_replicas(&self.repo_plain, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "builds the full local cache; run explicitly or via benches"]
+    fn environment_setup_smoke() {
+        let env = ExperimentEnv::setup(50, 42);
+        assert_eq!(env.roots.len(), 32);
+        assert!(env.mpi_roots.len() >= 12);
+        assert!(env.local.len() >= 100, "local cache: {}", env.local.len());
+        assert!(env.public.len() > env.local.len());
+    }
+}

@@ -1,0 +1,79 @@
+//! Directive payloads: the typed form of `depends_on`, `provides`,
+//! `conflicts`, and the paper's new `can_splice` (§5.2).
+
+use spackle_spec::{AbstractSpec, DepTypes, Sym};
+
+/// `depends_on("zlib@1.2", when="@1.0.0")` — a conditional dependency
+/// constraint. The `when` spec is anonymous (applies to the declaring
+/// package's own configuration).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DependsOn {
+    /// Constraint on the dependency (may name a virtual like `mpi`).
+    pub spec: AbstractSpec,
+    /// Edge types this dependency contributes.
+    pub types: DepTypes,
+    /// Condition on the declaring package for the dependency to apply.
+    pub when: AbstractSpec,
+}
+
+/// `conflicts("^mpich", when="+rocm")` — configurations that must not
+/// concretize.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Conflict {
+    /// The conflicting constraint.
+    pub spec: AbstractSpec,
+    /// Condition under which the conflict applies.
+    pub when: AbstractSpec,
+    /// Optional human-readable explanation.
+    pub msg: Option<String>,
+}
+
+/// `provides("mpi")` — the declaring package implements a virtual
+/// interface, optionally only for some of its configurations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Provides {
+    /// The virtual package name (e.g. `mpi`).
+    pub virtual_name: Sym,
+    /// Condition on the provider.
+    pub when: AbstractSpec,
+}
+
+/// `can_splice("example-ng@2.3.2+compat", when="@1.1.0+bzip")` — the
+/// paper's §5.2 directive: configurations of the declaring package
+/// matching `when` are ABI-compatible replacements for installed specs
+/// matching `target`.
+///
+/// Note the inversion the paper emphasizes: the *replacing* package
+/// declares what it can replace (developers of an ABI-compatible
+/// implementation know the reference ABI; the reference cannot know all
+/// its imitators).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CanSplice {
+    /// Constraint on the spec being replaced (the splice target).
+    pub target: AbstractSpec,
+    /// Constraint on the declaring package for the splice to be valid.
+    pub when: AbstractSpec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spackle_spec::parse_spec;
+
+    #[test]
+    fn directives_carry_specs() {
+        let d = DependsOn {
+            spec: parse_spec("zlib@1.2").unwrap(),
+            types: DepTypes::LINK_RUN,
+            when: parse_spec("@1.0.0").unwrap(),
+        };
+        assert_eq!(d.spec.name.unwrap().as_str(), "zlib");
+        assert!(d.when.name.is_none());
+
+        let cs = CanSplice {
+            target: parse_spec("example-ng@2.3.2+compat").unwrap(),
+            when: parse_spec("@1.1.0+bzip").unwrap(),
+        };
+        assert_eq!(cs.target.name.unwrap().as_str(), "example-ng");
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # spackle-repo
+//!
+//! Package definitions and the package repository (paper §3.2, §5.2).
+//!
+//! A Spack package is a *conditional* description of a combinatorial
+//! build-configuration space, written as a set of **directives**. This
+//! crate reproduces the directives the paper relies on as a typed Rust
+//! builder DSL, mirroring the `package.py` of Fig 1:
+//!
+//! ```
+//! use spackle_repo::PackageBuilder;
+//!
+//! let example = PackageBuilder::new("example")
+//!     // This package provides two versions
+//!     .version("1.1.0")
+//!     .version("1.0.0")
+//!     // Optional bzip support
+//!     .variant_bool("bzip", true)
+//!     // Depends on bzip2 when bzip support is enabled
+//!     .depends_on_when("bzip2", "+bzip")
+//!     // Version 1.0.0 depends on an older version of zlib
+//!     .depends_on_when("zlib@1.2", "@1.0.0")
+//!     // Version 1.1.0 depends on a newer version of zlib
+//!     .depends_on_when("zlib@1.3", "@1.1.0")
+//!     // Depends on some implementation of MPI
+//!     .depends_on("mpi")
+//!     // example@1.1.0 can be spliced in for example@1.0.0
+//!     .can_splice("example@1.0.0", "@1.1.0")
+//!     // example@1.1.0+bzip can be spliced in for example-ng@2.3.2+compat
+//!     .can_splice("example-ng@2.3.2+compat", "@1.1.0+bzip")
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(example.versions.len(), 2);
+//! assert_eq!(example.can_splice.len(), 2);
+//! ```
+
+pub mod directive;
+pub mod package;
+pub mod repository;
+
+pub use directive::{CanSplice, Conflict, DependsOn, Provides};
+pub use package::{PackageBuilder, PackageDef};
+pub use repository::{RepoError, Repository};

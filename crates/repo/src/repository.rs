@@ -1,0 +1,301 @@
+//! The package repository: the universe of packages the concretizer
+//! reasons over, with a virtual-provider index.
+
+use crate::package::PackageDef;
+use spackle_spec::Sym;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Errors raised by repository construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepoError {
+    /// A second package with the same name was added.
+    Duplicate(String),
+    /// A directive references a package that is neither defined nor
+    /// provided as a virtual.
+    UnknownPackage {
+        /// The package whose directive is at fault.
+        package: String,
+        /// The missing referent.
+        referenced: String,
+    },
+    /// A package name collides with a virtual name.
+    VirtualCollision(String),
+}
+
+impl fmt::Display for RepoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepoError::Duplicate(n) => write!(f, "duplicate package: {n}"),
+            RepoError::UnknownPackage {
+                package,
+                referenced,
+            } => write!(f, "package {package} references unknown package {referenced}"),
+            RepoError::VirtualCollision(n) => {
+                write!(f, "{n} is both a concrete package and a virtual")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RepoError {}
+
+/// An immutable collection of package definitions plus derived indexes.
+#[derive(Clone, Debug, Default)]
+pub struct Repository {
+    packages: BTreeMap<Sym, PackageDef>,
+    providers: BTreeMap<Sym, Vec<Sym>>, // virtual -> providers
+}
+
+impl Repository {
+    /// Empty repository.
+    pub fn new() -> Repository {
+        Repository::default()
+    }
+
+    /// Build from a list of package definitions.
+    pub fn from_packages(pkgs: impl IntoIterator<Item = PackageDef>) -> Result<Repository, RepoError> {
+        let mut repo = Repository::new();
+        for p in pkgs {
+            repo.add(p)?;
+        }
+        Ok(repo)
+    }
+
+    /// Add one package.
+    pub fn add(&mut self, pkg: PackageDef) -> Result<(), RepoError> {
+        if self.packages.contains_key(&pkg.name) {
+            return Err(RepoError::Duplicate(pkg.name.as_str().to_string()));
+        }
+        for p in &pkg.provides {
+            self.providers
+                .entry(p.virtual_name)
+                .or_default()
+                .push(pkg.name);
+        }
+        self.packages.insert(pkg.name, pkg);
+        Ok(())
+    }
+
+    /// Look up a package definition.
+    pub fn get(&self, name: Sym) -> Option<&PackageDef> {
+        self.packages.get(&name)
+    }
+
+    /// All package definitions, in name order.
+    pub fn packages(&self) -> impl Iterator<Item = &PackageDef> {
+        self.packages.values()
+    }
+
+    /// Number of packages.
+    pub fn len(&self) -> usize {
+        self.packages.len()
+    }
+
+    /// True when the repository holds no packages.
+    pub fn is_empty(&self) -> bool {
+        self.packages.is_empty()
+    }
+
+    /// Is `name` a virtual (provided by someone, not itself a package)?
+    pub fn is_virtual(&self, name: Sym) -> bool {
+        self.providers.contains_key(&name) && !self.packages.contains_key(&name)
+    }
+
+    /// Packages providing virtual `name` (empty if none), in declaration
+    /// order.
+    pub fn providers_of(&self, name: Sym) -> &[Sym] {
+        self.providers.get(&name).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Validate cross-package references: every `depends_on` target must
+    /// be a defined package or a virtual with at least one provider, and
+    /// no name may be both concrete and virtual.
+    pub fn validate(&self) -> Result<(), RepoError> {
+        for v in self.providers.keys() {
+            if self.packages.contains_key(v) {
+                return Err(RepoError::VirtualCollision(v.as_str().to_string()));
+            }
+        }
+        for pkg in self.packages.values() {
+            for dep in &pkg.depends {
+                let name = dep.spec.name.expect("validated at build");
+                if !self.packages.contains_key(&name) && !self.providers.contains_key(&name) {
+                    return Err(RepoError::UnknownPackage {
+                        package: pkg.name.as_str().to_string(),
+                        referenced: name.as_str().to_string(),
+                    });
+                }
+            }
+            for cs in &pkg.can_splice {
+                let name = cs.target.name.expect("validated at build");
+                if !self.packages.contains_key(&name) {
+                    return Err(RepoError::UnknownPackage {
+                        package: pkg.name.as_str().to_string(),
+                        referenced: name.as_str().to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The set of packages possibly needed to concretize `roots`:
+    /// transitive closure over `depends_on` targets, expanding virtuals
+    /// to all of their providers. Used to filter reusable-spec facts so
+    /// the solver only sees relevant cache entries.
+    pub fn possible_closure(&self, roots: &[Sym]) -> BTreeSet<Sym> {
+        let mut seen: BTreeSet<Sym> = BTreeSet::new();
+        let mut stack: Vec<Sym> = roots.to_vec();
+        while let Some(name) = stack.pop() {
+            if !seen.insert(name) {
+                continue;
+            }
+            if let Some(pkg) = self.packages.get(&name) {
+                for dep in &pkg.depends {
+                    let dname = dep.spec.name.expect("validated");
+                    if let Some(provs) = self.providers.get(&dname) {
+                        seen.insert(dname);
+                        stack.extend(provs.iter().copied());
+                    } else {
+                        stack.push(dname);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// All `can_splice` directives in the repository, as
+    /// `(replacing package, directive index)` pairs.
+    pub fn all_splice_directives(&self) -> Vec<(Sym, usize)> {
+        let mut out = Vec::new();
+        for pkg in self.packages.values() {
+            for i in 0..pkg.can_splice.len() {
+                out.push((pkg.name, i));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::PackageBuilder;
+
+    fn mini_repo() -> Repository {
+        let zlib = PackageBuilder::new("zlib")
+            .version("1.3")
+            .version("1.2.11")
+            .build()
+            .unwrap();
+        let mpich = PackageBuilder::new("mpich")
+            .version("3.4.3")
+            .provides("mpi")
+            .build()
+            .unwrap();
+        let openmpi = PackageBuilder::new("openmpi")
+            .version("4.1.5")
+            .provides("mpi")
+            .build()
+            .unwrap();
+        let hdf5 = PackageBuilder::new("hdf5")
+            .version("1.14.5")
+            .variant_bool("mpi", true)
+            .depends_on("zlib")
+            .depends_on_when("mpi", "+mpi")
+            .build()
+            .unwrap();
+        Repository::from_packages([zlib, mpich, openmpi, hdf5]).unwrap()
+    }
+
+    #[test]
+    fn lookup_and_len() {
+        let r = mini_repo();
+        assert_eq!(r.len(), 4);
+        assert!(r.get(Sym::intern("hdf5")).is_some());
+        assert!(r.get(Sym::intern("nonexistent")).is_none());
+    }
+
+    #[test]
+    fn virtual_index() {
+        let r = mini_repo();
+        let mpi = Sym::intern("mpi");
+        assert!(r.is_virtual(mpi));
+        assert!(!r.is_virtual(Sym::intern("zlib")));
+        let provs: Vec<&str> = r.providers_of(mpi).iter().map(|s| s.as_str()).collect();
+        assert_eq!(provs, vec!["mpich", "openmpi"]);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut r = mini_repo();
+        let dup = PackageBuilder::new("zlib").version("9.9").build().unwrap();
+        assert!(matches!(r.add(dup), Err(RepoError::Duplicate(_))));
+    }
+
+    #[test]
+    fn validate_catches_unknown_deps() {
+        let lonely = PackageBuilder::new("lonely")
+            .version("1.0")
+            .depends_on("ghost")
+            .build()
+            .unwrap();
+        let r = Repository::from_packages([lonely]).unwrap();
+        assert!(matches!(
+            r.validate(),
+            Err(RepoError::UnknownPackage { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_ok_for_mini_repo() {
+        assert!(mini_repo().validate().is_ok());
+    }
+
+    #[test]
+    fn closure_expands_virtuals() {
+        let r = mini_repo();
+        let closure = r.possible_closure(&[Sym::intern("hdf5")]);
+        let names: Vec<&str> = closure.iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, vec!["hdf5", "mpi", "mpich", "openmpi", "zlib"]);
+    }
+
+    #[test]
+    fn closure_is_minimal_for_leaf() {
+        let r = mini_repo();
+        let closure = r.possible_closure(&[Sym::intern("zlib")]);
+        assert_eq!(closure.len(), 1);
+    }
+
+    #[test]
+    fn virtual_collision_detected() {
+        let mpi_pkg = PackageBuilder::new("mpi").version("1.0").build().unwrap();
+        let mpich = PackageBuilder::new("mpich")
+            .version("3.4.3")
+            .provides("mpi")
+            .build()
+            .unwrap();
+        let r = Repository::from_packages([mpi_pkg, mpich]).unwrap();
+        assert!(matches!(r.validate(), Err(RepoError::VirtualCollision(_))));
+    }
+
+    #[test]
+    fn splice_directive_enumeration() {
+        let mpiabi = PackageBuilder::new("mpiabi")
+            .version("1.0")
+            .provides("mpi")
+            .can_splice("mpich@3.4.3", "")
+            .build()
+            .unwrap();
+        let mpich = PackageBuilder::new("mpich")
+            .version("3.4.3")
+            .provides("mpi")
+            .build()
+            .unwrap();
+        let r = Repository::from_packages([mpiabi, mpich]).unwrap();
+        r.validate().unwrap();
+        assert_eq!(r.all_splice_directives().len(), 1);
+    }
+}

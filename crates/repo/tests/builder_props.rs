@@ -1,0 +1,105 @@
+//! Property tests for the package builder and repository indexes.
+
+use proptest::prelude::*;
+use spackle_repo::{PackageBuilder, Repository};
+use spackle_spec::{Sym, Version};
+
+fn version_text() -> impl Strategy<Value = String> {
+    (1u64..20, 0u64..30, prop::option::of(0u64..10))
+        .prop_map(|(a, b, c)| match c {
+            Some(c) => format!("{a}.{b}.{c}"),
+            None => format!("{a}.{b}"),
+        })
+}
+
+proptest! {
+    #[test]
+    fn versions_always_sorted_newest_first(
+        versions in prop::collection::vec(version_text(), 1..8)
+    ) {
+        let mut b = PackageBuilder::new("pkg");
+        for v in &versions {
+            b = b.version(v);
+        }
+        let p = b.build().unwrap();
+        // Sorted descending, deduplicated.
+        for w in p.versions.windows(2) {
+            prop_assert!(w[0] > w[1], "{} !> {}", w[0], w[1]);
+        }
+        // Every input version present exactly once.
+        for v in &versions {
+            let parsed = Version::parse(v).unwrap();
+            prop_assert_eq!(
+                p.versions.iter().filter(|x| **x == parsed).count(),
+                1
+            );
+        }
+        // Penalty index consistent with position.
+        for (i, v) in p.versions.iter().enumerate() {
+            prop_assert_eq!(p.version_penalty(v), Some(i));
+        }
+    }
+
+    #[test]
+    fn provider_order_is_declaration_order(n in 2usize..6) {
+        let mut pkgs = Vec::new();
+        for i in 0..n {
+            pkgs.push(
+                PackageBuilder::new(&format!("impl{i}"))
+                    .version("1.0")
+                    .provides("iface")
+                    .build()
+                    .unwrap(),
+            );
+        }
+        let repo = Repository::from_packages(pkgs).unwrap();
+        let provs = repo.providers_of(Sym::intern("iface"));
+        prop_assert_eq!(provs.len(), n);
+        for (i, p) in provs.iter().enumerate() {
+            prop_assert_eq!(p.as_str(), format!("impl{i}"));
+        }
+    }
+
+    #[test]
+    fn closure_is_monotone_under_root_union(
+        split in 1usize..4
+    ) {
+        // chain p0 -> p1 -> p2 -> p3; closure(p0) ⊇ closure(p_split).
+        let mut pkgs = Vec::new();
+        for i in 0..4 {
+            let mut b = PackageBuilder::new(&format!("p{i}")).version("1.0");
+            if i < 3 {
+                b = b.depends_on(&format!("p{}", i + 1));
+            }
+            pkgs.push(b.build().unwrap());
+        }
+        let repo = Repository::from_packages(pkgs).unwrap();
+        let full = repo.possible_closure(&[Sym::intern("p0")]);
+        let sub = repo.possible_closure(&[Sym::intern(&format!("p{split}"))]);
+        prop_assert!(sub.is_subset(&full));
+        prop_assert_eq!(full.len(), 4);
+        prop_assert_eq!(sub.len(), 4 - split);
+    }
+}
+
+#[test]
+fn builder_accumulates_first_error_only() {
+    let err = PackageBuilder::new("x")
+        .version("1.0")
+        .depends_on("bad@@spec")
+        .depends_on("also@@bad")
+        .build()
+        .unwrap_err();
+    // One coherent error, not a panic or a pile.
+    let msg = err.to_string();
+    assert!(!msg.is_empty());
+}
+
+#[test]
+fn can_splice_without_target_name_rejected() {
+    assert!(PackageBuilder::new("x")
+        .version("1.0")
+        .can_splice("@1.0", "")
+        .build()
+        .is_err());
+}

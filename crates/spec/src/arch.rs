@@ -1,0 +1,196 @@
+//! Target operating systems and microarchitectures.
+//!
+//! Spack models targets with `archspec`, a database of microarchitecture
+//! families and feature-compatibility. We reproduce the subset the paper's
+//! experiments need: a family tree in which binaries built for an ancestor
+//! (more generic) target run on any descendant (more specific) target.
+
+use crate::ident::Sym;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An operating system, e.g. `centos8`, `ubuntu22.04`, `rhel8`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Os(pub Sym);
+
+impl Os {
+    /// Intern an OS by name.
+    pub fn new(name: &str) -> Os {
+        Os(Sym::intern(name))
+    }
+    /// The OS name.
+    pub fn name(&self) -> Sym {
+        self.0
+    }
+}
+
+impl fmt::Display for Os {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A CPU microarchitecture, e.g. `x86_64`, `skylake`, `icelake`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Target(pub Sym);
+
+/// The built-in microarchitecture ancestry: `(target, parent)` pairs.
+/// A `None` parent marks a family root. Ordered roughly by generation
+/// within each family, mirroring archspec's x86_64 and aarch64 chains.
+const TARGET_TREE: &[(&str, Option<&str>)] = &[
+    ("x86_64", None),
+    ("x86_64_v2", Some("x86_64")),
+    ("x86_64_v3", Some("x86_64_v2")),
+    ("x86_64_v4", Some("x86_64_v3")),
+    ("haswell", Some("x86_64_v3")),
+    ("broadwell", Some("haswell")),
+    ("skylake", Some("broadwell")),
+    ("cascadelake", Some("skylake")),
+    ("icelake", Some("cascadelake")),
+    ("sapphirerapids", Some("icelake")),
+    ("zen2", Some("x86_64_v3")),
+    ("zen3", Some("zen2")),
+    ("zen4", Some("zen3")),
+    ("aarch64", None),
+    ("armv8.2a", Some("aarch64")),
+    ("neoverse_n1", Some("armv8.2a")),
+    ("neoverse_v1", Some("neoverse_n1")),
+    ("neoverse_v2", Some("neoverse_v1")),
+    ("ppc64le", None),
+    ("power9le", Some("ppc64le")),
+    ("power10le", Some("power9le")),
+];
+
+impl Target {
+    /// Intern a target by name. Unknown names are allowed (they form
+    /// singleton families with no ancestors).
+    pub fn new(name: &str) -> Target {
+        Target(Sym::intern(name))
+    }
+
+    /// The target name.
+    pub fn name(&self) -> Sym {
+        self.0
+    }
+
+    fn parent_of(name: &str) -> Option<&'static str> {
+        TARGET_TREE
+            .iter()
+            .find(|(t, _)| *t == name)
+            .and_then(|(_, p)| *p)
+    }
+
+    /// Is this target known to the built-in microarchitecture tree?
+    pub fn is_known(&self) -> bool {
+        let n = self.0.as_str();
+        TARGET_TREE.iter().any(|(t, _)| *t == n)
+    }
+
+    /// Chain of ancestors from this target up to its family root
+    /// (exclusive of `self`).
+    pub fn ancestors(&self) -> Vec<Target> {
+        let mut out = Vec::new();
+        let mut cur = Self::parent_of(self.0.as_str());
+        while let Some(p) = cur {
+            out.push(Target::new(p));
+            cur = Self::parent_of(p);
+        }
+        out
+    }
+
+    /// Can a binary built for `built_for` execute on `self`?
+    ///
+    /// True when `built_for` equals `self` or is an ancestor of `self`
+    /// (generic binaries run on newer microarchitectures of the family).
+    pub fn runs_binary_built_for(&self, built_for: Target) -> bool {
+        self == &built_for || self.ancestors().contains(&built_for)
+    }
+
+    /// The family root for this target (itself, if unknown or a root).
+    pub fn family(&self) -> Target {
+        self.ancestors().last().copied().unwrap_or(*self)
+    }
+
+    /// Generation depth within the family: roots are 0.
+    pub fn depth(&self) -> usize {
+        self.ancestors().len()
+    }
+
+    /// All targets in the built-in tree, family roots first.
+    pub fn all_known() -> Vec<Target> {
+        TARGET_TREE.iter().map(|(t, _)| Target::new(t)).collect()
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ancestry_chain() {
+        let icelake = Target::new("icelake");
+        let anc = icelake.ancestors();
+        let names: Vec<&str> = anc.iter().map(|t| t.0.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "cascadelake",
+                "skylake",
+                "broadwell",
+                "haswell",
+                "x86_64_v3",
+                "x86_64_v2",
+                "x86_64"
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_binary_runs_on_specific() {
+        let icelake = Target::new("icelake");
+        let generic = Target::new("x86_64");
+        assert!(icelake.runs_binary_built_for(generic));
+        assert!(icelake.runs_binary_built_for(icelake));
+        assert!(!generic.runs_binary_built_for(icelake));
+    }
+
+    #[test]
+    fn cross_family_incompatible() {
+        let icelake = Target::new("icelake");
+        let neoverse = Target::new("neoverse_v1");
+        assert!(!icelake.runs_binary_built_for(neoverse));
+        assert!(!neoverse.runs_binary_built_for(icelake));
+    }
+
+    #[test]
+    fn family_and_depth() {
+        assert_eq!(Target::new("skylake").family(), Target::new("x86_64"));
+        assert_eq!(Target::new("x86_64").depth(), 0);
+        assert!(Target::new("icelake").depth() > Target::new("haswell").depth());
+    }
+
+    #[test]
+    fn unknown_target_is_singleton_family() {
+        let t = Target::new("quantum9000");
+        assert!(!t.is_known());
+        assert!(t.ancestors().is_empty());
+        assert_eq!(t.family(), t);
+        assert!(t.runs_binary_built_for(t));
+        assert!(!t.runs_binary_built_for(Target::new("x86_64")));
+    }
+
+    #[test]
+    fn all_known_is_consistent() {
+        for t in Target::all_known() {
+            assert!(t.is_known());
+            // Every ancestor chain terminates at a root.
+            assert_eq!(t.family().depth(), 0);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Error types for the spec crate.
+
+use std::fmt;
+
+/// Errors arising from parsing, constructing, or transforming specs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec string could not be parsed.
+    Parse {
+        /// Byte offset into the input where the error was detected.
+        offset: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// A version string was malformed.
+    BadVersion(String),
+    /// Two constraints on the same attribute cannot both hold.
+    Conflict(String),
+    /// A DAG operation referenced a node that does not exist.
+    NoSuchNode(String),
+    /// A splice was requested that is not structurally possible.
+    BadSplice(String),
+    /// A dependency cycle was detected where a DAG is required.
+    Cycle(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            SpecError::BadVersion(v) => write!(f, "malformed version: {v}"),
+            SpecError::Conflict(m) => write!(f, "conflicting constraints: {m}"),
+            SpecError::NoSuchNode(n) => write!(f, "no such node in spec DAG: {n}"),
+            SpecError::BadSplice(m) => write!(f, "invalid splice: {m}"),
+            SpecError::Cycle(m) => write!(f, "dependency cycle: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}

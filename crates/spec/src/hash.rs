@@ -1,0 +1,375 @@
+//! Content hashing for concrete specs.
+//!
+//! Spack identifies every concrete spec by a cryptographic digest of its
+//! canonical serialization (the "DAG hash") and renders it in lowercase
+//! base32. We reproduce that scheme with a from-scratch SHA-256
+//! implementation (FIPS 180-4) — no external crypto crates.
+
+use std::fmt;
+
+/// Round constants: first 32 bits of the fractional parts of the cube roots
+/// of the first 64 primes.
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Incremental SHA-256 hasher.
+///
+/// ```
+/// use spackle_spec::hash::Sha256;
+/// let mut h = Sha256::new();
+/// h.update(b"abc");
+/// assert_eq!(
+///     h.finish().to_hex(),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// ```
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Create a fresh hasher in the initial state.
+    pub fn new() -> Self {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buf: [0u8; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorb `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(rest.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Finalize and produce the digest.
+    pub fn finish(mut self) -> SpecHash {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80 then zeros until 56 mod 64, then 64-bit big-endian length.
+        self.update_padding(0x80);
+        while self.buf_len != 56 {
+            self.update_padding(0x00);
+        }
+        let len_bytes = bit_len.to_be_bytes();
+        for b in len_bytes {
+            self.update_padding(b);
+        }
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 32];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        SpecHash(out)
+    }
+
+    /// Like `update` for a single padding byte, but without advancing the
+    /// message length counter.
+    fn update_padding(&mut self, byte: u8) {
+        self.buf[self.buf_len] = byte;
+        self.buf_len += 1;
+        if self.buf_len == 64 {
+            let block = self.buf;
+            self.compress(&block);
+            self.buf_len = 0;
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+
+    /// One-shot convenience.
+    pub fn digest(data: &[u8]) -> SpecHash {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finish()
+    }
+}
+
+/// A 256-bit content hash identifying a concrete spec.
+///
+/// Displayed, like Spack's DAG hashes, as lowercase base32 (RFC 4648
+/// alphabet, lowercased, no padding) — conventionally abbreviated to its
+/// first 7 characters in user-facing output.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpecHash(pub [u8; 32]);
+
+const B32_ALPHABET: &[u8; 32] = b"abcdefghijklmnopqrstuvwxyz234567";
+
+impl SpecHash {
+    /// All-zero hash; used as a sentinel in tests.
+    pub const ZERO: SpecHash = SpecHash([0u8; 32]);
+
+    /// Lowercase hex rendering (64 chars).
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Full lowercase base32 rendering (52 chars, unpadded).
+    pub fn to_base32(&self) -> String {
+        let mut out = String::with_capacity(52);
+        let mut acc: u64 = 0;
+        let mut bits = 0u32;
+        for &byte in &self.0 {
+            acc = (acc << 8) | byte as u64;
+            bits += 8;
+            while bits >= 5 {
+                bits -= 5;
+                let idx = ((acc >> bits) & 0x1f) as usize;
+                out.push(B32_ALPHABET[idx] as char);
+            }
+        }
+        if bits > 0 {
+            let idx = ((acc << (5 - bits)) & 0x1f) as usize;
+            out.push(B32_ALPHABET[idx] as char);
+        }
+        out
+    }
+
+    /// Abbreviated hash, like `spack find /abcdefg`.
+    pub fn short(&self) -> String {
+        self.to_base32()[..7].to_string()
+    }
+
+    /// Parse the full base32 rendering back into a hash.
+    pub fn from_base32(s: &str) -> Option<SpecHash> {
+        if s.len() != 52 {
+            return None;
+        }
+        let mut acc: u64 = 0;
+        let mut bits = 0u32;
+        let mut out = [0u8; 32];
+        let mut oi = 0;
+        for ch in s.bytes() {
+            let v = B32_ALPHABET.iter().position(|&a| a == ch)? as u64;
+            acc = (acc << 5) | v;
+            bits += 5;
+            if bits >= 8 {
+                bits -= 8;
+                if oi < 32 {
+                    out[oi] = ((acc >> bits) & 0xff) as u8;
+                    oi += 1;
+                }
+            }
+        }
+        if oi != 32 {
+            return None;
+        }
+        Some(SpecHash(out))
+    }
+}
+
+impl fmt::Display for SpecHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_base32())
+    }
+}
+
+impl fmt::Debug for SpecHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SpecHash({})", self.short())
+    }
+}
+
+impl serde::Serialize for SpecHash {
+    fn serialize<S: serde::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        ser.serialize_str(&self.to_base32())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for SpecHash {
+    fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<SpecHash, D::Error> {
+        struct V;
+        impl serde::de::Visitor<'_> for V {
+            type Value = SpecHash;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a 52-char base32 spec hash")
+            }
+            fn visit_str<E: serde::de::Error>(self, v: &str) -> Result<SpecHash, E> {
+                SpecHash::from_base32(v)
+                    .ok_or_else(|| E::custom(format!("invalid spec hash: {v}")))
+            }
+        }
+        de.deserialize_str(V)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-4 / NIST test vectors.
+    #[test]
+    fn sha256_empty() {
+        assert_eq!(
+            Sha256::digest(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn sha256_abc() {
+        assert_eq!(
+            Sha256::digest(b"abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn sha256_two_block_message() {
+        assert_eq!(
+            Sha256::digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_million_a() {
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            h.finish().to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let oneshot = Sha256::digest(&data);
+        // Feed in awkward chunk sizes to exercise buffering.
+        for chunk_size in [1usize, 3, 63, 64, 65, 127, 1000] {
+            let mut h = Sha256::new();
+            for c in data.chunks(chunk_size) {
+                h.update(c);
+            }
+            assert_eq!(h.finish(), oneshot, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn base32_roundtrip() {
+        let h = Sha256::digest(b"round trip me");
+        let s = h.to_base32();
+        assert_eq!(s.len(), 52);
+        assert_eq!(SpecHash::from_base32(&s), Some(h));
+    }
+
+    #[test]
+    fn base32_rejects_garbage() {
+        assert_eq!(SpecHash::from_base32("tooshort"), None);
+        assert_eq!(SpecHash::from_base32(&"!".repeat(52)), None);
+        // Uppercase is not in the alphabet.
+        let s = Sha256::digest(b"x").to_base32().to_uppercase();
+        assert_eq!(SpecHash::from_base32(&s), None);
+    }
+
+    #[test]
+    fn short_is_prefix() {
+        let h = Sha256::digest(b"prefix");
+        assert!(h.to_base32().starts_with(&h.short()));
+        assert_eq!(h.short().len(), 7);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        assert_ne!(Sha256::digest(b"a"), Sha256::digest(b"b"));
+    }
+}

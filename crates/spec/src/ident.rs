@@ -1,0 +1,191 @@
+//! Global string interning.
+//!
+//! Package names, variant names, variant values, OS and target names appear
+//! millions of times inside the grounder and solver. Interning them to a
+//! `u32` makes comparisons and hashing O(1) and keeps hot maps keyed by
+//! integers (see the Rust Performance Book's hashing chapter).
+//!
+//! The interner is global and append-only; interned strings are leaked, so
+//! [`Sym::as_str`] can hand out `&'static str` without locking.
+
+use parking_lot::RwLock;
+use rustc_hash::FxHashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string. Cheap to copy, compare and hash.
+///
+/// Ordering on `Sym` is *lexicographic over the underlying strings*, not
+/// over intern ids, so that sorted containers of symbols have a
+/// deterministic, human-meaningful order regardless of interning order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+struct Interner {
+    map: FxHashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+
+fn interner() -> &'static RwLock<Interner> {
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: FxHashMap::default(),
+            strings: Vec::with_capacity(1024),
+        })
+    })
+}
+
+impl Sym {
+    /// Intern `s`, returning its symbol. Idempotent.
+    pub fn intern(s: &str) -> Sym {
+        let lock = interner();
+        // Fast path: read lock only.
+        if let Some(&id) = lock.read().map.get(s) {
+            return Sym(id);
+        }
+        let mut w = lock.write();
+        if let Some(&id) = w.map.get(s) {
+            return Sym(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = w.strings.len() as u32;
+        w.strings.push(leaked);
+        w.map.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().read().strings[self.0 as usize]
+    }
+
+    /// Raw intern id. Useful as a dense index into side tables.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Sym {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::intern(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Sym {
+        Sym::intern(&s)
+    }
+}
+
+impl serde::Serialize for Sym {
+    fn serialize<S: serde::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        ser.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Sym {
+    fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<Sym, D::Error> {
+        struct V;
+        impl serde::de::Visitor<'_> for V {
+            type Value = Sym;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: serde::de::Error>(self, v: &str) -> Result<Sym, E> {
+                Ok(Sym::intern(v))
+            }
+        }
+        de.deserialize_str(V)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Sym::intern("hdf5");
+        let b = Sym::intern("hdf5");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.as_str(), "hdf5");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_syms() {
+        assert_ne!(Sym::intern("mpich"), Sym::intern("openmpi"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        // Intern in reverse lexicographic order to prove ordering does not
+        // follow intern ids.
+        let z = Sym::intern("zzz-order-test");
+        let a = Sym::intern("aaa-order-test");
+        assert!(a < z);
+        let mut v = vec![z, a];
+        v.sort();
+        assert_eq!(v, vec![a, z]);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Sym::intern("trilinos");
+        assert_eq!(format!("{s}"), "trilinos");
+        assert_eq!(format!("{s:?}"), "Sym(\"trilinos\")");
+    }
+
+    #[test]
+    fn empty_string_interns() {
+        let e = Sym::intern("");
+        assert_eq!(e.as_str(), "");
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (0..200)
+                        .map(|i| Sym::intern(&format!("pkg-{i}")))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+}

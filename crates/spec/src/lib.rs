@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # spackle-spec
+//!
+//! The spec model underlying Spackle, a Rust reproduction of Spack's
+//! configuration language and dependency representation (paper §3).
+//!
+//! A *spec* describes a software configuration: package name, version,
+//! variant values (compile-time options), target operating system and
+//! microarchitecture, and the specs of its dependencies. Specs come in two
+//! flavours:
+//!
+//! * [`AbstractSpec`] — a partial description / constraint, as written by a
+//!   user on the command line (e.g. `hdf5@1.14 +mpi ^zlib@1.3`).
+//! * [`ConcreteSpec`] — a fully resolved dependency DAG in which every node
+//!   has all six attributes fixed. Concrete specs are installable and carry
+//!   a content [`SpecHash`] computed over the whole DAG.
+//!
+//! The module [`splice`] implements the paper's §4 contribution at the DAG
+//! level: replacing a dependency of an already-built spec with an
+//! ABI-compatible substitute while retaining full *build provenance*.
+
+pub mod arch;
+pub mod error;
+pub mod hash;
+pub mod ident;
+pub mod parser;
+pub mod satisfy;
+pub mod spec;
+pub mod splice;
+pub mod variant;
+pub mod version;
+
+pub use arch::{Os, Target};
+pub use error::SpecError;
+pub use hash::{Sha256, SpecHash};
+pub use ident::Sym;
+pub use parser::parse_spec;
+pub use spec::{
+    AbstractDep, AbstractSpec, ConcreteNode, ConcreteSpec, DepTypes, NodeId,
+};
+pub use variant::{VariantKind, VariantValue};
+pub use version::{Version, VersionReq};
+
+/// Convenience result alias used across the crate.
+pub type Result<T, E = SpecError> = std::result::Result<T, E>;

@@ -1,0 +1,456 @@
+//! Parser for Spack's spec syntax (paper §3.1, Table 1).
+//!
+//! Supported sigils:
+//!
+//! | Sigil       | Example                | Meaning                      |
+//! |-------------|------------------------|------------------------------|
+//! | `@`         | `hdf5@1.14.5`          | version requirement          |
+//! | `+`         | `hdf5+cxx`             | enable boolean variant       |
+//! | `~`         | `hdf5~mpi`             | disable boolean variant      |
+//! | `^`         | `hdf5 ^zlib`           | link-run dependency          |
+//! | `%`         | `hdf5%clang`           | build dependency             |
+//! | `key=value` | `hdf5 target=icelake`  | variant / os / target / arch |
+//!
+//! `^` dependencies always attach to the root spec (Spack semantics);
+//! `%` build dependencies attach to the most recently named node.
+//! A spec may be anonymous (start with a sigil), as used by `when=`
+//! conditions in package directives.
+
+use crate::arch::{Os, Target};
+use crate::error::SpecError;
+use crate::ident::Sym;
+use crate::spec::{AbstractDep, AbstractSpec, DepTypes};
+use crate::variant::VariantValue;
+use crate::version::VersionReq;
+use crate::Result;
+
+struct Cursor<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &'a str) -> Self {
+        Cursor { input, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn read_while(&mut self, pred: impl Fn(char) -> bool) -> &'a str {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if pred(c)) {
+            self.bump();
+        }
+        &self.input[start..self.pos]
+    }
+
+    fn err(&self, message: impl Into<String>) -> SpecError {
+        SpecError::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.'
+}
+
+fn is_version_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '.' | ':' | '=' | '-' | '_')
+}
+
+fn is_value_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '.' | ',' | '-' | '_')
+}
+
+/// Parse a single spec expression.
+///
+/// ```
+/// use spackle_spec::parse_spec;
+/// let s = parse_spec("hdf5@1.14.5 +cxx~mpi target=icelake %clang ^zlib@1.3").unwrap();
+/// assert_eq!(s.name.unwrap().as_str(), "hdf5");
+/// assert_eq!(s.deps.len(), 2); // clang (build) and zlib (link-run)
+/// ```
+pub fn parse_spec(input: &str) -> Result<AbstractSpec> {
+    let mut cur = Cursor::new(input);
+    cur.eat_ws();
+    if cur.peek().is_none() {
+        return Err(cur.err("empty spec"));
+    }
+
+    // Parse the root node, then a flat sequence of sigil-introduced deps.
+    let root = parse_node(&mut cur, true)?;
+    let mut segments: Vec<(char, AbstractSpec)> = Vec::new();
+    loop {
+        cur.eat_ws();
+        match cur.peek() {
+            None => break,
+            Some('^') => {
+                cur.bump();
+                let node = parse_node(&mut cur, false)?;
+                segments.push(('^', node));
+            }
+            Some('%') => {
+                cur.bump();
+                let node = parse_node(&mut cur, false)?;
+                segments.push(('%', node));
+            }
+            Some(c) => return Err(cur.err(format!("unexpected character {c:?}"))),
+        }
+    }
+
+    // Assembly: `^` deps attach to the root; `%` deps attach to the most
+    // recent `^` dep (or the root if none has appeared yet).
+    let mut root = root;
+    let mut links: Vec<AbstractSpec> = Vec::new();
+    for (sigil, node) in segments {
+        match sigil {
+            '^' => links.push(node),
+            _ => {
+                let target = links.last_mut().unwrap_or(&mut root);
+                target.deps.push(AbstractDep {
+                    spec: node,
+                    types: DepTypes::BUILD,
+                });
+            }
+        }
+    }
+    for l in links {
+        root.deps.push(AbstractDep {
+            spec: l,
+            types: DepTypes::LINK_RUN,
+        });
+    }
+    Ok(root)
+}
+
+/// Parse one node: optional name followed by attribute fragments, stopping
+/// at `^`, `%`, or end of input. `allow_anonymous` permits a missing name
+/// (only the root of a `when=` constraint may be anonymous).
+fn parse_node(cur: &mut Cursor<'_>, allow_anonymous: bool) -> Result<AbstractSpec> {
+    let mut spec = AbstractSpec::anonymous();
+    cur.eat_ws();
+
+    // Optional leading name.
+    if matches!(cur.peek(), Some(c) if c.is_ascii_alphanumeric()) {
+        let start = cur.pos;
+        let word = cur.read_while(is_name_char);
+        if cur.peek() == Some('=') {
+            // Not a name after all: it's `key=value`; rewind.
+            cur.pos = start;
+        } else {
+            spec.name = Some(Sym::intern(word));
+        }
+    } else if !allow_anonymous && !matches!(cur.peek(), Some('@' | '+' | '~')) {
+        return Err(cur.err("expected package name after dependency sigil"));
+    }
+
+    loop {
+        // Attributes may be glued (`hdf5@1.14+cxx~mpi`) or space-separated.
+        let before_ws = cur.pos;
+        cur.eat_ws();
+        match cur.peek() {
+            Some('@') => {
+                cur.bump();
+                let text = cur.read_while(is_version_char);
+                if text.is_empty() {
+                    return Err(cur.err("expected version after '@'"));
+                }
+                let req = VersionReq::parse(text)?;
+                spec.version = spec.version.intersect(&req).ok_or_else(|| {
+                    SpecError::Conflict(format!("incompatible version constraints in spec"))
+                })?;
+            }
+            Some('+') => {
+                cur.bump();
+                let name = cur.read_while(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
+                if name.is_empty() {
+                    return Err(cur.err("expected variant name after '+'"));
+                }
+                spec.variants
+                    .insert(Sym::intern(name), VariantValue::Bool(true));
+            }
+            Some('~') => {
+                cur.bump();
+                let name = cur.read_while(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
+                if name.is_empty() {
+                    return Err(cur.err("expected variant name after '~'"));
+                }
+                spec.variants
+                    .insert(Sym::intern(name), VariantValue::Bool(false));
+            }
+            Some(c) if c.is_ascii_alphanumeric() => {
+                // Must be key=value, otherwise this word belongs to someone
+                // else (or is an error the caller will report).
+                let start = cur.pos;
+                let key = cur.read_while(is_name_char);
+                if cur.peek() != Some('=') {
+                    cur.pos = start;
+                    if before_ws != start {
+                        // We consumed whitespace then found a non-attribute
+                        // word: end this node and let the caller decide.
+                        cur.pos = before_ws;
+                        break;
+                    }
+                    return Err(cur.err(format!("unexpected word {key:?} (missing '=' value?)")));
+                }
+                cur.bump(); // '='
+                let value = cur.read_while(is_value_char);
+                if value.is_empty() {
+                    return Err(cur.err(format!("expected value after '{key}='")));
+                }
+                apply_key_value(&mut spec, key, value)?;
+            }
+            _ => {
+                cur.pos = before_ws;
+                break;
+            }
+        }
+    }
+    Ok(spec)
+}
+
+fn apply_key_value(spec: &mut AbstractSpec, key: &str, value: &str) -> Result<()> {
+    match key {
+        "os" => spec.os = Some(Os::new(value)),
+        "target" => spec.target = Some(Target::new(value)),
+        "platform" => { /* platform is accepted and ignored (always linux) */ }
+        "arch" => {
+            // platform-os-target, e.g. linux-centos8-skylake.
+            let first = value.find('-');
+            let last = value.rfind('-');
+            match (first, last) {
+                (Some(f), Some(l)) if f < l => {
+                    spec.os = Some(Os::new(&value[f + 1..l]));
+                    spec.target = Some(Target::new(&value[l + 1..]));
+                }
+                _ => {
+                    return Err(SpecError::Parse {
+                        offset: 0,
+                        message: format!("arch must be platform-os-target, got {value:?}"),
+                    });
+                }
+            }
+        }
+        _ => {
+            spec.variants
+                .insert(Sym::intern(key), VariantValue::parse(value));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::Version;
+
+    fn v(s: &str) -> Version {
+        Version::parse(s).unwrap()
+    }
+
+    #[test]
+    fn table1_version() {
+        let s = parse_spec("hdf5@1.14.5").unwrap();
+        assert_eq!(s.name.unwrap().as_str(), "hdf5");
+        assert!(s.version.satisfies(&v("1.14.5")));
+        assert!(!s.version.satisfies(&v("1.14.6")));
+    }
+
+    #[test]
+    fn table1_variant_on() {
+        let s = parse_spec("hdf5+cxx").unwrap();
+        assert_eq!(
+            s.variants.get(&Sym::intern("cxx")),
+            Some(&VariantValue::Bool(true))
+        );
+    }
+
+    #[test]
+    fn table1_variant_off() {
+        let s = parse_spec("hdf5~mpi").unwrap();
+        assert_eq!(
+            s.variants.get(&Sym::intern("mpi")),
+            Some(&VariantValue::Bool(false))
+        );
+    }
+
+    #[test]
+    fn table1_link_run_dep() {
+        let s = parse_spec("hdf5 ^zlib").unwrap();
+        assert_eq!(s.deps.len(), 1);
+        assert_eq!(s.deps[0].spec.name.unwrap().as_str(), "zlib");
+        assert!(s.deps[0].types.is_link_run());
+        assert!(!s.deps[0].types.is_build());
+    }
+
+    #[test]
+    fn table1_build_dep() {
+        let s = parse_spec("hdf5%clang").unwrap();
+        assert_eq!(s.deps.len(), 1);
+        assert_eq!(s.deps[0].spec.name.unwrap().as_str(), "clang");
+        assert!(s.deps[0].types.is_build());
+        assert!(!s.deps[0].types.is_link_run());
+    }
+
+    #[test]
+    fn table1_target_kv() {
+        let s = parse_spec("hdf5 target=icelake").unwrap();
+        assert_eq!(s.target, Some(Target::new("icelake")));
+    }
+
+    #[test]
+    fn table1_variant_kv() {
+        let s = parse_spec("hdf5 api=default").unwrap();
+        assert_eq!(
+            s.variants.get(&Sym::intern("api")),
+            Some(&VariantValue::Single(Sym::intern("default")))
+        );
+    }
+
+    #[test]
+    fn glued_attributes() {
+        let s = parse_spec("hdf5@1.14.5+cxx~mpi").unwrap();
+        assert_eq!(s.variants.len(), 2);
+        assert!(s.version.satisfies(&v("1.14.5")));
+    }
+
+    #[test]
+    fn arch_triple() {
+        let s = parse_spec("example arch=linux-centos8-skylake").unwrap();
+        assert_eq!(s.os, Some(Os::new("centos8")));
+        assert_eq!(s.target, Some(Target::new("skylake")));
+    }
+
+    #[test]
+    fn section33_example_concretization_input() {
+        let s = parse_spec(
+            "example@1.0.0 +bzip arch=linux-centos8-skylake \
+             ^bzip2@1.0.8 ~debug+pic+shared arch=linux-centos8-skylake \
+             ^zlib@1.2.11 +optimize+pic+shared arch=linux-centos8-skylake \
+             ^mpich@3.1 pmi=pmix arch=linux-centos8-skylake",
+        )
+        .unwrap();
+        assert_eq!(s.deps.len(), 3);
+        let mpich = s
+            .deps
+            .iter()
+            .find(|d| d.spec.name == Some(Sym::intern("mpich")))
+            .unwrap();
+        assert_eq!(
+            mpich.spec.variants.get(&Sym::intern("pmi")),
+            Some(&VariantValue::Single(Sym::intern("pmix")))
+        );
+        assert_eq!(mpich.spec.target, Some(Target::new("skylake")));
+    }
+
+    #[test]
+    fn build_dep_attaches_to_most_recent_link_dep() {
+        let s = parse_spec("app ^zlib %gcc").unwrap();
+        assert_eq!(s.deps.len(), 1);
+        let zlib = &s.deps[0].spec;
+        assert_eq!(zlib.deps.len(), 1);
+        assert_eq!(zlib.deps[0].spec.name.unwrap().as_str(), "gcc");
+        assert!(zlib.deps[0].types.is_build());
+    }
+
+    #[test]
+    fn build_dep_before_link_dep_attaches_to_root() {
+        let s = parse_spec("app %gcc ^zlib").unwrap();
+        assert_eq!(s.deps.len(), 2);
+        assert!(s.deps.iter().any(|d| d.types.is_build()
+            && d.spec.name == Some(Sym::intern("gcc"))));
+        assert!(s.deps.iter().any(|d| d.types.is_link_run()
+            && d.spec.name == Some(Sym::intern("zlib"))));
+    }
+
+    #[test]
+    fn anonymous_when_specs() {
+        let s = parse_spec("@1.1.0+bzip").unwrap();
+        assert!(s.name.is_none());
+        assert!(s.version.satisfies(&v("1.1.0")));
+        assert_eq!(
+            s.variants.get(&Sym::intern("bzip")),
+            Some(&VariantValue::Bool(true))
+        );
+    }
+
+    #[test]
+    fn version_ranges() {
+        let s = parse_spec("zlib@1.2:1.4").unwrap();
+        assert!(s.version.satisfies(&v("1.3")));
+        assert!(!s.version.satisfies(&v("1.5")));
+        let s = parse_spec("zlib@1.2:").unwrap();
+        assert!(s.version.satisfies(&v("9.9")));
+        let s = parse_spec("zlib@:1.4").unwrap();
+        assert!(s.version.satisfies(&v("0.1")));
+        let s = parse_spec("zlib@=1.2").unwrap();
+        assert!(s.version.satisfies(&v("1.2")));
+        assert!(!s.version.satisfies(&v("1.2.1")));
+    }
+
+    #[test]
+    fn multi_value_variant() {
+        let s = parse_spec("trilinos languages=c,cxx").unwrap();
+        match s.variants.get(&Sym::intern("languages")).unwrap() {
+            VariantValue::Multi(vs) => assert_eq!(vs.len(), 2),
+            other => panic!("expected multi, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_spec("").is_err());
+        assert!(parse_spec("   ").is_err());
+        assert!(parse_spec("hdf5 @").is_err());
+        assert!(parse_spec("hdf5 +").is_err());
+        assert!(parse_spec("hdf5 ^").is_err());
+        assert!(parse_spec("hdf5 bogusword").is_err());
+        assert!(parse_spec("hdf5 key=").is_err());
+        assert!(parse_spec("a ^b c").is_err());
+        assert!(parse_spec("x arch=weird").is_err());
+    }
+
+    #[test]
+    fn conflicting_versions_rejected() {
+        assert!(parse_spec("hdf5@1.2@1.3").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for text in [
+            "hdf5@1.14.5",
+            "hdf5+cxx",
+            "hdf5~mpi",
+            "hdf5 ^zlib",
+            "hdf5 %clang",
+            "hdf5 target=icelake",
+            "hdf5 api=default",
+            "hdf5@1.14.5+cxx~mpi os=centos8 target=icelake %clang ^zlib@1.3",
+            "example@1.0.0+bzip ^bzip2@1.0.8+pic+shared~debug ^mpich@3.1 pmi=pmix ^zlib@1.2.11",
+            "app %gcc ^zlib",
+            "app ^zlib %gcc",
+        ] {
+            let once = parse_spec(text).unwrap();
+            let printed = once.to_string();
+            let twice = parse_spec(&printed)
+                .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+            assert_eq!(once, twice, "round-trip mismatch for {text:?} -> {printed:?}");
+        }
+    }
+}

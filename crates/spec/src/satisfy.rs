@@ -1,0 +1,187 @@
+//! Satisfaction: does a concrete spec meet an abstract constraint?
+//!
+//! Used to match buildcache entries against user requests, to evaluate
+//! `when=` conditions of directives against concrete nodes, and to match
+//! `can_splice` target constraints against reusable specs (paper §5.2).
+//!
+//! Virtual packages (like `mpi`) are resolved a layer above (the repo
+//! knows providers); satisfaction here is purely name-based.
+
+use crate::spec::{AbstractSpec, ConcreteNode, ConcreteSpec, NodeId};
+
+/// Does `node` (within `spec`) satisfy the *node-local* attributes of
+/// `constraint` (name, version, variants, os, target), ignoring dependency
+/// constraints?
+pub fn node_satisfies(node: &ConcreteNode, constraint: &AbstractSpec) -> bool {
+    if let Some(name) = constraint.name {
+        if node.name != name {
+            return false;
+        }
+    }
+    if !constraint.version.satisfies(&node.version) {
+        return false;
+    }
+    for (vname, want) in &constraint.variants {
+        match node.variants.get(vname) {
+            Some(have) if have.satisfies(want) => {}
+            _ => return false,
+        }
+    }
+    if let Some(os) = constraint.os {
+        if node.os != os {
+            return false;
+        }
+    }
+    if let Some(target) = constraint.target {
+        if node.target != target {
+            return false;
+        }
+    }
+    true
+}
+
+/// Does the sub-DAG of `spec` rooted at `root` satisfy `constraint`,
+/// including its dependency constraints?
+///
+/// Each `^dep` constraint must be satisfied by some node in the link-run
+/// closure of `root`; each `%dep` constraint by some node reachable over
+/// build edges from `root` directly. Dependency constraints recurse.
+pub fn spec_satisfies_at(spec: &ConcreteSpec, root: NodeId, constraint: &AbstractSpec) -> bool {
+    if !node_satisfies(spec.node(root), constraint) {
+        return false;
+    }
+    for dep in &constraint.deps {
+        let candidates: Vec<NodeId> = if dep.types.is_link_run() {
+            // Anywhere in the link-run closure (Spack's `^` semantics).
+            spec.reachable(root, |t| t.is_link_run())
+                .into_iter()
+                .filter(|&id| id != root)
+                .collect()
+        } else {
+            // Direct build dependencies of this node.
+            spec.node(root)
+                .deps
+                .iter()
+                .filter(|(_, t)| t.is_build())
+                .map(|&(d, _)| d)
+                .collect()
+        };
+        if !candidates
+            .iter()
+            .any(|&id| spec_satisfies_at(spec, id, &dep.spec))
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// Does the whole spec (from its root) satisfy `constraint`?
+pub fn spec_satisfies(spec: &ConcreteSpec, constraint: &AbstractSpec) -> bool {
+    spec_satisfies_at(spec, spec.root_id(), constraint)
+}
+
+impl ConcreteSpec {
+    /// Convenience method form of [`spec_satisfies`].
+    pub fn satisfies(&self, constraint: &AbstractSpec) -> bool {
+        spec_satisfies(self, constraint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_spec;
+    use crate::spec::{ConcreteSpecBuilder, DepTypes};
+    use crate::variant::VariantValue;
+    use crate::version::Version;
+
+    fn v(s: &str) -> Version {
+        Version::parse(s).unwrap()
+    }
+
+    fn sample() -> ConcreteSpec {
+        let mut b = ConcreteSpecBuilder::new();
+        let zlib = b.node("zlib", v("1.2.11"));
+        b.set_variant(zlib, "optimize", VariantValue::Bool(true));
+        let mpich = b.node("mpich", v("3.1"));
+        b.set_variant(mpich, "pmi", VariantValue::parse("pmix"));
+        let cmake = b.node("cmake", v("3.27"));
+        let hdf5 = b.node("hdf5", v("1.14.5"));
+        b.set_variant(hdf5, "cxx", VariantValue::Bool(true));
+        b.set_variant(hdf5, "mpi", VariantValue::Bool(true));
+        b.edge(hdf5, zlib, DepTypes::LINK_RUN);
+        b.edge(hdf5, mpich, DepTypes::LINK_RUN);
+        b.edge(hdf5, cmake, DepTypes::BUILD);
+        b.build(hdf5).unwrap()
+    }
+
+    #[test]
+    fn satisfies_name_and_version() {
+        let s = sample();
+        assert!(s.satisfies(&parse_spec("hdf5").unwrap()));
+        assert!(s.satisfies(&parse_spec("hdf5@1.14").unwrap()));
+        assert!(s.satisfies(&parse_spec("hdf5@1.14.5").unwrap()));
+        assert!(!s.satisfies(&parse_spec("hdf5@1.15").unwrap()));
+        assert!(!s.satisfies(&parse_spec("zlib").unwrap()));
+    }
+
+    #[test]
+    fn satisfies_variants() {
+        let s = sample();
+        assert!(s.satisfies(&parse_spec("hdf5+cxx").unwrap()));
+        assert!(!s.satisfies(&parse_spec("hdf5~cxx").unwrap()));
+        // Constraint on an undeclared variant fails.
+        assert!(!s.satisfies(&parse_spec("hdf5+fortran").unwrap()));
+    }
+
+    #[test]
+    fn satisfies_link_run_deps_anywhere_in_closure() {
+        let s = sample();
+        assert!(s.satisfies(&parse_spec("hdf5 ^zlib@1.2").unwrap()));
+        assert!(s.satisfies(&parse_spec("hdf5 ^mpich pmi=pmix").unwrap()));
+        assert!(!s.satisfies(&parse_spec("hdf5 ^zlib@1.3").unwrap()));
+        assert!(!s.satisfies(&parse_spec("hdf5 ^openmpi").unwrap()));
+    }
+
+    #[test]
+    fn build_deps_match_percent_not_caret() {
+        let s = sample();
+        assert!(s.satisfies(&parse_spec("hdf5 %cmake").unwrap()));
+        // cmake is a build dep, not link-run, so ^cmake must NOT match.
+        assert!(!s.satisfies(&parse_spec("hdf5 ^cmake").unwrap()));
+        // zlib is link-run only, so %zlib must NOT match.
+        assert!(!s.satisfies(&parse_spec("hdf5 %zlib").unwrap()));
+    }
+
+    #[test]
+    fn anonymous_constraint_matches_any_name() {
+        let s = sample();
+        assert!(s.satisfies(&parse_spec("@1.14").unwrap()));
+        assert!(s.satisfies(&parse_spec("+cxx").unwrap()));
+        assert!(!s.satisfies(&parse_spec("@2:").unwrap()));
+    }
+
+    #[test]
+    fn os_target_constraints() {
+        let s = sample();
+        assert!(s.satisfies(&parse_spec("hdf5 os=linux target=x86_64").unwrap()));
+        assert!(!s.satisfies(&parse_spec("hdf5 target=icelake").unwrap()));
+    }
+
+    #[test]
+    fn nested_dep_constraints() {
+        // app -> libx -> zlib@1.2; constraint app ^libx ^zlib@1.2 holds,
+        // and so does app ^libx@2 even though zlib hangs off libx.
+        let mut b = ConcreteSpecBuilder::new();
+        let z = b.node("zlib", v("1.2"));
+        let lx = b.node("libx", v("2.0"));
+        let app = b.node("app", v("1.0"));
+        b.edge(lx, z, DepTypes::LINK_RUN);
+        b.edge(app, lx, DepTypes::LINK_RUN);
+        let s = b.build(app).unwrap();
+        assert!(s.satisfies(&parse_spec("app ^zlib@1.2").unwrap()));
+        assert!(s.satisfies(&parse_spec("app ^libx@2").unwrap()));
+        assert!(!s.satisfies(&parse_spec("app ^zlib@1.3").unwrap()));
+    }
+}

@@ -1,0 +1,491 @@
+//! Splice mechanics (paper §4, Fig 2).
+//!
+//! A *splice* replaces a dependency of an already-built concrete spec with
+//! an ABI-compatible, also-already-built substitute — without rebuilding.
+//! The resulting DAG records *build provenance*: every node whose runtime
+//! dependency closure changed carries a `build_spec` pointing at the spec
+//! it was actually compiled as.
+//!
+//! Two flavours (paper §4.1):
+//!
+//! * **transitive** — the replacement's dependencies win ties: every
+//!   package shared between the target spec and the replacement spec is
+//!   unified to the replacement's copy.
+//! * **intransitive** — the target keeps its own dependencies: the
+//!   replacement is relinked against the target's existing copies of any
+//!   shared packages (so the replacement's root itself becomes spliced).
+//!
+//! Build dependencies of spliced nodes are pruned: they describe how the
+//! original binary was produced and live on in the `build_spec`, not in
+//! the runtime DAG (paper §4.1, final subtlety).
+
+use crate::error::SpecError;
+use crate::hash::SpecHash;
+use crate::ident::Sym;
+use crate::spec::{ConcreteNode, ConcreteSpec, DepTypes, NodeId};
+use crate::Result;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Which source DAG a merged node came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Src {
+    Target,
+    Replacement,
+}
+
+impl ConcreteSpec {
+    /// Splice `replacement` in for the node of the same name
+    /// (`spec.splice(&new_zlib, true)`).
+    pub fn splice(&self, replacement: &ConcreteSpec, transitive: bool) -> Result<ConcreteSpec> {
+        self.splice_as(replacement.root().name, replacement, transitive)
+    }
+
+    /// Splice `replacement` in for the node named `replace_name`, which may
+    /// differ from the replacement's own name (cross-package splices, e.g.
+    /// `mpiabi` standing in for `mpich`).
+    pub fn splice_as(
+        &self,
+        replace_name: Sym,
+        replacement: &ConcreteSpec,
+        transitive: bool,
+    ) -> Result<ConcreteSpec> {
+        let x = self.find(replace_name).ok_or_else(|| {
+            SpecError::BadSplice(format!("{replace_name} is not a node of the target spec"))
+        })?;
+        if x == self.root_id() {
+            return Err(SpecError::BadSplice(
+                "cannot splice the root of a spec; splice into a dependent instead".into(),
+            ));
+        }
+        // Note: the replacement's own package may already appear in the
+        // target (e.g. an earlier child splice introduced it); the winner
+        // rules below unify to the replacement's copy.
+        let o_root_name = replacement.root().name;
+
+        // --- 1. Decide the winning copy of every package name. ---
+        let mut winners: BTreeMap<Sym, (Src, NodeId)> = BTreeMap::new();
+        for (id, n) in self.nodes().iter().enumerate() {
+            if n.name != replace_name {
+                winners.insert(n.name, (Src::Target, id));
+            }
+        }
+        for (id, n) in replacement.nodes().iter().enumerate() {
+            let take = if n.name == o_root_name && id == replacement.root_id() {
+                true // the replacement root always wins
+            } else if transitive {
+                true // replacement's deps win ties
+            } else {
+                !winners.contains_key(&n.name) // target's deps win ties
+            };
+            if take {
+                winners.insert(n.name, (Src::Replacement, id));
+            }
+        }
+        // The spliced-out name resolves to the replacement root.
+        winners.insert(replace_name, (Src::Replacement, replacement.root_id()));
+
+        let src_spec = |s: Src| -> &ConcreteSpec {
+            match s {
+                Src::Target => self,
+                Src::Replacement => replacement,
+            }
+        };
+
+        // --- 2. Materialize merged nodes with resolved edges. ---
+        // Stable ordering: target nodes first, then replacement nodes.
+        let mut order: Vec<(Sym, Src, NodeId)> = Vec::new();
+        for (&name, &(s, id)) in &winners {
+            if name == replace_name && o_root_name != replace_name {
+                continue; // alias entry, same node as o_root_name's
+            }
+            order.push((name, s, id));
+        }
+        let index_of: BTreeMap<Sym, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &(name, _, _))| (name, i))
+            .collect();
+        let resolve = |from: Src, dep_name: Sym| -> Option<usize> {
+            let name = if from == Src::Target && dep_name == replace_name {
+                o_root_name
+            } else if dep_name == replace_name && o_root_name != replace_name {
+                // A replacement-subtree reference to the spliced-out name
+                // also lands on the replacement root.
+                o_root_name
+            } else {
+                dep_name
+            };
+            index_of.get(&name).copied()
+        };
+
+        struct Merged {
+            node: ConcreteNode,
+            src: Src,
+            orig_id: NodeId,
+            orig_hash: SpecHash,
+            deps: Vec<(usize, DepTypes, SpecHash)>, // (new idx, types, hash the edge was built against)
+        }
+
+        let mut merged: Vec<Merged> = Vec::with_capacity(order.len());
+        for &(_, s, id) in &order {
+            let spec = src_spec(s);
+            let n = spec.node(id);
+            let mut deps = Vec::with_capacity(n.deps.len());
+            for &(d, t) in &n.deps {
+                let dep_name = spec.node(d).name;
+                let Some(new_idx) = resolve(s, dep_name) else {
+                    // Dependency not among winners: it can only be a
+                    // subtree of the spliced-out node that nothing else
+                    // retains; drop the edge (it is unreachable anyway).
+                    continue;
+                };
+                deps.push((new_idx, t, spec.node(d).hash));
+            }
+            merged.push(Merged {
+                node: n.clone(),
+                src: s,
+                orig_id: id,
+                orig_hash: n.hash,
+                deps,
+            });
+        }
+
+        // --- 3. Decide which nodes changed (need provenance). ---
+        // A node changed iff some resolved link-run dependency is a
+        // different binary than it was built against, or a dependency
+        // changed transitively.
+        let adjacency: Vec<Vec<usize>> = merged
+            .iter()
+            .map(|m| m.deps.iter().map(|&(d, _, _)| d).collect())
+            .collect();
+        let topo = topo_merged(&adjacency)?;
+        let mut changed = vec![false; merged.len()];
+        for &i in &topo {
+            let m = &merged[i];
+            for &(dep_idx, types, built_against) in &m.deps {
+                if !types.is_link_run() {
+                    continue;
+                }
+                if merged[dep_idx].orig_hash != built_against || changed[dep_idx] {
+                    changed[i] = true;
+                    break;
+                }
+            }
+        }
+
+        // --- 4. Emit the final DAG. ---
+        let mut nodes: Vec<ConcreteNode> = Vec::with_capacity(merged.len());
+        for (i, m) in merged.iter().enumerate() {
+            let mut n = m.node.clone();
+            n.deps = m
+                .deps
+                .iter()
+                .filter_map(|&(d, t, _)| {
+                    if changed[i] {
+                        // Spliced nodes shed build-only edges; mixed edges
+                        // keep only their link-run component.
+                        if t.is_link_run() {
+                            Some((d, DepTypes::LINK_RUN))
+                        } else {
+                            None
+                        }
+                    } else {
+                        Some((d, t))
+                    }
+                })
+                .collect();
+            if changed[i] && n.build_spec.is_none() {
+                n.build_spec = Some(Arc::new(src_spec(m.src).subdag(m.orig_id)));
+            }
+            nodes.push(n);
+        }
+
+        let root_idx = index_of[&self.root().name];
+        let mut out = ConcreteSpec::from_parts(nodes, root_idx);
+        out = out.subdag(out.root_id()); // prune unreachable
+        out.rehash()?;
+        Ok(out)
+    }
+}
+
+/// Topological order (dependencies first) over an adjacency list; detects
+/// cycles introduced by a malformed splice.
+fn topo_merged(adjacency: &[Vec<usize>]) -> Result<Vec<usize>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks = vec![Mark::White; adjacency.len()];
+    let mut order = Vec::with_capacity(adjacency.len());
+    for start in 0..adjacency.len() {
+        if marks[start] != Mark::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        marks[start] = Mark::Grey;
+        while let Some(&(id, next)) = stack.last() {
+            let deps = &adjacency[id];
+            if next < deps.len() {
+                stack.last_mut().expect("non-empty").1 += 1;
+                let dep = deps[next];
+                match marks[dep] {
+                    Mark::White => {
+                        marks[dep] = Mark::Grey;
+                        stack.push((dep, 0));
+                    }
+                    Mark::Grey => {
+                        return Err(SpecError::Cycle(
+                            "splice would introduce a dependency cycle".into(),
+                        ));
+                    }
+                    Mark::Black => {}
+                }
+            } else {
+                marks[id] = Mark::Black;
+                order.push(id);
+                stack.pop();
+            }
+        }
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ConcreteSpecBuilder;
+    use crate::version::Version;
+
+    fn v(s: &str) -> Version {
+        Version::parse(s).unwrap()
+    }
+
+    /// Paper Fig 2: T ^H ^Z@1.0 (built) and H' ^S ^Z@1.1 (built).
+    fn fig2_t() -> ConcreteSpec {
+        let mut b = ConcreteSpecBuilder::new();
+        let z = b.node("z", v("1.0"));
+        let h = b.node("h", v("1.0"));
+        let t = b.node("t", v("1.0"));
+        b.edge(h, z, DepTypes::LINK_RUN);
+        b.edge(t, h, DepTypes::LINK_RUN);
+        b.edge(t, z, DepTypes::LINK_RUN);
+        b.build(t).unwrap()
+    }
+
+    fn fig2_hprime() -> ConcreteSpec {
+        let mut b = ConcreteSpecBuilder::new();
+        let z = b.node("z", v("1.1"));
+        let s = b.node("s", v("1.0"));
+        let h = b.node("h", v("2.0"));
+        b.edge(h, s, DepTypes::LINK_RUN);
+        b.edge(h, z, DepTypes::LINK_RUN);
+        b.build(h).unwrap()
+    }
+
+    #[test]
+    fn fig2_transitive_splice() {
+        let t = fig2_t();
+        let hp = fig2_hprime();
+        // Request: T ^H' — transitive splice of H' into T.
+        let spliced = t.splice(&hp, true).unwrap();
+
+        // Shape: t -> h'(2.0) -> {s, z@1.1}; t -> z@1.1 (shared dep unified
+        // to the replacement's copy).
+        let h = spliced.find(Sym::intern("h")).unwrap();
+        assert_eq!(spliced.node(h).version, v("2.0"));
+        let z = spliced.find(Sym::intern("z")).unwrap();
+        assert_eq!(spliced.node(z).version, v("1.1"));
+        assert!(spliced.find(Sym::intern("s")).is_some());
+
+        // Provenance: T changed (relinked) -> build_spec present; H' and
+        // its subtree are exactly as built -> no provenance.
+        assert!(spliced.root().is_spliced());
+        assert!(!spliced.node(h).is_spliced());
+        assert!(!spliced.node(z).is_spliced());
+
+        // T's build_spec records the original T ^H ^Z@1.0.
+        let bs = spliced.root().build_spec.as_ref().unwrap();
+        assert_eq!(bs.dag_hash(), t.dag_hash());
+    }
+
+    #[test]
+    fn fig2_intransitive_splice() {
+        let t = fig2_t();
+        let hp = fig2_hprime();
+        let step1 = t.splice(&hp, true).unwrap();
+
+        // Request: T ^H' ^Z@1.0 — splice Z@1.0 back in (intransitive
+        // result per the paper: H' now uses Z@1.0, T's dep restored).
+        let mut zb = ConcreteSpecBuilder::new();
+        let z = zb.node("z", v("1.0"));
+        let z10 = zb.build(z).unwrap();
+        let step2 = step1.splice(&z10, false).unwrap();
+
+        let z = step2.find(Sym::intern("z")).unwrap();
+        assert_eq!(step2.node(z).version, v("1.0"));
+        // Both T and H' are now spliced; Z@1.0 itself was built as-is.
+        let h = step2.find(Sym::intern("h")).unwrap();
+        assert!(step2.root().is_spliced());
+        assert!(step2.node(h).is_spliced());
+        assert!(!step2.node(z).is_spliced());
+
+        // H's provenance records how it was *really* built: H' ^S ^Z@1.1.
+        let h_bs = step2.node(h).build_spec.as_ref().unwrap();
+        assert_eq!(h_bs.dag_hash(), hp.dag_hash());
+    }
+
+    #[test]
+    fn splice_prunes_build_deps_of_spliced_nodes() {
+        // app --(build)--> cmake, --(link)--> zlib@1.2
+        let mut b = ConcreteSpecBuilder::new();
+        let cmake = b.node("cmake", v("3.27"));
+        let z = b.node("zlib", v("1.2"));
+        let app = b.node("app", v("1.0"));
+        b.edge(app, cmake, DepTypes::BUILD);
+        b.edge(app, z, DepTypes::LINK_RUN);
+        let app_spec = b.build(app).unwrap();
+
+        let mut zb = ConcreteSpecBuilder::new();
+        let z13 = zb.node("zlib", v("1.3"));
+        let z13 = zb.build(z13).unwrap();
+
+        let spliced = app_spec.splice(&z13, true).unwrap();
+        assert!(spliced.find(Sym::intern("cmake")).is_none());
+        assert!(spliced.root().is_spliced());
+        // The provenance still knows about cmake.
+        let bs = spliced.root().build_spec.as_ref().unwrap();
+        assert!(bs.find(Sym::intern("cmake")).is_some());
+    }
+
+    #[test]
+    fn cross_package_splice() {
+        // trilinos ^mpich; splice mpiabi (ABI-compatible) in for mpich.
+        let mut b = ConcreteSpecBuilder::new();
+        let mpich = b.node("mpich", v("3.4.3"));
+        let tri = b.node("trilinos", v("14.0"));
+        b.edge(tri, mpich, DepTypes::LINK_RUN);
+        let tri = b.build(tri).unwrap();
+
+        let mut mb = ConcreteSpecBuilder::new();
+        let mpiabi = mb.node("mpiabi", v("1.0"));
+        let mpiabi = mb.build(mpiabi).unwrap();
+
+        let spliced = tri
+            .splice_as(Sym::intern("mpich"), &mpiabi, true)
+            .unwrap();
+        assert!(spliced.find(Sym::intern("mpich")).is_none());
+        assert!(spliced.find(Sym::intern("mpiabi")).is_some());
+        assert!(spliced.root().is_spliced());
+        assert_eq!(
+            spliced.root().build_spec.as_ref().unwrap().dag_hash(),
+            tri.dag_hash()
+        );
+    }
+
+    #[test]
+    fn splice_missing_target_errors() {
+        let t = fig2_t();
+        let mut b = ConcreteSpecBuilder::new();
+        let q = b.node("q", v("1"));
+        let q = b.build(q).unwrap();
+        assert!(matches!(
+            t.splice(&q, true),
+            Err(SpecError::BadSplice(_))
+        ));
+    }
+
+    #[test]
+    fn splice_root_errors() {
+        let t = fig2_t();
+        let mut b = ConcreteSpecBuilder::new();
+        let t2 = b.node("t", v("2.0"));
+        let t2 = b.build(t2).unwrap();
+        assert!(matches!(t.splice(&t2, true), Err(SpecError::BadSplice(_))));
+    }
+
+    #[test]
+    fn spliced_hash_differs_from_native_build() {
+        // A natively-built T ^H' ^Z@1.1 must hash differently from the
+        // spliced one (paper: reproducibility requires distinguishing).
+        let t = fig2_t();
+        let hp = fig2_hprime();
+        let spliced = t.splice(&hp, true).unwrap();
+
+        let mut b = ConcreteSpecBuilder::new();
+        let z = b.node("z", v("1.1"));
+        let s = b.node("s", v("1.0"));
+        let h = b.node("h", v("2.0"));
+        let troot = b.node("t", v("1.0"));
+        b.edge(h, s, DepTypes::LINK_RUN);
+        b.edge(h, z, DepTypes::LINK_RUN);
+        b.edge(troot, h, DepTypes::LINK_RUN);
+        b.edge(troot, z, DepTypes::LINK_RUN);
+        let native = b.build(troot).unwrap();
+
+        assert_ne!(spliced.dag_hash(), native.dag_hash());
+    }
+
+    #[test]
+    fn splice_is_idempotent_on_hash() {
+        let t = fig2_t();
+        let hp = fig2_hprime();
+        let a = t.splice(&hp, true).unwrap();
+        let b = t.splice(&hp, true).unwrap();
+        assert_eq!(a.dag_hash(), b.dag_hash());
+    }
+
+    #[test]
+    fn double_splice_keeps_original_provenance() {
+        // Splice zlib twice; the root's build_spec still points at the
+        // ORIGINAL build, not the intermediate splice.
+        let mut b = ConcreteSpecBuilder::new();
+        let z = b.node("zlib", v("1.1"));
+        let app = b.node("app", v("1.0"));
+        b.edge(app, z, DepTypes::LINK_RUN);
+        let orig = b.build(app).unwrap();
+
+        let mk_z = |ver: &str| {
+            let mut zb = ConcreteSpecBuilder::new();
+            let z = zb.node("zlib", v(ver));
+            zb.build(z).unwrap()
+        };
+        let s1 = orig.splice(&mk_z("1.2"), true).unwrap();
+        let s2 = s1.splice(&mk_z("1.3"), true).unwrap();
+        assert_eq!(
+            s2.root().build_spec.as_ref().unwrap().dag_hash(),
+            orig.dag_hash()
+        );
+    }
+
+    #[test]
+    fn unrelated_subtree_untouched() {
+        // app -> {libfoo -> zlib, libbar}; splicing zlib leaves libbar
+        // identical (same node hash as before).
+        let mut b = ConcreteSpecBuilder::new();
+        let z = b.node("zlib", v("1.1"));
+        let foo = b.node("libfoo", v("1.0"));
+        let bar = b.node("libbar", v("1.0"));
+        let app = b.node("app", v("1.0"));
+        b.edge(foo, z, DepTypes::LINK_RUN);
+        b.edge(app, foo, DepTypes::LINK_RUN);
+        b.edge(app, bar, DepTypes::LINK_RUN);
+        let orig = b.build(app).unwrap();
+        let bar_hash = orig.node(orig.find(Sym::intern("libbar")).unwrap()).hash;
+
+        let mut zb = ConcreteSpecBuilder::new();
+        let z12 = zb.node("zlib", v("1.2"));
+        let z12 = zb.build(z12).unwrap();
+        let spliced = orig.splice(&z12, true).unwrap();
+
+        let bar_new = spliced.find(Sym::intern("libbar")).unwrap();
+        assert_eq!(spliced.node(bar_new).hash, bar_hash);
+        assert!(!spliced.node(bar_new).is_spliced());
+        // libfoo and app are spliced.
+        let foo_new = spliced.find(Sym::intern("libfoo")).unwrap();
+        assert!(spliced.node(foo_new).is_spliced());
+        assert!(spliced.root().is_spliced());
+    }
+}

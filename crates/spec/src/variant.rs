@@ -1,0 +1,228 @@
+//! Variants: named compile-time options on a package.
+//!
+//! A variant is either boolean (`+mpi` / `~mpi`), single-valued
+//! (`api=default`), or multi-valued (`languages=c,cxx`). Packages declare
+//! the *kind* and allowed values; specs constrain or fix the value.
+
+use crate::ident::Sym;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The declared shape of a variant on a package.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VariantKind {
+    /// `+name` / `~name`, with a default.
+    Bool {
+        /// Default truth value.
+        default: bool,
+    },
+    /// `name=value`, one value from an allowed set.
+    Single {
+        /// Default value.
+        default: Sym,
+        /// Legal values.
+        allowed: Vec<Sym>,
+    },
+    /// `name=v1,v2`, any non-empty subset of the allowed set.
+    Multi {
+        /// Default subset.
+        default: BTreeSet<Sym>,
+        /// Legal values.
+        allowed: Vec<Sym>,
+    },
+}
+
+impl VariantKind {
+    /// The default value for this variant kind.
+    pub fn default_value(&self) -> VariantValue {
+        match self {
+            VariantKind::Bool { default } => VariantValue::Bool(*default),
+            VariantKind::Single { default, .. } => VariantValue::Single(*default),
+            VariantKind::Multi { default, .. } => VariantValue::Multi(default.clone()),
+        }
+    }
+
+    /// All values a concretizer may choose for this variant.
+    pub fn candidate_values(&self) -> Vec<VariantValue> {
+        match self {
+            VariantKind::Bool { .. } => {
+                vec![VariantValue::Bool(true), VariantValue::Bool(false)]
+            }
+            VariantKind::Single { allowed, .. } => {
+                allowed.iter().map(|&v| VariantValue::Single(v)).collect()
+            }
+            // For multi-valued variants we enumerate only the default and
+            // each singleton; full powerset enumeration would explode and is
+            // not needed by the paper's workloads.
+            VariantKind::Multi { default, allowed } => {
+                let mut out = vec![VariantValue::Multi(default.clone())];
+                for &v in allowed {
+                    let single: BTreeSet<Sym> = [v].into_iter().collect();
+                    if single != *default {
+                        out.push(VariantValue::Multi(single));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Is `value` legal for this variant kind?
+    pub fn accepts(&self, value: &VariantValue) -> bool {
+        match (self, value) {
+            (VariantKind::Bool { .. }, VariantValue::Bool(_)) => true,
+            (VariantKind::Single { allowed, .. }, VariantValue::Single(v)) => allowed.contains(v),
+            (VariantKind::Multi { allowed, .. }, VariantValue::Multi(vs)) => {
+                !vs.is_empty() && vs.iter().all(|v| allowed.contains(v))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A set or constrained value for a variant on a spec.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VariantValue {
+    /// Boolean variant value.
+    Bool(bool),
+    /// Single-valued variant value.
+    Single(Sym),
+    /// Multi-valued variant value (non-empty set).
+    Multi(BTreeSet<Sym>),
+}
+
+impl VariantValue {
+    /// Canonical string rendering used in ASP facts and hashing
+    /// (`"True"`/`"False"` for booleans, matching the paper's encoding).
+    pub fn canonical(&self) -> String {
+        match self {
+            VariantValue::Bool(true) => "True".to_string(),
+            VariantValue::Bool(false) => "False".to_string(),
+            VariantValue::Single(s) => s.as_str().to_string(),
+            VariantValue::Multi(vs) => {
+                let parts: Vec<&str> = vs.iter().map(|s| s.as_str()).collect();
+                parts.join(",")
+            }
+        }
+    }
+
+    /// Parse a `key=value` right-hand side into a value. Comma produces a
+    /// multi-value; `True`/`False` canonical forms produce booleans.
+    pub fn parse(raw: &str) -> VariantValue {
+        match raw {
+            "True" | "true" => VariantValue::Bool(true),
+            "False" | "false" => VariantValue::Bool(false),
+            _ if raw.contains(',') => VariantValue::Multi(
+                raw.split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(Sym::intern)
+                    .collect(),
+            ),
+            _ => VariantValue::Single(Sym::intern(raw)),
+        }
+    }
+
+    /// Does a concrete value `self` satisfy a constraint value `other`?
+    ///
+    /// Bool/Single require equality; a concrete Multi satisfies a
+    /// constraint Multi when it is a superset.
+    pub fn satisfies(&self, constraint: &VariantValue) -> bool {
+        match (self, constraint) {
+            (VariantValue::Multi(have), VariantValue::Multi(want)) => have.is_superset(want),
+            (a, b) => a == b,
+        }
+    }
+}
+
+/// Render a spec-syntax fragment for a named variant value
+/// (`+bzip`, `~debug`, `api=default`).
+pub fn display_variant(name: Sym, value: &VariantValue) -> String {
+    match value {
+        VariantValue::Bool(true) => format!("+{name}"),
+        VariantValue::Bool(false) => format!("~{name}"),
+        other => format!("{name}={}", other.canonical()),
+    }
+}
+
+impl fmt::Display for VariantValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: &str) -> Sym {
+        Sym::intern(x)
+    }
+
+    #[test]
+    fn bool_kind_defaults_and_candidates() {
+        let k = VariantKind::Bool { default: true };
+        assert_eq!(k.default_value(), VariantValue::Bool(true));
+        assert_eq!(k.candidate_values().len(), 2);
+        assert!(k.accepts(&VariantValue::Bool(false)));
+        assert!(!k.accepts(&VariantValue::Single(s("x"))));
+    }
+
+    #[test]
+    fn single_kind_accepts_only_allowed() {
+        let k = VariantKind::Single {
+            default: s("default"),
+            allowed: vec![s("default"), s("custom")],
+        };
+        assert!(k.accepts(&VariantValue::Single(s("custom"))));
+        assert!(!k.accepts(&VariantValue::Single(s("bogus"))));
+        assert_eq!(k.candidate_values().len(), 2);
+    }
+
+    #[test]
+    fn multi_kind_candidates_include_default_and_singletons() {
+        let k = VariantKind::Multi {
+            default: [s("c"), s("cxx")].into_iter().collect(),
+            allowed: vec![s("c"), s("cxx"), s("fortran")],
+        };
+        let cands = k.candidate_values();
+        assert!(cands.contains(&VariantValue::Multi([s("c"), s("cxx")].into_iter().collect())));
+        assert!(cands.contains(&VariantValue::Multi([s("fortran")].into_iter().collect())));
+        assert!(!k.accepts(&VariantValue::Multi(BTreeSet::new())));
+        assert!(!k.accepts(&VariantValue::Multi([s("rust")].into_iter().collect())));
+    }
+
+    #[test]
+    fn canonical_bool_matches_paper_encoding() {
+        assert_eq!(VariantValue::Bool(true).canonical(), "True");
+        assert_eq!(VariantValue::Bool(false).canonical(), "False");
+    }
+
+    #[test]
+    fn parse_values() {
+        assert_eq!(VariantValue::parse("True"), VariantValue::Bool(true));
+        assert_eq!(VariantValue::parse("pmix"), VariantValue::Single(s("pmix")));
+        assert_eq!(
+            VariantValue::parse("c,cxx"),
+            VariantValue::Multi([s("c"), s("cxx")].into_iter().collect())
+        );
+    }
+
+    #[test]
+    fn multi_satisfies_is_superset() {
+        let have = VariantValue::Multi([s("c"), s("cxx"), s("f90")].into_iter().collect());
+        let want = VariantValue::Multi([s("c")].into_iter().collect());
+        assert!(have.satisfies(&want));
+        assert!(!want.satisfies(&have));
+    }
+
+    #[test]
+    fn display_fragments() {
+        assert_eq!(display_variant(s("bzip"), &VariantValue::Bool(true)), "+bzip");
+        assert_eq!(display_variant(s("mpi"), &VariantValue::Bool(false)), "~mpi");
+        assert_eq!(
+            display_variant(s("api"), &VariantValue::Single(s("default"))),
+            "api=default"
+        );
+    }
+}

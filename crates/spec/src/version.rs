@@ -1,0 +1,461 @@
+//! Versions and version constraints.
+//!
+//! Spack versions are dotted sequences of numeric and alphanumeric
+//! components (`1.14.5`, `2024.01`, `3.1rc2`, `develop`). A version
+//! *requirement* written `@...` in spec syntax is either a prefix match
+//! (`@1.2` accepts `1.2`, `1.2.11`, ...) or an inclusive range
+//! (`@1.2:1.4`, `@1.2:`, `@:1.4`).
+
+use crate::error::SpecError;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// One dot-separated component of a version.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Segment {
+    /// Purely numeric component, compared numerically.
+    Num(u64),
+    /// Alphanumeric component (e.g. `rc2`, `develop`), compared
+    /// lexicographically and ordered *before* any numeric component so that
+    /// pre-releases sort below releases (`1.0rc1 < 1.0`... approximated at
+    /// segment granularity).
+    Alpha(String),
+}
+
+impl PartialOrd for Segment {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Segment {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Segment::Num(a), Segment::Num(b)) => a.cmp(b),
+            (Segment::Alpha(a), Segment::Alpha(b)) => a.cmp(b),
+            (Segment::Alpha(_), Segment::Num(_)) => Ordering::Less,
+            (Segment::Num(_), Segment::Alpha(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Segment::Num(n) => write!(f, "{n}"),
+            Segment::Alpha(a) => f.write_str(a),
+        }
+    }
+}
+
+/// A concrete version such as `1.14.5` or `develop`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Version {
+    segments: Vec<Segment>,
+}
+
+impl Version {
+    /// Parse a version from its dotted string form.
+    ///
+    /// A component that consists only of ASCII digits becomes
+    /// [`Segment::Num`]; mixed components like `1rc2` are split into `1`
+    /// and `rc2`.
+    pub fn parse(s: &str) -> Result<Version, SpecError> {
+        if s.is_empty() {
+            return Err(SpecError::BadVersion(s.to_string()));
+        }
+        let mut segments = Vec::new();
+        for part in s.split('.') {
+            if part.is_empty() {
+                return Err(SpecError::BadVersion(s.to_string()));
+            }
+            // Split a mixed part into runs of digits / non-digits.
+            let mut cur = String::new();
+            let mut cur_is_digit: Option<bool> = None;
+            for ch in part.chars() {
+                if !(ch.is_ascii_alphanumeric() || ch == '-' || ch == '_') {
+                    return Err(SpecError::BadVersion(s.to_string()));
+                }
+                let is_digit = ch.is_ascii_digit();
+                match cur_is_digit {
+                    Some(d) if d != is_digit => {
+                        segments.push(Self::mk_segment(&cur, d, s)?);
+                        cur.clear();
+                    }
+                    _ => {}
+                }
+                cur_is_digit = Some(is_digit);
+                cur.push(ch);
+            }
+            if let Some(d) = cur_is_digit {
+                segments.push(Self::mk_segment(&cur, d, s)?);
+            }
+        }
+        Ok(Version { segments })
+    }
+
+    fn mk_segment(text: &str, is_digit: bool, orig: &str) -> Result<Segment, SpecError> {
+        if is_digit {
+            text.parse::<u64>()
+                .map(Segment::Num)
+                .map_err(|_| SpecError::BadVersion(orig.to_string()))
+        } else {
+            Ok(Segment::Alpha(text.to_string()))
+        }
+    }
+
+    /// The version's components.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// True when `self` extends `prefix` (`1.2.11` has prefix `1.2`).
+    /// Every version is a prefix-extension of itself.
+    pub fn starts_with(&self, prefix: &Version) -> bool {
+        prefix.segments.len() <= self.segments.len()
+            && self.segments[..prefix.segments.len()] == prefix.segments[..]
+    }
+}
+
+impl PartialOrd for Version {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Version {
+    /// Componentwise order; a strict prefix sorts below its extensions
+    /// (`1.2 < 1.2.1`).
+    fn cmp(&self, other: &Self) -> Ordering {
+        for (a, b) in self.segments.iter().zip(&other.segments) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        self.segments.len().cmp(&other.segments.len())
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut prev_alpha = false;
+        for seg in &self.segments {
+            let is_alpha = matches!(seg, Segment::Alpha(_));
+            if !first {
+                // Mixed segments like `1rc2` were split during parsing; we
+                // re-join digit->alpha and alpha->digit transitions without a
+                // dot only when they originated that way is unknowable, so we
+                // canonicalize with dots except alpha directly after num,
+                // which Spack prints joined (e.g. `3.1rc2`).
+                if !(is_alpha && !prev_alpha) {
+                    f.write_str(".")?;
+                }
+            }
+            write!(f, "{seg}")?;
+            prev_alpha = is_alpha;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Version {
+    type Err = SpecError;
+    fn from_str(s: &str) -> Result<Version, SpecError> {
+        Version::parse(s)
+    }
+}
+
+/// A constraint on versions, as written after `@` in spec syntax.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum VersionReq {
+    /// No constraint (`hdf5` with no `@`).
+    #[default]
+    Any,
+    /// `@1.2` — any version extending the prefix `1.2` (includes `1.2`).
+    Prefix(Version),
+    /// `@=1.2` — exactly the version `1.2`.
+    Exact(Version),
+    /// `@lo:hi` with optional endpoints, inclusive. `@1.2:` and `@:1.4`
+    /// leave one side open. The upper endpoint is prefix-inclusive like
+    /// Spack: `@:1.4` admits `1.4.9`.
+    Range(Option<Version>, Option<Version>),
+}
+
+impl VersionReq {
+    /// Parse the text following `@` in spec syntax.
+    pub fn parse(s: &str) -> Result<VersionReq, SpecError> {
+        if s.is_empty() {
+            return Err(SpecError::BadVersion("@ with no version".into()));
+        }
+        if let Some(rest) = s.strip_prefix('=') {
+            return Ok(VersionReq::Exact(Version::parse(rest)?));
+        }
+        if let Some(idx) = s.find(':') {
+            let (lo, hi) = s.split_at(idx);
+            let hi = &hi[1..];
+            let lo = if lo.is_empty() {
+                None
+            } else {
+                Some(Version::parse(lo)?)
+            };
+            let hi = if hi.is_empty() {
+                None
+            } else {
+                Some(Version::parse(hi)?)
+            };
+            if lo.is_none() && hi.is_none() {
+                return Err(SpecError::BadVersion(s.to_string()));
+            }
+            Ok(VersionReq::Range(lo, hi))
+        } else {
+            Ok(VersionReq::Prefix(Version::parse(s)?))
+        }
+    }
+
+    /// Does `v` satisfy this requirement?
+    pub fn satisfies(&self, v: &Version) -> bool {
+        match self {
+            VersionReq::Any => true,
+            VersionReq::Prefix(p) => v.starts_with(p),
+            VersionReq::Exact(e) => v == e,
+            VersionReq::Range(lo, hi) => {
+                if let Some(lo) = lo {
+                    if v < lo {
+                        return false;
+                    }
+                }
+                if let Some(hi) = hi {
+                    // Prefix-inclusive upper bound: v <= hi or v extends hi.
+                    if v > hi && !v.starts_with(hi) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// A requirement at least as strong as both `self` and `other`, or
+    /// `None` when they are syntactically incompatible in ways we can
+    /// detect. (Sound but not complete: a returned requirement may still be
+    /// unsatisfiable; the solver settles final feasibility.)
+    pub fn intersect(&self, other: &VersionReq) -> Option<VersionReq> {
+        use VersionReq::*;
+        match (self, other) {
+            (Any, r) | (r, Any) => Some(r.clone()),
+            (Exact(a), Exact(b)) => (a == b).then(|| Exact(a.clone())),
+            (Exact(e), r) | (r, Exact(e)) => r.satisfies(e).then(|| Exact(e.clone())),
+            (Prefix(a), Prefix(b)) => {
+                if a.starts_with(b) {
+                    Some(Prefix(a.clone()))
+                } else if b.starts_with(a) {
+                    Some(Prefix(b.clone()))
+                } else {
+                    None
+                }
+            }
+            (Prefix(p), Range(..)) | (Range(..), Prefix(p)) => {
+                // Keep the prefix; verify it is not obviously outside the range.
+                let range = if matches!(self, Range(..)) { self } else { other };
+                range.satisfies(p).then(|| Prefix(p.clone()))
+            }
+            (Range(lo1, hi1), Range(lo2, hi2)) => {
+                let lo = match (lo1, lo2) {
+                    (Some(a), Some(b)) => Some(a.clone().max(b.clone())),
+                    (Some(a), None) | (None, Some(a)) => Some(a.clone()),
+                    (None, None) => None,
+                };
+                let hi = match (hi1, hi2) {
+                    (Some(a), Some(b)) => Some(a.clone().min(b.clone())),
+                    (Some(a), None) | (None, Some(a)) => Some(a.clone()),
+                    (None, None) => None,
+                };
+                if let (Some(l), Some(h)) = (&lo, &hi) {
+                    if l > h && !l.starts_with(h) {
+                        return None;
+                    }
+                }
+                Some(Range(lo, hi))
+            }
+        }
+    }
+}
+
+impl fmt::Display for VersionReq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VersionReq::Any => Ok(()),
+            VersionReq::Prefix(v) => write!(f, "@{v}"),
+            VersionReq::Exact(v) => write!(f, "@={v}"),
+            VersionReq::Range(lo, hi) => {
+                f.write_str("@")?;
+                if let Some(lo) = lo {
+                    write!(f, "{lo}")?;
+                }
+                f.write_str(":")?;
+                if let Some(hi) = hi {
+                    write!(f, "{hi}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Version {
+        Version::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_simple() {
+        assert_eq!(v("1.2.3").segments().len(), 3);
+        assert_eq!(
+            v("1.2.3").segments(),
+            &[Segment::Num(1), Segment::Num(2), Segment::Num(3)]
+        );
+    }
+
+    #[test]
+    fn parse_alpha() {
+        assert_eq!(v("develop").segments(), &[Segment::Alpha("develop".into())]);
+    }
+
+    #[test]
+    fn parse_mixed_splits() {
+        assert_eq!(
+            v("3.1rc2").segments(),
+            &[
+                Segment::Num(3),
+                Segment::Num(1),
+                Segment::Alpha("rc".into()),
+                Segment::Num(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad() {
+        assert!(Version::parse("").is_err());
+        assert!(Version::parse("1..2").is_err());
+        assert!(Version::parse("1.2.").is_err());
+        assert!(Version::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn ordering_numeric_not_lexicographic() {
+        assert!(v("1.10") > v("1.9"));
+        assert!(v("1.2") < v("1.10"));
+    }
+
+    #[test]
+    fn prefix_sorts_below_extension() {
+        assert!(v("1.2") < v("1.2.1"));
+        assert!(v("1.2.0") > v("1.2"));
+    }
+
+    #[test]
+    fn alpha_sorts_below_num() {
+        // pre-release style: 1.0.rc1 < 1.0.0
+        assert!(v("1.0.rc1") < v("1.0.0"));
+        assert!(v("develop") < v("1.0"));
+    }
+
+    #[test]
+    fn starts_with() {
+        assert!(v("1.2.11").starts_with(&v("1.2")));
+        assert!(v("1.2").starts_with(&v("1.2")));
+        assert!(!v("1.20").starts_with(&v("1.2")));
+        assert!(!v("1.2").starts_with(&v("1.2.11")));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in ["1.2.3", "1.14.5", "develop", "2024.1"] {
+            assert_eq!(v(s).to_string(), s);
+            assert_eq!(v(&v(s).to_string()), v(s));
+        }
+        // Mixed segments canonicalize with the alpha joined to the number.
+        assert_eq!(v("3.1rc2").to_string(), "3.1rc.2");
+        assert_eq!(v(&v("3.1rc2").to_string()), v("3.1rc2"));
+    }
+
+    #[test]
+    fn req_prefix() {
+        let r = VersionReq::parse("1.2").unwrap();
+        assert!(r.satisfies(&v("1.2")));
+        assert!(r.satisfies(&v("1.2.11")));
+        assert!(!r.satisfies(&v("1.20")));
+        assert!(!r.satisfies(&v("1.3")));
+    }
+
+    #[test]
+    fn req_exact() {
+        let r = VersionReq::parse("=1.2").unwrap();
+        assert!(r.satisfies(&v("1.2")));
+        assert!(!r.satisfies(&v("1.2.0")));
+    }
+
+    #[test]
+    fn req_range() {
+        let r = VersionReq::parse("1.2:1.4").unwrap();
+        assert!(r.satisfies(&v("1.2")));
+        assert!(r.satisfies(&v("1.3.7")));
+        assert!(r.satisfies(&v("1.4")));
+        assert!(r.satisfies(&v("1.4.9"))); // prefix-inclusive upper bound
+        assert!(!r.satisfies(&v("1.5")));
+        assert!(!r.satisfies(&v("1.1.9")));
+    }
+
+    #[test]
+    fn req_open_ranges() {
+        let lo = VersionReq::parse("2:").unwrap();
+        assert!(lo.satisfies(&v("2.0")));
+        assert!(lo.satisfies(&v("99")));
+        assert!(!lo.satisfies(&v("1.9")));
+        let hi = VersionReq::parse(":1.4").unwrap();
+        assert!(hi.satisfies(&v("0.1")));
+        assert!(hi.satisfies(&v("1.4.9")));
+        assert!(!hi.satisfies(&v("1.5")));
+    }
+
+    #[test]
+    fn req_parse_errors() {
+        assert!(VersionReq::parse("").is_err());
+        assert!(VersionReq::parse(":").is_err());
+    }
+
+    #[test]
+    fn req_intersect() {
+        let a = VersionReq::parse("1.2:").unwrap();
+        let b = VersionReq::parse(":1.4").unwrap();
+        let i = a.intersect(&b).unwrap();
+        assert!(i.satisfies(&v("1.3")));
+        assert!(!i.satisfies(&v("1.5")));
+        assert!(!i.satisfies(&v("1.1")));
+
+        let p = VersionReq::parse("1.2").unwrap();
+        let q = VersionReq::parse("1.2.11").unwrap();
+        assert_eq!(p.intersect(&q), Some(VersionReq::Prefix(v("1.2.11"))));
+        let r = VersionReq::parse("1.3").unwrap();
+        assert_eq!(p.intersect(&r), None);
+    }
+
+    #[test]
+    fn req_display_roundtrip() {
+        for s in ["1.2", "=1.2.3", "1.2:1.4", "1.2:", ":1.4"] {
+            let r = VersionReq::parse(s).unwrap();
+            let printed = r.to_string();
+            assert_eq!(printed, format!("@{s}"));
+            assert_eq!(VersionReq::parse(&printed[1..]).unwrap(), r);
+        }
+    }
+}

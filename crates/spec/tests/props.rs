@@ -1,0 +1,229 @@
+//! Property tests for the spec substrate: version ordering laws,
+//! requirement/intersection coherence, parser round-trips, hash
+//! stability, base32 coding, and splice invariants.
+
+use proptest::prelude::*;
+use spackle_spec::spec::{ConcreteSpecBuilder, DepTypes};
+use spackle_spec::{parse_spec, Sha256, SpecHash, Sym, Version, VersionReq};
+
+// ---------------------------------------------------------------------
+// Versions
+// ---------------------------------------------------------------------
+
+fn version_strategy() -> impl Strategy<Value = Version> {
+    let seg = prop_oneof![
+        (0u64..50).prop_map(|n| n.to_string()),
+        prop_oneof![Just("rc1"), Just("alpha"), Just("beta2"), Just("dev")]
+            .prop_map(|s| s.to_string()),
+    ];
+    prop::collection::vec(seg, 1..4)
+        .prop_map(|parts| Version::parse(&parts.join(".")).expect("generated version parses"))
+}
+
+proptest! {
+    #[test]
+    fn version_order_total_and_consistent(
+        a in version_strategy(),
+        b in version_strategy(),
+        c in version_strategy()
+    ) {
+        use std::cmp::Ordering::*;
+        // Antisymmetry.
+        match a.cmp(&b) {
+            Less => prop_assert_eq!(b.cmp(&a), Greater),
+            Greater => prop_assert_eq!(b.cmp(&a), Less),
+            Equal => prop_assert_eq!(&a, &b),
+        }
+        // Transitivity (on the sampled triple).
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+        // Display round-trip preserves order and equality.
+        let a2 = Version::parse(&a.to_string()).unwrap();
+        prop_assert_eq!(a.cmp(&b), a2.cmp(&b));
+    }
+
+    #[test]
+    fn prefix_relation_matches_req(
+        base in version_strategy(),
+        ext in prop::collection::vec(0u64..9, 0..3)
+    ) {
+        // Any extension of `base` satisfies Prefix(base).
+        let mut text = base.to_string();
+        for e in &ext {
+            text.push_str(&format!(".{e}"));
+        }
+        let extended = Version::parse(&text).unwrap();
+        prop_assert!(extended.starts_with(&base));
+        let req = VersionReq::Prefix(base.clone());
+        prop_assert!(req.satisfies(&extended));
+    }
+
+    #[test]
+    fn intersection_is_sound(
+        v in version_strategy(),
+        a in version_strategy(),
+        b in version_strategy()
+    ) {
+        // If v satisfies the intersection, it satisfies both inputs.
+        let ra = VersionReq::Range(Some(a.clone()), None);
+        let rb = VersionReq::Range(None, Some(b.clone()));
+        if let Some(both) = ra.intersect(&rb) {
+            if both.satisfies(&v) {
+                prop_assert!(ra.satisfies(&v), "{v} vs {ra}");
+                prop_assert!(rb.satisfies(&v), "{v} vs {rb}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spec syntax round-trips
+// ---------------------------------------------------------------------
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}(-[a-z0-9]{1,4})?"
+}
+
+fn spec_text_strategy() -> impl Strategy<Value = String> {
+    let variant = prop_oneof![
+        Just(String::new()),
+        "[a-z]{2,6}".prop_map(|v| format!("+{v}")),
+        "[a-z]{2,6}".prop_map(|v| format!("~{v}")),
+        ("[a-z]{2,5}", "[a-z0-9]{1,5}").prop_map(|(k, v)| format!(" {k}={v}")),
+    ];
+    let version = prop_oneof![
+        Just(String::new()),
+        (1u64..9, 0u64..20).prop_map(|(a, b)| format!("@{a}.{b}")),
+        (1u64..9).prop_map(|a| format!("@{a}:")),
+        (1u64..9, 1u64..9).prop_map(|(a, b)| format!("@{}:{}", a.min(b), a.max(b))),
+    ];
+    let dep = prop_oneof![
+        Just(String::new()),
+        (name_strategy(), version.clone()).prop_map(|(n, v)| format!(" ^{n}{v}")),
+        name_strategy().prop_map(|n| format!(" %{n}")),
+    ];
+    (name_strategy(), version, variant, dep)
+        .prop_map(|(n, v, var, d)| format!("{n}{v}{var}{d}"))
+}
+
+proptest! {
+    #[test]
+    fn parse_display_parse_is_identity(text in spec_text_strategy()) {
+        let once = parse_spec(&text).expect("generated spec parses");
+        let printed = once.to_string();
+        let twice = parse_spec(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?}: {e}"));
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn parser_never_panics(text in "[ -~]{0,40}") {
+        let _ = parse_spec(&text); // must return, never panic
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn base32_roundtrip(bytes in prop::array::uniform32(0u8..)) {
+        let h = SpecHash(bytes);
+        prop_assert_eq!(SpecHash::from_base32(&h.to_base32()), Some(h));
+    }
+
+    #[test]
+    fn sha256_chunking_invariance(
+        data in prop::collection::vec(any::<u8>(), 0..2000),
+        split in 0usize..2000
+    ) {
+        let oneshot = Sha256::digest(&data);
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finish(), oneshot);
+    }
+
+    #[test]
+    fn dag_hash_insensitive_to_insertion_order(perm in 0usize..6) {
+        // Build a 3-leaf star inserting leaves in different orders.
+        let orders = [
+            ["a", "b", "c"], ["a", "c", "b"], ["b", "a", "c"],
+            ["b", "c", "a"], ["c", "a", "b"], ["c", "b", "a"],
+        ];
+        let mk = |order: &[&str; 3]| {
+            let mut b = ConcreteSpecBuilder::new();
+            let leaves: Vec<usize> = order
+                .iter()
+                .map(|n| b.node(n, Version::parse("1.0").unwrap()))
+                .collect();
+            let root = b.node("root", Version::parse("1.0").unwrap());
+            for l in leaves {
+                b.edge(root, l, DepTypes::LINK_RUN);
+            }
+            b.build(root).unwrap().dag_hash()
+        };
+        prop_assert_eq!(mk(&orders[perm]), mk(&orders[0]));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Splice invariants on random chains
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn splice_chain_invariants(
+        depth in 2usize..8,
+        splice_at_leaf_version in 1u64..9
+    ) {
+        // chain: top -> mid1 -> ... -> leaf@1.0
+        let mut b = ConcreteSpecBuilder::new();
+        let leaf = b.node("leaf", Version::parse("1.0").unwrap());
+        let mut prev = leaf;
+        let mut root = leaf;
+        for i in 1..depth {
+            let n = b.node(&format!("mid{i}"), Version::parse("1.0").unwrap());
+            b.edge(n, prev, DepTypes::LINK_RUN);
+            prev = n;
+            root = n;
+        }
+        let chain = b.build(root).unwrap();
+
+        let mut lb = ConcreteSpecBuilder::new();
+        let nl = lb.node("leaf", Version::parse(&format!("{splice_at_leaf_version}.0")).unwrap());
+        let new_leaf = lb.build(nl).unwrap();
+
+        let spliced = chain.splice(&new_leaf, true).unwrap();
+        // Same package set, same size.
+        prop_assert_eq!(spliced.len(), chain.len());
+        if splice_at_leaf_version == 1 {
+            // Identical replacement: a no-op splice. Nothing changes,
+            // nothing gains provenance.
+            prop_assert_eq!(spliced.dag_hash(), chain.dag_hash());
+            for id in spliced.all_ids() {
+                prop_assert!(!spliced.node(id).is_spliced());
+            }
+        } else {
+            // All intermediate nodes (everything but the leaf) are
+            // spliced, with provenance matching the original sub-DAGs.
+            for id in spliced.all_ids() {
+                let n = spliced.node(id);
+                if n.name == Sym::intern("leaf") {
+                    prop_assert!(!n.is_spliced());
+                } else {
+                    prop_assert!(n.is_spliced(), "{} must be spliced", n.name);
+                    let bs = n.build_spec.as_ref().unwrap();
+                    let orig = chain.find(n.name).unwrap();
+                    prop_assert_eq!(bs.dag_hash(), chain.node(orig).hash);
+                }
+            }
+            prop_assert_ne!(spliced.dag_hash(), chain.dag_hash());
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The paper's motivating scenario (§1): deploying Trilinos on an HPE
+//! Cray cluster.
+//!
+//! A build farm compiles the stack against the general-purpose MPICH and
+//! publishes a buildcache. The cluster provides Cray MPICH — binary-only,
+//! ABI-compatible with `mpich@3.4.3` (declared via `can_splice`). With
+//! splicing, deployment reuses every farm binary and merely *rewires*
+//! the MPI-dependent ones; without it, everything MPI-dependent would
+//! rebuild.
+//!
+//! Run with: `cargo run --example cray_deploy`
+
+use spackle::core::Goal;
+use spackle::prelude::*;
+
+fn repo_common() -> Vec<PackageDef> {
+    vec![
+        PackageBuilder::new("mpich")
+            .version("3.4.3")
+            .provides("mpi")
+            .build()
+            .unwrap(),
+        PackageBuilder::new("openblas").version("0.3.23").build().unwrap(),
+        PackageBuilder::new("metis").version("5.1.0").build().unwrap(),
+        PackageBuilder::new("trilinos")
+            .version("14.0.0")
+            .depends_on("openblas")
+            .depends_on("metis")
+            .depends_on("mpi")
+            .build()
+            .unwrap(),
+    ]
+}
+
+fn main() {
+    // ---- on the build farm: no cray-mpich exists here ----
+    let farm_repo = Repository::from_packages(repo_common()).unwrap();
+    let farm_goal = parse_spec("trilinos ^mpich").unwrap();
+    let farm_sol = Concretizer::new(&farm_repo).concretize(&farm_goal).unwrap();
+    println!("farm build : {}", farm_sol.spec());
+
+    // "Build" it and publish the buildcache.
+    let farm_layout = InstallLayout::new("/buildfarm/store");
+    let mut farm = Installer::new(farm_layout);
+    let plan = InstallPlan::plan(farm_sol.spec(), &BuildCache::new());
+    farm.install(farm_sol.spec(), &BuildCache::new(), &plan)
+        .unwrap();
+    let mut cache = BuildCache::new();
+    cache.add_spec_with(farm_sol.spec(), |sub| {
+        farm.build_artifact(sub, sub.root_id())
+    });
+    println!("published  : {} specs in the buildcache", cache.len());
+
+    // ---- on the Cray cluster: cray-mpich is available and declares
+    //      ABI compatibility with the reference mpich ----
+    let mut cluster_pkgs = repo_common();
+    cluster_pkgs.push(
+        PackageBuilder::new("cray-mpich")
+            .version("8.1.25")
+            .provides("mpi")
+            .can_splice("mpich@3.4.3", "")
+            .build()
+            .unwrap(),
+    );
+    let cluster_repo = Repository::from_packages(cluster_pkgs).unwrap();
+
+    // The site requires Cray MPICH: trilinos ^cray-mpich.
+    let goal = Goal::single(parse_spec("trilinos ^cray-mpich").unwrap());
+
+    // Old spack: no ABI model, so Trilinos must rebuild on the cluster.
+    let old = Concretizer::new(&cluster_repo)
+        .with_config(ConcretizerConfig::old_spack())
+        .with_reusable(&cache)
+        .concretize_goal(&goal)
+        .unwrap();
+    println!(
+        "old spack  : rebuilds {:?} on the cluster",
+        old.built.iter().map(|s| s.as_str()).collect::<Vec<_>>()
+    );
+    assert!(old.built.iter().any(|s| s.as_str() == "trilinos"));
+
+    // Splice spack: reuse the farm's Trilinos, splice cray-mpich in.
+    let new = Concretizer::new(&cluster_repo)
+        .with_config(ConcretizerConfig::splice_spack())
+        .with_reusable(&cache)
+        .concretize_goal(&goal)
+        .unwrap();
+    println!(
+        "splice spack: builds {:?}, splices {:?}",
+        new.built.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        new.spliced
+            .iter()
+            .map(|s| format!("{}<-{}", s.replaced, s.replacement))
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        !new.built.iter().any(|s| s.as_str() == "trilinos"),
+        "trilinos must NOT rebuild"
+    );
+    assert!(!new.spliced.is_empty());
+    let spec = &new.specs[0];
+    println!("deployed   : {spec}");
+
+    // Install on the cluster: cray-mpich "exists on the system" — we
+    // model it as a locally built binary; trilinos is REWIRED from the
+    // farm binary, not rebuilt.
+    let mut cluster = Installer::new(InstallLayout::new("/lustre/sw/spackle"));
+    let plan = InstallPlan::plan(spec, &cache);
+    let report = cluster.install(spec, &cache, &plan).unwrap();
+    println!(
+        "install    : {} built (cray-mpich), {} reused, {} rewired (trilinos)",
+        report.built, report.reused, report.rewired
+    );
+    assert_eq!(report.rewired, 1);
+    let problems = cluster.verify(spec);
+    assert!(problems.is_empty(), "verify: {problems:?}");
+    println!("verified   : trilinos now links against cray-mpich");
+}

@@ -1,0 +1,99 @@
+//! The "rebuild the world" scenario (paper §2.2, §4): updating a deep
+//! dependency — say a zlib security release — normally cascades rebuilds
+//! through every dependent. With an ABI-compatibility declaration, only
+//! the updated package builds; everything above it is spliced and
+//! rewired.
+//!
+//! Run with: `cargo run --example dependency_update`
+
+use spackle::prelude::*;
+
+fn main() {
+    // zlib 1.3.1 is an ABI-compatible patch release of 1.3; its package
+    // declares that (can_splice with a when-clause).
+    let repo = Repository::from_packages([
+        PackageBuilder::new("zlib")
+            .version("1.3.1")
+            .version("1.3")
+            .can_splice("zlib@=1.3", "@1.3.1")
+            .build()
+            .unwrap(),
+        PackageBuilder::new("libpng")
+            .version("1.6.39")
+            .depends_on("zlib")
+            .build()
+            .unwrap(),
+        PackageBuilder::new("freetype")
+            .version("2.13.0")
+            .depends_on("libpng")
+            .depends_on("zlib")
+            .build()
+            .unwrap(),
+        PackageBuilder::new("harfbuzz")
+            .version("7.3.0")
+            .depends_on("freetype")
+            .build()
+            .unwrap(),
+    ])
+    .unwrap();
+
+    // The world, as originally built with zlib@1.3 and cached.
+    let original = Concretizer::new(&repo)
+        .concretize(&parse_spec("harfbuzz ^zlib@=1.3").unwrap())
+        .unwrap();
+    println!("installed world : {}", original.spec());
+    let layout = InstallLayout::new("/opt/spackle");
+    let mut installer = Installer::new(layout);
+    let plan = InstallPlan::plan(original.spec(), &BuildCache::new());
+    installer
+        .install(original.spec(), &BuildCache::new(), &plan)
+        .unwrap();
+    let mut cache = BuildCache::new();
+    cache.add_spec_with(original.spec(), |sub| {
+        installer.build_artifact(sub, sub.root_id())
+    });
+
+    // Security update: require zlib@1.3.1 everywhere.
+    let goal = parse_spec("harfbuzz ^zlib@1.3.1").unwrap();
+
+    // Without splicing: the whole chain rebuilds.
+    let old = Concretizer::new(&repo)
+        .with_config(ConcretizerConfig::old_spack())
+        .with_reusable(&cache)
+        .concretize(&goal)
+        .unwrap();
+    println!(
+        "old spack       : rebuilds {} packages: {:?}",
+        old.built.len(),
+        old.built.iter().map(|s| s.as_str()).collect::<Vec<_>>()
+    );
+    assert_eq!(old.built.len(), 4, "full cascade");
+
+    // With splicing: only zlib itself builds; dependents are spliced.
+    let new = Concretizer::new(&repo)
+        .with_config(ConcretizerConfig::splice_spack())
+        .with_reusable(&cache)
+        .concretize(&goal)
+        .unwrap();
+    println!(
+        "splice spack    : rebuilds {} package(s): {:?}; splices: {}",
+        new.built.len(),
+        new.built.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        new.spliced.len()
+    );
+    assert_eq!(new.built.len(), 1);
+    assert_eq!(new.built[0].as_str(), "zlib");
+    assert!(!new.spliced.is_empty());
+
+    // Deploy: one build + rewires.
+    let spec = new.spec();
+    let plan = InstallPlan::plan(spec, &cache);
+    let report = installer.install(spec, &cache, &plan).unwrap();
+    println!(
+        "deploy          : built={} reused={} rewired={}",
+        report.built, report.reused, report.rewired
+    );
+    let problems = installer.verify(spec);
+    assert!(problems.is_empty(), "verify: {problems:?}");
+    println!("verified        : world now runs on zlib@1.3.1 without a cascade");
+}

@@ -1,0 +1,81 @@
+//! Quickstart: define packages, concretize a spec, install it, verify.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use spackle::prelude::*;
+
+fn main() {
+    // 1. A small package repository, written with the directive DSL
+    //    (paper §3.2). `hdf5` has a conditional MPI dependency.
+    let repo = Repository::from_packages([
+        PackageBuilder::new("zlib")
+            .version("1.3")
+            .version("1.2.13")
+            .variant_bool("optimize", true)
+            .build()
+            .unwrap(),
+        PackageBuilder::new("mpich")
+            .version("3.4.3")
+            .provides("mpi")
+            .build()
+            .unwrap(),
+        PackageBuilder::new("openmpi")
+            .version("4.1.5")
+            .provides("mpi")
+            .build()
+            .unwrap(),
+        PackageBuilder::new("cmake")
+            .version("3.27.7")
+            .build()
+            .unwrap(),
+        PackageBuilder::new("hdf5")
+            .version("1.14.5")
+            .version("1.12.2")
+            .variant_bool("mpi", true)
+            .depends_on("zlib")
+            .depends_on_when("mpi", "+mpi")
+            .build_depends_on("cmake")
+            .build()
+            .unwrap(),
+    ])
+    .unwrap();
+    repo.validate().unwrap();
+
+    // 2. Concretize an abstract spec written in spec syntax (Table 1).
+    let goal = parse_spec("hdf5@1.14 +mpi ^zlib@1.3").unwrap();
+    let solution = Concretizer::new(&repo).concretize(&goal).unwrap();
+    let spec = solution.spec();
+
+    println!("concretized: {spec}");
+    println!("dag hash:    /{}", spec.dag_hash().short());
+    println!("to build:    {:?}", solution.built);
+
+    // 3. Install (everything from source here) and verify the installed
+    //    tree's embedded dependency paths.
+    let mut installer = Installer::new(InstallLayout::new("/opt/spackle"));
+    let plan = InstallPlan::plan(spec, &BuildCache::new());
+    let report = installer.install(spec, &BuildCache::new(), &plan).unwrap();
+    println!(
+        "installed:   {} built, {} reused, {} rewired",
+        report.built, report.reused, report.rewired
+    );
+    let problems = installer.verify(spec);
+    assert!(problems.is_empty(), "verification: {problems:?}");
+    println!("verified:    all embedded dependency paths resolve");
+
+    // 4. Cache the build; a second install reuses every binary.
+    let mut cache = BuildCache::new();
+    cache.add_spec_with(spec, |sub| {
+        installer.build_artifact(sub, sub.root_id())
+    });
+    let sol2 = Concretizer::new(&repo)
+        .with_reusable(&cache)
+        .concretize(&goal)
+        .unwrap();
+    println!(
+        "re-resolve:  {} reused, {} to build",
+        sol2.reused.len(),
+        sol2.built.len()
+    );
+    assert!(sol2.built.is_empty());
+}

@@ -1,0 +1,302 @@
+//! Spack-style *environments*: a named collection of root specs that
+//! concretizes **jointly** (one configuration of every shared package)
+//! into a lockfile of concrete specs, which can then be installed
+//! reproducibly.
+//!
+//! This mirrors `spack.yaml`/`spack.lock`: the environment holds
+//! abstract roots; `concretize` resolves them together (the paper's
+//! joint-concretization mode, §6.3) and pins the result; `install`
+//! realizes the pinned specs from caches or source.
+
+use crate::prelude::*;
+use serde::{Deserialize, Serialize};
+use spackle_core::Goal;
+use spackle_install::InstallReport;
+use std::collections::BTreeMap;
+
+/// A pinned, reproducible resolution of an environment.
+#[derive(Clone, Debug, Serialize, Deserialize, Default)]
+pub struct Lockfile {
+    /// `(root spec text, concrete DAG hash)` in environment order.
+    pub roots: Vec<(String, SpecHash)>,
+    /// Every concrete root spec, keyed by DAG hash (each carries its
+    /// full dependency closure).
+    pub specs: BTreeMap<SpecHash, ConcreteSpec>,
+}
+
+impl Lockfile {
+    /// The concrete spec pinned for a root, if present.
+    pub fn spec_for(&self, root_text: &str) -> Option<&ConcreteSpec> {
+        self.roots
+            .iter()
+            .find(|(t, _)| t == root_text)
+            .and_then(|(_, h)| self.specs.get(h))
+    }
+
+    /// All distinct package nodes across the environment.
+    pub fn package_count(&self) -> usize {
+        let mut hashes = std::collections::BTreeSet::new();
+        for spec in self.specs.values() {
+            for n in spec.nodes() {
+                hashes.insert(n.hash);
+            }
+        }
+        hashes.len()
+    }
+}
+
+/// An environment: named abstract roots plus an optional lockfile.
+#[derive(Clone, Debug, Serialize, Deserialize, Default)]
+pub struct Environment {
+    /// Root spec texts, in insertion order.
+    pub roots: Vec<String>,
+    /// The pinned resolution, if `concretize` has run.
+    pub lock: Option<Lockfile>,
+}
+
+/// Environment errors.
+#[derive(Debug)]
+pub enum EnvError {
+    /// A root spec failed to parse.
+    Parse(String),
+    /// Concretization failed.
+    Concretize(CoreError),
+    /// Install failed.
+    Install(spackle_install::InstallError),
+    /// The environment has no lockfile yet.
+    NotConcretized,
+    /// Serialization problems.
+    Io(String),
+}
+
+impl std::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvError::Parse(m) => write!(f, "parse error: {m}"),
+            EnvError::Concretize(e) => write!(f, "concretize: {e}"),
+            EnvError::Install(e) => write!(f, "install: {e}"),
+            EnvError::NotConcretized => write!(f, "environment is not concretized"),
+            EnvError::Io(m) => write!(f, "io: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+impl Environment {
+    /// Empty environment.
+    pub fn new() -> Environment {
+        Environment::default()
+    }
+
+    /// Add a root spec (validated by parsing). Duplicates are rejected
+    /// silently (idempotent adds).
+    pub fn add(&mut self, spec_text: &str) -> Result<(), EnvError> {
+        parse_spec(spec_text).map_err(|e| EnvError::Parse(e.to_string()))?;
+        if !self.roots.iter().any(|r| r == spec_text) {
+            self.roots.push(spec_text.to_string());
+            self.lock = None; // roots changed: stale lock dropped
+        }
+        Ok(())
+    }
+
+    /// Remove a root spec; drops the lockfile if it was present.
+    pub fn remove(&mut self, spec_text: &str) -> bool {
+        let before = self.roots.len();
+        self.roots.retain(|r| r != spec_text);
+        if self.roots.len() != before {
+            self.lock = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Jointly concretize all roots and pin the result.
+    pub fn concretize(
+        &mut self,
+        repo: &Repository,
+        caches: &[&BuildCache],
+        config: ConcretizerConfig,
+    ) -> Result<&Lockfile, EnvError> {
+        let mut goal = Goal {
+            roots: Vec::new(),
+            forbidden: Vec::new(),
+        };
+        for r in &self.roots {
+            goal.roots
+                .push(parse_spec(r).map_err(|e| EnvError::Parse(e.to_string()))?);
+        }
+        let mut c = Concretizer::new(repo).with_config(config);
+        for cache in caches {
+            c = c.with_reusable(cache);
+        }
+        let sol = c.concretize_goal(&goal).map_err(EnvError::Concretize)?;
+        let mut lock = Lockfile::default();
+        for (text, spec) in self.roots.iter().zip(&sol.specs) {
+            lock.roots.push((text.clone(), spec.dag_hash()));
+            lock.specs.insert(spec.dag_hash(), spec.clone());
+        }
+        self.lock = Some(lock);
+        Ok(self.lock.as_ref().expect("just set"))
+    }
+
+    /// Install every pinned root with `installer`, pulling binaries from
+    /// `cache`. Returns the accumulated report.
+    pub fn install(
+        &self,
+        installer: &mut Installer,
+        cache: &BuildCache,
+    ) -> Result<InstallReport, EnvError> {
+        let lock = self.lock.as_ref().ok_or(EnvError::NotConcretized)?;
+        let mut total = InstallReport::default();
+        for (_, hash) in &lock.roots {
+            let spec = &lock.specs[hash];
+            let plan = InstallPlan::plan(spec, cache);
+            let r = installer.install(spec, cache, &plan).map_err(EnvError::Install)?;
+            total.built += r.built;
+            total.reused += r.reused;
+            total.rewired += r.rewired;
+            total.relocation.in_place += r.relocation.in_place;
+            total.relocation.lengthened += r.relocation.lengthened;
+            total.relocation.untouched += r.relocation.untouched;
+        }
+        Ok(total)
+    }
+
+    /// Verify every pinned root against the installer's tree; returns all
+    /// problems found.
+    pub fn verify(&self, installer: &Installer) -> Result<Vec<String>, EnvError> {
+        let lock = self.lock.as_ref().ok_or(EnvError::NotConcretized)?;
+        let mut problems = Vec::new();
+        for (_, hash) in &lock.roots {
+            problems.extend(installer.verify(&lock.specs[hash]));
+        }
+        Ok(problems)
+    }
+
+    /// Serialize (environment + lockfile) to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("environment serialization cannot fail")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Environment, EnvError> {
+        serde_json::from_str(s).map_err(|e| EnvError::Io(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo() -> Repository {
+        Repository::from_packages([
+            PackageBuilder::new("zlib")
+                .version("1.3")
+                .version("1.2.11")
+                .build()
+                .unwrap(),
+            PackageBuilder::new("libpng")
+                .version("1.6.39")
+                .depends_on("zlib")
+                .build()
+                .unwrap(),
+            PackageBuilder::new("cairo")
+                .version("1.17.8")
+                .depends_on("libpng")
+                .depends_on("zlib")
+                .build()
+                .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn add_remove_and_staleness() {
+        let mut env = Environment::new();
+        env.add("zlib").unwrap();
+        env.add("zlib").unwrap(); // idempotent
+        assert_eq!(env.roots.len(), 1);
+        assert!(env.add("not a spec @@@").is_err());
+        env.add("libpng").unwrap();
+
+        env.concretize(&repo(), &[], ConcretizerConfig::default())
+            .unwrap();
+        assert!(env.lock.is_some());
+        // Adding a new root invalidates the lock.
+        env.add("cairo").unwrap();
+        assert!(env.lock.is_none());
+
+        env.concretize(&repo(), &[], ConcretizerConfig::default())
+            .unwrap();
+        assert!(env.remove("cairo"));
+        assert!(env.lock.is_none());
+        assert!(!env.remove("cairo"));
+    }
+
+    #[test]
+    fn joint_concretization_shares_configurations() {
+        let mut env = Environment::new();
+        env.add("libpng").unwrap();
+        env.add("cairo").unwrap();
+        let lock = env
+            .concretize(&repo(), &[], ConcretizerConfig::default())
+            .unwrap();
+        let png = lock.spec_for("libpng").unwrap();
+        let cairo = lock.spec_for("cairo").unwrap();
+        let z1 = png.node(png.find(Sym::intern("zlib")).unwrap()).hash;
+        let z2 = cairo.node(cairo.find(Sym::intern("zlib")).unwrap()).hash;
+        assert_eq!(z1, z2, "joint concretization: one zlib for all roots");
+        // Distinct package nodes across the env: zlib, libpng, cairo.
+        assert_eq!(lock.package_count(), 3);
+    }
+
+    #[test]
+    fn lockfile_roundtrip_and_install() {
+        let mut env = Environment::new();
+        env.add("cairo ^zlib@1.2").unwrap();
+        env.concretize(&repo(), &[], ConcretizerConfig::default())
+            .unwrap();
+        let json = env.to_json();
+        let back = Environment::from_json(&json).unwrap();
+        let lock = back.lock.as_ref().unwrap();
+        assert_eq!(
+            lock.spec_for("cairo ^zlib@1.2")
+                .unwrap()
+                .node(
+                    lock.spec_for("cairo ^zlib@1.2")
+                        .unwrap()
+                        .find(Sym::intern("zlib"))
+                        .unwrap()
+                )
+                .version,
+            Version::parse("1.2.11").unwrap()
+        );
+
+        let mut installer = Installer::new(InstallLayout::new("/opt/env"));
+        let report = back.install(&mut installer, &BuildCache::new()).unwrap();
+        assert_eq!(report.built, 3);
+        assert!(back.verify(&installer).unwrap().is_empty());
+    }
+
+    #[test]
+    fn install_without_lock_errors() {
+        let env = Environment::new();
+        let mut installer = Installer::new(InstallLayout::new("/opt/env"));
+        assert!(matches!(
+            env.install(&mut installer, &BuildCache::new()),
+            Err(EnvError::NotConcretized)
+        ));
+    }
+
+    #[test]
+    fn unsatisfiable_environment_reports() {
+        let mut env = Environment::new();
+        env.add("zlib@9.9").unwrap();
+        let err = env
+            .concretize(&repo(), &[], ConcretizerConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, EnvError::Concretize(CoreError::Unsatisfiable)));
+    }
+}

@@ -1,0 +1,109 @@
+//! Environments end-to-end: joint concretization to a lockfile,
+//! lockfile serialization, reuse-aware re-concretization, and a spliced
+//! deployment of a whole environment.
+
+use spackle::environment::Environment;
+use spackle::prelude::*;
+
+fn repo_with_mock() -> Repository {
+    Repository::from_packages([
+        PackageBuilder::new("mpich")
+            .version("3.4.3")
+            .provides("mpi")
+            .build()
+            .unwrap(),
+        PackageBuilder::new("cray-mpich")
+            .version("8.1.25")
+            .provides("mpi")
+            .can_splice("mpich@3.4.3", "")
+            .build()
+            .unwrap(),
+        PackageBuilder::new("openblas").version("0.3.23").build().unwrap(),
+        PackageBuilder::new("hypre")
+            .version("2.29.0")
+            .depends_on("openblas")
+            .depends_on("mpi")
+            .build()
+            .unwrap(),
+        PackageBuilder::new("mfem")
+            .version("4.5.2")
+            .depends_on("hypre")
+            .depends_on("mpi")
+            .build()
+            .unwrap(),
+    ])
+    .unwrap()
+}
+
+#[test]
+fn environment_lock_then_reuse() {
+    let repo = repo_with_mock();
+    let mut env = Environment::new();
+    env.add("hypre ^mpich").unwrap();
+    env.add("mfem ^mpich").unwrap();
+    env.concretize(&repo, &[], ConcretizerConfig::splice_spack_disabled())
+        .unwrap();
+
+    // Install and cache the whole environment.
+    let mut farm = Installer::new(InstallLayout::new("/farm"));
+    env.install(&mut farm, &BuildCache::new()).unwrap();
+    let mut cache = BuildCache::new();
+    for (_, h) in &env.lock.as_ref().unwrap().roots {
+        let spec = &env.lock.as_ref().unwrap().specs[h];
+        cache.add_spec_with(spec, |s| farm.build_artifact(s, s.root_id()));
+    }
+
+    // Round-trip through JSON, then re-concretize against the cache:
+    // zero builds.
+    let mut env2 = Environment::from_json(&env.to_json()).unwrap();
+    env2.concretize(&repo, &[&cache], ConcretizerConfig::splice_spack_disabled())
+        .unwrap();
+    let mut local = Installer::new(InstallLayout::new("/home/user/.spackle"));
+    let report = env2.install(&mut local, &cache).unwrap();
+    assert_eq!(report.built, 0, "fully reused environment");
+    assert!(report.reused > 0);
+    assert!(env2.verify(&local).unwrap().is_empty());
+}
+
+#[test]
+fn environment_deploys_spliced_on_cray() {
+    let repo = repo_with_mock();
+
+    // Farm: build the mpich-based environment and publish binaries.
+    let mut env = Environment::new();
+    env.add("hypre ^mpich").unwrap();
+    env.add("mfem ^mpich").unwrap();
+    env.concretize(&repo, &[], ConcretizerConfig::splice_spack_disabled())
+        .unwrap();
+    let mut farm = Installer::new(InstallLayout::new("/farm"));
+    env.install(&mut farm, &BuildCache::new()).unwrap();
+    let mut cache = BuildCache::new();
+    for (_, h) in &env.lock.as_ref().unwrap().roots {
+        let spec = &env.lock.as_ref().unwrap().specs[h];
+        cache.add_spec_with(spec, |s| farm.build_artifact(s, s.root_id()));
+    }
+
+    // Cluster: same roots, but with cray-mpich.
+    let mut cluster_env = Environment::new();
+    cluster_env.add("hypre ^cray-mpich").unwrap();
+    cluster_env.add("mfem ^cray-mpich").unwrap();
+    let lock = cluster_env
+        .concretize(&repo, &[&cache], ConcretizerConfig::splice_spack())
+        .unwrap();
+
+    // Both roots share one cray-mpich, and their parents are spliced
+    // (carry provenance) rather than rebuilt.
+    let hypre = lock.spec_for("hypre ^cray-mpich").unwrap();
+    let mfem = lock.spec_for("mfem ^cray-mpich").unwrap();
+    assert!(hypre.find(Sym::intern("mpich")).is_none());
+    assert!(hypre.root().is_spliced());
+    assert!(mfem.root().is_spliced());
+
+    // Install the environment: only cray-mpich builds; everything else
+    // reuses or rewires; verification passes.
+    let mut cluster = Installer::new(InstallLayout::new("/lustre/sw"));
+    let report = cluster_env.install(&mut cluster, &cache).unwrap();
+    assert_eq!(report.built, 1, "only cray-mpich compiles: {report:?}");
+    assert!(report.rewired >= 2, "hypre and mfem rewired: {report:?}");
+    assert!(cluster_env.verify(&cluster).unwrap().is_empty());
+}

@@ -1,0 +1,115 @@
+//! Integration test: the paper's Fig 2 scenario end-to-end, including
+//! installation and rewiring of the spliced result.
+
+use spackle::prelude::*;
+use spackle::spec::spec::ConcreteSpecBuilder;
+
+fn v(s: &str) -> Version {
+    Version::parse(s).unwrap()
+}
+
+fn build_t() -> ConcreteSpec {
+    let mut b = ConcreteSpecBuilder::new();
+    let z = b.node("z", v("1.0"));
+    let h = b.node("h", v("1.0"));
+    let t = b.node("t", v("1.0"));
+    b.edge(h, z, DepTypes::LINK_RUN);
+    b.edge(t, h, DepTypes::LINK_RUN);
+    b.edge(t, z, DepTypes::LINK_RUN);
+    b.build(t).unwrap()
+}
+
+fn build_h_prime() -> ConcreteSpec {
+    let mut b = ConcreteSpecBuilder::new();
+    let z = b.node("z", v("1.1"));
+    let s = b.node("s", v("1.0"));
+    let h = b.node("h", v("2.0"));
+    b.edge(h, s, DepTypes::LINK_RUN);
+    b.edge(h, z, DepTypes::LINK_RUN);
+    b.build(h).unwrap()
+}
+
+#[test]
+fn transitive_then_intransitive_with_install() {
+    let t = build_t();
+    let hp = build_h_prime();
+
+    // "Build" both on a farm and publish binaries.
+    let farm = Installer::new(InstallLayout::new("/opt/spackle"));
+    let mut cache = BuildCache::new();
+    cache.add_spec_with(&t, |s| farm.build_artifact(s, s.root_id()));
+    cache.add_spec_with(&hp, |s| farm.build_artifact(s, s.root_id()));
+
+    // T ^H' by transitive splice.
+    let step1 = t.splice(&hp, true).unwrap();
+    assert_eq!(
+        step1.node(step1.find(Sym::intern("z")).unwrap()).version,
+        v("1.1"),
+        "shared Z unifies to the replacement's copy"
+    );
+    assert!(step1.root().is_spliced());
+
+    // Install: T is rewired (its binary is the original T build), H' and
+    // its subtree are reused as-is.
+    let mut inst = Installer::new(InstallLayout::new("/opt/spackle"));
+    let plan = InstallPlan::plan(&step1, &cache);
+    assert_eq!(plan.builds(), 0);
+    let report = inst.install(&step1, &cache, &plan).unwrap();
+    assert_eq!(report.rewired, 1);
+    assert!(inst.verify(&step1).is_empty(), "{:?}", inst.verify(&step1));
+
+    // T ^H' ^Z@1.0 by a further intransitive splice.
+    let z10 = {
+        let mut b = ConcreteSpecBuilder::new();
+        let z = b.node("z", v("1.0"));
+        b.build(z).unwrap()
+    };
+    // Z@1.0 was part of T's original build, so its binary exists.
+    let step2 = step1.splice(&z10, false).unwrap();
+    assert_eq!(
+        step2.node(step2.find(Sym::intern("z")).unwrap()).version,
+        v("1.0")
+    );
+    // Now H' is spliced as well (relinked against Z@1.0), and its build
+    // spec records the real build.
+    let h = step2.node(step2.find(Sym::intern("h")).unwrap());
+    assert_eq!(h.build_spec.as_ref().unwrap().dag_hash(), hp.dag_hash());
+
+    let mut inst2 = Installer::new(InstallLayout::new("/opt/spackle"));
+    let plan2 = InstallPlan::plan(&step2, &cache);
+    assert_eq!(plan2.builds(), 0, "still zero compilations");
+    let report2 = inst2.install(&step2, &cache, &plan2).unwrap();
+    assert_eq!(report2.rewired, 2, "both T and H' rewired");
+    assert!(inst2.verify(&step2).is_empty(), "{:?}", inst2.verify(&step2));
+}
+
+#[test]
+fn spliced_and_native_hashes_differ_but_runtime_shape_matches() {
+    let t = build_t();
+    let hp = build_h_prime();
+    let spliced = t.splice(&hp, true).unwrap();
+
+    // A natively built T ^H'(2.0) ^Z@1.1.
+    let native = {
+        let mut b = ConcreteSpecBuilder::new();
+        let z = b.node("z", v("1.1"));
+        let s = b.node("s", v("1.0"));
+        let h = b.node("h", v("2.0"));
+        let t = b.node("t", v("1.0"));
+        b.edge(h, s, DepTypes::LINK_RUN);
+        b.edge(h, z, DepTypes::LINK_RUN);
+        b.edge(t, h, DepTypes::LINK_RUN);
+        b.edge(t, z, DepTypes::LINK_RUN);
+        b.build(t).unwrap()
+    };
+
+    // Same runtime package set...
+    let names = |s: &ConcreteSpec| {
+        let mut v: Vec<&str> = s.nodes().iter().map(|n| n.name.as_str()).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(names(&spliced), names(&native));
+    // ...but distinguishable hashes (provenance is part of identity).
+    assert_ne!(spliced.dag_hash(), native.dag_hash());
+}

@@ -1,0 +1,167 @@
+//! Cross-crate property tests: solutions satisfy their goals, caches
+//! round-trip, splices preserve invariants, and relocation composes.
+
+use proptest::prelude::*;
+use spackle::prelude::*;
+use spackle::spec::spec::ConcreteSpecBuilder;
+use spackle::spec::VersionReq;
+
+fn small_repo() -> Repository {
+    Repository::from_packages([
+        PackageBuilder::new("zlib")
+            .version("1.3")
+            .version("1.2.13")
+            .version("1.2.11")
+            .variant_bool("pic", true)
+            .build()
+            .unwrap(),
+        PackageBuilder::new("bzip2").version("1.0.8").build().unwrap(),
+        PackageBuilder::new("lib-a")
+            .version("2.1")
+            .version("2.0")
+            .variant_bool("extra", false)
+            .depends_on("zlib")
+            .depends_on_when("bzip2", "+extra")
+            .build()
+            .unwrap(),
+        PackageBuilder::new("app")
+            .version("1.0")
+            .depends_on("lib-a")
+            .depends_on("zlib")
+            .build()
+            .unwrap(),
+    ])
+    .unwrap()
+}
+
+/// Strategy: goal strings with varying constraints that are satisfiable
+/// (or not — both are valid outcomes; the property is that SAT solutions
+/// really satisfy the goal).
+fn goal_strategy() -> impl Strategy<Value = String> {
+    let roots = prop_oneof![Just("app"), Just("lib-a"), Just("zlib")];
+    let vers = prop_oneof![
+        Just(""),
+        Just("@1.3"),
+        Just("@1.2"),
+        Just("@2.0"),
+        Just("@9.9")
+    ];
+    let variant = prop_oneof![Just(""), Just("+extra"), Just("~extra"), Just("+pic")];
+    let dep = prop_oneof![Just(""), Just(" ^zlib@1.2"), Just(" ^zlib@1.3")];
+    (roots, vers, variant, dep).prop_map(|(r, v, var, d)| {
+        // Variants only valid on matching packages; keep variant clauses
+        // for lib-a / zlib only when they declare them.
+        let var = match (r, var) {
+            ("lib-a", x @ ("+extra" | "~extra")) => x,
+            ("zlib", "+pic") => "+pic",
+            _ => "",
+        };
+        format!("{r}{v}{var}{d}")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn solutions_satisfy_goals(goal in goal_strategy()) {
+        let repo = small_repo();
+        let abstract_spec = parse_spec(&goal).unwrap();
+        match Concretizer::new(&repo).concretize(&abstract_spec) {
+            Ok(sol) => {
+                // The concrete spec satisfies the abstract constraint.
+                prop_assert!(
+                    sol.spec().satisfies(&abstract_spec),
+                    "{} does not satisfy {goal}",
+                    sol.spec()
+                );
+                // Rebuilding the hash from scratch is stable.
+                let mut clone = sol.spec().clone();
+                clone.rehash().unwrap();
+                prop_assert_eq!(clone.dag_hash(), sol.spec().dag_hash());
+            }
+            Err(CoreError::Unsatisfiable) => { /* legitimately UNSAT */ }
+            Err(e) => return Err(TestCaseError::fail(format!("{goal}: {e}"))),
+        }
+    }
+
+    #[test]
+    fn cache_json_roundtrip_preserves_lookup(seedless in 0u8..4) {
+        let repo = small_repo();
+        let goals = ["app", "lib-a", "zlib", "app ^zlib@1.2"];
+        let sol = Concretizer::new(&repo)
+            .concretize(&parse_spec(goals[seedless as usize]).unwrap())
+            .unwrap();
+        let mut cache = BuildCache::new();
+        cache.add_spec(sol.spec());
+        let back = BuildCache::from_json(&cache.to_json()).unwrap();
+        prop_assert_eq!(back.len(), cache.len());
+        prop_assert!(back.get(sol.spec().dag_hash()).is_some());
+    }
+
+    #[test]
+    fn splice_preserves_unrelated_nodes(zv in prop_oneof![Just("1.2.11"), Just("1.2.13")]) {
+        let repo = small_repo();
+        let sol = Concretizer::new(&repo)
+            .concretize(&parse_spec("app ^zlib@1.3").unwrap())
+            .unwrap();
+        let mut zb = ConcreteSpecBuilder::new();
+        let z = zb.node("zlib", Version::parse(zv).unwrap());
+        let newz = zb.build(z).unwrap();
+        let spliced = sol.spec().splice(&newz, true).unwrap();
+
+        // Node count unchanged (same package set).
+        prop_assert_eq!(spliced.len(), sol.spec().len());
+        // The new zlib version took effect.
+        let zn = spliced.node(spliced.find(Sym::intern("zlib")).unwrap());
+        prop_assert_eq!(zn.version.to_string(), zv);
+        // Everything that depends on zlib is spliced, bzip2-free leaves
+        // are not.
+        let app = spliced.node(spliced.find(Sym::intern("app")).unwrap());
+        prop_assert!(app.is_spliced());
+        prop_assert!(!zn.is_spliced());
+        // Double application is deterministic.
+        let again = sol.spec().splice(&newz, true).unwrap();
+        prop_assert_eq!(again.dag_hash(), spliced.dag_hash());
+    }
+
+    #[test]
+    fn version_req_roundtrip_and_satisfaction(
+        major in 1u64..5, minor in 0u64..20, kind in 0u8..4
+    ) {
+        let v = Version::parse(&format!("{major}.{minor}")).unwrap();
+        let req = match kind {
+            0 => VersionReq::parse(&format!("{major}")).unwrap(),
+            1 => VersionReq::parse(&format!("{major}.{minor}")).unwrap(),
+            2 => VersionReq::parse(&format!("{major}:")).unwrap(),
+            _ => VersionReq::parse(&format!(":{major}.{minor}")).unwrap(),
+        };
+        prop_assert!(req.satisfies(&v));
+        // Display round-trip.
+        let printed = req.to_string();
+        let reparsed = VersionReq::parse(&printed[1..]).unwrap();
+        prop_assert_eq!(reparsed, req);
+    }
+}
+
+#[test]
+fn relocation_composes_with_reinstall() {
+    // Install the same cached stack under three different roots in
+    // sequence; each verify must pass (relocation is root-independent).
+    let repo = small_repo();
+    let sol = Concretizer::new(&repo)
+        .concretize(&parse_spec("app").unwrap())
+        .unwrap();
+    let farm = Installer::new(InstallLayout::new("/farm"));
+    let mut cache = BuildCache::new();
+    cache.add_spec_with(sol.spec(), |s| farm.build_artifact(s, s.root_id()));
+
+    for root in ["/a", "/deeply/nested/install/root", "/opt/x"] {
+        let mut inst = Installer::new(InstallLayout::new(root));
+        let plan = InstallPlan::plan(sol.spec(), &cache);
+        assert_eq!(plan.builds(), 0);
+        inst.install(sol.spec(), &cache, &plan).unwrap();
+        let problems = inst.verify(sol.spec());
+        assert!(problems.is_empty(), "root {root}: {problems:?}");
+    }
+}
