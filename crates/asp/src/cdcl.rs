@@ -824,18 +824,18 @@ mod tests {
         // 3 pigeons, 2 holes: vars x[i][j] = pigeon i in hole j.
         let mut s = Sat::new();
         let mut x = [[0u32; 2]; 3];
-        for i in 0..3 {
-            for j in 0..2 {
-                x[i][j] = s.new_var();
+        for row in &mut x {
+            for cell in row {
+                *cell = s.new_var();
             }
         }
-        for i in 0..3 {
-            s.add_clause(&[p(x[i][0]), p(x[i][1])]);
+        for row in &x {
+            s.add_clause(&[p(row[0]), p(row[1])]);
         }
-        for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in (i1 + 1)..3 {
-                    s.add_clause(&[n(x[i1][j]), n(x[i2][j])]);
+        for i1 in 0..3 {
+            for i2 in (i1 + 1)..3 {
+                for (&a, &b) in x[i1].iter().zip(&x[i2]) {
+                    s.add_clause(&[n(a), n(b)]);
                 }
             }
         }
@@ -850,14 +850,14 @@ mod tests {
         let x: Vec<Vec<Var>> = (0..np)
             .map(|_| (0..nh).map(|_| s.new_var()).collect())
             .collect();
-        for i in 0..np {
-            let c: Vec<Lit> = (0..nh).map(|j| p(x[i][j])).collect();
+        for row in &x {
+            let c: Vec<Lit> = row.iter().map(|&v| p(v)).collect();
             s.add_clause(&c);
         }
-        for j in 0..nh {
-            for i1 in 0..np {
-                for i2 in (i1 + 1)..np {
-                    s.add_clause(&[n(x[i1][j]), n(x[i2][j])]);
+        for i1 in 0..np {
+            for i2 in (i1 + 1)..np {
+                for (&a, &b) in x[i1].iter().zip(&x[i2]) {
+                    s.add_clause(&[n(a), n(b)]);
                 }
             }
         }
@@ -1005,14 +1005,14 @@ mod tests {
         let x: Vec<Vec<Var>> = (0..np)
             .map(|_| (0..nh).map(|_| s.new_var()).collect())
             .collect();
-        for i in 0..np {
-            let c: Vec<Lit> = (0..nh).map(|j| p(x[i][j])).collect();
+        for row in &x {
+            let c: Vec<Lit> = row.iter().map(|&v| p(v)).collect();
             s.add_clause(&c);
         }
-        for j in 0..nh {
-            for i1 in 0..np {
-                for i2 in (i1 + 1)..np {
-                    s.add_clause(&[n(x[i1][j]), n(x[i2][j])]);
+        for i1 in 0..np {
+            for i2 in (i1 + 1)..np {
+                for (&a, &b) in x[i1].iter().zip(&x[i2]) {
+                    s.add_clause(&[n(a), n(b)]);
                 }
             }
         }

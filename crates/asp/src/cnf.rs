@@ -262,9 +262,9 @@ pub fn translate(gp: &GroundProgram, sat: &mut Sat) -> Translation {
 
     // Minimize: one literal per distinct (priority, weight, tuple) that is
     // true iff any of its conditions holds.
-    let mut groups: FxHashMap<(i64, i64, Box<[crate::term::TermId]>), Vec<Lit>> =
-        FxHashMap::default();
-    let mut order: Vec<(i64, i64, Box<[crate::term::TermId]>)> = Vec::new();
+    type MinKey = (i64, i64, Box<[crate::term::TermId]>);
+    let mut groups: FxHashMap<MinKey, Vec<Lit>> = FxHashMap::default();
+    let mut order: Vec<MinKey> = Vec::new();
     for m in &gp.minimize {
         let key = (m.priority, m.weight, m.tuple.clone());
         let beta = body_lit(sat, &atom_var, true_var, &m.pos, &m.neg);

@@ -1,0 +1,257 @@
+//! Automated ABI discovery over a buildcache (paper §8 future work).
+//!
+//! The paper closes by asking whether `can_splice` declarations could be
+//! *discovered* instead of hand-written. This module implements the
+//! binary-interface half of that loop over the synthetic artifact
+//! format:
+//!
+//! * [`abi_compatible`] decides whether one binary can stand in for
+//!   another — the replacement must export a superset of the target's
+//!   plain symbols (API direction), and every type-layout marker
+//!   (`Name=layout`, modeling §2.1's `MPI_Comm` problem) they share must
+//!   agree.
+//! * [`suggest_splices`] scans a whole cache and reports the replacement
+//!   pairs an `abi-audit` would propose as `can_splice` directives.
+
+use crate::artifact::Artifact;
+use crate::source::CacheSource;
+use spackle_spec::{Sym, Version};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Why one binary cannot replace another.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbiIncompatibility {
+    /// The replacement does not export these symbols the target does.
+    MissingSymbols(Vec<String>),
+    /// These types are laid out differently by the two binaries
+    /// (e.g. `MPI_Comm` as a 32-bit int vs. a struct pointer).
+    LayoutMismatch(Vec<String>),
+}
+
+impl fmt::Display for AbiIncompatibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbiIncompatibility::MissingSymbols(s) => {
+                write!(f, "replacement is missing symbols: {}", s.join(", "))
+            }
+            AbiIncompatibility::LayoutMismatch(t) => {
+                write!(f, "type layouts disagree: {}", t.join(", "))
+            }
+        }
+    }
+}
+
+/// Split an artifact's symbol table into plain exported symbols and
+/// type-layout markers (`Name=layout`).
+fn interface(art: &Artifact) -> (BTreeSet<&str>, BTreeMap<&str, &str>) {
+    let mut plain = BTreeSet::new();
+    let mut layouts = BTreeMap::new();
+    for sym in &art.symbols {
+        match sym.split_once('=') {
+            Some((name, layout)) => {
+                layouts.insert(name, layout);
+            }
+            None => {
+                plain.insert(sym.as_str());
+            }
+        }
+    }
+    (plain, layouts)
+}
+
+/// Can `replacement` stand in for `target` at the binary level?
+///
+/// Holds when the replacement exports every plain symbol and defines
+/// every type the target does, and all types both define share a layout.
+/// Layout disagreement is reported in preference to missing symbols: a
+/// binary that links but miscommunicates is the more dangerous failure
+/// (§2.1).
+pub fn abi_compatible(
+    replacement: &Artifact,
+    target: &Artifact,
+) -> Result<(), AbiIncompatibility> {
+    let (r_plain, r_layouts) = interface(replacement);
+    let (t_plain, t_layouts) = interface(target);
+
+    let clashes: Vec<String> = t_layouts
+        .iter()
+        .filter(|(name, layout)| r_layouts.get(*name).is_some_and(|r| r != *layout))
+        .map(|(name, _)| name.to_string())
+        .collect();
+    if !clashes.is_empty() {
+        return Err(AbiIncompatibility::LayoutMismatch(clashes));
+    }
+
+    let mut missing: Vec<String> = t_plain.difference(&r_plain).map(|s| s.to_string()).collect();
+    missing.extend(
+        t_layouts
+            .keys()
+            .filter(|name| !r_layouts.contains_key(*name))
+            .map(|name| name.to_string()),
+    );
+    if !missing.is_empty() {
+        missing.sort();
+        return Err(AbiIncompatibility::MissingSymbols(missing));
+    }
+    Ok(())
+}
+
+/// A replacement pair discovered by [`suggest_splices`]: installs of
+/// `target` could be rewired onto builds of `replacement`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpliceSuggestion {
+    /// Package whose binary can stand in.
+    pub replacement: Sym,
+    /// The replacement version the audit inspected.
+    pub replacement_version: Version,
+    /// Package being replaced.
+    pub target: Sym,
+    /// The target version the audit inspected.
+    pub target_version: Version,
+}
+
+impl SpliceSuggestion {
+    /// Render as the `can_splice` directive the replacement's package
+    /// definition would carry.
+    pub fn directive(&self) -> String {
+        format!(
+            "{}: can_splice(\"{}@{}\", when=\"@{}\")",
+            self.replacement, self.target, self.target_version, self.replacement_version
+        )
+    }
+}
+
+/// Scan every binary in `cache` and report which packages could replace
+/// which others, judged purely from their exported interfaces.
+///
+/// Entries are grouped by root package; identical interfaces within a
+/// package are audited once (a cache holds many configurations of the
+/// same package with the same ABI). Index-only entries (no artifact
+/// bytes) and unparseable artifacts are skipped — the audit only trusts
+/// binaries it can read. Output is deterministic: suggestions are sorted
+/// by (replacement, target, versions).
+pub fn suggest_splices(cache: &dyn CacheSource) -> Vec<SpliceSuggestion> {
+    // name → distinct (version, artifact) representatives, keyed by the
+    // serialized symbol table so each ABI is compared once.
+    let mut by_name: BTreeMap<Sym, BTreeMap<Vec<String>, (Version, Artifact)>> = BTreeMap::new();
+    for entry in cache.iter() {
+        if !entry.has_artifact() {
+            continue;
+        }
+        let Ok(art) = entry.artifact() else { continue };
+        let root = entry.spec.root();
+        by_name
+            .entry(root.name)
+            .or_default()
+            .entry(art.symbols.clone())
+            .or_insert_with(|| (root.version.clone(), art));
+    }
+
+    let mut out = Vec::new();
+    for (r_name, r_abis) in &by_name {
+        for (t_name, t_abis) in &by_name {
+            if r_name == t_name {
+                continue;
+            }
+            for (r_version, r_art) in r_abis.values() {
+                for (t_version, t_art) in t_abis.values() {
+                    if abi_compatible(r_art, t_art).is_ok() {
+                        out.push(SpliceSuggestion {
+                            replacement: *r_name,
+                            replacement_version: r_version.clone(),
+                            target: *t_name,
+                            target_version: t_version.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.replacement, &a.replacement_version, a.target, &a.target_version)
+            .cmp(&(b.replacement, &b.replacement_version, b.target, &b.target_version))
+    });
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::BuildCache;
+    use spackle_spec::spec::ConcreteSpecBuilder;
+
+    fn art(symbols: &[&str]) -> Artifact {
+        Artifact::build("/opt/x", &[], symbols.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn superset_with_agreeing_layouts_is_compatible() {
+        let mpich = art(&["MPI_Init", "MPI_Send", "MPI_Comm=int32"]);
+        let mpiabi = art(&["MPI_Init", "MPI_Send", "MPIX_Fast_path", "MPI_Comm=int32"]);
+        assert_eq!(abi_compatible(&mpiabi, &mpich), Ok(()));
+        assert_eq!(
+            abi_compatible(&mpich, &mpiabi),
+            Err(AbiIncompatibility::MissingSymbols(vec![
+                "MPIX_Fast_path".to_string()
+            ]))
+        );
+    }
+
+    #[test]
+    fn layout_mismatch_beats_missing_symbols() {
+        // openmpi vs mpich: same API, different MPI_Comm layout — and
+        // the mismatch must be reported even when symbols also differ.
+        let mpich = art(&["MPI_Init", "MPI_Bonus", "MPI_Comm=int32"]);
+        let openmpi = art(&["MPI_Init", "MPI_Comm=ptr"]);
+        assert_eq!(
+            abi_compatible(&openmpi, &mpich),
+            Err(AbiIncompatibility::LayoutMismatch(vec![
+                "MPI_Comm".to_string()
+            ]))
+        );
+    }
+
+    #[test]
+    fn absent_layout_marker_is_a_missing_symbol() {
+        let with_marker = art(&["f", "T=int32"]);
+        let without = art(&["f"]);
+        assert_eq!(
+            abi_compatible(&without, &with_marker),
+            Err(AbiIncompatibility::MissingSymbols(vec!["T".to_string()]))
+        );
+        // The other direction is fine: extra markers don't hurt.
+        assert_eq!(abi_compatible(&with_marker, &without), Ok(()));
+    }
+
+    #[test]
+    fn suggestions_are_directional_and_deterministic() {
+        let mut cache = BuildCache::new();
+        let mut add = |name: &str, symbols: &[&str]| {
+            let mut b = ConcreteSpecBuilder::new();
+            let n = b.node(name, Version::parse("1.0").unwrap());
+            let spec = b.build(n).unwrap();
+            let bytes = art(symbols).to_bytes();
+            cache.add_spec_with(&spec, |_| bytes.clone());
+        };
+        add("mpich", &["MPI_Init", "MPI_Comm=int32"]);
+        add("mpiabi", &["MPI_Init", "MPIX_Fast_path", "MPI_Comm=int32"]);
+        add("openmpi", &["MPI_Init", "MPI_Comm=ptr"]);
+        add("zlib", &["_ZN4zlib3apiEv"]);
+
+        let suggestions = suggest_splices(&cache);
+        let pairs: Vec<(&str, &str)> = suggestions
+            .iter()
+            .map(|s| (s.replacement.as_str(), s.target.as_str()))
+            .collect();
+        assert_eq!(pairs, vec![("mpiabi", "mpich")]);
+        assert_eq!(
+            suggestions[0].directive(),
+            "mpiabi: can_splice(\"mpich@1.0\", when=\"@1.0\")"
+        );
+        // Index-only entries never produce suggestions.
+        let empty_armed = suggest_splices(&BuildCache::new());
+        assert!(empty_armed.is_empty());
+    }
+}

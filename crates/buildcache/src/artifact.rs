@@ -1,0 +1,294 @@
+//! The synthetic binary artifact format (paper §6.1.3).
+//!
+//! Real Spack buildcaches hold compiled ELF/Mach-O objects whose RPATHs
+//! embed absolute install prefixes. This reproduction models exactly the
+//! properties the paper's mechanisms manipulate:
+//!
+//! * **NUL-padded path slots** standing in for RPATH entries — slot 0 is
+//!   the artifact's own install prefix, the rest are its direct link-run
+//!   dependency prefixes in sorted-name order. Relocation (`§3.4`)
+//!   rewrites a slot in place when the new path fits its capacity and
+//!   grows it otherwise (the `patchelf` lengthening fallback); rewiring
+//!   (`§4.2`) redirects dependency slots across a splice.
+//! * **A symbol table** standing in for the exported ABI surface.
+//!   Entries of the form `Name=layout` are type-layout markers (the
+//!   paper's §2.1 `MPI_Comm` problem); everything else is a plain
+//!   exported symbol. ABI discovery (`crate::abi`) compares these.
+//!
+//! The encoding is fully deterministic: building the same artifact twice
+//! yields byte-identical output, which is what makes cache entries
+//! content-addressable and installs reproducible.
+
+use std::fmt;
+
+/// Current artifact wire-format version.
+pub const ARTIFACT_FORMAT_VERSION: u16 = 1;
+
+/// Fresh padding granted to a path slot at build time and when a slot is
+/// lengthened: room for the next relocation to patch in place.
+pub const SLOT_HEADROOM: usize = 16;
+
+const MAGIC: &[u8; 4] = b"SPKL";
+
+/// Errors parsing or validating artifact bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The bytes are not a well-formed artifact (bad magic, truncation,
+    /// inconsistent lengths, invalid UTF-8, trailing garbage).
+    Corrupt(String),
+    /// The bytes carry a format version this library cannot read.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Newest version this library understands.
+        supported: u16,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Corrupt(m) => write!(f, "corrupt artifact: {m}"),
+            ArtifactError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported artifact format version {found} (this library reads up to {supported})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// A parsed synthetic binary.
+///
+/// `paths[0]` is the own install prefix; `paths[1..]` are dependency
+/// prefixes. Each slot records its byte capacity alongside the current
+/// path so relocation can decide between in-place patching and
+/// lengthening.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Artifact {
+    /// Path slots as `(slot capacity, current path)` pairs.
+    pub paths: Vec<(usize, String)>,
+    /// Exported symbols and type-layout markers (`Name=layout`).
+    pub symbols: Vec<String>,
+}
+
+impl Artifact {
+    /// Synthesize the artifact a build at `own_prefix` against
+    /// `dep_prefixes` would produce, exporting `symbols`. Every path
+    /// slot gets [`SLOT_HEADROOM`] bytes of padding beyond its initial
+    /// content.
+    pub fn build(own_prefix: &str, dep_prefixes: &[String], symbols: Vec<String>) -> Artifact {
+        let mut paths = Vec::with_capacity(1 + dep_prefixes.len());
+        paths.push((own_prefix.len() + SLOT_HEADROOM, own_prefix.to_string()));
+        for d in dep_prefixes {
+            paths.push((d.len() + SLOT_HEADROOM, d.clone()));
+        }
+        Artifact { paths, symbols }
+    }
+
+    /// The install prefix this artifact believes it lives at.
+    pub fn own_prefix(&self) -> &str {
+        self.paths.first().map(|(_, p)| p.as_str()).unwrap_or("")
+    }
+
+    /// The embedded dependency prefixes, in slot order.
+    pub fn dep_prefixes(&self) -> Vec<&str> {
+        self.paths.iter().skip(1).map(|(_, p)| p.as_str()).collect()
+    }
+
+    /// Serialize to the deterministic wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let path_bytes: usize = self.paths.iter().map(|(slot, _)| 8 + slot).sum();
+        let sym_bytes: usize = self.symbols.iter().map(|s| 4 + s.len()).sum();
+        let mut out = Vec::with_capacity(4 + 2 + 8 + path_bytes + sym_bytes);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&ARTIFACT_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.paths.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.symbols.len() as u32).to_le_bytes());
+        for (slot, path) in &self.paths {
+            debug_assert!(path.len() <= *slot, "path overflows its slot");
+            out.extend_from_slice(&(*slot as u32).to_le_bytes());
+            out.extend_from_slice(&(path.len() as u32).to_le_bytes());
+            out.extend_from_slice(path.as_bytes());
+            out.resize(out.len() + (slot - path.len()), 0); // NUL padding
+        }
+        for sym in &self.symbols {
+            out.extend_from_slice(&(sym.len() as u32).to_le_bytes());
+            out.extend_from_slice(sym.as_bytes());
+        }
+        out
+    }
+
+    /// Parse the wire format back into an artifact.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Artifact, ArtifactError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(4, "magic")?;
+        if magic != MAGIC {
+            return Err(ArtifactError::Corrupt("bad magic".into()));
+        }
+        let version = u16::from_le_bytes(r.take(2, "format version")?.try_into().expect("len 2"));
+        if version != ARTIFACT_FORMAT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion {
+                found: version,
+                supported: ARTIFACT_FORMAT_VERSION,
+            });
+        }
+        let n_paths = r.u32("path count")? as usize;
+        let n_syms = r.u32("symbol count")? as usize;
+        if n_paths == 0 {
+            return Err(ArtifactError::Corrupt("artifact has no own-prefix slot".into()));
+        }
+        let mut paths = Vec::with_capacity(n_paths.min(1024));
+        for i in 0..n_paths {
+            let slot = r.u32(&format!("slot {i} capacity"))? as usize;
+            let plen = r.u32(&format!("slot {i} path length"))? as usize;
+            if plen > slot {
+                return Err(ArtifactError::Corrupt(format!(
+                    "slot {i}: path length {plen} exceeds capacity {slot}"
+                )));
+            }
+            let raw = r.take(slot, &format!("slot {i} contents"))?;
+            let path = std::str::from_utf8(&raw[..plen])
+                .map_err(|_| ArtifactError::Corrupt(format!("slot {i}: path is not UTF-8")))?;
+            paths.push((slot, path.to_string()));
+        }
+        let mut symbols = Vec::with_capacity(n_syms.min(1024));
+        for i in 0..n_syms {
+            let len = r.u32(&format!("symbol {i} length"))? as usize;
+            let raw = r.take(len, &format!("symbol {i}"))?;
+            let sym = std::str::from_utf8(raw)
+                .map_err(|_| ArtifactError::Corrupt(format!("symbol {i} is not UTF-8")))?;
+            symbols.push(sym.to_string());
+        }
+        if r.pos != bytes.len() {
+            return Err(ArtifactError::Corrupt(format!(
+                "{} trailing bytes after symbol table",
+                bytes.len() - r.pos
+            )));
+        }
+        Ok(Artifact { paths, symbols })
+    }
+}
+
+/// Bounds-checked cursor over the wire format.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ArtifactError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(ArtifactError::Corrupt(format!(
+                "truncated reading {what}: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.bytes.len() - self.pos
+            )));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, ArtifactError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("len 4")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Artifact {
+        Artifact::build(
+            "/opt/hdf5-1.14.5-abcdefg",
+            &["/opt/zlib-1.3-hijklmn".to_string(), "/opt/mpich-3.4.3-opqrstu".to_string()],
+            vec!["MPI_Init".to_string(), "MPI_Comm=int32".to_string()],
+        )
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let art = sample();
+        let back = Artifact::from_bytes(&art.to_bytes()).unwrap();
+        assert_eq!(art, back);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        assert_eq!(sample().to_bytes(), sample().to_bytes());
+    }
+
+    #[test]
+    fn accessors() {
+        let art = sample();
+        assert_eq!(art.own_prefix(), "/opt/hdf5-1.14.5-abcdefg");
+        assert_eq!(
+            art.dep_prefixes(),
+            vec!["/opt/zlib-1.3-hijklmn", "/opt/mpich-3.4.3-opqrstu"]
+        );
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_corrupt() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(Artifact::from_bytes(&bytes[..cut]), Err(ArtifactError::Corrupt(_))),
+                "cut at {cut} must be corrupt"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            Artifact::from_bytes(b"not an artifact"),
+            Err(ArtifactError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn future_version_rejected_distinctly() {
+        let mut bytes = sample().to_bytes();
+        bytes[4] = 0xff; // bump the version field
+        assert!(matches!(
+            Artifact::from_bytes(&bytes),
+            Err(ArtifactError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Artifact::from_bytes(&bytes),
+            Err(ArtifactError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn path_overflowing_slot_rejected() {
+        let art = sample();
+        let mut bytes = art.to_bytes();
+        // First slot's path length field sits after magic+version+counts.
+        let plen_off = 4 + 2 + 4 + 4 + 4;
+        bytes[plen_off..plen_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Artifact::from_bytes(&bytes),
+            Err(ArtifactError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn padding_is_nul_and_invisible() {
+        // Shrinking a path inside its slot must not change semantics.
+        let mut art = sample();
+        art.paths[0].1 = "/o".to_string();
+        let back = Artifact::from_bytes(&art.to_bytes()).unwrap();
+        assert_eq!(back.own_prefix(), "/o");
+        assert_eq!(back.paths[0].0, art.paths[0].0, "capacity preserved");
+    }
+}

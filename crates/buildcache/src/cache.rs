@@ -1,0 +1,417 @@
+//! The content-addressed buildcache index (paper §6.1.3).
+//!
+//! A [`BuildCache`] maps [`SpecHash`]es to [`CacheEntry`]s — a concrete
+//! spec (the full sub-DAG it roots) plus the serialized binary artifact
+//! built for it. Registering a spec registers **every node** of its DAG:
+//! each sub-DAG is a reusable spec in its own right, which is what lets
+//! the concretizer reuse `zlib` out of a cached `hdf5` build.
+//!
+//! Secondary indexes by package name and by `(name, version)` serve the
+//! [`CacheSource::candidates_for`](crate::CacheSource::candidates_for)
+//! lookups without scanning; the primary index is an ordered map so
+//! iteration, JSON output, and `spackle list` are deterministic.
+//!
+//! Persistence is a versioned JSON document (`CACHE_SCHEMA_VERSION`).
+//! Corrupt, truncated, or wrong-version input is rejected with a
+//! [`CacheError`] — never a panic — and every entry's key is verified
+//! against its spec's DAG hash on load, so a tampered index cannot serve
+//! mismatched binaries.
+
+use crate::artifact::{Artifact, ArtifactError};
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use spackle_spec::{ConcreteSpec, SpecHash, Sym, Version};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Current JSON schema version written by [`BuildCache::to_json`].
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// Errors loading a persisted cache index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CacheError {
+    /// The document is not valid JSON for the cache schema (syntax
+    /// errors, missing fields, malformed hashes or specs).
+    Parse(String),
+    /// The document's schema version is not readable by this library.
+    WrongSchemaVersion {
+        /// Version found in the document.
+        found: u32,
+        /// Newest version this library understands.
+        supported: u32,
+    },
+    /// An entry's key does not match its spec's DAG hash (a tampered or
+    /// inconsistent index).
+    HashMismatch {
+        /// The key the entry was filed under (short form).
+        key: String,
+        /// The hash its spec actually has (short form).
+        actual: String,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Parse(m) => write!(f, "invalid cache index: {m}"),
+            CacheError::WrongSchemaVersion { found, supported } => write!(
+                f,
+                "cache schema version {found} unsupported (this library reads up to {supported})"
+            ),
+            CacheError::HashMismatch { key, actual } => write!(
+                f,
+                "cache entry /{key} holds a spec whose DAG hash is /{actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// One reusable spec and its (possibly empty) binary artifact.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// The concrete spec, carrying its full dependency closure.
+    pub spec: ConcreteSpec,
+    /// Serialized [`Artifact`] bytes; empty for index-only entries
+    /// (reusable for concretization but not installable as a binary).
+    #[serde(default)]
+    pub artifact: Vec<u8>,
+}
+
+impl CacheEntry {
+    /// Parse the stored artifact bytes.
+    pub fn artifact(&self) -> Result<Artifact, ArtifactError> {
+        Artifact::from_bytes(&self.artifact)
+    }
+
+    /// Does this entry carry binary bytes (vs. index-only)?
+    pub fn has_artifact(&self) -> bool {
+        !self.artifact.is_empty()
+    }
+}
+
+/// A content-addressed index of reusable specs and their binaries.
+#[derive(Clone, Debug, Default)]
+pub struct BuildCache {
+    /// Primary index: DAG hash → entry, ordered for deterministic
+    /// iteration and serialization.
+    entries: BTreeMap<SpecHash, CacheEntry>,
+    /// Secondary index: root package name → hashes, in insertion order.
+    by_name: FxHashMap<Sym, Vec<SpecHash>>,
+    /// Secondary index: (root package name, root version) → hashes.
+    by_version: FxHashMap<(Sym, Version), Vec<SpecHash>>,
+}
+
+/// On-disk schema (kept private so the wire format can evolve
+/// independently of the in-memory representation).
+#[derive(Serialize, Deserialize)]
+struct CacheFile {
+    version: u32,
+    entries: BTreeMap<SpecHash, CacheEntry>,
+}
+
+impl BuildCache {
+    /// Empty cache.
+    pub fn new() -> BuildCache {
+        BuildCache::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Exact-hash lookup.
+    pub fn get(&self, hash: SpecHash) -> Option<&CacheEntry> {
+        self.entries.get(&hash)
+    }
+
+    /// Is a spec with this hash cached?
+    pub fn contains(&self, hash: SpecHash) -> bool {
+        self.entries.contains_key(&hash)
+    }
+
+    /// Iterate entries in hash order (deterministic).
+    pub fn entries(&self) -> impl Iterator<Item = &CacheEntry> {
+        self.entries.values()
+    }
+
+    /// Iterate `(hash, entry)` pairs in hash order.
+    pub fn iter_hashed(&self) -> impl Iterator<Item = (SpecHash, &CacheEntry)> {
+        self.entries.iter().map(|(h, e)| (*h, e))
+    }
+
+    /// Entries whose *root* package is `name`, in insertion order.
+    pub fn candidates_for(&self, name: Sym) -> Vec<&CacheEntry> {
+        self.by_name
+            .get(&name)
+            .map(|hashes| {
+                hashes
+                    .iter()
+                    .map(|h| self.entries.get(h).expect("index consistent"))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Entries whose root is exactly `name@version`, in insertion order.
+    pub fn candidates_for_version(&self, name: Sym, version: &Version) -> Vec<&CacheEntry> {
+        self.by_version
+            .get(&(name, version.clone()))
+            .map(|hashes| {
+                hashes
+                    .iter()
+                    .map(|h| self.entries.get(h).expect("index consistent"))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Register every node of `spec`'s DAG as an index-only entry (no
+    /// artifact bytes). Already-present hashes are left untouched.
+    pub fn add_spec(&mut self, spec: &ConcreteSpec) {
+        self.add_spec_with(spec, |_| Vec::new());
+    }
+
+    /// Register every node of `spec`'s DAG, synthesizing artifact bytes
+    /// for each newly added sub-DAG with `make_artifact` (called with the
+    /// sub-spec rooted at that node).
+    pub fn add_spec_with(
+        &mut self,
+        spec: &ConcreteSpec,
+        mut make_artifact: impl FnMut(&ConcreteSpec) -> Vec<u8>,
+    ) {
+        for id in spec.all_ids() {
+            let hash = spec.node(id).hash;
+            if self.entries.contains_key(&hash) {
+                continue;
+            }
+            let sub = spec.subdag(id);
+            debug_assert_eq!(sub.dag_hash(), hash, "node hash covers its sub-DAG");
+            let artifact = make_artifact(&sub);
+            self.insert_entry(CacheEntry { spec: sub, artifact });
+        }
+    }
+
+    /// Copy every entry of `other` not already present.
+    pub fn merge(&mut self, other: &BuildCache) {
+        for (hash, entry) in &other.entries {
+            if !self.entries.contains_key(hash) {
+                self.insert_entry(entry.clone());
+            }
+        }
+    }
+
+    /// Insert a single entry and maintain the secondary indexes. The key
+    /// is derived from the entry's spec (content addressing: the caller
+    /// cannot file an entry under a wrong hash).
+    fn insert_entry(&mut self, entry: CacheEntry) {
+        let hash = entry.spec.dag_hash();
+        let root = entry.spec.root();
+        let (name, version) = (root.name, root.version.clone());
+        if self.entries.insert(hash, entry).is_none() {
+            self.by_name.entry(name).or_default().push(hash);
+            self.by_version.entry((name, version)).or_default().push(hash);
+        }
+    }
+
+    /// Serialize to the versioned JSON schema.
+    pub fn to_json(&self) -> String {
+        let file = CacheFile {
+            version: CACHE_SCHEMA_VERSION,
+            entries: self.entries.clone(),
+        };
+        serde_json::to_string(&file).expect("cache serialization cannot fail")
+    }
+
+    /// Load from the versioned JSON schema, validating the schema
+    /// version and every entry's content address.
+    pub fn from_json(s: &str) -> Result<BuildCache, CacheError> {
+        let file: CacheFile =
+            serde_json::from_str(s).map_err(|e| CacheError::Parse(e.to_string()))?;
+        if file.version != CACHE_SCHEMA_VERSION {
+            return Err(CacheError::WrongSchemaVersion {
+                found: file.version,
+                supported: CACHE_SCHEMA_VERSION,
+            });
+        }
+        let mut cache = BuildCache::new();
+        for (key, entry) in file.entries {
+            // Serde checks field shapes, not graph invariants: reject
+            // dangling node indices before any traversal can index out
+            // of bounds.
+            validate_structure(&entry.spec)
+                .map_err(|e| CacheError::Parse(format!("entry /{}: {e}", key.short())))?;
+            // Recompute the content hash rather than trusting the stored
+            // one: a tampered index cannot launder a mismatched spec by
+            // rewriting both the key and the embedded hash.
+            let mut check = entry.spec.clone();
+            check
+                .rehash()
+                .map_err(|e| CacheError::Parse(format!("entry /{}: {e}", key.short())))?;
+            let actual = check.dag_hash();
+            if actual != key || entry.spec.dag_hash() != key {
+                return Err(CacheError::HashMismatch {
+                    key: key.short(),
+                    actual: actual.short(),
+                });
+            }
+            cache.insert_entry(entry);
+        }
+        Ok(cache)
+    }
+}
+
+/// Check that a deserialized spec's node indices are all in bounds
+/// (including nested build-spec provenance) so graph traversals cannot
+/// panic on hostile input.
+fn validate_structure(spec: &ConcreteSpec) -> Result<(), String> {
+    let n = spec.nodes().len();
+    if n == 0 {
+        return Err("spec has no nodes".into());
+    }
+    if spec.root_id() >= n {
+        return Err(format!("root index {} out of bounds ({n} nodes)", spec.root_id()));
+    }
+    for (id, node) in spec.nodes().iter().enumerate() {
+        for &(dep, _) in &node.deps {
+            if dep >= n {
+                return Err(format!("node {id} depends on index {dep} out of bounds ({n} nodes)"));
+            }
+        }
+        if let Some(bs) = &node.build_spec {
+            validate_structure(bs).map_err(|e| format!("node {id} build spec: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spackle_spec::spec::{ConcreteSpecBuilder, DepTypes};
+
+    fn v(s: &str) -> Version {
+        Version::parse(s).unwrap()
+    }
+
+    fn diamond() -> ConcreteSpec {
+        let mut b = ConcreteSpecBuilder::new();
+        let z = b.node("zlib", v("1.3"));
+        let la = b.node("liba", v("2.0"));
+        let lb = b.node("libb", v("3.1"));
+        let app = b.node("app", v("1.0"));
+        b.edge(la, z, DepTypes::LINK_RUN);
+        b.edge(lb, z, DepTypes::LINK_RUN);
+        b.edge(app, la, DepTypes::LINK_RUN);
+        b.edge(app, lb, DepTypes::LINK_RUN);
+        b.build(app).unwrap()
+    }
+
+    #[test]
+    fn add_spec_registers_every_node() {
+        let mut cache = BuildCache::new();
+        cache.add_spec(&diamond());
+        assert_eq!(cache.len(), 4);
+        let spec = diamond();
+        for id in spec.all_ids() {
+            assert!(cache.contains(spec.node(id).hash));
+        }
+    }
+
+    #[test]
+    fn add_spec_with_sees_each_subdag_once() {
+        let mut cache = BuildCache::new();
+        let mut roots_seen = Vec::new();
+        cache.add_spec_with(&diamond(), |sub| {
+            roots_seen.push(sub.root().name.as_str().to_string());
+            sub.root().name.as_str().as_bytes().to_vec()
+        });
+        roots_seen.sort();
+        assert_eq!(roots_seen, ["app", "liba", "libb", "zlib"]);
+        // Re-adding the same spec synthesizes nothing new.
+        cache.add_spec_with(&diamond(), |_| panic!("already cached"));
+    }
+
+    #[test]
+    fn name_and_version_indexes() {
+        let mut cache = BuildCache::new();
+        cache.add_spec(&diamond());
+        let zlib = cache.candidates_for(Sym::intern("zlib"));
+        assert_eq!(zlib.len(), 1);
+        assert_eq!(zlib[0].spec.root().version, v("1.3"));
+        assert!(cache.candidates_for(Sym::intern("nope")).is_empty());
+        assert_eq!(
+            cache.candidates_for_version(Sym::intern("zlib"), &v("1.3")).len(),
+            1
+        );
+        assert!(cache
+            .candidates_for_version(Sym::intern("zlib"), &v("9.9"))
+            .is_empty());
+    }
+
+    #[test]
+    fn merge_deduplicates() {
+        let mut a = BuildCache::new();
+        a.add_spec(&diamond());
+        let mut b = BuildCache::new();
+        b.add_spec(&diamond());
+        let mut zb = ConcreteSpecBuilder::new();
+        let z = zb.node("zlib", v("1.2"));
+        b.add_spec(&zb.build(z).unwrap());
+        a.merge(&b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.candidates_for(Sym::intern("zlib")).len(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_entries_and_indexes() {
+        let mut cache = BuildCache::new();
+        cache.add_spec_with(&diamond(), |sub| {
+            Artifact::build(&format!("/opt/{}", sub.root().name), &[], vec![]).to_bytes()
+        });
+        let back = BuildCache::from_json(&cache.to_json()).unwrap();
+        assert_eq!(back.len(), cache.len());
+        for (h, e) in cache.iter_hashed() {
+            let b = back.get(h).expect("entry survives");
+            assert_eq!(b.spec.dag_hash(), e.spec.dag_hash());
+            assert_eq!(b.artifact, e.artifact);
+        }
+        assert_eq!(back.candidates_for(Sym::intern("zlib")).len(), 1);
+    }
+
+    #[test]
+    fn wrong_schema_version_rejected() {
+        let mut cache = BuildCache::new();
+        cache.add_spec(&diamond());
+        let json = cache.to_json().replacen("\"version\":1", "\"version\":999", 1);
+        assert!(matches!(
+            BuildCache::from_json(&json),
+            Err(CacheError::WrongSchemaVersion { found: 999, .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_key_rejected() {
+        let mut cache = BuildCache::new();
+        let mut zb = ConcreteSpecBuilder::new();
+        let z = zb.node("zlib", v("1.3"));
+        let spec = zb.build(z).unwrap();
+        cache.add_spec(&spec);
+        let real = spec.dag_hash().to_base32();
+        let fake = SpecHash([7u8; 32]).to_base32();
+        let json = cache.to_json().replace(&real, &fake);
+        // Rewriting both the key and the embedded hash is still caught:
+        // the hash is recomputed from the spec's content on load.
+        assert!(matches!(
+            BuildCache::from_json(&json),
+            Err(CacheError::HashMismatch { .. })
+        ));
+    }
+}

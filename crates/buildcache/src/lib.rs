@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # spackle-buildcache
+//!
+//! The binary side of the paper's bridge (§6.1.3): a content-addressed
+//! store of reusable concrete specs and the synthetic binaries built
+//! for them, behind the multi-backend [`CacheSource`] seam.
+//!
+//! * [`Artifact`] — the deterministic synthetic-binary format. Path
+//!   slots model RPATH entries (relocation and rewiring patch them);
+//!   the symbol table models the exported ABI surface (splice discovery
+//!   compares them).
+//! * [`BuildCache`] — the index: [`SpecHash`](spackle_spec::SpecHash) →
+//!   [`CacheEntry`], with name/version secondary indexes and versioned
+//!   JSON persistence. Registering a concrete spec registers every node
+//!   of its DAG, so each sub-DAG becomes independently reusable.
+//! * [`CacheSource`] / [`ChainedCache`] — the object-safe lookup trait
+//!   the concretizer's reuse pass and the installer's planner/executor
+//!   consume, and its first combinator: an ordered local+public overlay.
+//! * [`abi_compatible`] / [`suggest_splices`] — automated ABI discovery
+//!   (§8): audit a cache's binaries for replacement pairs worth a
+//!   `can_splice` directive.
+//!
+//! ```
+//! use spackle_buildcache::{Artifact, BuildCache, CacheSource, ChainedCache};
+//! use spackle_spec::spec::ConcreteSpecBuilder;
+//! use spackle_spec::Version;
+//!
+//! let mut b = ConcreteSpecBuilder::new();
+//! let z = b.node("zlib", Version::parse("1.3").unwrap());
+//! let spec = b.build(z).unwrap();
+//!
+//! let mut local = BuildCache::new();
+//! local.add_spec_with(&spec, |sub| {
+//!     Artifact::build(&format!("/opt/{}", sub.root().name), &[], vec![]).to_bytes()
+//! });
+//! let public = BuildCache::new();
+//!
+//! let chain = ChainedCache::with(vec![&local, &public]);
+//! assert!(chain.contains(spec.dag_hash()));
+//!
+//! let json = local.to_json();
+//! assert_eq!(BuildCache::from_json(&json).unwrap().len(), local.len());
+//! ```
+
+pub mod abi;
+pub mod artifact;
+pub mod cache;
+pub mod source;
+
+pub use abi::{abi_compatible, suggest_splices, AbiIncompatibility, SpliceSuggestion};
+pub use artifact::{Artifact, ArtifactError, ARTIFACT_FORMAT_VERSION, SLOT_HEADROOM};
+pub use cache::{BuildCache, CacheEntry, CacheError, CACHE_SCHEMA_VERSION};
+pub use source::{CacheSource, ChainedCache};

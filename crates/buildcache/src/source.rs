@@ -1,0 +1,221 @@
+//! The multi-backend cache seam: [`CacheSource`] and [`ChainedCache`].
+//!
+//! Everything downstream of the cache — reuse fact injection in the
+//! concretizer, install planning, binary execution, ABI audits — only
+//! ever needs three lookups: by exact hash, by package name, and full
+//! iteration. [`CacheSource`] captures exactly that surface as an
+//! object-safe trait, so those layers accept `&dyn CacheSource` and
+//! never learn whether they are talking to one in-memory index, a chain
+//! of local + public caches, or (later) a remote mirror.
+//!
+//! [`ChainedCache`] is the first combinator over the seam: an ordered
+//! overlay of sources with first-hit-wins lookup, mirroring Spack's
+//! ordered mirror list. A spliced install can therefore find a spec's
+//! *run* binary in the local cache and its *build-spec* binary in the
+//! public one without any caller-side plumbing.
+
+use crate::cache::{BuildCache, CacheEntry};
+use rustc_hash::FxHashSet;
+use spackle_spec::{SpecHash, Sym};
+
+/// Read access to a collection of reusable specs and their binaries.
+///
+/// Object-safe on purpose: planners and solvers hold `&dyn CacheSource`
+/// so new backends never force an API break. Implementations must be
+/// internally consistent — every entry reachable from [`iter`] must also
+/// be reachable via [`get`] under its spec's DAG hash.
+///
+/// [`iter`]: CacheSource::iter
+/// [`get`]: CacheSource::get
+pub trait CacheSource {
+    /// Exact-hash lookup.
+    fn get(&self, hash: SpecHash) -> Option<&CacheEntry>;
+
+    /// Entries whose root package is `name`, best candidate first.
+    fn candidates_for(&self, name: Sym) -> Vec<&CacheEntry>;
+
+    /// Iterate every entry, deterministically.
+    fn iter(&self) -> Box<dyn Iterator<Item = &CacheEntry> + '_>;
+
+    /// Number of distinct entries.
+    fn len(&self) -> usize;
+
+    /// Is a spec with this hash available?
+    fn contains(&self, hash: SpecHash) -> bool {
+        self.get(hash).is_some()
+    }
+
+    /// Does the source hold no entries?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl CacheSource for BuildCache {
+    fn get(&self, hash: SpecHash) -> Option<&CacheEntry> {
+        BuildCache::get(self, hash)
+    }
+
+    fn candidates_for(&self, name: Sym) -> Vec<&CacheEntry> {
+        BuildCache::candidates_for(self, name)
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = &CacheEntry> + '_> {
+        Box::new(self.entries())
+    }
+
+    fn len(&self) -> usize {
+        BuildCache::len(self)
+    }
+
+    fn contains(&self, hash: SpecHash) -> bool {
+        BuildCache::contains(self, hash)
+    }
+}
+
+/// An ordered overlay of cache sources with first-hit-wins lookup.
+///
+/// Earlier sources shadow later ones: `get` returns the first source's
+/// entry for a hash, and `candidates_for`/`iter` deduplicate by DAG hash
+/// in source order. Chains nest — a `ChainedCache` is itself a
+/// `CacheSource`.
+#[derive(Default)]
+pub struct ChainedCache<'a> {
+    sources: Vec<&'a dyn CacheSource>,
+}
+
+impl<'a> ChainedCache<'a> {
+    /// An empty chain (resolves nothing).
+    pub fn new() -> ChainedCache<'a> {
+        ChainedCache::default()
+    }
+
+    /// A chain over `sources`, highest priority first.
+    pub fn with(sources: Vec<&'a dyn CacheSource>) -> ChainedCache<'a> {
+        ChainedCache { sources }
+    }
+
+    /// Append a source at the lowest priority.
+    pub fn push(&mut self, source: &'a dyn CacheSource) {
+        self.sources.push(source);
+    }
+
+    /// The chained sources, highest priority first.
+    pub fn sources(&self) -> &[&'a dyn CacheSource] {
+        &self.sources
+    }
+}
+
+impl CacheSource for ChainedCache<'_> {
+    fn get(&self, hash: SpecHash) -> Option<&CacheEntry> {
+        self.sources.iter().find_map(|s| s.get(hash))
+    }
+
+    fn candidates_for(&self, name: Sym) -> Vec<&CacheEntry> {
+        let mut seen = FxHashSet::default();
+        let mut out = Vec::new();
+        for s in &self.sources {
+            for e in s.candidates_for(name) {
+                if seen.insert(e.spec.dag_hash()) {
+                    out.push(e);
+                }
+            }
+        }
+        out
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = &CacheEntry> + '_> {
+        let mut seen = FxHashSet::default();
+        Box::new(
+            self.sources
+                .iter()
+                .flat_map(|s| s.iter())
+                .filter(move |e| seen.insert(e.spec.dag_hash())),
+        )
+    }
+
+    fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    fn contains(&self, hash: SpecHash) -> bool {
+        self.sources.iter().any(|s| s.contains(hash))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::Artifact;
+    use spackle_spec::spec::{ConcreteSpecBuilder, DepTypes};
+    use spackle_spec::Version;
+
+    fn v(s: &str) -> Version {
+        Version::parse(s).unwrap()
+    }
+
+    fn single(name: &str, ver: &str) -> spackle_spec::ConcreteSpec {
+        let mut b = ConcreteSpecBuilder::new();
+        let n = b.node(name, v(ver));
+        b.build(n).unwrap()
+    }
+
+    fn pair(root: &str, dep: &str) -> spackle_spec::ConcreteSpec {
+        let mut b = ConcreteSpecBuilder::new();
+        let d = b.node(dep, v("1.0"));
+        let r = b.node(root, v("2.0"));
+        b.edge(r, d, DepTypes::LINK_RUN);
+        b.build(r).unwrap()
+    }
+
+    #[test]
+    fn chain_is_first_hit_wins() {
+        let spec = single("zlib", "1.3");
+        let hash = spec.dag_hash();
+        let mut front = BuildCache::new();
+        front.add_spec_with(&spec, |_| Artifact::build("/front", &[], vec![]).to_bytes());
+        let mut back = BuildCache::new();
+        back.add_spec_with(&spec, |_| Artifact::build("/back", &[], vec![]).to_bytes());
+
+        let chain = ChainedCache::with(vec![&front, &back]);
+        let hit = chain.get(hash).expect("resolves");
+        assert_eq!(hit.artifact().unwrap().own_prefix(), "/front");
+        assert_eq!(chain.len(), 1, "shadowed entries count once");
+    }
+
+    #[test]
+    fn chain_unions_distinct_entries() {
+        let mut a = BuildCache::new();
+        a.add_spec(&single("zlib", "1.2"));
+        let mut b = BuildCache::new();
+        b.add_spec(&single("zlib", "1.3"));
+        b.add_spec(&pair("hdf5", "zlib"));
+
+        let chain = ChainedCache::with(vec![&a, &b]);
+        assert_eq!(chain.len(), 4); // zlib@1.2, zlib@1.3, zlib@1.0, hdf5
+        assert_eq!(chain.candidates_for(Sym::intern("zlib")).len(), 3);
+        assert!(chain.contains(single("zlib", "1.2").dag_hash()));
+        assert!(chain.contains(pair("hdf5", "zlib").dag_hash()));
+        assert!(!chain.contains(single("zlib", "9.9").dag_hash()));
+    }
+
+    #[test]
+    fn chains_nest() {
+        let mut a = BuildCache::new();
+        a.add_spec(&single("zlib", "1.2"));
+        let mut b = BuildCache::new();
+        b.add_spec(&single("zlib", "1.3"));
+        let inner = ChainedCache::with(vec![&a]);
+        let outer = ChainedCache::with(vec![&inner, &b]);
+        assert_eq!(outer.len(), 2);
+        assert!(outer.contains(single("zlib", "1.2").dag_hash()));
+    }
+
+    #[test]
+    fn empty_chain_resolves_nothing() {
+        let chain = ChainedCache::new();
+        assert!(chain.is_empty());
+        assert_eq!(chain.candidates_for(Sym::intern("zlib")).len(), 0);
+        assert!(chain.get(single("zlib", "1.3").dag_hash()).is_none());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the cache's JSON persistence and the artifact
+//! wire format: round-trips are lossless, and arbitrary corruption is
+//! rejected with an error — never a panic.
+
+use proptest::prelude::*;
+use spackle_buildcache::{Artifact, BuildCache};
+use spackle_spec::spec::{ConcreteSpecBuilder, DepTypes};
+use spackle_spec::{ConcreteSpec, Version};
+
+/// A small random concrete DAG: a root depending on a random subset of
+/// `n_deps` leaves, each with a random version.
+fn arb_spec() -> impl Strategy<Value = ConcreteSpec> {
+    (
+        prop::sample::select(vec!["hdf5", "hypre", "mfem", "app"]),
+        prop::collection::vec(("[a-z]{3,8}", 1u32..20, 0u32..10), 0..5),
+        1u32..20,
+    )
+        .prop_map(|(root, deps, rv)| {
+            let mut b = ConcreteSpecBuilder::new();
+            let mut ids = Vec::new();
+            let mut used = std::collections::BTreeSet::new();
+            for (name, maj, min) in &deps {
+                // Concrete DAGs hold one configuration per package name.
+                if name == root || !used.insert(name.clone()) {
+                    continue;
+                }
+                ids.push(b.node(name, Version::parse(&format!("{maj}.{min}")).unwrap()));
+            }
+            let r = b.node(root, Version::parse(&format!("{rv}.0")).unwrap());
+            for id in ids {
+                b.edge(r, id, DepTypes::LINK_RUN);
+            }
+            b.build(r).unwrap()
+        })
+}
+
+fn arb_artifact() -> impl Strategy<Value = Artifact> {
+    (
+        "/[a-z/]{1,30}",
+        prop::collection::vec("/[a-z/]{1,30}".prop_map(String::from), 0..4),
+        prop::collection::vec("[A-Za-z_=]{1,20}", 0..6),
+    )
+        .prop_map(|(own, deps, symbols)| Artifact::build(&own, &deps, symbols))
+}
+
+proptest! {
+    #[test]
+    fn cache_json_roundtrip_is_lossless(specs in prop::collection::vec(arb_spec(), 1..6)) {
+        let mut cache = BuildCache::new();
+        for spec in &specs {
+            cache.add_spec_with(spec, |sub| {
+                Artifact::build(
+                    &format!("/opt/{}", sub.root().name),
+                    &[],
+                    vec![format!("{}_api", sub.root().name)],
+                )
+                .to_bytes()
+            });
+        }
+        let back = BuildCache::from_json(&cache.to_json()).unwrap();
+        prop_assert_eq!(back.len(), cache.len());
+        for spec in &specs {
+            for id in spec.all_ids() {
+                let hash = spec.node(id).hash;
+                let (a, b) = (cache.get(hash).unwrap(), back.get(hash).unwrap());
+                prop_assert_eq!(a.spec.dag_hash(), b.spec.dag_hash());
+                prop_assert_eq!(&a.artifact, &b.artifact);
+            }
+        }
+    }
+
+    #[test]
+    fn artifact_roundtrip_is_identity(art in arb_artifact()) {
+        let back = Artifact::from_bytes(&art.to_bytes()).unwrap();
+        prop_assert_eq!(art, back);
+    }
+
+    #[test]
+    fn truncated_artifacts_error_not_panic(art in arb_artifact(), frac in 0.0f64..1.0) {
+        let bytes = art.to_bytes();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(Artifact::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn flipped_cache_json_never_panics(spec in arb_spec(), idx in 0usize..4096, bit in 0u8..8) {
+        // from_json on arbitrarily corrupted JSON must return (Ok or
+        // Err), never panic; when it parses, the index stays consistent.
+        let mut cache = BuildCache::new();
+        cache.add_spec(&spec);
+        let mut json = cache.to_json().into_bytes();
+        let i = idx % json.len();
+        json[i] ^= 1 << bit;
+        if let Ok(s) = std::str::from_utf8(&json) {
+            if let Ok(back) = BuildCache::from_json(s) {
+                for e in back.entries() {
+                    prop_assert!(back.contains(e.spec.dag_hash()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        // Random bytes essentially never form a valid artifact; either
+        // way, no panics.
+        let _ = Artifact::from_bytes(&bytes);
+        if let Ok(s) = std::str::from_utf8(&bytes) {
+            let _ = BuildCache::from_json(s);
+        }
+    }
+}

@@ -4,7 +4,7 @@ use crate::encode::{encode, EncodeConfig, Encoded, Encoding, Goal};
 use crate::interpret::{interpret, Interpretation, SpliceReport};
 use crate::CoreError;
 use spackle_asp::{parse_program, SolveOutcome, SolveStats, Solver, SolverConfig};
-use spackle_buildcache::BuildCache;
+use spackle_buildcache::CacheSource;
 use spackle_repo::Repository;
 use spackle_spec::{AbstractSpec, ConcreteSpec, Os, Sym, Target};
 use std::time::{Duration, Instant};
@@ -120,7 +120,7 @@ impl Solution {
 /// reusable binaries.
 pub struct Concretizer<'a> {
     repo: &'a Repository,
-    caches: Vec<&'a BuildCache>,
+    caches: Vec<&'a dyn CacheSource>,
     config: ConcretizerConfig,
 }
 
@@ -148,9 +148,13 @@ impl<'a> Concretizer<'a> {
         self
     }
 
-    /// Add a buildcache of reusable specs (may be called repeatedly;
-    /// e.g. local then public).
-    pub fn with_reusable(mut self, cache: &'a BuildCache) -> Self {
+    /// Add a source of reusable specs (may be called repeatedly; e.g.
+    /// local then public). Any [`CacheSource`] works: a [`BuildCache`],
+    /// a [`ChainedCache`], or a custom backend.
+    ///
+    /// [`BuildCache`]: spackle_buildcache::BuildCache
+    /// [`ChainedCache`]: spackle_buildcache::ChainedCache
+    pub fn with_reusable(mut self, cache: &'a dyn CacheSource) -> Self {
         self.caches.push(cache);
         self
     }

@@ -10,7 +10,7 @@
 //! [`EncodeConfig::encoding`] — the paper's RQ1 ablation.
 
 use crate::CoreError;
-use spackle_buildcache::BuildCache;
+use spackle_buildcache::CacheSource;
 use spackle_repo::Repository;
 use spackle_spec::{
     AbstractSpec, ConcreteSpec, Os, Sym, Target, VariantValue, Version, VersionReq,
@@ -114,7 +114,7 @@ pub struct Encoded {
 /// Compile everything into one ASP program.
 pub fn encode(
     repo: &Repository,
-    caches: &[&BuildCache],
+    caches: &[&dyn CacheSource],
     goal: &Goal,
     cfg: &EncodeConfig,
 ) -> Result<Encoded, CoreError> {
@@ -186,7 +186,7 @@ pub fn encode(
     };
     let mut reusable_count = 0usize;
     for cache in caches {
-        for entry in cache.entries() {
+        for entry in cache.iter() {
             if !relevant_entry(&entry.spec) {
                 continue;
             }
@@ -307,7 +307,7 @@ pub fn encode(
 
     // ---- reusable specs ----
     for cache in caches {
-        for entry in cache.entries() {
+        for entry in cache.iter() {
             if !relevant_entry(&entry.spec) {
                 continue;
             }

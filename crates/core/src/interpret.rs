@@ -4,7 +4,7 @@
 
 use crate::CoreError;
 use rustc_hash::FxHashMap;
-use spackle_buildcache::BuildCache;
+use spackle_buildcache::CacheSource;
 use spackle_spec::spec::ConcreteSpecBuilder;
 use spackle_spec::{
     ConcreteSpec, DepTypes, Os, SpecHash, Sym, Target, VariantValue, Version,
@@ -48,7 +48,7 @@ pub struct Interpretation {
 /// Decode the model into concrete specs.
 pub fn interpret(
     model: &Model,
-    caches: &[&BuildCache],
+    caches: &[&dyn CacheSource],
     root_names: &[Sym],
 ) -> Result<Interpretation, CoreError> {
     let mut nodes: BTreeMap<Sym, NodeInfo> = BTreeMap::new();

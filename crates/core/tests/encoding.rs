@@ -186,14 +186,13 @@ fn splice_rules_only_when_enabled() {
 
 #[test]
 fn closure_filtering_excludes_unrelated_packages() {
-    let mut pkgs = Vec::new();
-    pkgs.push(PackageBuilder::new("app").version("1.0").build().unwrap());
-    pkgs.push(
+    let pkgs = vec![
+        PackageBuilder::new("app").version("1.0").build().unwrap(),
         PackageBuilder::new("unrelated")
             .version("9.0")
             .build()
             .unwrap(),
-    );
+    ];
     let repo = Repository::from_packages(pkgs).unwrap();
     let goal = Goal::single(parse_spec("app").unwrap());
 

@@ -18,7 +18,7 @@ use crate::layout::InstallLayout;
 use crate::relocate::{relocate_artifact, RelocationStats};
 use crate::rewire::rewire_mapping;
 use rustc_hash::FxHashMap;
-use spackle_buildcache::{Artifact, BuildCache};
+use spackle_buildcache::{Artifact, ArtifactError, CacheSource};
 use spackle_spec::{ConcreteSpec, NodeId, SpecHash};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -45,7 +45,13 @@ pub enum InstallError {
         unmatched_new: Vec<String>,
     },
     /// The artifact could not be parsed or patched.
-    Artifact(String),
+    Artifact(ArtifactError),
+}
+
+impl From<ArtifactError> for InstallError {
+    fn from(e: ArtifactError) -> InstallError {
+        InstallError::Artifact(e)
+    }
 }
 
 impl fmt::Display for InstallError {
@@ -64,7 +70,7 @@ impl fmt::Display for InstallError {
                 f,
                 "ambiguous rewire for {node}: old deps {unmatched_old:?} vs new deps {unmatched_new:?}"
             ),
-            InstallError::Artifact(m) => write!(f, "artifact error: {m}"),
+            InstallError::Artifact(e) => write!(f, "artifact error: {e}"),
         }
     }
 }
@@ -93,8 +99,10 @@ pub struct InstallPlan {
 }
 
 impl InstallPlan {
-    /// Decide actions for every node of `spec` given a cache.
-    pub fn plan(spec: &ConcreteSpec, cache: &BuildCache) -> InstallPlan {
+    /// Decide actions for every node of `spec` given any binary source
+    /// (a [`spackle_buildcache::BuildCache`], a
+    /// [`spackle_buildcache::ChainedCache`], or a custom backend).
+    pub fn plan(spec: &ConcreteSpec, cache: &dyn CacheSource) -> InstallPlan {
         let order = topo_ids(spec);
         let steps = order
             .into_iter()
@@ -226,11 +234,13 @@ impl Installer {
         Artifact::build(&own, &deps, symbols).to_bytes().to_vec()
     }
 
-    /// Execute `plan` for `spec`, pulling binaries from `cache`.
+    /// Execute `plan` for `spec`, pulling binaries from any `cache`
+    /// source (plan and install may use different sources, e.g. plan
+    /// against a chained view and install from the same chain).
     pub fn install(
         &mut self,
         spec: &ConcreteSpec,
-        cache: &BuildCache,
+        cache: &dyn CacheSource,
         plan: &InstallPlan,
     ) -> Result<InstallReport, InstallError> {
         let mut report = InstallReport::default();
@@ -249,8 +259,7 @@ impl Installer {
                 Action::Reuse(hash) => {
                     let entry = cache.get(*hash).expect("planned from this cache");
                     let cached = entry
-                        .artifact()
-                        .map_err(|e| InstallError::Artifact(e.to_string()))?;
+                        .artifact()?;
                     // Map the artifact's recorded prefixes onto this
                     // layout: own prefix plus dependency prefixes in the
                     // cached spec's sorted-name order.
@@ -261,8 +270,7 @@ impl Installer {
                         mapping.insert(old.to_string(), new.clone());
                     }
                     report.reused += 1;
-                    let (bytes, stats) = relocate_artifact(&entry.artifact, &mapping)
-                        .map_err(|e| InstallError::Artifact(e.to_string()))?;
+                    let (bytes, stats) = relocate_artifact(&entry.artifact, &mapping)?;
                     accumulate(&mut report.relocation, stats);
                     bytes
                 }
@@ -278,8 +286,7 @@ impl Installer {
                     // than this layout's build-spec prefix; relocate from
                     // its recorded own prefix first.
                     let cached = entry
-                        .artifact()
-                        .map_err(|e| InstallError::Artifact(e.to_string()))?;
+                        .artifact()?;
                     let mut full_mapping = mapping;
                     let build_spec = node.build_spec.as_ref().expect("action is Rewire");
                     let expected_old_own =
@@ -306,8 +313,7 @@ impl Installer {
                         }
                     }
                     report.rewired += 1;
-                    let (bytes, stats) = relocate_artifact(&entry.artifact, &full_mapping)
-                        .map_err(|e| InstallError::Artifact(e.to_string()))?;
+                    let (bytes, stats) = relocate_artifact(&entry.artifact, &full_mapping)?;
                     accumulate(&mut report.relocation, stats);
                     bytes
                 }
@@ -374,6 +380,7 @@ fn accumulate(total: &mut RelocationStats, s: RelocationStats) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spackle_buildcache::BuildCache;
     use spackle_spec::spec::{ConcreteSpecBuilder, DepTypes};
     use spackle_spec::{Sym, Version};
 

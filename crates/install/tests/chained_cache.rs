@@ -1,0 +1,104 @@
+//! Integration: a spliced install resolved through a [`ChainedCache`]
+//! whose build-spec binary lives only in the *second* source.
+//!
+//! This is the multi-mirror scenario the `CacheSource` seam exists for:
+//! the replacement package's binaries sit in a local cache, while the
+//! original (pre-splice) binary of the parent — the one rewiring needs —
+//! is only published in a further-down mirror. The planner and executor
+//! only ever see one `&dyn CacheSource`, so the chain must make the
+//! union visible without caller-side plumbing.
+
+use spackle_buildcache::{BuildCache, CacheSource, ChainedCache};
+use spackle_install::{InstallError, InstallLayout, InstallPlan, Installer};
+use spackle_spec::spec::{ConcreteSpecBuilder, DepTypes};
+use spackle_spec::{ConcreteSpec, Sym, Version};
+
+fn v(s: &str) -> Version {
+    Version::parse(s).unwrap()
+}
+
+/// `app -> hdf5 -> zlib@1.0`, plus a direct app->zlib edge.
+fn build_app() -> ConcreteSpec {
+    let mut b = ConcreteSpecBuilder::new();
+    let z = b.node("zlib", v("1.0"));
+    let h = b.node("hdf5", v("1.0"));
+    let a = b.node("app", v("1.0"));
+    b.edge(h, z, DepTypes::LINK_RUN);
+    b.edge(a, h, DepTypes::LINK_RUN);
+    b.edge(a, z, DepTypes::LINK_RUN);
+    b.build(a).unwrap()
+}
+
+/// The replacement subtree: `hdf5@2.0 -> zlib@1.1`.
+fn build_hdf5_prime() -> ConcreteSpec {
+    let mut b = ConcreteSpecBuilder::new();
+    let z = b.node("zlib", v("1.1"));
+    let h = b.node("hdf5", v("2.0"));
+    b.edge(h, z, DepTypes::LINK_RUN);
+    b.build(h).unwrap()
+}
+
+#[test]
+fn spliced_install_resolves_across_a_chain() {
+    let app = build_app();
+    let hp = build_hdf5_prime();
+    let farm = Installer::new(InstallLayout::new("/opt/spackle"));
+
+    // Local cache: only the replacement subtree's binaries.
+    let mut local = BuildCache::new();
+    local.add_spec_with(&hp, |s| farm.build_artifact(s, s.root_id()));
+
+    // Mirror cache: only the original app build (the build-spec binary a
+    // rewire must start from).
+    let mut mirror = BuildCache::new();
+    mirror.add_spec_with(&app, |s| farm.build_artifact(s, s.root_id()));
+
+    // Transitive splice: app now links hdf5@2.0 and zlib@1.1, and its
+    // node carries the original build spec as provenance.
+    let spliced = app.splice(&hp, true).unwrap();
+    assert!(spliced.root().is_spliced());
+    let build_hash = spliced.root().build_spec.as_ref().unwrap().dag_hash();
+    assert_eq!(build_hash, app.dag_hash());
+
+    // Neither cache alone can realize the spliced spec without compiling:
+    // the local cache is missing the build-spec binary entirely...
+    assert!(local.get(build_hash).is_none());
+    let mut only_local = Installer::new(InstallLayout::new("/opt/spackle"));
+    let p = InstallPlan::plan(&spliced, &local);
+    assert!(matches!(
+        only_local.install(&spliced, &local, &p),
+        Err(InstallError::MissingBuildSpecBinary { .. })
+    ));
+    // ...and the mirror alone would have to rebuild the replacements.
+    assert!(InstallPlan::plan(&spliced, &mirror).builds() > 0);
+
+    // Chained, the union resolves everything binary-only.
+    let chain = ChainedCache::with(vec![&local, &mirror]);
+    assert!(chain.contains(build_hash));
+    let plan = InstallPlan::plan(&spliced, &chain);
+    assert_eq!(plan.builds(), 0, "no compilation with the chain");
+
+    let mut inst = Installer::new(InstallLayout::new("/opt/spackle"));
+    let report = inst.install(&spliced, &chain, &plan).unwrap();
+    assert_eq!(report.rewired, 1, "exactly the spliced app is rewired");
+    assert_eq!(report.built, 0);
+    assert!(
+        inst.verify(&spliced).is_empty(),
+        "{:?}",
+        inst.verify(&spliced)
+    );
+
+    // The rewired app must point at the *new* hdf5 prefix.
+    let app_prefix = inst.layout().prefix(&spliced, spliced.root_id());
+    let art = spackle_buildcache::Artifact::from_bytes(
+        inst.artifact_at(&app_prefix).expect("artifact on disk"),
+    )
+    .unwrap();
+    let hp_id = spliced.find(Sym::intern("hdf5")).unwrap();
+    let hp_prefix = inst.layout().prefix(&spliced, hp_id);
+    assert!(
+        art.dep_prefixes().iter().any(|p| *p == hp_prefix),
+        "rewired app links the replacement hdf5: {:?}",
+        art.dep_prefixes()
+    );
+}

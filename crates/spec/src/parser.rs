@@ -173,7 +173,7 @@ fn parse_node(cur: &mut Cursor<'_>, allow_anonymous: bool) -> Result<AbstractSpe
                 }
                 let req = VersionReq::parse(text)?;
                 spec.version = spec.version.intersect(&req).ok_or_else(|| {
-                    SpecError::Conflict(format!("incompatible version constraints in spec"))
+                    SpecError::Conflict("incompatible version constraints in spec".to_string())
                 })?;
             }
             Some('+') => {

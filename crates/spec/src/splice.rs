@@ -71,13 +71,11 @@ impl ConcreteSpec {
             }
         }
         for (id, n) in replacement.nodes().iter().enumerate() {
-            let take = if n.name == o_root_name && id == replacement.root_id() {
-                true // the replacement root always wins
-            } else if transitive {
-                true // replacement's deps win ties
-            } else {
-                !winners.contains_key(&n.name) // target's deps win ties
-            };
+            // The replacement root always wins; transitive: the
+            // replacement's deps win ties; intransitive: the target's do.
+            let take = (n.name == o_root_name && id == replacement.root_id())
+                || transitive
+                || !winners.contains_key(&n.name);
             if take {
                 winners.insert(n.name, (Src::Replacement, id));
             }

@@ -151,7 +151,7 @@ impl fmt::Display for Version {
                 // dot only when they originated that way is unknowable, so we
                 // canonicalize with dots except alpha directly after num,
                 // which Spack prints joined (e.g. `3.1rc2`).
-                if !(is_alpha && !prev_alpha) {
+                if !is_alpha || prev_alpha {
                     f.write_str(".")?;
                 }
             }

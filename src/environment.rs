@@ -112,11 +112,13 @@ impl Environment {
         }
     }
 
-    /// Jointly concretize all roots and pin the result.
+    /// Jointly concretize all roots and pin the result. `caches` may be
+    /// any mix of [`CacheSource`] backends (plain `BuildCache`s, chained
+    /// views, ...).
     pub fn concretize(
         &mut self,
         repo: &Repository,
-        caches: &[&BuildCache],
+        caches: &[&dyn CacheSource],
         config: ConcretizerConfig,
     ) -> Result<&Lockfile, EnvError> {
         let mut goal = Goal {
@@ -129,7 +131,7 @@ impl Environment {
         }
         let mut c = Concretizer::new(repo).with_config(config);
         for cache in caches {
-            c = c.with_reusable(cache);
+            c = c.with_reusable(*cache);
         }
         let sol = c.concretize_goal(&goal).map_err(EnvError::Concretize)?;
         let mut lock = Lockfile::default();
@@ -146,7 +148,7 @@ impl Environment {
     pub fn install(
         &self,
         installer: &mut Installer,
-        cache: &BuildCache,
+        cache: &dyn CacheSource,
     ) -> Result<InstallReport, EnvError> {
         let lock = self.lock.as_ref().ok_or(EnvError::NotConcretized)?;
         let mut total = InstallReport::default();

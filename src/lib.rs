@@ -66,11 +66,13 @@ pub use spackle_spec as spec;
 /// The commonly used types, one `use` away.
 pub mod prelude {
     pub use crate::environment::{Environment, Lockfile};
-    pub use spackle_buildcache::{Artifact, BuildCache};
+    pub use spackle_buildcache::{
+        Artifact, ArtifactError, BuildCache, CacheEntry, CacheError, CacheSource, ChainedCache,
+    };
     pub use spackle_core::{
         Concretizer, ConcretizerConfig, CoreError, Encoding, Goal, Solution,
     };
-    pub use spackle_install::{InstallLayout, InstallPlan, Installer};
+    pub use spackle_install::{InstallError, InstallLayout, InstallPlan, Installer};
     pub use spackle_repo::{PackageBuilder, PackageDef, Repository};
     pub use spackle_spec::{
         parse_spec, AbstractSpec, ConcreteSpec, DepTypes, Os, SpecHash, Sym, Target, Version,

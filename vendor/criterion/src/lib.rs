@@ -1,0 +1,134 @@
+//! Minimal vendored `criterion` API: enough to compile and usefully run
+//! this workspace's benches offline. Each `bench_function` performs a
+//! short warmup, then `sample_size` timed iterations, and prints mean ±
+//! sample standard deviation. No HTML reports, plotting, or statistics
+//! beyond that.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) -> &mut Self {
+        run_bench(&name.into(), 100, f);
+        self
+    }
+}
+
+/// A named group sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (min 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(10);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name.into()), self.sample_size, f);
+        self
+    }
+
+    /// End the group (kept for API compatibility; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    rounds: usize,
+}
+
+impl Bencher {
+    /// Time `rounds` invocations of `f`, recording one sample per round.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        for _ in 0..self.rounds {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    // Warmup: one untimed round.
+    let mut warm = Bencher { samples: Vec::new(), rounds: 1 };
+    f(&mut warm);
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        rounds: sample_size,
+    };
+    f(&mut b);
+    let ms: Vec<f64> = b.samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+    let n = ms.len().max(1) as f64;
+    let mean = ms.iter().sum::<f64>() / n;
+    let var = if ms.len() > 1 {
+        ms.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    println!("{name:<50} {mean:>10.3} ms ± {:>8.3} ({} samples)", var.sqrt(), ms.len());
+}
+
+/// Declare the benchmark groups of this target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(10);
+        let mut ran = 0u32;
+        g.bench_function("count", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran >= 10);
+    }
+}

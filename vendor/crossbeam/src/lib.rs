@@ -1,0 +1,81 @@
+//! Minimal vendored `crossbeam` scoped-thread API, implemented over
+//! `std::thread::scope` (available since Rust 1.63, so the external
+//! crate is no longer needed for this workspace's usage).
+
+/// Scoped threads with crossbeam's calling convention.
+pub mod thread {
+    /// Propagated panic payload, as `std::thread::Result`.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle passed to [`scope`]'s closure and to each spawned
+    /// thread's closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle awaiting a scoped thread's result.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread and return its result (`Err` on panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. Crossbeam passes the scope
+        /// back into the closure (callers typically write `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing local data into threads is
+    /// safe; all threads are joined before this returns. Unlike
+    /// crossbeam, an unjoined panicking child aborts via std's scope
+    /// panic instead of surfacing in the `Result` — callers here always
+    /// join explicitly, where panics arrive as `Err` either way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_borrows_and_joins() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(s.spawn(move |_| chunk.iter().sum::<u64>()));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn child_panic_surfaces_in_join() {
+        let caught = crate::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        })
+        .unwrap();
+        assert!(caught);
+    }
+}

@@ -1,0 +1,74 @@
+//! Minimal vendored `parking_lot` API backed by `std::sync` primitives.
+//!
+//! Matches the crate's non-poisoning surface (`lock`/`read`/`write`
+//! return guards directly). Poisoned std locks are recovered rather than
+//! propagated, which matches parking_lot's behavior of not poisoning.
+
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutex whose `lock` never returns a poison error.
+#[derive(Default, Debug)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A reader-writer lock whose guards are infallible.
+#[derive(Default, Debug)]
+pub struct RwLock<T>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Acquire shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquire exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_reads_and_writes() {
+        let l = RwLock::new(1);
+        assert_eq!(*l.read(), 1);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+    }
+
+    #[test]
+    fn mutex_locks() {
+        let m = Mutex::new(vec![1]);
+        m.lock().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Tiny regex-shaped string generator backing `&'static str`
+//! strategies. Supports the constructs the workspace's patterns use:
+//! literal characters, character classes with ranges (`[A-Za-z_=]`,
+//! `[ -~]`), groups `(...)`, and the quantifiers `{m}`, `{m,n}`, `?`,
+//! `*`, `+` (the unbounded ones capped at 8 repeats). Pattern errors
+//! panic: patterns are compile-time test fixtures, not runtime input.
+
+use crate::rng::TestRng;
+
+#[derive(Debug)]
+enum Node {
+    Literal(char),
+    /// Flattened class membership.
+    Class(Vec<char>),
+    Group(Vec<(Node, Repeat)>),
+}
+
+#[derive(Debug)]
+struct Repeat {
+    min: usize,
+    max: usize,
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let seq = parse_sequence(&chars, &mut pos, pattern);
+    assert!(
+        pos == chars.len(),
+        "proptest regex_gen: unexpected `{}` at offset {pos} in {pattern:?}",
+        chars[pos]
+    );
+    let mut out = String::new();
+    emit_sequence(&seq, rng, &mut out);
+    out
+}
+
+fn parse_sequence(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<(Node, Repeat)> {
+    let mut seq = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ')' {
+        let node = parse_atom(chars, pos, pattern);
+        let repeat = parse_repeat(chars, pos, pattern);
+        seq.push((node, repeat));
+    }
+    seq
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize, pattern: &str) -> Node {
+    match chars[*pos] {
+        '[' => {
+            *pos += 1;
+            let mut members = Vec::new();
+            assert!(
+                chars.get(*pos) != Some(&'^'),
+                "proptest regex_gen: negated classes unsupported in {pattern:?}"
+            );
+            while *pos < chars.len() && chars[*pos] != ']' {
+                let c = chars[*pos];
+                // `a-z` range (a trailing `-` is a literal).
+                if chars.get(*pos + 1) == Some(&'-')
+                    && chars.get(*pos + 2).is_some_and(|&e| e != ']')
+                {
+                    let end = chars[*pos + 2];
+                    assert!(c <= end, "proptest regex_gen: bad range {c}-{end} in {pattern:?}");
+                    members.extend(c..=end);
+                    *pos += 3;
+                } else {
+                    members.push(c);
+                    *pos += 1;
+                }
+            }
+            assert!(
+                *pos < chars.len(),
+                "proptest regex_gen: unterminated class in {pattern:?}"
+            );
+            *pos += 1; // closing ]
+            assert!(!members.is_empty(), "proptest regex_gen: empty class in {pattern:?}");
+            Node::Class(members)
+        }
+        '(' => {
+            *pos += 1;
+            let inner = parse_sequence(chars, pos, pattern);
+            assert!(
+                chars.get(*pos) == Some(&')'),
+                "proptest regex_gen: unterminated group in {pattern:?}"
+            );
+            *pos += 1;
+            Node::Group(inner)
+        }
+        '\\' => {
+            *pos += 1;
+            let c = *chars
+                .get(*pos)
+                .unwrap_or_else(|| panic!("proptest regex_gen: trailing \\ in {pattern:?}"));
+            *pos += 1;
+            Node::Literal(c)
+        }
+        c @ (']' | '{' | '}' | '?' | '*' | '+' | '|') => {
+            panic!("proptest regex_gen: unsupported `{c}` at offset {pos} in {pattern:?}")
+        }
+        c => {
+            *pos += 1;
+            Node::Literal(c)
+        }
+    }
+}
+
+fn parse_repeat(chars: &[char], pos: &mut usize, pattern: &str) -> Repeat {
+    match chars.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let min = parse_number(chars, pos, pattern);
+            let max = match chars.get(*pos) {
+                Some(',') => {
+                    *pos += 1;
+                    parse_number(chars, pos, pattern)
+                }
+                _ => min,
+            };
+            assert!(
+                chars.get(*pos) == Some(&'}'),
+                "proptest regex_gen: unterminated quantifier in {pattern:?}"
+            );
+            *pos += 1;
+            assert!(min <= max, "proptest regex_gen: bad quantifier in {pattern:?}");
+            Repeat { min, max }
+        }
+        Some('?') => {
+            *pos += 1;
+            Repeat { min: 0, max: 1 }
+        }
+        Some('*') => {
+            *pos += 1;
+            Repeat { min: 0, max: 8 }
+        }
+        Some('+') => {
+            *pos += 1;
+            Repeat { min: 1, max: 8 }
+        }
+        _ => Repeat { min: 1, max: 1 },
+    }
+}
+
+fn parse_number(chars: &[char], pos: &mut usize, pattern: &str) -> usize {
+    let start = *pos;
+    while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    assert!(*pos > start, "proptest regex_gen: expected a number in {pattern:?}");
+    chars[start..*pos].iter().collect::<String>().parse().expect("digits parse")
+}
+
+fn emit_sequence(seq: &[(Node, Repeat)], rng: &mut TestRng, out: &mut String) {
+    for (node, repeat) in seq {
+        let n = repeat.min + rng.below((repeat.max - repeat.min + 1) as u64) as usize;
+        for _ in 0..n {
+            match node {
+                Node::Literal(c) => out.push(*c),
+                Node::Class(members) => {
+                    out.push(members[rng.below(members.len() as u64) as usize]);
+                }
+                Node::Group(inner) => emit_sequence(inner, rng, out),
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Helpers called by `serde_derive`-generated code. Not public API.
+
+use crate::{de, from_value, ser, to_value, DeserializeOwned, Serialize, Value};
+
+/// Serialize one struct field / variant payload into a [`Value`].
+pub fn ser_field<T: Serialize + ?Sized, E: ser::Error>(value: &T) -> Result<Value, E> {
+    to_value(value).map_err(E::custom)
+}
+
+/// Expect an object, returning its pairs for field extraction.
+pub fn into_object<E: de::Error>(value: Value, type_name: &str) -> Result<Vec<(String, Value)>, E> {
+    match value {
+        Value::Object(pairs) => Ok(pairs),
+        v => Err(E::custom(format!(
+            "invalid type: found {}, expected struct {type_name}",
+            v.kind()
+        ))),
+    }
+}
+
+/// Expect an array of exactly `len` elements (tuple structs / variants).
+pub fn into_array<E: de::Error>(value: Value, len: usize, type_name: &str) -> Result<Vec<Value>, E> {
+    match value {
+        Value::Array(items) if items.len() == len => Ok(items),
+        Value::Array(items) => Err(E::custom(format!(
+            "invalid length: {type_name} expects {len} elements, found {}",
+            items.len()
+        ))),
+        v => Err(E::custom(format!(
+            "invalid type: found {}, expected {type_name} as an array",
+            v.kind()
+        ))),
+    }
+}
+
+/// Extract and deserialize a required named field. Unknown extra fields
+/// are ignored, matching real serde's default.
+pub fn de_field<T: DeserializeOwned, E: de::Error>(
+    pairs: &mut Vec<(String, Value)>,
+    name: &str,
+) -> Result<T, E> {
+    match pairs.iter().position(|(k, _)| k == name) {
+        Some(i) => {
+            let (_, v) = pairs.swap_remove(i);
+            from_value(v).map_err(|e| E::custom(format!("field `{name}`: {e}")))
+        }
+        None => Err(E::custom(format!("missing field `{name}`"))),
+    }
+}
+
+/// Extract an optional named field, falling back to `Default`
+/// (`#[serde(default)]`).
+pub fn de_field_default<T: DeserializeOwned + Default, E: de::Error>(
+    pairs: &mut Vec<(String, Value)>,
+    name: &str,
+) -> Result<T, E> {
+    match pairs.iter().position(|(k, _)| k == name) {
+        Some(i) => {
+            let (_, v) = pairs.swap_remove(i);
+            from_value(v).map_err(|e| E::custom(format!("field `{name}`: {e}")))
+        }
+        None => Ok(T::default()),
+    }
+}
+
+/// Deserialize a single value (newtype payloads, tuple elements).
+pub fn de_value<T: DeserializeOwned, E: de::Error>(value: Value) -> Result<T, E> {
+    from_value(value).map_err(E::custom)
+}

@@ -1,0 +1,75 @@
+//! Deserialization-side support traits.
+
+use std::fmt::{self, Display};
+
+/// The error contract every [`crate::Deserializer`] error type
+/// satisfies.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// Drives construction of a value out of deserializer callbacks. Only
+/// the shapes this workspace's hand-written impls use are modeled;
+/// every `visit_*` defaults to a type-mismatch error built from
+/// [`Visitor::expecting`].
+pub trait Visitor<'de>: Sized {
+    /// The type this visitor produces.
+    type Value;
+
+    /// Describe what this visitor expects, for error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    /// Visit a borrowed string.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(unexpected(&self, "a string"))
+    }
+
+    /// Visit an owned string (defaults to [`Visitor::visit_str`]).
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    /// Visit a boolean.
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(unexpected(&self, "a boolean"))
+    }
+
+    /// Visit an unsigned integer.
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(unexpected(&self, "an integer"))
+    }
+
+    /// Visit a signed integer.
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(unexpected(&self, "an integer"))
+    }
+
+    /// Visit a float.
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(unexpected(&self, "a number"))
+    }
+
+    /// Visit a unit/null value.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(unexpected(&self, "null"))
+    }
+}
+
+fn unexpected<'de, V: Visitor<'de>, E: Error>(visitor: &V, found: &str) -> E {
+    struct Expected<'a, 'de, V: Visitor<'de>>(&'a V, std::marker::PhantomData<&'de ()>);
+    impl<'de, V: Visitor<'de>> Display for Expected<'_, 'de, V> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.expecting(f)
+        }
+    }
+    E::custom(format!(
+        "invalid type: found {found}, expected {}",
+        Expected(visitor, std::marker::PhantomData)
+    ))
+}

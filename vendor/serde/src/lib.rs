@@ -1,0 +1,486 @@
+//! Minimal vendored `serde`-compatible framework for offline builds.
+//!
+//! The public trait surface matches the subset of real serde this
+//! workspace uses — `Serialize`/`Serializer::serialize_str`,
+//! `Deserialize`/`Deserializer::deserialize_str`, `de::Visitor`,
+//! `ser::Error`/`de::Error` — so hand-written impls compile unchanged.
+//! Internally the data model is simplified to a self-describing
+//! [`Value`] tree: serializers accept a fully built `Value`
+//! ([`Serializer::serialize_value`]) and deserializers surrender one
+//! ([`Deserializer::take_value`]). The companion `serde_derive` and
+//! `serde_json` stand-ins are written against that model; the derive
+//! output is wire-compatible with real serde's default representation
+//! (structs as objects, newtypes transparent, externally tagged enums).
+
+use std::fmt;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+pub mod ser;
+mod value;
+
+pub use value::Value;
+
+#[doc(hidden)]
+pub mod __private;
+
+/// A type that can render itself into a serializer.
+pub trait Serialize {
+    /// Serialize `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for serialized data. Simplified: one required method taking a
+/// finished [`Value`]; the `serialize_*` conveniences build values.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Accept a fully built value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::String(v.to_string()))
+    }
+
+    /// Serialize a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bool(v))
+    }
+
+    /// Serialize an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::U64(v))
+    }
+
+    /// Serialize a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::I64(v))
+    }
+
+    /// Serialize a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::F64(v))
+    }
+
+    /// Serialize a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+}
+
+/// A type that can rebuild itself from a deserializer.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize an instance.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A `Deserialize` usable at any lifetime (all types here own their
+/// data).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A source of deserialized data. Simplified: one required method
+/// surrendering a [`Value`]; the `deserialize_*` conveniences dispatch
+/// into a [`de::Visitor`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Surrender the underlying value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+
+    /// Drive `visitor` with the value, whatever its type.
+    fn deserialize_any<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        match self.take_value()? {
+            Value::Null => visitor.visit_unit(),
+            Value::Bool(b) => visitor.visit_bool(b),
+            Value::U64(n) => visitor.visit_u64(n),
+            Value::I64(n) => visitor.visit_i64(n),
+            Value::F64(n) => visitor.visit_f64(n),
+            Value::String(s) => visitor.visit_string(s),
+            v @ (Value::Array(_) | Value::Object(_)) => Err(de::Error::custom(format!(
+                "cannot visit {} with a scalar visitor",
+                v.kind()
+            ))),
+        }
+    }
+
+    /// Expect a string and visit it.
+    fn deserialize_str<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        match self.take_value()? {
+            Value::String(s) => visitor.visit_str(&s),
+            v => Err(de::Error::custom(format!("expected a string, found {}", v.kind()))),
+        }
+    }
+
+    /// Alias of [`Deserializer::deserialize_str`].
+    fn deserialize_string<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_str(visitor)
+    }
+}
+
+/// The error produced by [`to_value`]/[`from_value`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+struct ValueDeserializer(Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn take_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Serialize any value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserialize any owned type out of a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(v) => {
+                let inner = to_value(v).map_err(ser::Error::custom)?;
+                s.serialize_value(inner)
+            }
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::with_capacity(self.len());
+        for item in self {
+            out.push(to_value(item).map_err(ser::Error::custom)?);
+        }
+        s.serialize_value(Value::Array(out))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::with_capacity(self.len());
+        for item in self {
+            out.push(to_value(item).map_err(ser::Error::custom)?);
+        }
+        s.serialize_value(Value::Array(out))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let key = match to_value(k).map_err(ser::Error::custom)? {
+                Value::String(ks) => ks,
+                other => {
+                    return Err(ser::Error::custom(format!(
+                        "map key must serialize to a string, got {}",
+                        other.kind()
+                    )))
+                }
+            };
+            out.push((key, to_value(v).map_err(ser::Error::custom)?));
+        }
+        s.serialize_value(Value::Object(out))
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let out = vec![$(to_value(&self.$idx).map_err(ser::Error::custom)?),+];
+                s.serialize_value(Value::Array(out))
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| de::Error::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(n)
+                        .map_err(|_| de::Error::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    v => Err(de::Error::custom(format!(
+                        "expected an integer, found {}", v.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            v => Err(de::Error::custom(format!("expected a boolean, found {}", v.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::F64(n) => Ok(n),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            v => Err(de::Error::custom(format!("expected a number, found {}", v.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::String(s) => Ok(s),
+            v => Err(de::Error::custom(format!("expected a string, found {}", v.kind()))),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => from_value(v).map(Some).map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(de::Error::custom))
+                .collect(),
+            v => Err(de::Error::custom(format!("expected an array, found {}", v.kind()))),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        from_value(d.take_value()?).map(Box::new).map_err(de::Error::custom)
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Arc<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        from_value(d.take_value()?).map(Arc::new).map_err(de::Error::custom)
+    }
+}
+
+impl<'de, T: DeserializeOwned + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(de::Error::custom))
+                .collect(),
+            v => Err(de::Error::custom(format!("expected an array, found {}", v.kind()))),
+        }
+    }
+}
+
+impl<'de, K: DeserializeOwned + Ord, V: DeserializeOwned> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Object(pairs) => pairs
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = from_value(Value::String(k)).map_err(de::Error::custom)?;
+                    let val = from_value(v).map_err(de::Error::custom)?;
+                    Ok((key, val))
+                })
+                .collect(),
+            v => Err(de::Error::custom(format!("expected an object, found {}", v.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:expr, $($name:ident),+))*) => {$(
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                match d.take_value()? {
+                    Value::Array(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            from_value::<$name>(it.next().expect("length checked"))
+                                .map_err(de::Error::custom)?,
+                        )+))
+                    }
+                    Value::Array(items) => Err(de::Error::custom(format!(
+                        "expected an array of {} elements, found {}", $len, items.len()
+                    ))),
+                    v => Err(de::Error::custom(format!(
+                        "expected an array, found {}", v.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_tuple! {
+    (1, A)
+    (2, A, B)
+    (3, A, B, C)
+    (4, A, B, C, D)
+}

@@ -1,0 +1,9 @@
+//! Serialization-side support traits.
+
+use std::fmt::Display;
+
+/// The error contract every [`crate::Serializer`] error type satisfies.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}

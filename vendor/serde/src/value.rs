@@ -1,0 +1,39 @@
+//! The self-describing data model used by this vendored serde.
+
+/// A serialized value tree. Objects preserve insertion order (maps
+/// serialize their own ordering; derived structs emit declaration
+/// order), matching what `serde_json` would render.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null` / unit / `None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (positives normalize to [`Value::U64`]).
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    String(String),
+    /// Sequence.
+    Array(Vec<Value>),
+    /// Key/value pairs, in order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable name of this value's type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::U64(_) | Value::I64(_) => "an integer",
+            Value::F64(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+}

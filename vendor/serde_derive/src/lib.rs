@@ -1,0 +1,497 @@
+//! Minimal vendored `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the item shapes this workspace uses —
+//! named structs (with optional `#[serde(default)]` fields), tuple
+//! structs, unit structs, and enums with unit / newtype / tuple
+//! variants, all without generics. Parsing is done directly on
+//! `proc_macro::TokenStream` (no syn/quote); generated code calls
+//! inference-friendly helpers in `serde::__private` so field types
+//! never need to be understood, only field names and arities.
+//!
+//! The representation matches real serde's defaults: structs as JSON
+//! objects, newtype structs transparent, tuples as arrays, enums
+//! externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    arity: usize,
+    unit: bool,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+type Iter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip one attribute if the iterator is at `#`; return the bracket
+/// group's tokens so callers can inspect `#[serde(...)]`.
+fn take_attr(iter: &mut Iter) -> Option<TokenStream> {
+    match iter.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+            iter.next();
+            match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    Some(g.stream())
+                }
+                other => panic!("serde_derive: expected [...] after `#`, found {other:?}"),
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Does this attribute body read `serde(default)`? Any other
+/// `serde(...)` content is rejected loudly rather than silently
+/// mis-serialized.
+fn attr_is_serde_default(attr: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = attr.clone().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => {
+            let inner: Vec<String> = args.stream().into_iter().map(|t| t.to_string()).collect();
+            if inner == ["default"] {
+                true
+            } else {
+                panic!(
+                    "serde_derive: unsupported #[serde({})] — this vendored derive only \
+                     implements #[serde(default)]",
+                    inner.join("")
+                );
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(iter: &mut Iter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter: Iter = input.into_iter().peekable();
+    // Skip outer attributes / visibility until the item keyword.
+    let is_enum = loop {
+        if take_attr(&mut iter).is_some() {
+            continue;
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(i)) if i.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(i)) if i.to_string() == "enum" => break true,
+            Some(_) => continue,
+            None => panic!("serde_derive: no `struct` or `enum` found in derive input"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by this vendored derive");
+    }
+    if is_enum {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive: expected struct body, found {other:?}"),
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut iter: Iter = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let mut default = false;
+        while let Some(attr) = take_attr(&mut iter) {
+            default |= attr_is_serde_default(&attr);
+        }
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Consume the type: everything up to a comma at angle-depth 0.
+        // Grouped tokens (parens/brackets/braces) arrive as single
+        // trees, so only `<`/`>` depth needs tracking.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    iter.next();
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut angle_depth = 0i32;
+    let mut pending = false; // tokens seen since the last top-level comma
+    for tok in body {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += usize::from(pending);
+                pending = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                pending = true;
+            }
+            _ => pending = true,
+        }
+    }
+    arity + usize::from(pending)
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut iter: Iter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        while take_attr(&mut iter).is_some() {}
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let variant = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                iter.next();
+                Variant { name, arity, unit: false }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!(
+                    "serde_derive: struct variant `{name}` is not supported by this vendored derive"
+                );
+            }
+            _ => Variant { name, arity: 0, unit: true },
+        };
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive: explicit discriminants are not supported (variant `{}`)", variant.name);
+        }
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push(variant);
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    let name = item_name(item);
+    let _ = write!(
+        out,
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n"
+    );
+    match item {
+        Item::NamedStruct { fields, .. } => {
+            let _ = writeln!(
+                out,
+                "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::with_capacity({});",
+                fields.len()
+            );
+            for f in fields {
+                let json = json_name(&f.name);
+                let _ = writeln!(
+                    out,
+                    "__obj.push((::std::string::String::from(\"{json}\"), \
+                     ::serde::__private::ser_field::<_, __S::Error>(&self.{})?));",
+                    f.name
+                );
+            }
+            out.push_str("__serializer.serialize_value(::serde::Value::Object(__obj))\n");
+        }
+        Item::TupleStruct { arity: 1, .. } => {
+            out.push_str(
+                "__serializer.serialize_value(\
+                 ::serde::__private::ser_field::<_, __S::Error>(&self.0)?)\n",
+            );
+        }
+        Item::TupleStruct { arity, .. } => {
+            let _ = writeln!(
+                out,
+                "let mut __arr: ::std::vec::Vec<::serde::Value> = \
+                 ::std::vec::Vec::with_capacity({arity});"
+            );
+            for i in 0..*arity {
+                let _ = writeln!(
+                    out,
+                    "__arr.push(::serde::__private::ser_field::<_, __S::Error>(&self.{i})?);"
+                );
+            }
+            out.push_str("__serializer.serialize_value(::serde::Value::Array(__arr))\n");
+        }
+        Item::UnitStruct { .. } => {
+            out.push_str("__serializer.serialize_value(::serde::Value::Null)\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                if v.unit {
+                    let _ = writeln!(
+                        out,
+                        "{name}::{vname} => __serializer.serialize_value(\
+                         ::serde::Value::String(::std::string::String::from(\"{vname}\"))),"
+                    );
+                } else if v.arity == 1 {
+                    let _ = writeln!(
+                        out,
+                        "{name}::{vname}(__f0) => {{\n\
+                         let __payload = ::serde::__private::ser_field::<_, __S::Error>(__f0)?;\n\
+                         __serializer.serialize_value(::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{vname}\"), __payload)]))\n}}"
+                    );
+                } else {
+                    let binders: Vec<String> = (0..v.arity).map(|i| format!("__f{i}")).collect();
+                    let _ = writeln!(out, "{name}::{vname}({}) => {{", binders.join(", "));
+                    let _ = writeln!(
+                        out,
+                        "let mut __arr: ::std::vec::Vec<::serde::Value> = \
+                         ::std::vec::Vec::with_capacity({});",
+                        v.arity
+                    );
+                    for b in &binders {
+                        let _ = writeln!(
+                            out,
+                            "__arr.push(::serde::__private::ser_field::<_, __S::Error>({b})?);"
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "__serializer.serialize_value(::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{vname}\"), \
+                         ::serde::Value::Array(__arr))]))\n}}"
+                    );
+                }
+            }
+            out.push_str("}\n");
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    let name = item_name(item);
+    let _ = write!(
+        out,
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n\
+         let __value = ::serde::Deserializer::take_value(__deserializer)?;\n"
+    );
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let _ = writeln!(
+                out,
+                "let mut __obj = ::serde::__private::into_object::<__D::Error>(__value, \"{name}\")?;"
+            );
+            let _ = writeln!(out, "::std::result::Result::Ok({name} {{");
+            for f in fields {
+                let helper = if f.default { "de_field_default" } else { "de_field" };
+                let json = json_name(&f.name);
+                let _ = writeln!(
+                    out,
+                    "{}: ::serde::__private::{helper}(&mut __obj, \"{json}\")?,",
+                    f.name
+                );
+            }
+            out.push_str("})\n");
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            let _ = writeln!(
+                out,
+                "::std::result::Result::Ok({name}(::serde::__private::de_value(__value)?))"
+            );
+        }
+        Item::TupleStruct { name, arity } => {
+            out.push_str(&gen_array_unpack("__value", name, *arity));
+            let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+            let _ = writeln!(out, "::std::result::Result::Ok({name}({}))", binders.join(", "));
+        }
+        Item::UnitStruct { name } => {
+            let _ = writeln!(
+                out,
+                "match __value {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 __v => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"invalid type: found {{}}, expected unit struct {name}\", __v.kind()))),\n\
+                 }}"
+            );
+        }
+        Item::Enum { name, variants } => {
+            out.push_str("match __value {\n");
+            // Unit variants arrive as plain strings.
+            out.push_str("::serde::Value::String(__name) => match __name.as_str() {\n");
+            for v in variants.iter().filter(|v| v.unit) {
+                let _ = writeln!(out, "\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name);
+            }
+            let _ = writeln!(
+                out,
+                "__other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of enum {name}\", __other))),\n}},"
+            );
+            // Payload variants arrive as single-key objects.
+            out.push_str(
+                "::serde::Value::Object(mut __pairs) if __pairs.len() == 1 => {\n\
+                 let (__name, __payload) = __pairs.pop().expect(\"length checked\");\n\
+                 match __name.as_str() {\n",
+            );
+            for v in variants.iter().filter(|v| !v.unit) {
+                let vname = &v.name;
+                if v.arity == 1 {
+                    let _ = writeln!(
+                        out,
+                        "\"{vname}\" => ::std::result::Result::Ok(\
+                         {name}::{vname}(::serde::__private::de_value(__payload)?)),"
+                    );
+                } else {
+                    let _ = writeln!(out, "\"{vname}\" => {{");
+                    out.push_str(&gen_array_unpack("__payload", &format!("{name}::{vname}"), v.arity));
+                    let binders: Vec<String> = (0..v.arity).map(|i| format!("__f{i}")).collect();
+                    let _ = writeln!(
+                        out,
+                        "::std::result::Result::Ok({name}::{vname}({}))\n}}",
+                        binders.join(", ")
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "__other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of enum {name}\", __other))),\n}}\n}},"
+            );
+            let _ = writeln!(
+                out,
+                "__v => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"invalid type: found {{}}, expected enum {name}\", __v.kind()))),\n}}"
+            );
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Emit statements binding `__f0..__fN` out of `source` (a `Value`
+/// expected to be an array of length `arity`).
+fn gen_array_unpack(source: &str, type_label: &str, arity: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "let mut __arr = ::serde::__private::into_array::<__D::Error>({source}, {arity}, \
+         \"{type_label}\")?;"
+    );
+    // Pop from the back so each extraction is O(1).
+    for i in (0..arity).rev() {
+        let _ = writeln!(
+            out,
+            "let __f{i} = ::serde::__private::de_value(__arr.pop().expect(\"length checked\"))?;"
+        );
+    }
+    out
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    }
+}
+
+/// JSON key for a field: raw identifiers drop the `r#` prefix.
+fn json_name(field: &str) -> &str {
+    field.strip_prefix("r#").unwrap_or(field)
+}
