@@ -31,6 +31,7 @@
 //!    `#minimize` priorities.
 
 pub mod cdcl;
+pub mod certify;
 pub mod cnf;
 pub mod ground;
 pub mod model;
@@ -40,6 +41,7 @@ pub mod solve;
 pub mod stability;
 pub mod term;
 
+pub use certify::{certify_model, CertifyError};
 pub use model::Model;
 pub use parser::parse_program;
 pub use program::{Program, Rule};

@@ -1,14 +1,16 @@
 //! Answer-set (model) representation and query API.
 
+use crate::ground::GroundProgram;
 use crate::term::{AtomId, GroundStore, GroundTerm, TermId};
 use rustc_hash::FxHashSet;
 use spackle_spec::Sym;
 use std::sync::Arc;
 
-/// A stable model: the set of true atoms plus the term store needed to
-/// decode them, and the achieved cost vector.
+/// A stable model: the set of true atoms plus the ground program that
+/// produced it (needed to decode atoms and to certificate-check the
+/// model), and the achieved cost vector.
 pub struct Model {
-    store: Arc<GroundStore>,
+    ground: Arc<GroundProgram>,
     true_atoms: FxHashSet<AtomId>,
     /// `(priority, cost)` pairs, highest priority first.
     pub cost: Vec<(i64, i64)>,
@@ -16,25 +18,43 @@ pub struct Model {
 
 impl Model {
     pub(crate) fn new(
-        store: Arc<GroundStore>,
+        ground: Arc<GroundProgram>,
         true_atoms: FxHashSet<AtomId>,
         cost: Vec<(i64, i64)>,
     ) -> Model {
         Model {
-            store,
+            ground,
             true_atoms,
             cost,
         }
     }
 
+    /// The ground program this model was found for. Atom ids in
+    /// [`Model::true_atoms`] index into this program's store, so the
+    /// model can be validated against the exact grounding that produced
+    /// it (see [`crate::certify`]).
+    pub fn ground(&self) -> &GroundProgram {
+        &self.ground
+    }
+
     /// The underlying term store (for decoding arguments).
     pub fn store(&self) -> &GroundStore {
-        &self.store
+        &self.ground.store
     }
 
     /// Is the atom true?
     pub fn contains(&self, a: AtomId) -> bool {
         self.true_atoms.contains(&a)
+    }
+
+    /// Iterate over the true atoms, in unspecified order.
+    pub fn true_atoms(&self) -> impl Iterator<Item = AtomId> + '_ {
+        self.true_atoms.iter().copied()
+    }
+
+    /// The set of true atoms.
+    pub fn atom_set(&self) -> &FxHashSet<AtomId> {
+        &self.true_atoms
     }
 
     /// Number of true atoms.
@@ -55,7 +75,7 @@ impl Model {
         ids.sort_unstable();
         ids.into_iter()
             .filter_map(|a| {
-                let (ap, args) = self.store.atom_data(a);
+                let (ap, args) = self.store().atom_data(a);
                 (ap == p).then_some(args)
             })
             .collect()
@@ -66,7 +86,7 @@ impl Model {
         let mut v: Vec<String> = self
             .true_atoms
             .iter()
-            .map(|&a| self.store.format_atom(a))
+            .map(|&a| self.store().format_atom(a))
             .collect();
         v.sort();
         v
@@ -81,11 +101,11 @@ impl Model {
     fn render_holds(&self, pred: &str, args: &[&str]) -> bool {
         let p = Sym::intern(pred);
         self.true_atoms.iter().any(|&a| {
-            let (ap, aargs) = self.store.atom_data(a);
+            let (ap, aargs) = self.store().atom_data(a);
             ap == p
                 && aargs.len() == args.len()
                 && aargs.iter().zip(args).all(|(&tid, &want)| {
-                    matches!(self.store.term_data(tid), GroundTerm::Str(s) if s.as_str() == want)
+                    matches!(self.store().term_data(tid), GroundTerm::Str(s) if s.as_str() == want)
                 })
         })
     }
@@ -94,7 +114,7 @@ impl Model {
 
     /// Decode a term as a quoted string.
     pub fn as_str(&self, t: TermId) -> Option<&'static str> {
-        match self.store.term_data(t) {
+        match self.store().term_data(t) {
             GroundTerm::Str(s) => Some(s.as_str()),
             _ => None,
         }
@@ -102,7 +122,7 @@ impl Model {
 
     /// Decode a term as a symbolic constant.
     pub fn as_sym(&self, t: TermId) -> Option<&'static str> {
-        match self.store.term_data(t) {
+        match self.store().term_data(t) {
             GroundTerm::Sym(s) => Some(s.as_str()),
             _ => None,
         }
@@ -110,7 +130,7 @@ impl Model {
 
     /// Decode a term as an integer.
     pub fn as_int(&self, t: TermId) -> Option<i64> {
-        match self.store.term_data(t) {
+        match self.store().term_data(t) {
             GroundTerm::Int(i) => Some(*i),
             _ => None,
         }
@@ -118,7 +138,7 @@ impl Model {
 
     /// Decode a compound term as (functor name, argument ids).
     pub fn as_func(&self, t: TermId) -> Option<(&'static str, &[TermId])> {
-        match self.store.term_data(t) {
+        match self.store().term_data(t) {
             GroundTerm::Func(name, args) => Some((name.as_str(), args)),
             _ => None,
         }

@@ -200,6 +200,7 @@ impl Solver {
         sat: &mut Sat,
         stats: &mut SolveStats,
     ) -> Result<SolveOutcome> {
+        let gp = std::sync::Arc::new(gp);
         let Some(mut model) = self.stable_solve(&gp, tr, sat, &[], stats)? else {
             return Ok(SolveOutcome::Unsat);
         };
@@ -270,8 +271,7 @@ impl Solver {
                 .collect();
         }
 
-        let store = std::sync::Arc::new(gp.store);
-        Ok(SolveOutcome::Optimal(Model::new(store, model, best_costs)))
+        Ok(SolveOutcome::Optimal(Model::new(gp, model, best_costs)))
     }
 
     /// Enumerate up to `limit` stable models (ignoring `#minimize`
@@ -279,11 +279,11 @@ impl Solver {
     /// fewer models.
     pub fn enumerate(&self, program: &Program, limit: usize) -> Result<Vec<Model>> {
         let mut stats = SolveStats::default();
-        let mut gp = ground_with_limits(program, self.config.limits)?;
+        let gp = ground_with_limits(program, self.config.limits)?;
         let mut sat = Sat::new();
         sat.set_conflict_budget(self.config.conflict_budget);
         let tr = translate(&gp, &mut sat);
-        let store = std::sync::Arc::new(std::mem::take(&mut gp.store));
+        let gp = std::sync::Arc::new(gp);
         let mut out = Vec::new();
         while out.len() < limit {
             let Some(model) = self.stable_solve(&gp, &tr, &mut sat, &[], &mut stats)? else {
@@ -302,7 +302,7 @@ impl Solver {
                     }
                 })
                 .collect();
-            out.push(Model::new(store.clone(), model, Vec::new()));
+            out.push(Model::new(gp.clone(), model, Vec::new()));
             if !sat.add_clause(&block) {
                 break;
             }

@@ -1,0 +1,207 @@
+//! Minimized deterministic regressions for solver/grounder corners that
+//! the differential fuzz harness (`spackle-oracle`) leans on hardest.
+//!
+//! The harness ran >120k random program/repository cases against the
+//! brute-force reference solver without finding a production bug; these
+//! tests pin down the corner semantics it exercises — guarded and
+//! over-tight choice bounds, weighted `#minimize` with shared factors,
+//! set-of-tuples cost deduplication, unfounded-set handling under
+//! choices — so any future regression fails here with a readable,
+//! hand-checkable program instead of a fuzzer seed.
+
+use spackle_asp::certify::certify_model;
+use spackle_asp::{parse_program, Model, SolveOutcome, Solver};
+
+fn models(text: &str, limit: usize) -> Vec<Vec<String>> {
+    let prog = parse_program(text).unwrap();
+    let ms = Solver::new().enumerate(&prog, limit).unwrap();
+    let mut out: Vec<Vec<String>> = ms.iter().map(render).collect();
+    out.sort();
+    out
+}
+
+fn render(m: &Model) -> Vec<String> {
+    let mut atoms = m.render();
+    atoms.sort();
+    atoms
+}
+
+fn optimum(text: &str) -> (Vec<String>, Vec<(i64, i64)>) {
+    let prog = parse_program(text).unwrap();
+    match Solver::new().solve(&prog).unwrap().0 {
+        SolveOutcome::Optimal(m) => {
+            certify_model(&m).expect("optimal model must certify");
+            (render(&m), m.cost.clone())
+        }
+        SolveOutcome::Unsat => panic!("expected optimum, got UNSAT"),
+    }
+}
+
+fn strs(names: &[&str]) -> Vec<String> {
+    names.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn guarded_bounds_are_vacuous_when_body_fails() {
+    // The cardinality bounds of `2 { a ; b } 2 :- g.` apply only in
+    // models where g holds; without g, a and b are simply unfounded.
+    let ms = models("{ g }. 2 { a ; b } 2 :- g.", 8);
+    assert_eq!(ms, vec![strs(&[]), strs(&["a", "b", "g"])]);
+}
+
+#[test]
+fn lower_bound_above_element_count_is_unsatisfiable_when_active() {
+    // 3 { a ; b } can never be met: the choice instance is active
+    // (empty body) so every candidate model is rejected.
+    assert_eq!(models("3 { a ; b }.", 8), Vec::<Vec<String>>::new());
+    // But guarded by g, the "false" branch survives.
+    assert_eq!(models("{ g }. 3 { a ; b } :- g.", 8), vec![strs(&[])]);
+}
+
+#[test]
+fn duplicate_choice_elements_do_not_double_count() {
+    // `a` appearing twice in the element list is still one atom; the
+    // exactly-2 bound can therefore only be met by {a, b}.
+    let ms = models("2 { a ; a ; b } 2.", 8);
+    assert_eq!(ms, vec![strs(&["a", "b"])]);
+}
+
+#[test]
+fn choice_supported_positive_loop_needs_external_support() {
+    // a and b support each other; only the choice on c breaks the loop.
+    let ms = models("{ c }. a :- c. a :- b. b :- a.", 8);
+    assert_eq!(ms, vec![strs(&[]), strs(&["a", "b", "c"])]);
+}
+
+#[test]
+fn interleaved_negation_loops_enumerate_all_branches() {
+    // Two independent even loops -> 4 models; the constraint kills the
+    // branch picking both left atoms.
+    let ms = models(
+        "p :- not q. q :- not p. r :- not s. s :- not r. :- p, r.",
+        16,
+    );
+    assert_eq!(
+        ms,
+        vec![
+            strs(&["p", "s"]),
+            strs(&["q", "r"]),
+            strs(&["q", "s"]),
+        ]
+    );
+}
+
+#[test]
+fn composite_weights_share_a_factor() {
+    // All weights divisible by 3 — exercises the optimizer's weighted
+    // counter normalization. Cheapest nonempty pick is c alone (3);
+    // the constraint forbids the empty selection.
+    let (model, cost) = optimum(
+        r#"
+        1 { a ; b ; c }.
+        #minimize { 6@1,"a" : a ; 9@1,"b" : b ; 3@1,"c" : c }.
+        "#,
+    );
+    assert_eq!(model, strs(&["c"]));
+    assert_eq!(cost, vec![(1, 3)]);
+}
+
+#[test]
+fn minimize_tuple_charged_once_across_conditions() {
+    // Same (weight, priority, tuple) from two different atoms: clingo
+    // semantics charge it once if *any* condition holds.
+    let (_, cost) = optimum(
+        r#"
+        a. b.
+        #minimize { 7@1,"same" : a ; 7@1,"same" : b }.
+        "#,
+    );
+    assert_eq!(cost, vec![(1, 7)]);
+}
+
+#[test]
+fn distinct_tuples_accumulate_within_a_priority() {
+    let (_, cost) = optimum(
+        r#"
+        a. b.
+        #minimize { 7@1,"x" : a ; 7@1,"y" : b }.
+        "#,
+    );
+    assert_eq!(cost, vec![(1, 14)]);
+}
+
+#[test]
+fn priorities_optimize_lexicographically_descending() {
+    // Priority 2 dominates: pick b despite its worse priority-1 cost.
+    let (model, cost) = optimum(
+        r#"
+        1 { a ; b } 1.
+        #minimize { 5@2 : a ; 1@2 : b }.
+        #minimize { 0@1 : a ; 100@1 : b }.
+        "#,
+    );
+    assert_eq!(model, strs(&["b"]));
+    assert_eq!(cost, vec![(2, 1), (1, 100)]);
+}
+
+#[test]
+fn zero_weight_elements_do_not_move_the_optimum() {
+    let (_, cost) = optimum(
+        r#"
+        1 { a ; b } 1.
+        #minimize { 0@1,"a" : a ; 0@1,"b" : b }.
+        "#,
+    );
+    assert_eq!(cost, vec![(1, 0)]);
+}
+
+#[test]
+fn negated_minimize_condition_charges_absent_atom() {
+    // Charging `not a` makes choosing a the cheaper model.
+    let (model, cost) = optimum("{ a }. #minimize { 4@1 : not a }.");
+    assert_eq!(model, strs(&["a"]));
+    assert_eq!(cost, vec![(1, 0)]);
+}
+
+#[test]
+fn comparison_guards_prune_grounding() {
+    // The selection-flavor shape from the fuzzer: forbid the largest
+    // candidate via an arithmetic comparison, prefer small indices.
+    let (model, cost) = optimum(
+        r#"
+        cand(0). cand(1). cand(2).
+        1 { sel(X) : cand(X) } 1.
+        :- sel(X), X >= 2.
+        #minimize { X@1,X : sel(X) }.
+        "#,
+    );
+    assert_eq!(model, strs(&["cand(0)", "cand(1)", "cand(2)", "sel(0)"]));
+    assert_eq!(cost, vec![(1, 0)]);
+}
+
+#[test]
+fn enumeration_respects_the_limit_without_dropping_optima() {
+    let prog = parse_program("{ a }. { b }. { c }.").unwrap();
+    let solver = Solver::new();
+    assert_eq!(solver.enumerate(&prog, 8).unwrap().len(), 8);
+    assert_eq!(solver.enumerate(&prog, 3).unwrap().len(), 3);
+}
+
+#[test]
+fn every_enumerated_model_certifies() {
+    let prog = parse_program(
+        r#"
+        d(0). d(1).
+        q(X) :- d(X), not r(X).
+        r(X) :- d(X), not q(X).
+        p :- q(0).
+        "#,
+    )
+    .unwrap();
+    let ms = Solver::new().enumerate(&prog, 16).unwrap();
+    assert_eq!(ms.len(), 4, "two independent even loops");
+    for m in &ms {
+        spackle_asp::certify::certify_atoms(m.ground(), m.atom_set())
+            .expect("every enumerated model must pass the certificate check");
+    }
+}

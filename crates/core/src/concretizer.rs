@@ -164,10 +164,14 @@ impl<'a> Concretizer<'a> {
         self.concretize_goal(&Goal::single(spec.clone()))
     }
 
-    /// Concretize a goal (possibly multiple roots, possibly with
-    /// forbidden packages).
-    pub fn concretize_goal(&self, goal: &Goal) -> Result<Solution, CoreError> {
-        let t_total = Instant::now();
+    /// Compile a goal into the complete ASP program text this
+    /// concretizer would solve (facts, directive rules, and logic
+    /// fragments), plus the root package names and the number of
+    /// reusable specs encoded. This is the exact input handed to the
+    /// solver by [`Concretizer::concretize_goal`], exposed so external
+    /// verification layers (the `spackle-oracle` differential harness)
+    /// can re-solve and certificate-check the same program.
+    pub fn program_text(&self, goal: &Goal) -> Result<Encoded, CoreError> {
         let enc_cfg = EncodeConfig {
             encoding: self.config.encoding,
             splicing: self.config.splicing && self.config.encoding == Encoding::Indirect,
@@ -175,23 +179,30 @@ impl<'a> Concretizer<'a> {
             target: self.config.target,
             filter_irrelevant: self.config.filter_irrelevant,
         };
-
-        let t0 = Instant::now();
-        let Encoded {
-            program: mut text,
-            root_names,
-            reusable_count,
-        } = encode(self.repo, &self.caches, goal, &enc_cfg)?;
-        text.push_str(crate::logic::BASE_PROGRAM);
+        let mut enc = encode(self.repo, &self.caches, goal, &enc_cfg)?;
+        enc.program.push_str(crate::logic::BASE_PROGRAM);
         match enc_cfg.encoding {
-            Encoding::Direct => text.push_str(crate::logic::REUSE_DIRECT),
-            Encoding::Indirect => text.push_str(crate::logic::REUSE_INDIRECT),
+            Encoding::Direct => enc.program.push_str(crate::logic::REUSE_DIRECT),
+            Encoding::Indirect => enc.program.push_str(crate::logic::REUSE_INDIRECT),
         }
         if enc_cfg.splicing {
-            text.push_str(crate::logic::SPLICE_FRAGMENT);
+            enc.program.push_str(crate::logic::SPLICE_FRAGMENT);
         } else {
-            text.push_str(crate::logic::NO_SPLICE_STUB);
+            enc.program.push_str(crate::logic::NO_SPLICE_STUB);
         }
+        Ok(enc)
+    }
+
+    /// Concretize a goal (possibly multiple roots, possibly with
+    /// forbidden packages).
+    pub fn concretize_goal(&self, goal: &Goal) -> Result<Solution, CoreError> {
+        let t_total = Instant::now();
+        let t0 = Instant::now();
+        let Encoded {
+            program: text,
+            root_names,
+            reusable_count,
+        } = self.program_text(goal)?;
         let encode_time = t0.elapsed();
 
         let t1 = Instant::now();
@@ -207,6 +218,17 @@ impl<'a> Concretizer<'a> {
             SolveOutcome::Unsat => return Err(CoreError::Unsatisfiable),
             SolveOutcome::Optimal(m) => m,
         };
+
+        // Debug builds certificate-check the optimal model against its
+        // ground program (rule satisfaction, reduct minimality, cost
+        // honesty) before interpreting it into specs. A failure here is a
+        // solver bug, never a user error.
+        #[cfg(debug_assertions)]
+        if let Err(e) = spackle_asp::certify::certify_model(&model) {
+            return Err(CoreError::Solve(format!(
+                "solver emitted an uncertifiable model: {e}"
+            )));
+        }
 
         let t2 = Instant::now();
         let Interpretation {

@@ -24,7 +24,7 @@ pub mod interpret;
 pub mod logic;
 
 pub use concretizer::{ConcretizeStats, Concretizer, ConcretizerConfig, Solution};
-pub use encode::{EncodeConfig, Encoding, Goal};
+pub use encode::{EncodeConfig, Encoded, Encoding, Goal};
 pub use interpret::SpliceReport;
 
 use std::fmt;

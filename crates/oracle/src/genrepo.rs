@@ -1,0 +1,126 @@
+//! Random package repositories and abstract specs for differential
+//! testing of the concretizer.
+//!
+//! Repositories are acyclic by construction (package `i` only depends
+//! on packages with larger indices), always validate, and exercise the
+//! directive surface: version preferences, boolean variants,
+//! conditional dependencies, virtual providers, conflicts, and
+//! `can_splice` declarations. The goal spec always names the root
+//! package so every generated case is a well-formed request (it may
+//! still be unsatisfiable, which is a legitimate outcome to test).
+
+use proptest::TestRng;
+use spackle_repo::{PackageBuilder, Repository};
+use spackle_spec::{parse_spec, AbstractSpec};
+
+const NAMES: [&str; 5] = ["appa", "libb", "libc", "libd", "libe"];
+const VERSIONS: [&str; 5] = ["1.0", "1.1", "2.0", "2.1.3", "3.0"];
+const VIRTUAL: &str = "vio";
+
+fn chance(rng: &mut TestRng, percent: u64) -> bool {
+    rng.below(100) < percent
+}
+
+/// Generate a random valid repository plus a root spec naming its first
+/// package, optionally constrained by version and variant.
+pub fn random_repo_and_spec(rng: &mut TestRng) -> (Repository, AbstractSpec) {
+    let npkg = 2 + rng.below(4) as usize; // 2..=5
+    let mut decl_versions: Vec<Vec<&str>> = Vec::new();
+    let mut has_debug: Vec<bool> = Vec::new();
+    let mut repo = Repository::new();
+
+    // One designated virtual provider pair, sometimes.
+    let with_virtual = npkg >= 3 && chance(rng, 35);
+    let provider_a = npkg - 1;
+    let provider_b = npkg - 2;
+
+    for i in 0..npkg {
+        let mut b = PackageBuilder::new(NAMES[i]);
+
+        // 1–3 distinct declared versions.
+        let nvers = 1 + rng.below(3) as usize;
+        let start = rng.below((VERSIONS.len() - nvers + 1) as u64) as usize;
+        let vers: Vec<&str> = VERSIONS[start..start + nvers].to_vec();
+        for v in &vers {
+            b = b.version(v);
+        }
+
+        let debug = chance(rng, 40);
+        if debug {
+            b = b.variant_bool("debug", chance(rng, 50));
+        }
+
+        // Dependencies only on higher-index packages (acyclic).
+        for (j, &dep) in NAMES.iter().enumerate().take(npkg).skip(i + 1) {
+            if with_virtual && (j == provider_a || j == provider_b) {
+                continue; // providers are reached through the virtual
+            }
+            if chance(rng, 45) {
+                match rng.below(4) {
+                    0 => {
+                        // Version-constrained on a prefix of a declared
+                        // version of the dependency (filled in below once
+                        // we know them — use the global pool instead).
+                        let v = VERSIONS[rng.below(VERSIONS.len() as u64) as usize];
+                        let major = v.split('.').next().unwrap();
+                        b = b.depends_on(&format!("{dep}@{major}"));
+                    }
+                    1 if !vers.is_empty() => {
+                        // Conditional on our own newest version.
+                        b = b.depends_on_when(dep, &format!("@{}", vers[vers.len() - 1]));
+                    }
+                    2 if debug => {
+                        b = b.depends_on_when(dep, "+debug");
+                    }
+                    _ => {
+                        b = b.depends_on(dep);
+                    }
+                }
+            }
+        }
+
+        if with_virtual && i < provider_b && chance(rng, 50) {
+            b = b.depends_on(VIRTUAL);
+        }
+        if with_virtual && (i == provider_a || i == provider_b) {
+            b = b.provides(VIRTUAL);
+        }
+
+        // Occasional conflict pinned to a concrete declared version, so
+        // unsatisfiable cases arise but do not dominate.
+        if chance(rng, 15) && i > 0 {
+            let target = NAMES[rng.below(i as u64) as usize];
+            let v = vers[rng.below(vers.len() as u64) as usize];
+            b = b.conflicts_when(&format!("^{target}"), &format!("@{v}"));
+        }
+
+        // Occasional splice declaration against another package.
+        if chance(rng, 25) && i + 1 < npkg {
+            let target = NAMES[i + 1 + rng.below((npkg - i - 1) as u64) as usize];
+            b = b.can_splice(target, "");
+        }
+
+        let pkg = b.build().expect("generated package must be valid");
+        decl_versions.push(vers);
+        has_debug.push(debug);
+        repo.add(pkg).expect("no duplicate names by construction");
+    }
+    repo.validate().expect("generated repository must validate");
+
+    // Root request: the index-0 package with random constraints.
+    let mut text = NAMES[0].to_string();
+    if chance(rng, 50) {
+        let v = decl_versions[0][rng.below(decl_versions[0].len() as u64) as usize];
+        if chance(rng, 50) {
+            let major = v.split('.').next().unwrap();
+            text.push_str(&format!("@{major}"));
+        } else {
+            text.push_str(&format!("@{v}"));
+        }
+    }
+    if has_debug[0] && chance(rng, 50) {
+        text.push_str(if chance(rng, 50) { "+debug" } else { "~debug" });
+    }
+    let spec = parse_spec(&text).expect("generated spec text must parse");
+    (repo, spec)
+}

@@ -1,0 +1,154 @@
+//! Ground-truth checks for the brute-force reference solver itself, on
+//! textbook programs with hand-computed answer sets and optima. If
+//! these fail, the oracle is wrong and every differential result is
+//! meaningless — so they are deliberately simple and exhaustive.
+
+use spackle_asp::ground::ground;
+use spackle_asp::parse_program;
+use spackle_oracle::reference::{self, DEFAULT_MAX_FREE_ATOMS};
+
+fn models_of(text: &str) -> Vec<Vec<String>> {
+    let gp = ground(&parse_program(text).unwrap()).unwrap();
+    let models = reference::stable_models(&gp, DEFAULT_MAX_FREE_ATOMS).unwrap();
+    let mut out: Vec<Vec<String>> = models.iter().map(|m| reference::render(&gp, m)).collect();
+    out.sort();
+    out
+}
+
+fn best_cost_of(text: &str) -> Option<Vec<(i64, i64)>> {
+    let gp = ground(&parse_program(text).unwrap()).unwrap();
+    let sol = reference::solve(&gp, DEFAULT_MAX_FREE_ATOMS).unwrap();
+    sol.best_cost().map(|c| c.to_vec())
+}
+
+#[test]
+fn facts_have_one_model() {
+    assert_eq!(models_of("a. b :- a."), vec![vec!["a", "b"]]);
+}
+
+#[test]
+fn even_negation_loop_has_two_models() {
+    assert_eq!(
+        models_of("a :- not b. b :- not a."),
+        vec![vec!["a"], vec!["b"]]
+    );
+}
+
+#[test]
+fn odd_negation_loop_has_no_model() {
+    assert!(models_of("a :- not a.").is_empty());
+}
+
+#[test]
+fn positive_loop_is_unfounded() {
+    // Without c, the a/b loop has no external support; with c, the
+    // whole loop derives.
+    let empty: Vec<String> = Vec::new();
+    let full: Vec<String> = ["a", "b", "c"].map(String::from).to_vec();
+    assert_eq!(
+        models_of("{ c }. a :- c. a :- b. b :- a."),
+        vec![empty, full]
+    );
+}
+
+#[test]
+fn free_choice_powerset() {
+    assert_eq!(models_of("{ a }. { b }. { c }.").len(), 8);
+}
+
+#[test]
+fn cardinality_bounds_prune_powerset() {
+    // Exactly-one over three atoms.
+    let ms = models_of("1 { a ; b ; c } 1.");
+    assert_eq!(ms, vec![vec!["a"], vec!["b"], vec!["c"]]);
+}
+
+#[test]
+fn guarded_choice_bounds_only_apply_when_body_holds() {
+    // When g is false the bound is vacuous and a,b are simply unfounded.
+    let ms = models_of("{ g }. 2 { a ; b } 2 :- g.");
+    assert_eq!(ms, vec![vec![], vec!["a", "b", "g"]]);
+}
+
+#[test]
+fn constraints_filter_models() {
+    assert_eq!(models_of("{ a }. { b }. :- a, b."), {
+        let mut v: Vec<Vec<String>> = vec![
+            vec![],
+            vec!["a".to_string()],
+            vec!["b".to_string()],
+        ];
+        v.sort();
+        v
+    });
+}
+
+#[test]
+fn path_two_coloring_count() {
+    let ms = models_of(
+        r#"
+        node(1). node(2). node(3).
+        edge(1,2). edge(2,3).
+        col("r"). col("g").
+        1 { c(N,C) : col(C) } 1 :- node(N).
+        :- edge(A,B), c(A,C), c(B,C).
+    "#,
+    );
+    assert_eq!(ms.len(), 2);
+}
+
+#[test]
+fn minimize_picks_cheapest() {
+    let best = best_cost_of(
+        r#"
+        cand("x"). cand("y").
+        1 { pick(V) : cand(V) } 1.
+        cost("x", 1). cost("y", 2).
+        #minimize { C@1,V : pick(V), cost(V, C) }.
+    "#,
+    );
+    assert_eq!(best, Some(vec![(1, 1)]));
+}
+
+#[test]
+fn lexicographic_priorities_order_descending() {
+    let best = best_cost_of(
+        r#"
+        opt("a"). opt("b").
+        1 { pick(V) : opt(V) } 1.
+        p2cost("a", 5). p2cost("b", 1).
+        p1cost("a", 0). p1cost("b", 100).
+        #minimize { C@2,V : pick(V), p2cost(V, C) }.
+        #minimize { C@1,V : pick(V), p1cost(V, C) }.
+    "#,
+    );
+    // Priority 2 dominates: choose "b" despite its worse priority-1 cost.
+    assert_eq!(best, Some(vec![(2, 1), (1, 100)]));
+}
+
+#[test]
+fn minimize_counts_each_tuple_once() {
+    let best = best_cost_of(
+        r#"
+        a. b.
+        #minimize { 7@1,"same" : a ; 7@1,"same" : b }.
+    "#,
+    );
+    assert_eq!(best, Some(vec![(1, 7)]));
+}
+
+#[test]
+fn unsat_has_no_best_cost() {
+    assert_eq!(best_cost_of("a. :- a."), None);
+}
+
+#[test]
+fn too_large_is_reported_not_attempted() {
+    // 20 free atoms from independent choices exceed a cap of 8.
+    let text: String = (0..20).map(|i| format!("{{ x{i} }}. ")).collect();
+    let gp = ground(&parse_program(&text).unwrap()).unwrap();
+    assert!(matches!(
+        reference::stable_models(&gp, 8),
+        Err(reference::OracleError::TooLarge { free: 20, max: 8 })
+    ));
+}

@@ -259,31 +259,61 @@ impl VersionReq {
                     None
                 }
             }
-            (Prefix(p), Range(..)) | (Range(..), Prefix(p)) => {
-                // Keep the prefix; verify it is not obviously outside the range.
-                let range = if matches!(self, Range(..)) { self } else { other };
-                range.satisfies(p).then(|| Prefix(p.clone()))
+            // With prefix-inclusive bounds, `@p` ≡ `@p:p`: v is in the
+            // range iff v >= p and (v <= p or v extends p), i.e. iff v
+            // extends p. Intersect prefixes with ranges as ranges.
+            (Prefix(p), Range(lo, hi)) | (Range(lo, hi), Prefix(p)) => {
+                range_intersect(&Some(p.clone()), &Some(p.clone()), lo, hi)
             }
-            (Range(lo1, hi1), Range(lo2, hi2)) => {
-                let lo = match (lo1, lo2) {
-                    (Some(a), Some(b)) => Some(a.clone().max(b.clone())),
-                    (Some(a), None) | (None, Some(a)) => Some(a.clone()),
-                    (None, None) => None,
-                };
-                let hi = match (hi1, hi2) {
-                    (Some(a), Some(b)) => Some(a.clone().min(b.clone())),
-                    (Some(a), None) | (None, Some(a)) => Some(a.clone()),
-                    (None, None) => None,
-                };
-                if let (Some(l), Some(h)) = (&lo, &hi) {
-                    if l > h && !l.starts_with(h) {
-                        return None;
-                    }
-                }
-                Some(Range(lo, hi))
-            }
+            (Range(lo1, hi1), Range(lo2, hi2)) => range_intersect(lo1, hi1, lo2, hi2),
         }
     }
+}
+
+/// The stronger of two prefix-inclusive upper bounds. When one bound
+/// extends the other (`1.2.5` vs `1.2`), every version admitted by the
+/// extension is admitted by the shorter bound, so the extension — the
+/// *larger* version — is stronger. When neither extends the other, any
+/// version under the smaller bound shares its distinguishing segment
+/// and stays under the larger one, so plain `min` is exact.
+fn stronger_upper(a: &Version, b: &Version) -> Version {
+    if a.starts_with(b) {
+        a.clone()
+    } else if b.starts_with(a) {
+        b.clone()
+    } else {
+        a.clone().min(b.clone())
+    }
+}
+
+fn range_intersect(
+    lo1: &Option<Version>,
+    hi1: &Option<Version>,
+    lo2: &Option<Version>,
+    hi2: &Option<Version>,
+) -> Option<VersionReq> {
+    let lo = match (lo1, lo2) {
+        (Some(a), Some(b)) => Some(a.clone().max(b.clone())),
+        (Some(a), None) | (None, Some(a)) => Some(a.clone()),
+        (None, None) => None,
+    };
+    let hi = match (hi1, hi2) {
+        (Some(a), Some(b)) => Some(stronger_upper(a, b)),
+        (Some(a), None) | (None, Some(a)) => Some(a.clone()),
+        (None, None) => None,
+    };
+    if let (Some(l), Some(h)) = (&lo, &hi) {
+        // Disjoint unless some v >= l also sits at or under h: that
+        // needs l <= h, or l extending h (then l itself qualifies).
+        if l > h && !l.starts_with(h) {
+            return None;
+        }
+        // A degenerate range `@p:p` is exactly the prefix `@p`.
+        if l == h {
+            return Some(VersionReq::Prefix(l.clone()));
+        }
+    }
+    Some(VersionReq::Range(lo, hi))
 }
 
 impl fmt::Display for VersionReq {
@@ -447,6 +477,61 @@ mod tests {
         assert_eq!(p.intersect(&q), Some(VersionReq::Prefix(v("1.2.11"))));
         let r = VersionReq::parse("1.3").unwrap();
         assert_eq!(p.intersect(&r), None);
+    }
+
+    #[test]
+    fn req_intersect_prefix_range() {
+        // Regression: `1.2.5:` ∩ `@1.2` used to return None because the
+        // prefix 1.2 itself sits below the range's lower bound — but
+        // 1.2.7 satisfies both.
+        let range = VersionReq::parse("1.2.5:").unwrap();
+        let prefix = VersionReq::parse("1.2").unwrap();
+        let i = range.intersect(&prefix).expect("not disjoint");
+        assert!(i.satisfies(&v("1.2.7")));
+        assert!(!i.satisfies(&v("1.2.4")));
+        assert!(!i.satisfies(&v("1.3")));
+        assert_eq!(prefix.intersect(&range), Some(i));
+
+        // Regression: `:1.4` ∩ `@1` used to keep the bare prefix `@1`,
+        // which wrongly admits 1.9.
+        let hi = VersionReq::parse(":1.4").unwrap();
+        let p1 = VersionReq::parse("1").unwrap();
+        let i = hi.intersect(&p1).expect("not disjoint");
+        assert!(i.satisfies(&v("1.3")));
+        assert!(i.satisfies(&v("1.4.9")));
+        assert!(!i.satisfies(&v("1.9")));
+
+        // Genuinely disjoint prefix/range pairs still report None.
+        assert_eq!(
+            VersionReq::parse("2:").unwrap().intersect(&p1),
+            None,
+            "@1 has no version >= 2"
+        );
+        assert_eq!(
+            VersionReq::parse("1.2").unwrap().intersect(&VersionReq::parse("1.3:").unwrap()),
+            None
+        );
+    }
+
+    #[test]
+    fn req_intersect_upper_bounds_prefer_extension() {
+        // Regression: `:1` ∩ `:1.4` used `min` and kept `:1`, which
+        // admits 1.9 via prefix-inclusion; the extension 1.4 is the
+        // stronger bound.
+        let a = VersionReq::parse(":1").unwrap();
+        let b = VersionReq::parse(":1.4").unwrap();
+        let i = a.intersect(&b).unwrap();
+        assert!(i.satisfies(&v("1.4")));
+        assert!(i.satisfies(&v("0.9")));
+        assert!(!i.satisfies(&v("1.9")));
+        assert_eq!(b.intersect(&a), Some(i));
+    }
+
+    #[test]
+    fn req_intersect_degenerate_range_is_prefix() {
+        let a = VersionReq::parse("1.2:").unwrap();
+        let b = VersionReq::parse(":1.2").unwrap();
+        assert_eq!(a.intersect(&b), Some(VersionReq::Prefix(v("1.2"))));
     }
 
     #[test]

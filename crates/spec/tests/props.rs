@@ -3,8 +3,8 @@
 //! stability, base32 coding, and splice invariants.
 
 use proptest::prelude::*;
-use spackle_spec::spec::{ConcreteSpecBuilder, DepTypes};
-use spackle_spec::{parse_spec, Sha256, SpecHash, Sym, Version, VersionReq};
+use spackle_spec::spec::{AbstractDep, AbstractSpec, ConcreteSpecBuilder, DepTypes};
+use spackle_spec::{parse_spec, Os, Sha256, SpecHash, Sym, Target, VariantValue, Version, VersionReq};
 
 // ---------------------------------------------------------------------
 // Versions
@@ -78,6 +78,69 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Version requirement algebra
+// ---------------------------------------------------------------------
+
+fn req_strategy() -> impl Strategy<Value = VersionReq> {
+    prop_oneof![
+        Just(VersionReq::Any),
+        version_strategy().prop_map(VersionReq::Prefix),
+        version_strategy().prop_map(VersionReq::Exact),
+        version_strategy().prop_map(|v| VersionReq::Range(Some(v), None)),
+        version_strategy().prop_map(|v| VersionReq::Range(None, Some(v))),
+        (version_strategy(), version_strategy()).prop_map(|(a, b)| {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            VersionReq::Range(Some(lo), Some(hi))
+        }),
+    ]
+}
+
+proptest! {
+    // The intersection is *exact* at the satisfaction level: a version
+    // satisfies `a ∩ b` iff it satisfies both, and `None` really means
+    // the requirements share no version. (Regression for the old
+    // Prefix/Range arms, which violated both directions.)
+    #[test]
+    fn intersect_agrees_with_conjunction(
+        a in req_strategy(),
+        b in req_strategy(),
+        v in version_strategy()
+    ) {
+        let conj = a.satisfies(&v) && b.satisfies(&v);
+        match a.intersect(&b) {
+            Some(i) => prop_assert_eq!(
+                i.satisfies(&v),
+                conj,
+                "{a} ∩ {b} = {i}, disagrees on {v}"
+            ),
+            None => prop_assert!(!conj, "{a} ∩ {b} = None, but {v} satisfies both"),
+        }
+    }
+
+    #[test]
+    fn intersect_commutes(a in req_strategy(), b in req_strategy()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+    }
+
+    #[test]
+    fn intersect_any_is_identity(a in req_strategy()) {
+        prop_assert_eq!(VersionReq::Any.intersect(&a), Some(a.clone()));
+        prop_assert_eq!(a.intersect(&VersionReq::Any), Some(a.clone()));
+    }
+
+    // Self-intersection may normalize the syntax (`@p:p` becomes `@p`)
+    // but must never change the satisfied set.
+    #[test]
+    fn intersect_self_preserves_satisfaction(
+        a in req_strategy(),
+        v in version_strategy()
+    ) {
+        let i = a.intersect(&a).expect("self-intersection is never empty");
+        prop_assert_eq!(i.satisfies(&v), a.satisfies(&v), "{a} ∩ {a} = {i} on {v}");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Spec syntax round-trips
 // ---------------------------------------------------------------------
 
@@ -120,6 +183,104 @@ proptest! {
     #[test]
     fn parser_never_panics(text in "[ -~]{0,40}") {
         let _ = parse_spec(&text); // must return, never panic
+    }
+}
+
+// ---------------------------------------------------------------------
+// AST-level round-trip: parse(format(spec)) == spec
+// ---------------------------------------------------------------------
+//
+// The text-level round-trip above only proves parse∘format reaches a
+// fixpoint; this one starts from a random *AST* and proves formatting
+// loses nothing. The generator stays inside what one line of spec
+// syntax can express unambiguously: build deps are leaves (a deeper
+// `%`/`^` fragment would re-attach elsewhere on reparse), link-run deps
+// nest only build deps, and deps are ordered build-before-link the way
+// `Display` prints them.
+
+fn variant_value_strategy() -> impl Strategy<Value = VariantValue> {
+    prop_oneof![
+        any::<bool>().prop_map(VariantValue::Bool),
+        // ≤4 chars starting a..g can never spell the reserved words
+        // "true"/"false", which would reparse as Bool.
+        "[a-g][a-z0-9]{0,3}".prop_map(|s| VariantValue::Single(Sym::intern(&s))),
+        // Disjoint leading ranges guarantee two distinct elements, so
+        // the value prints with a comma and reparses as Multi.
+        ("[h-m][a-z]{0,2}", "[n-z][a-z]{0,2}").prop_map(|(a, b)| {
+            VariantValue::Multi([Sym::intern(&a), Sym::intern(&b)].into_iter().collect())
+        }),
+    ]
+}
+
+/// Version + variants for one node. Keys start with `k` so they can
+/// never collide with the reserved `os`/`target`/`platform`/`arch`.
+type NodeParts = (VersionReq, Vec<(String, VariantValue)>);
+
+fn node_parts_strategy() -> impl Strategy<Value = NodeParts> {
+    (
+        req_strategy(),
+        prop::collection::vec(("k[a-z0-9]{0,4}", variant_value_strategy()), 0..3),
+    )
+}
+
+fn mk_node(name: String, parts: NodeParts) -> AbstractSpec {
+    let mut s = AbstractSpec::named(&name).with_version(parts.0);
+    for (k, v) in parts.1 {
+        s.variants.insert(Sym::intern(&k), v);
+    }
+    s
+}
+
+fn abstract_spec_strategy() -> impl Strategy<Value = AbstractSpec> {
+    (
+        ("[a-z][a-z0-9]{0,5}", node_parts_strategy()),
+        prop::option::of(prop_oneof![Just("centos8"), Just("ubuntu22")]),
+        prop::option::of(prop_oneof![Just("skylake"), Just("zen3")]),
+        prop::collection::vec(node_parts_strategy(), 0..2),
+        prop::collection::vec(
+            (
+                node_parts_strategy(),
+                prop::collection::vec(node_parts_strategy(), 0..2),
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|((root_name, root_parts), os, target, builds, links)| {
+            let mut s = mk_node(root_name, root_parts);
+            s.os = os.map(Os::new);
+            s.target = target.map(Target::new);
+            for (i, parts) in builds.into_iter().enumerate() {
+                s.deps.push(AbstractDep {
+                    spec: mk_node(format!("bdep{i}"), parts),
+                    types: DepTypes::BUILD,
+                });
+            }
+            for (i, (parts, subs)) in links.into_iter().enumerate() {
+                let mut dep = mk_node(format!("dep{i}"), parts);
+                for (j, sub) in subs.into_iter().enumerate() {
+                    dep.deps.push(AbstractDep {
+                        spec: mk_node(format!("sub{i}x{j}"), sub),
+                        types: DepTypes::BUILD,
+                    });
+                }
+                s.deps.push(AbstractDep {
+                    spec: dep,
+                    types: DepTypes::LINK_RUN,
+                });
+            }
+            s
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn format_then_parse_recovers_the_ast(spec in abstract_spec_strategy()) {
+        let printed = spec.to_string();
+        let reparsed = parse_spec(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        prop_assert_eq!(reparsed, spec, "printed form: {}", printed);
     }
 }
 

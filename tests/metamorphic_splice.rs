@@ -1,0 +1,285 @@
+//! Metamorphic splice tests (paper §4.1, Fig 2 invariants).
+//!
+//! Rather than asserting exact outputs, these tests check relations
+//! that must hold across *any* splice on randomly generated DAGs:
+//!
+//! * splicing then rehashing is a fixpoint — the hashes a splice
+//!   assigns are exactly the hashes the DAG's structure implies;
+//! * build-spec provenance points at the sub-DAG the binary was
+//!   actually built as (target side) or the replacement spec itself;
+//! * nodes whose dependency closure avoids the replaced package and
+//!   everything the replacement carries are untouched — byte-identical
+//!   hashes, no provenance — and therefore transitive and intransitive
+//!   splices agree on them;
+//! * splicing a spec's own sub-DAG back in is a no-op for both
+//!   flavours.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use spackle::prelude::*;
+use spackle::spec::spec::ConcreteSpecBuilder;
+use std::collections::BTreeSet;
+
+fn v(s: &str) -> Version {
+    Version::parse(s).unwrap()
+}
+
+fn edge_type(rng: &mut TestRng) -> DepTypes {
+    match rng.below(10) {
+        0 | 1 => DepTypes::BUILD,
+        2 | 3 => DepTypes::ALL,
+        _ => DepTypes::LINK_RUN,
+    }
+}
+
+/// A random DAG over `pkg0..pkg{n-1}` with a guaranteed spine
+/// `pkg_i -> pkg_{i+1}` (so every node is reachable and the graph is
+/// acyclic) plus random skip edges, and the index of a non-root node
+/// to splice out.
+fn random_target(rng: &mut TestRng) -> (ConcreteSpec, usize) {
+    let n = 3 + rng.below(4) as usize; // 3..=6 packages
+    let mut b = ConcreteSpecBuilder::new();
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            b.node(
+                &format!("pkg{i}"),
+                v(&format!("{}.{}", 1 + rng.below(3), rng.below(2))),
+            )
+        })
+        .collect();
+    for i in 0..n - 1 {
+        b.edge(ids[i], ids[i + 1], edge_type(rng));
+        for j in i + 2..n {
+            if rng.below(100) < 30 {
+                b.edge(ids[i], ids[j], edge_type(rng));
+            }
+        }
+    }
+    let spec = b.build(ids[0]).expect("spine DAG is valid");
+    let x = 1 + rng.below((n - 1) as u64) as usize;
+    (spec, x)
+}
+
+/// A replacement for `pkg{x}`: same name, new version, linking a random
+/// subset of the target's deeper packages (shared names, possibly at
+/// different versions) and sometimes a package the target never had.
+fn random_replacement(rng: &mut TestRng, target_len: usize, x: usize) -> ConcreteSpec {
+    let mut b = ConcreteSpecBuilder::new();
+    let root = b.node(
+        &format!("pkg{x}"),
+        v(&format!("{}.9", 1 + rng.below(3))),
+    );
+    for j in x + 1..target_len {
+        if rng.below(100) < 50 {
+            let d = b.node(
+                &format!("pkg{j}"),
+                v(&format!("{}.{}", 1 + rng.below(3), rng.below(2))),
+            );
+            b.edge(root, d, DepTypes::LINK_RUN);
+        }
+    }
+    if rng.below(100) < 40 {
+        let d = b.node("libnew", v("0.1"));
+        b.edge(root, d, DepTypes::LINK_RUN);
+    }
+    b.build(root).expect("flat replacement is valid")
+}
+
+fn names_of(spec: &ConcreteSpec) -> BTreeSet<Sym> {
+    spec.nodes().iter().map(|n| n.name).collect()
+}
+
+fn check_case(seed: u64) {
+    let mut rng = TestRng::seed_from_u64(seed);
+    let (target, x) = random_target(&mut rng);
+    let replacement = random_replacement(&mut rng, target.len(), x);
+    let replaced = Sym::intern(&format!("pkg{x}"));
+
+    // Target nodes whose full dependency closure (any edge type) avoids
+    // the replaced package and every package the replacement carries:
+    // the splice must not touch them.
+    let repl_names = names_of(&replacement);
+    let unaffected: Vec<Sym> = target
+        .all_ids()
+        .into_iter()
+        .filter(|&id| {
+            target
+                .reachable(id, |_| true)
+                .into_iter()
+                .all(|r| !repl_names.contains(&target.node(r).name))
+        })
+        .map(|id| target.node(id).name)
+        .collect();
+
+    for transitive in [true, false] {
+        let spliced = target
+            .splice(&replacement, transitive)
+            .unwrap_or_else(|e| panic!("seed {seed} (transitive={transitive}): {e}"));
+
+        // Package accounting: the result draws only from the two inputs
+        // and keeps the target's root. Packages may legitimately vanish
+        // — even the replacement itself, when every edge to it was a
+        // build edge of a spliced node (build deps of spliced nodes are
+        // pruned) — but nothing may appear from thin air.
+        let names = names_of(&spliced);
+        let mut union = names_of(&target);
+        union.extend(&repl_names);
+        assert!(
+            names.is_subset(&union),
+            "seed {seed} (transitive={transitive}): package set {names:?}"
+        );
+        assert_eq!(spliced.root().name, target.root().name);
+
+        // Hash fixpoint: rehashing must not move any node hash.
+        let mut again = spliced.clone();
+        again.rehash().expect("spliced DAG stays acyclic");
+        for (a, b) in spliced.nodes().iter().zip(again.nodes()) {
+            assert_eq!(
+                a.hash, b.hash,
+                "seed {seed} (transitive={transitive}): {} hash not a rehash fixpoint",
+                a.name
+            );
+        }
+
+        // Provenance: a spliced node's build spec is the sub-DAG its
+        // binary was built as — the node's original sub-DAG hash on
+        // whichever side it came from.
+        for id in spliced.all_ids() {
+            let n = spliced.node(id);
+            let Some(bs) = &n.build_spec else { continue };
+            let target_hash = target.find(n.name).map(|i| target.node(i).hash);
+            let repl_hash = replacement.find(n.name).map(|i| replacement.node(i).hash);
+            assert!(
+                Some(bs.dag_hash()) == target_hash || Some(bs.dag_hash()) == repl_hash,
+                "seed {seed} (transitive={transitive}): {} provenance matches neither side",
+                n.name
+            );
+        }
+        // When the replaced package is in the root's *runtime* (link-run)
+        // closure, the relink must propagate all the way up: the root is
+        // spliced and its provenance is the original target build. (A
+        // replacement hidden behind build-only edges changes no binary
+        // the root links against, so the root may legitimately stay
+        // clean — changed build deps only alter hashes, not provenance.)
+        let x_in_runtime = target
+            .runtime_nodes()
+            .into_iter()
+            .any(|id| target.node(id).name == replaced);
+        if x_in_runtime {
+            assert_eq!(
+                spliced
+                    .root()
+                    .build_spec
+                    .as_ref()
+                    .unwrap_or_else(|| panic!(
+                        "seed {seed} (transitive={transitive}): replaced node is in the \
+                         runtime closure but the root is not spliced"
+                    ))
+                    .dag_hash(),
+                target.dag_hash(),
+                "seed {seed} (transitive={transitive}): root provenance"
+            );
+        }
+
+        // Untouched subtrees: identical hash, no provenance. (A node
+        // can drop out entirely when its only paths from the root ran
+        // through the spliced-out subtree or a pruned build edge; if it
+        // survives, it must be byte-identical.)
+        for &name in &unaffected {
+            let orig = target.node(target.find(name).unwrap());
+            let Some(now_id) = spliced.find(name) else {
+                continue;
+            };
+            let now = spliced.node(now_id);
+            assert_eq!(
+                orig.hash, now.hash,
+                "seed {seed} (transitive={transitive}): {name} was disturbed"
+            );
+            assert!(
+                !now.is_spliced(),
+                "seed {seed} (transitive={transitive}): {name} gained spurious provenance"
+            );
+        }
+
+        // Splicing the target's own sub-DAG back in changes nothing.
+        let own = target.subdag(target.find(replaced).unwrap());
+        let noop = target
+            .splice(&own, transitive)
+            .unwrap_or_else(|e| panic!("seed {seed} (transitive={transitive}): self-splice {e}"));
+        assert_eq!(
+            noop.dag_hash(),
+            target.dag_hash(),
+            "seed {seed} (transitive={transitive}): self-splice must be a no-op"
+        );
+        assert!(
+            noop.nodes().iter().all(|n| !n.is_spliced()),
+            "seed {seed} (transitive={transitive}): self-splice created provenance"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn splice_invariants_on_random_dags(seed in 0u64..u64::MAX) {
+        check_case(seed);
+    }
+}
+
+/// Fig 2 deterministically: T(t→h→z, t→z) spliced with H'(h→s, h→z@1.1).
+/// The two flavours disagree exactly on the shared package z — and agree
+/// everywhere the replaced node is not in the dependency closure.
+#[test]
+fn fig2_transitive_vs_intransitive_disagree_only_on_shared_nodes() {
+    let mut b = ConcreteSpecBuilder::new();
+    let w = b.node("w", v("5.0")); // bystander: t→w, no path to h or z
+    let z = b.node("z", v("1.0"));
+    let h = b.node("h", v("1.0"));
+    let t = b.node("t", v("1.0"));
+    b.edge(h, z, DepTypes::LINK_RUN);
+    b.edge(t, h, DepTypes::LINK_RUN);
+    b.edge(t, z, DepTypes::LINK_RUN);
+    b.edge(t, w, DepTypes::LINK_RUN);
+    let target = b.build(t).unwrap();
+
+    let mut b = ConcreteSpecBuilder::new();
+    let z = b.node("z", v("1.1"));
+    let s = b.node("s", v("1.0"));
+    let h = b.node("h", v("2.0"));
+    b.edge(h, s, DepTypes::LINK_RUN);
+    b.edge(h, z, DepTypes::LINK_RUN);
+    let hp = b.build(h).unwrap();
+
+    let trans = target.splice(&hp, true).unwrap();
+    let intrans = target.splice(&hp, false).unwrap();
+
+    // Shared z: replacement's copy wins transitively, target's copy
+    // survives intransitively (and forces h to be relinked → spliced).
+    let zv = |s: &ConcreteSpec| s.node(s.find(Sym::intern("z")).unwrap()).version.clone();
+    assert_eq!(zv(&trans), v("1.1"));
+    assert_eq!(zv(&intrans), v("1.0"));
+    let h_of = |s: &ConcreteSpec| s.node(s.find(Sym::intern("h")).unwrap()).clone();
+    assert!(!h_of(&trans).is_spliced(), "transitive: h' is reused as built");
+    assert_eq!(
+        h_of(&intrans).build_spec.as_ref().unwrap().dag_hash(),
+        hp.dag_hash(),
+        "intransitive: h' is relinked, provenance = H' as built"
+    );
+
+    // The bystander w is untouched by both flavours — same node hash as
+    // in the original, so the flavours also agree with each other.
+    let wh = |s: &ConcreteSpec| s.node(s.find(Sym::intern("w")).unwrap()).hash;
+    assert_eq!(wh(&trans), wh(&target));
+    assert_eq!(wh(&intrans), wh(&target));
+
+    // Both roots carry provenance for the original T build.
+    assert_eq!(
+        trans.root().build_spec.as_ref().unwrap().dag_hash(),
+        target.dag_hash()
+    );
+    assert_eq!(
+        intrans.root().build_spec.as_ref().unwrap().dag_hash(),
+        target.dag_hash()
+    );
+}
