@@ -154,40 +154,87 @@ fn normalize_body(body: &[BodyElem]) -> NormBody {
     nb
 }
 
-fn check_safety(rule: &Rule) -> Result<()> {
+/// Where an unsafe variable was found within a rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SafetyContext {
+    /// In a negated body literal.
+    NegativeLiteral,
+    /// In a comparison builtin.
+    Comparison,
+    /// In the head atom.
+    Head,
+    /// In a choice-element atom.
+    ChoiceElement,
+    /// In a negated literal of a choice-element condition.
+    ChoiceConditionNegation,
+    /// In a comparison of a choice-element condition.
+    ChoiceConditionComparison,
+}
+
+impl std::fmt::Display for SafetyContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SafetyContext::NegativeLiteral => "negative literal",
+            SafetyContext::Comparison => "comparison",
+            SafetyContext::Head => "head",
+            SafetyContext::ChoiceElement => "choice element",
+            SafetyContext::ChoiceConditionNegation => "choice condition negation",
+            SafetyContext::ChoiceConditionComparison => "choice condition comparison",
+        })
+    }
+}
+
+/// An unsafe variable occurrence: a variable in a head, negated literal,
+/// or comparison that no positive body literal binds.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct UnsafeVariable {
+    /// The unbound variable.
+    pub variable: Sym,
+    /// Where it occurred.
+    pub context: SafetyContext,
+}
+
+/// All unsafe variable occurrences of `rule`, deduplicated, in
+/// discovery order. Empty iff the rule is safe. The grounder rejects
+/// unsafe rules; `spackle-audit` reports the same occurrences as
+/// diagnostics with rule locations.
+pub fn unsafe_variables(rule: &Rule) -> Vec<UnsafeVariable> {
     let nb = normalize_body(&rule.body);
     let mut bound: Vec<Sym> = Vec::new();
     for a in &nb.pos {
         a.collect_vars(&mut bound);
     }
-    let check = |vars: Vec<Sym>, extra: &[Sym], what: &str| -> Result<()> {
+    let mut out: Vec<UnsafeVariable> = Vec::new();
+    let mut check = |vars: Vec<Sym>, extra: &[Sym], context: SafetyContext| {
         for v in vars {
             if !bound.contains(&v) && !extra.contains(&v) {
-                return Err(AspError::Unsafe {
-                    rule: format!("{rule} ({what})"),
-                    variable: v.as_str().to_string(),
-                });
+                let u = UnsafeVariable {
+                    variable: v,
+                    context,
+                };
+                if !out.contains(&u) {
+                    out.push(u);
+                }
             }
         }
-        Ok(())
     };
     for a in &nb.neg {
         let mut vs = Vec::new();
         a.collect_vars(&mut vs);
-        check(vs, &[], "negative literal")?;
+        check(vs, &[], SafetyContext::NegativeLiteral);
     }
     for (l, _, r) in &nb.cmps {
         let mut vs = Vec::new();
         l.collect_vars(&mut vs);
         r.collect_vars(&mut vs);
-        check(vs, &[], "comparison")?;
+        check(vs, &[], SafetyContext::Comparison);
     }
     match &rule.head {
         Head::None => {}
         Head::Atom(a) => {
             let mut vs = Vec::new();
             a.collect_vars(&mut vs);
-            check(vs, &[], "head")?;
+            check(vs, &[], SafetyContext::Head);
         }
         Head::Choice { elements, .. } => {
             for el in elements {
@@ -198,22 +245,32 @@ fn check_safety(rule: &Rule) -> Result<()> {
                 }
                 let mut vs = Vec::new();
                 el.atom.collect_vars(&mut vs);
-                check(vs, &cond_vars, "choice element")?;
+                check(vs, &cond_vars, SafetyContext::ChoiceElement);
                 for a in &cond.neg {
                     let mut nvs = Vec::new();
                     a.collect_vars(&mut nvs);
-                    check(nvs, &cond_vars, "choice condition negation")?;
+                    check(nvs, &cond_vars, SafetyContext::ChoiceConditionNegation);
                 }
                 for (l, _, r) in &cond.cmps {
                     let mut cvs = Vec::new();
                     l.collect_vars(&mut cvs);
                     r.collect_vars(&mut cvs);
-                    check(cvs, &cond_vars, "choice condition comparison")?;
+                    check(cvs, &cond_vars, SafetyContext::ChoiceConditionComparison);
                 }
             }
         }
     }
-    Ok(())
+    out
+}
+
+fn check_safety(rule: &Rule) -> Result<()> {
+    match unsafe_variables(rule).into_iter().next() {
+        None => Ok(()),
+        Some(u) => Err(AspError::Unsafe {
+            rule: format!("{rule} ({})", u.context),
+            variable: u.variable.as_str().to_string(),
+        }),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -700,7 +757,7 @@ pub fn ground_with_limits(program: &Program, limits: GroundLimits) -> Result<Gro
     let mut choice_set: FxHashSet<GroundChoice> = FxHashSet::default();
     let mut constraints: Vec<GroundConstraint> = Vec::new();
     let mut constraint_set: FxHashSet<GroundConstraint> = FxHashSet::default();
-    for nr in &norm {
+    for (ri, nr) in norm.iter().enumerate() {
         match nr.head {
             Head::Choice {
                 lower,
@@ -723,22 +780,19 @@ pub fn ground_with_limits(program: &Program, limits: GroundLimits) -> Result<Gro
                             // Conditions must be certain (domain predicates).
                             for &c in &cm.chosen {
                                 if !certain.contains(&c) {
-                                    return Err(AspError::Internal(format!(
-                                        "choice element condition {} is not a domain \
-                                         (certain) atom; conditions must be over EDB \
-                                         predicates",
-                                        g.store.format_atom(c)
-                                    )));
+                                    return Err(AspError::NonDomainCondition {
+                                        atom: g.store.format_atom(c),
+                                        rule: program.rules[ri].to_string(),
+                                    });
                                 }
                             }
                             for n in &cond.neg {
                                 let nid = g.intern_under(&cm.subst, n)?;
                                 if g.is_possible(nid) {
-                                    return Err(AspError::Internal(format!(
-                                        "negated choice condition {} may be derivable; \
-                                         conditions must be decided at ground time",
-                                        g.store.format_atom(nid)
-                                    )));
+                                    return Err(AspError::DerivableNegatedCondition {
+                                        atom: g.store.format_atom(nid),
+                                        rule: program.rules[ri].to_string(),
+                                    });
                                 }
                             }
                             let e = g.intern_under(&cm.subst, &el.atom)?;
@@ -787,9 +841,9 @@ pub fn ground_with_limits(program: &Program, limits: GroundLimits) -> Result<Gro
         for m in matches {
             let w = resolve_int(&mut g, &m.subst, &me.weight)?;
             if w < 0 {
-                return Err(AspError::Internal(
-                    "negative #minimize weights are not supported".into(),
-                ));
+                return Err(AspError::BadWeight(format!(
+                    "negative #minimize weight {w} is not supported by this engine"
+                )));
             }
             let p = resolve_int(&mut g, &m.subst, &me.priority)?;
             let mut tuple = Vec::with_capacity(me.terms.len());
@@ -832,7 +886,7 @@ fn resolve_int(g: &mut Grounder, s: &Subst, t: &Term) -> Result<i64> {
         .ok_or_else(|| AspError::Internal(format!("non-ground weight/priority term {t}")))?;
     match g.store.term_data(tid) {
         GroundTerm::Int(i) => Ok(*i),
-        other => Err(AspError::Internal(format!(
+        other => Err(AspError::BadWeight(format!(
             "weight/priority must be an integer, got {other:?}"
         ))),
     }
@@ -953,7 +1007,71 @@ mod tests {
         "#,
         )
         .unwrap();
-        assert!(matches!(ground(&prog), Err(AspError::Internal(_))));
+        match ground(&prog).err() {
+            Some(AspError::NonDomainCondition { atom, rule }) => {
+                assert_eq!(atom, "w(\"a\")");
+                assert!(rule.contains("pick(X)"), "rule context: {rule}");
+            }
+            other => panic!("expected NonDomainCondition, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derivable_negated_choice_condition_errors() {
+        let prog = parse_program(
+            r#"
+            f("a").
+            { q(X) : f(X) }.
+            { pick(X) : f(X), not q(X) }.
+        "#,
+        )
+        .unwrap();
+        match ground(&prog).err() {
+            Some(AspError::DerivableNegatedCondition { atom, rule }) => {
+                assert_eq!(atom, "q(\"a\")");
+                assert!(rule.contains("pick(X)"), "rule context: {rule}");
+            }
+            other => panic!("expected DerivableNegatedCondition, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_minimize_weight_errors() {
+        let prog = parse_program("a. #minimize { -1@1 : a }.").unwrap();
+        match ground(&prog).err() {
+            Some(AspError::BadWeight(msg)) => assert!(msg.contains("-1"), "{msg}"),
+            other => panic!("expected BadWeight, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn symbolic_minimize_weight_errors() {
+        let prog = parse_program(r#"w("x"). #minimize { W@1,W : w(W) }."#).unwrap();
+        match ground(&prog).err() {
+            Some(AspError::BadWeight(msg)) => assert!(msg.contains("integer"), "{msg}"),
+            other => panic!("expected BadWeight, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsafe_variables_reports_all_occurrences() {
+        let prog = parse_program("p(X,Z) :- q(X), not r(Y), X < W.").unwrap();
+        let unsafe_vars = unsafe_variables(&prog.rules[0]);
+        let got: Vec<(String, SafetyContext)> = unsafe_vars
+            .iter()
+            .map(|u| (u.variable.as_str().to_string(), u.context))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("Y".to_string(), SafetyContext::NegativeLiteral),
+                ("W".to_string(), SafetyContext::Comparison),
+                ("Z".to_string(), SafetyContext::Head),
+            ]
+        );
+        // Safe rules report nothing.
+        let ok = parse_program("p(X) :- q(X).").unwrap();
+        assert!(unsafe_variables(&ok.rules[0]).is_empty());
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! 6. **Optimize** ([`solve`]) — lexicographic branch-and-bound over
 //!    `#minimize` priorities.
 
+pub mod analysis;
 pub mod cdcl;
 pub mod certify;
 pub mod cnf;
@@ -41,10 +42,14 @@ pub mod solve;
 pub mod stability;
 pub mod term;
 
+pub use analysis::{
+    derivable_preds, pred_of, relevant_preds, stratify, PredGraph, PredKey, Stratification,
+};
 pub use certify::{certify_model, CertifyError};
+pub use ground::{unsafe_variables, SafetyContext, UnsafeVariable};
 pub use model::Model;
 pub use parser::parse_program;
-pub use program::{Program, Rule};
+pub use program::{Program, PruneReport, Rule};
 pub use solve::{SolveOutcome, SolveStats, Solver, SolverConfig};
 pub use term::{Atom, Term};
 
@@ -68,6 +73,25 @@ pub enum AspError {
         /// The unbound variable.
         variable: String,
     },
+    /// A choice-element condition ranges over a model-dependent
+    /// predicate; this engine requires conditions over domain (EDB)
+    /// predicates so elements can be expanded at ground time.
+    NonDomainCondition {
+        /// Rendering of the offending condition atom.
+        atom: String,
+        /// Rendering of the enclosing rule.
+        rule: String,
+    },
+    /// A negated choice condition could still be derived at solve time,
+    /// so the element set cannot be decided while grounding.
+    DerivableNegatedCondition {
+        /// Rendering of the offending negated atom.
+        atom: String,
+        /// Rendering of the enclosing rule.
+        rule: String,
+    },
+    /// A `#minimize` weight or priority was negative or not an integer.
+    BadWeight(String),
     /// The grounder or solver hit a configured resource limit.
     ResourceLimit(String),
     /// An internal invariant failed (a bug).
@@ -83,6 +107,17 @@ impl fmt::Display for AspError {
             AspError::Unsafe { rule, variable } => {
                 write!(f, "unsafe variable {variable} in rule: {rule}")
             }
+            AspError::NonDomainCondition { atom, rule } => write!(
+                f,
+                "choice condition {atom} is not a domain (certain) atom \
+                 in rule: {rule}"
+            ),
+            AspError::DerivableNegatedCondition { atom, rule } => write!(
+                f,
+                "negated choice condition {atom} may be derivable at \
+                 solve time in rule: {rule}"
+            ),
+            AspError::BadWeight(m) => write!(f, "invalid #minimize weight/priority: {m}"),
             AspError::ResourceLimit(m) => write!(f, "resource limit: {m}"),
             AspError::Internal(m) => write!(f, "internal error: {m}"),
         }

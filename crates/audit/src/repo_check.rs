@@ -1,0 +1,529 @@
+//! Level 1: static analysis over a package [`Repository`].
+//!
+//! Every check reasons about the *declared* configuration space only —
+//! no concretization, no solver. The version checks reuse the exact
+//! [`VersionReq::intersect`] the concretizer's encoder relies on, so a
+//! constraint the audit calls empty is one the solver could never
+//! satisfy either.
+
+use crate::diag::{Code, Diagnostic, Provenance};
+use spackle_asp::analysis::{stratify, EdgeKind, PredGraph};
+use spackle_repo::{PackageDef, Repository};
+use spackle_spec::{
+    parse_spec_spanned, AbstractSpec, Span, Sym, VariantKind, Version, VersionReq,
+};
+use std::collections::BTreeSet;
+
+/// Run all repository checks (codes `SPKL-R001`…`SPKL-R008`).
+pub fn audit_repository(repo: &Repository) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for pkg in repo.packages() {
+        audit_package(repo, pkg, &mut diags);
+    }
+    audit_cycles(repo, &mut diags);
+    diags
+}
+
+/// Which token of the rendered directive a diagnostic underlines.
+enum Focus {
+    None,
+    SpecVersion,
+    SpecVariant(Sym),
+    WhenVersion,
+    WhenVariant(Sym),
+}
+
+/// Render a directive as `kind("spec", when="…")` and locate the
+/// focused token inside the rendered text. Spec rendering round-trips
+/// through the parser, so the spanned re-parse finds the exact bytes
+/// the offending token occupies.
+fn directive_text(
+    kind: &str,
+    spec_text: &str,
+    when: &AbstractSpec,
+    focus: Focus,
+) -> (String, Option<Span>) {
+    let mut text = format!("{kind}(\"{spec_text}\"");
+    let spec_off = kind.len() + 2;
+    let mut when_off = 0usize;
+    let when_text = if when.is_empty() {
+        None
+    } else {
+        Some(when.to_string())
+    };
+    if let Some(w) = &when_text {
+        text.push_str(", when=\"");
+        when_off = text.len();
+        text.push_str(w);
+        text.push('"');
+    }
+    text.push(')');
+
+    fn pick(src: &str, off: usize, f: impl Fn(&spackle_spec::SpecSpans) -> Option<Span>) -> Option<Span> {
+        let (_, spans) = parse_spec_spanned(src).ok()?;
+        let s = f(&spans)?;
+        Some(Span::new(s.start + off, s.end + off))
+    }
+    let span = match focus {
+        Focus::None => None,
+        Focus::SpecVersion => pick(spec_text, spec_off, |s| s.version),
+        Focus::SpecVariant(v) => pick(spec_text, spec_off, |s| s.variant(v)),
+        Focus::WhenVersion => when_text
+            .as_deref()
+            .and_then(|w| pick(w, when_off, |s| s.version)),
+        Focus::WhenVariant(v) => when_text
+            .as_deref()
+            .and_then(|w| pick(w, when_off, |s| s.variant(v))),
+    };
+    (text, span)
+}
+
+fn provenance(pkg: &PackageDef, text: String, span: Option<Span>) -> Provenance {
+    Provenance::Package {
+        package: pkg.name.as_str().to_string(),
+        directive: Some(text),
+        span,
+    }
+}
+
+/// Does `req` intersect at least one declared (exact) version?
+fn any_declared_matches(req: &VersionReq, versions: &[Version]) -> bool {
+    versions
+        .iter()
+        .any(|v| req.intersect(&VersionReq::Exact(v.clone())).is_some())
+}
+
+fn versions_hint(pkg: &PackageDef) -> String {
+    if pkg.versions.is_empty() {
+        format!("package {} declares no versions", pkg.name.as_str())
+    } else {
+        let vs: Vec<String> = pkg.versions.iter().map(|v| v.to_string()).collect();
+        format!(
+            "declared versions of {}: {}",
+            pkg.name.as_str(),
+            vs.join(", ")
+        )
+    }
+}
+
+fn variants_hint(pkg: &PackageDef) -> String {
+    if pkg.variants.is_empty() {
+        format!("package {} declares no variants", pkg.name.as_str())
+    } else {
+        let vs: Vec<&str> = pkg.variants.keys().map(|k| k.as_str()).collect();
+        format!(
+            "declared variants of {}: {}",
+            pkg.name.as_str(),
+            vs.join(", ")
+        )
+    }
+}
+
+fn values_hint(name: Sym, kind: &VariantKind) -> String {
+    match kind {
+        VariantKind::Bool { .. } => {
+            format!("\"{0}\" is boolean: use +{0} or ~{0}", name.as_str())
+        }
+        VariantKind::Single { allowed, .. } | VariantKind::Multi { allowed, .. } => {
+            let vs: Vec<&str> = allowed.iter().map(|s| s.as_str()).collect();
+            format!("allowed values for \"{}\": {}", name.as_str(), vs.join(", "))
+        }
+    }
+}
+
+fn audit_package(repo: &Repository, pkg: &PackageDef, diags: &mut Vec<Diagnostic>) {
+    // R007: duplicated directives (exact payload equality).
+    flag_duplicates(pkg, "depends_on", &pkg.depends, diags, |d| {
+        directive_text("depends_on", &d.spec.to_string(), &d.when, Focus::None).0
+    });
+    flag_duplicates(pkg, "conflicts", &pkg.conflicts, diags, |c| {
+        directive_text("conflicts", &c.spec.to_string(), &c.when, Focus::None).0
+    });
+    flag_duplicates(pkg, "provides", &pkg.provides, diags, |p| {
+        directive_text("provides", p.virtual_name.as_str(), &p.when, Focus::None).0
+    });
+    flag_duplicates(pkg, "can_splice", &pkg.can_splice, diags, |c| {
+        directive_text("can_splice", &c.target.to_string(), &c.when, Focus::None).0
+    });
+
+    for d in &pkg.depends {
+        let spec_text = d.spec.to_string();
+        check_condition(pkg, "depends_on", &spec_text, &d.when, diags);
+        check_target(repo, pkg, "depends_on", &spec_text, &d.spec, &d.when, Code::R001, diags);
+    }
+
+    for c in &pkg.conflicts {
+        let spec_text = c.spec.to_string();
+        check_condition(pkg, "conflicts", &spec_text, &c.when, diags);
+        // The conflict spec itself constrains the declaring package
+        // (anonymous or named self) — a conflict that can never match is
+        // vacuous, and its variants must be declared.
+        if c.spec.name.is_none() || c.spec.name == Some(pkg.name) {
+            check_self_constraint(pkg, "conflicts", &spec_text, &c.spec, &c.when, diags);
+        }
+        // `conflicts("^mpich-typo")`: dependency fragments must at least
+        // resolve to something.
+        for dep in &c.spec.deps {
+            check_name_resolves(repo, pkg, "conflicts", &spec_text, &c.when, &dep.spec, diags);
+        }
+    }
+
+    for p in &pkg.provides {
+        let spec_text = p.virtual_name.as_str().to_string();
+        check_condition(pkg, "provides", &spec_text, &p.when, diags);
+    }
+
+    for c in &pkg.can_splice {
+        let spec_text = c.target.to_string();
+        check_condition(pkg, "can_splice", &spec_text, &c.when, diags);
+        check_target(repo, pkg, "can_splice", &spec_text, &c.target, &c.when, Code::R008, diags);
+    }
+}
+
+/// R007 helper: any directive equal to an earlier one in the same list.
+fn flag_duplicates<T: PartialEq>(
+    pkg: &PackageDef,
+    kind: &str,
+    items: &[T],
+    diags: &mut Vec<Diagnostic>,
+    render: impl Fn(&T) -> String,
+) {
+    for j in 1..items.len() {
+        if let Some(i) = items[..j].iter().position(|x| x == &items[j]) {
+            diags.push(
+                Diagnostic::new(
+                    Code::R007,
+                    format!("duplicate {kind} directive (already declared at position {i})"),
+                    provenance(pkg, render(&items[j]), None),
+                )
+                .with_hint("remove the repeated declaration"),
+            );
+        }
+    }
+}
+
+/// R002/R003/R004 against the declaring package's own configuration
+/// space: the `when=` condition of any directive.
+fn check_condition(
+    pkg: &PackageDef,
+    kind: &str,
+    spec_text: &str,
+    when: &AbstractSpec,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if when.is_empty() {
+        return;
+    }
+    // A `when=` naming a different package never constrains `pkg`
+    // itself; nothing to check against our declarations.
+    if when.name.is_some() && when.name != Some(pkg.name) {
+        return;
+    }
+    if !matches!(when.version, VersionReq::Any) && !any_declared_matches(&when.version, &pkg.versions)
+    {
+        let (text, span) = directive_text(kind, spec_text, when, Focus::WhenVersion);
+        diags.push(
+            Diagnostic::new(
+                Code::R002,
+                format!(
+                    "{} directive is vacuous: no declared version of {} matches when=\"{}\"",
+                    kind,
+                    pkg.name.as_str(),
+                    when
+                ),
+                provenance(pkg, text, span),
+            )
+            .with_hint(versions_hint(pkg)),
+        );
+    }
+    for (vname, vval) in &when.variants {
+        match pkg.variants.get(vname) {
+            None => {
+                let (text, span) = directive_text(kind, spec_text, when, Focus::WhenVariant(*vname));
+                diags.push(
+                    Diagnostic::new(
+                        Code::R003,
+                        format!(
+                            "when= references variant \"{}\" which {} does not declare",
+                            vname.as_str(),
+                            pkg.name.as_str()
+                        ),
+                        provenance(pkg, text, span),
+                    )
+                    .with_hint(variants_hint(pkg)),
+                );
+            }
+            Some(kind_decl) if !kind_decl.accepts(vval) => {
+                let (text, span) = directive_text(kind, spec_text, when, Focus::WhenVariant(*vname));
+                diags.push(
+                    Diagnostic::new(
+                        Code::R004,
+                        format!(
+                            "when= assigns \"{}\" to variant \"{}\" of {}, which does not accept it",
+                            vval.canonical(),
+                            vname.as_str(),
+                            pkg.name.as_str()
+                        ),
+                        provenance(pkg, text, span),
+                    )
+                    .with_hint(values_hint(*vname, kind_decl)),
+                );
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Checks on a directive's main spec against the package it names:
+/// resolvability (R005), version satisfiability (R001 for `depends_on`,
+/// R008 for `can_splice`), and variant declarations (R003/R004).
+#[allow(clippy::too_many_arguments)]
+fn check_target(
+    repo: &Repository,
+    pkg: &PackageDef,
+    kind: &str,
+    spec_text: &str,
+    spec: &AbstractSpec,
+    when: &AbstractSpec,
+    version_code: Code,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some(tname) = spec.name else { return };
+    let Some(target) = repo.get(tname) else {
+        if !repo.is_virtual(tname) {
+            let (text, span) = directive_text(kind, spec_text, when, Focus::None);
+            diags.push(
+                Diagnostic::new(
+                    Code::R005,
+                    format!(
+                        "\"{}\" is neither a package nor a virtual with a provider",
+                        tname.as_str()
+                    ),
+                    provenance(pkg, text, span),
+                )
+                .with_hint(format!(
+                    "define package {0}, or add provides(\"{0}\") to a provider",
+                    tname.as_str()
+                )),
+            );
+        }
+        // Virtual targets resolve per-provider at solve time; the
+        // version/variant space is provider-specific, so static checks
+        // against a single declaration list do not apply.
+        return;
+    };
+    if !matches!(spec.version, VersionReq::Any)
+        && !any_declared_matches(&spec.version, &target.versions)
+    {
+        let (text, span) = directive_text(kind, spec_text, when, Focus::SpecVersion);
+        let what = if version_code == Code::R008 {
+            "can_splice target can never match"
+        } else {
+            "dependency constraint can never be satisfied"
+        };
+        diags.push(
+            Diagnostic::new(
+                version_code,
+                format!(
+                    "{what}: no declared version of {} intersects \"{}\"",
+                    tname.as_str(),
+                    spec
+                ),
+                provenance(pkg, text, span),
+            )
+            .with_hint(versions_hint(target)),
+        );
+    }
+    for (vname, vval) in &spec.variants {
+        match target.variants.get(vname) {
+            None => {
+                let (text, span) = directive_text(kind, spec_text, when, Focus::SpecVariant(*vname));
+                diags.push(
+                    Diagnostic::new(
+                        Code::R003,
+                        format!(
+                            "{} constrains variant \"{}\" which {} does not declare",
+                            kind,
+                            vname.as_str(),
+                            tname.as_str()
+                        ),
+                        provenance(pkg, text, span),
+                    )
+                    .with_hint(variants_hint(target)),
+                );
+            }
+            Some(kind_decl) if !kind_decl.accepts(vval) => {
+                let (text, span) = directive_text(kind, spec_text, when, Focus::SpecVariant(*vname));
+                diags.push(
+                    Diagnostic::new(
+                        Code::R004,
+                        format!(
+                            "value \"{}\" is not legal for variant \"{}\" of {}",
+                            vval.canonical(),
+                            vname.as_str(),
+                            tname.as_str()
+                        ),
+                        provenance(pkg, text, span),
+                    )
+                    .with_hint(values_hint(*vname, kind_decl)),
+                );
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// R005 for dependency fragments nested inside a conflict spec
+/// (`conflicts("^mpich-typo")`).
+fn check_name_resolves(
+    repo: &Repository,
+    pkg: &PackageDef,
+    kind: &str,
+    spec_text: &str,
+    when: &AbstractSpec,
+    dep_spec: &AbstractSpec,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some(tname) = dep_spec.name else { return };
+    if repo.get(tname).is_none() && !repo.is_virtual(tname) {
+        let (text, span) = directive_text(kind, spec_text, when, Focus::None);
+        diags.push(
+            Diagnostic::new(
+                Code::R005,
+                format!(
+                    "\"{}\" is neither a package nor a virtual with a provider",
+                    tname.as_str()
+                ),
+                provenance(pkg, text, span),
+            )
+            .with_hint(format!(
+                "define package {0}, or add provides(\"{0}\") to a provider",
+                tname.as_str()
+            )),
+        );
+    }
+}
+
+/// R002/R003/R004 for a conflict's own spec (the constraint on the
+/// declaring package), underlining the main-spec tokens.
+fn check_self_constraint(
+    pkg: &PackageDef,
+    kind: &str,
+    spec_text: &str,
+    spec: &AbstractSpec,
+    when: &AbstractSpec,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if !matches!(spec.version, VersionReq::Any) && !any_declared_matches(&spec.version, &pkg.versions)
+    {
+        let (text, span) = directive_text(kind, spec_text, when, Focus::SpecVersion);
+        diags.push(
+            Diagnostic::new(
+                Code::R002,
+                format!(
+                    "{} directive is vacuous: no declared version of {} matches \"{}\"",
+                    kind,
+                    pkg.name.as_str(),
+                    spec
+                ),
+                provenance(pkg, text, span),
+            )
+            .with_hint(versions_hint(pkg)),
+        );
+    }
+    for (vname, vval) in &spec.variants {
+        match pkg.variants.get(vname) {
+            None => {
+                let (text, span) = directive_text(kind, spec_text, when, Focus::SpecVariant(*vname));
+                diags.push(
+                    Diagnostic::new(
+                        Code::R003,
+                        format!(
+                            "{} references variant \"{}\" which {} does not declare",
+                            kind,
+                            vname.as_str(),
+                            pkg.name.as_str()
+                        ),
+                        provenance(pkg, text, span),
+                    )
+                    .with_hint(variants_hint(pkg)),
+                );
+            }
+            Some(kind_decl) if !kind_decl.accepts(vval) => {
+                let (text, span) = directive_text(kind, spec_text, when, Focus::SpecVariant(*vname));
+                diags.push(
+                    Diagnostic::new(
+                        Code::R004,
+                        format!(
+                            "value \"{}\" is not legal for variant \"{}\" of {}",
+                            vval.canonical(),
+                            vname.as_str(),
+                            pkg.name.as_str()
+                        ),
+                        provenance(pkg, text, span),
+                    )
+                    .with_hint(values_hint(*vname, kind_decl)),
+                );
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// R006: strongly connected components of the *possible* link/run
+/// dependency graph (virtual edges expanded to every provider). The
+/// SCC computation reuses the ASP analyzer's Tarjan.
+fn audit_cycles(repo: &Repository, diags: &mut Vec<Diagnostic>) {
+    let mut graph = PredGraph {
+        preds: BTreeSet::new(),
+        edges: BTreeSet::new(),
+    };
+    let mut self_loops: BTreeSet<Sym> = BTreeSet::new();
+    for pkg in repo.packages() {
+        graph.preds.insert((pkg.name, 0));
+        for d in &pkg.depends {
+            if !d.types.is_link_run() {
+                continue;
+            }
+            let Some(t) = d.spec.name else { continue };
+            let targets: Vec<Sym> = if repo.get(t).is_some() {
+                vec![t]
+            } else {
+                repo.providers_of(t).to_vec()
+            };
+            for tgt in targets {
+                if tgt == pkg.name {
+                    self_loops.insert(pkg.name);
+                }
+                graph.preds.insert((tgt, 0));
+                graph
+                    .edges
+                    .insert(((pkg.name, 0), (tgt, 0), EdgeKind::Pos));
+            }
+        }
+    }
+    let strat = stratify(&graph);
+    for scc in &strat.sccs {
+        let cyclic = scc.len() > 1 || (scc.len() == 1 && self_loops.contains(&scc[0].0));
+        if !cyclic {
+            continue;
+        }
+        let mut names: Vec<&str> = scc.iter().map(|p| p.0.as_str()).collect();
+        names.sort_unstable();
+        diags.push(
+            Diagnostic::new(
+                Code::R006,
+                format!(
+                    "possible dependency cycle through link/run edges among: {}",
+                    names.join(", ")
+                ),
+                Provenance::Package {
+                    package: names[0].to_string(),
+                    directive: None,
+                    span: None,
+                },
+            )
+            .with_hint("conditional dependencies may avoid the cycle at solve time; otherwise make one edge type=\"build\""),
+        );
+    }
+}

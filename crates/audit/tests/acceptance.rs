@@ -1,0 +1,103 @@
+//! The issue's acceptance fixture: one repository seeded with exactly
+//! three distinct defects — an unsatisfiable `can_splice` constraint,
+//! an undeclared variant in a `when=`, and a virtual nobody provides —
+//! must produce three distinct error-severity codes (and thus a
+//! nonzero `spackle audit` exit).
+
+use spackle_audit::{audit_repository, AuditReport, Code, Provenance, Severity};
+use spackle_repo::{CanSplice, DependsOn, PackageBuilder, PackageDef, Repository};
+use spackle_spec::{parse_spec, AbstractSpec, DepTypes, Sym, Version};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn fixture() -> Repository {
+    let zlib = PackageBuilder::new("zlib")
+        .version("1.3")
+        .version("1.2.11")
+        .build()
+        .unwrap();
+    // Defect 1 (R008): no declared zlib version matches @9.9.
+    let zlib_ng = PackageDef {
+        name: Sym::intern("zlib-ng"),
+        versions: vec![Version::parse("2.1").unwrap()],
+        variants: BTreeMap::new(),
+        depends: vec![],
+        conflicts: vec![],
+        provides: vec![],
+        can_splice: vec![CanSplice {
+            target: parse_spec("zlib@9.9").unwrap(),
+            when: AbstractSpec::anonymous(),
+        }],
+    };
+    // Defect 2 (R003): `when="+fast"` but app declares no such variant.
+    // Defect 3 (R005): depends on `mpi`, which nothing provides.
+    let app = PackageDef {
+        name: Sym::intern("app"),
+        versions: vec![Version::parse("1.0").unwrap()],
+        variants: BTreeMap::new(),
+        depends: vec![
+            DependsOn {
+                spec: parse_spec("zlib").unwrap(),
+                types: DepTypes::ALL,
+                when: parse_spec("+fast").unwrap(),
+            },
+            DependsOn {
+                spec: parse_spec("mpi").unwrap(),
+                types: DepTypes::ALL,
+                when: AbstractSpec::anonymous(),
+            },
+        ],
+        conflicts: vec![],
+        provides: vec![],
+        can_splice: vec![],
+    };
+    Repository::from_packages([zlib, zlib_ng, app]).unwrap()
+}
+
+#[test]
+fn seeded_fixture_yields_three_distinct_error_codes() {
+    let report = AuditReport::new(audit_repository(&fixture()));
+    let error_codes: BTreeSet<Code> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| d.code)
+        .collect();
+    assert_eq!(
+        error_codes,
+        BTreeSet::from([Code::R003, Code::R005, Code::R008]),
+        "full report:\n{}",
+        report.render_human()
+    );
+    // Error findings force the CLI's nonzero exit.
+    assert!(report.has_errors());
+}
+
+#[test]
+fn fixture_diagnostics_carry_directive_provenance_and_spans() {
+    let report = AuditReport::new(audit_repository(&fixture()));
+    let r008 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::R008)
+        .unwrap();
+    match &r008.provenance {
+        Provenance::Package {
+            package,
+            directive,
+            span,
+        } => {
+            assert_eq!(package, "zlib-ng");
+            let text = directive.as_deref().unwrap();
+            assert!(text.starts_with("can_splice(\"zlib@9.9\""), "{text}");
+            let sp = span.expect("version span");
+            assert_eq!(&text[sp.start..sp.end], "@9.9");
+        }
+        other => panic!("expected package provenance, got {other:?}"),
+    }
+    // Human rendering underlines exactly the version token.
+    let human = report.render_human();
+    assert!(human.contains("^^^^"), "{human}");
+    // JSON rendering carries the same span.
+    let json = AuditReport::new(vec![r008.clone()]).render_json();
+    assert!(json.contains("\"span\":{\"start\":"), "{json}");
+}

@@ -1,0 +1,322 @@
+//! One positive and one clean negative per diagnostic code.
+//!
+//! Positives that the `PackageBuilder` would reject at build time
+//! (e.g. an undeclared variant in `when=`) construct `PackageDef`
+//! directly — exactly the raw-definition path `spackle audit` guards.
+
+use spackle_audit::{audit_program_text, audit_repository, Code, Diagnostic, Severity};
+use spackle_repo::{DependsOn, PackageBuilder, PackageDef, Repository};
+use spackle_spec::{parse_spec, DepTypes, Sym, Version};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn codes(diags: &[Diagnostic]) -> BTreeSet<Code> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+fn repo(pkgs: impl IntoIterator<Item = PackageDef>) -> Repository {
+    Repository::from_packages(pkgs).unwrap()
+}
+
+fn zlib() -> PackageDef {
+    PackageBuilder::new("zlib")
+        .version("1.3")
+        .version("1.2.11")
+        .build()
+        .unwrap()
+}
+
+/// A repository with no findings at all: the shared clean negative.
+fn clean_repo() -> Repository {
+    repo([
+        zlib(),
+        PackageBuilder::new("mpich")
+            .version("3.4.3")
+            .provides("mpi")
+            .build()
+            .unwrap(),
+        PackageBuilder::new("app")
+            .version("2.0")
+            .variant_bool("shared", true)
+            .depends_on("zlib@1.3")
+            .depends_on_when("mpi", "+shared")
+            .build()
+            .unwrap(),
+    ])
+}
+
+#[test]
+fn clean_repository_produces_no_diagnostics() {
+    let diags = audit_repository(&clean_repo());
+    assert!(diags.is_empty(), "unexpected findings: {diags:?}");
+}
+
+#[test]
+fn r001_empty_dependency_version_intersection() {
+    let diags = audit_repository(&repo([
+        zlib(),
+        PackageBuilder::new("app")
+            .version("1.0")
+            .depends_on("zlib@9.9")
+            .build()
+            .unwrap(),
+    ]));
+    let hit = diags.iter().find(|d| d.code == Code::R001).expect("R001");
+    assert_eq!(hit.severity, Severity::Error);
+    assert!(hit.message.contains("zlib"), "{}", hit.message);
+    assert!(
+        hit.hint.as_deref().unwrap().contains("1.3"),
+        "hint lists declared versions: {:?}",
+        hit.hint
+    );
+    // An overlapping requirement is clean.
+    let ok = audit_repository(&repo([
+        zlib(),
+        PackageBuilder::new("app")
+            .version("1.0")
+            .depends_on("zlib@1.2:")
+            .build()
+            .unwrap(),
+    ]));
+    assert!(!codes(&ok).contains(&Code::R001), "{ok:?}");
+}
+
+#[test]
+fn r002_vacuous_when_condition() {
+    let diags = audit_repository(&repo([
+        zlib(),
+        PackageBuilder::new("app")
+            .version("1.0")
+            .depends_on_when("zlib", "@9.9")
+            .build()
+            .unwrap(),
+    ]));
+    assert!(codes(&diags).contains(&Code::R002), "{diags:?}");
+    let ok = audit_repository(&repo([
+        zlib(),
+        PackageBuilder::new("app")
+            .version("1.0")
+            .depends_on_when("zlib", "@1.0")
+            .build()
+            .unwrap(),
+    ]));
+    assert!(!codes(&ok).contains(&Code::R002), "{ok:?}");
+}
+
+#[test]
+fn r003_undeclared_variant_in_when() {
+    // The builder rejects this, so construct the definition raw.
+    let app = PackageDef {
+        name: Sym::intern("app"),
+        versions: vec![Version::parse("1.0").unwrap()],
+        variants: BTreeMap::new(),
+        depends: vec![DependsOn {
+            spec: parse_spec("zlib").unwrap(),
+            types: DepTypes::ALL,
+            when: parse_spec("+fast").unwrap(),
+        }],
+        conflicts: vec![],
+        provides: vec![],
+        can_splice: vec![],
+    };
+    let diags = audit_repository(&repo([zlib(), app]));
+    let hit = diags.iter().find(|d| d.code == Code::R003).expect("R003");
+    assert_eq!(hit.severity, Severity::Error);
+    assert!(hit.message.contains("fast"), "{}", hit.message);
+    assert!(!codes(&audit_repository(&clean_repo())).contains(&Code::R003));
+}
+
+#[test]
+fn r003_undeclared_variant_on_dependency_spec() {
+    // `depends_on("zlib+bogus")`: the *target* package lacks the variant.
+    let diags = audit_repository(&repo([
+        zlib(),
+        PackageBuilder::new("app")
+            .version("1.0")
+            .depends_on("zlib+bogus")
+            .build()
+            .unwrap(),
+    ]));
+    let hit = diags.iter().find(|d| d.code == Code::R003).expect("R003");
+    assert!(hit.message.contains("zlib"), "{}", hit.message);
+}
+
+#[test]
+fn r004_illegal_variant_value() {
+    let app = PackageDef {
+        name: Sym::intern("app"),
+        versions: vec![Version::parse("1.0").unwrap()],
+        variants: BTreeMap::from([(
+            Sym::intern("api"),
+            spackle_spec::VariantKind::Single {
+                default: Sym::intern("v1"),
+                allowed: vec![Sym::intern("v1"), Sym::intern("v2")],
+            },
+        )]),
+        depends: vec![DependsOn {
+            spec: parse_spec("zlib").unwrap(),
+            types: DepTypes::ALL,
+            when: parse_spec("api=v3").unwrap(),
+        }],
+        conflicts: vec![],
+        provides: vec![],
+        can_splice: vec![],
+    };
+    let diags = audit_repository(&repo([zlib(), app]));
+    let hit = diags.iter().find(|d| d.code == Code::R004).expect("R004");
+    assert!(hit.hint.as_deref().unwrap().contains("v1, v2"), "{:?}", hit.hint);
+    assert!(!codes(&audit_repository(&clean_repo())).contains(&Code::R004));
+}
+
+#[test]
+fn r005_unprovided_virtual() {
+    let diags = audit_repository(&repo([PackageBuilder::new("app")
+        .version("1.0")
+        .depends_on("mpi")
+        .build()
+        .unwrap()]));
+    let hit = diags.iter().find(|d| d.code == Code::R005).expect("R005");
+    assert_eq!(hit.severity, Severity::Error);
+    assert!(hit.message.contains("mpi"), "{}", hit.message);
+    // With a provider present the same dependency is clean.
+    assert!(!codes(&audit_repository(&clean_repo())).contains(&Code::R005));
+}
+
+#[test]
+fn r006_link_run_dependency_cycle() {
+    let diags = audit_repository(&repo([
+        PackageBuilder::new("a")
+            .version("1.0")
+            .depends_on("b")
+            .build()
+            .unwrap(),
+        PackageBuilder::new("b")
+            .version("1.0")
+            .depends_on("a")
+            .build()
+            .unwrap(),
+    ]));
+    let hit = diags.iter().find(|d| d.code == Code::R006).expect("R006");
+    assert!(hit.message.contains("a, b"), "{}", hit.message);
+    // A pure build-type cycle is how bootstrapping works: not flagged.
+    let ok = audit_repository(&repo([
+        PackageBuilder::new("a")
+            .version("1.0")
+            .depends_on_full("b", "", DepTypes::BUILD)
+            .build()
+            .unwrap(),
+        PackageBuilder::new("b")
+            .version("1.0")
+            .depends_on_full("a", "", DepTypes::BUILD)
+            .build()
+            .unwrap(),
+    ]));
+    assert!(!codes(&ok).contains(&Code::R006), "{ok:?}");
+}
+
+#[test]
+fn r007_duplicate_directive() {
+    let diags = audit_repository(&repo([
+        zlib(),
+        PackageBuilder::new("app")
+            .version("1.0")
+            .depends_on("zlib")
+            .depends_on("zlib")
+            .build()
+            .unwrap(),
+    ]));
+    let hit = diags.iter().find(|d| d.code == Code::R007).expect("R007");
+    assert_eq!(hit.severity, Severity::Warning);
+    // Distinct constraints on the same package are not duplicates.
+    let ok = audit_repository(&repo([
+        zlib(),
+        PackageBuilder::new("app")
+            .version("1.0")
+            .depends_on("zlib@1.3")
+            .depends_on_when("zlib", "@1.0")
+            .build()
+            .unwrap(),
+    ]));
+    assert!(!codes(&ok).contains(&Code::R007), "{ok:?}");
+}
+
+#[test]
+fn r008_unsatisfiable_can_splice_target() {
+    let diags = audit_repository(&repo([
+        zlib(),
+        PackageBuilder::new("zlib-ng")
+            .version("2.1")
+            .can_splice("zlib@9.9", "")
+            .build()
+            .unwrap(),
+    ]));
+    let hit = diags.iter().find(|d| d.code == Code::R008).expect("R008");
+    assert_eq!(hit.severity, Severity::Error);
+    assert!(hit.hint.as_deref().unwrap().contains("1.3"), "{:?}", hit.hint);
+    let ok = audit_repository(&repo([
+        zlib(),
+        PackageBuilder::new("zlib-ng")
+            .version("2.1")
+            .can_splice("zlib@1.3", "")
+            .build()
+            .unwrap(),
+    ]));
+    assert!(!codes(&ok).contains(&Code::R008), "{ok:?}");
+}
+
+// ---- logic-program codes ----
+
+const CLEAN_PROGRAM: &str = "f(1). g(X) :- f(X).";
+
+#[test]
+fn clean_program_produces_no_diagnostics() {
+    let diags = audit_program_text(CLEAN_PROGRAM, &["g"]).unwrap();
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l001_unsafe_variable() {
+    let diags = audit_program_text("p(X) :- not q(X).", &[]).unwrap();
+    let hit = diags.iter().find(|d| d.code == Code::L001).expect("L001");
+    assert_eq!(hit.severity, Severity::Error);
+    assert!(hit.message.contains('X'), "{}", hit.message);
+    assert!(!codes(&audit_program_text(CLEAN_PROGRAM, &[]).unwrap()).contains(&Code::L001));
+}
+
+#[test]
+fn l002_undefined_predicate() {
+    let diags = audit_program_text("a :- b.", &[]).unwrap();
+    let hit = diags.iter().find(|d| d.code == Code::L002).expect("L002");
+    assert!(hit.message.contains("b/0"), "{}", hit.message);
+    // The rule's only dead predicate is the undefined one: no L004 noise.
+    assert!(!codes(&diags).contains(&Code::L004), "{diags:?}");
+    assert!(!codes(&audit_program_text(CLEAN_PROGRAM, &[]).unwrap()).contains(&Code::L002));
+}
+
+#[test]
+fn l003_unstratified_negation() {
+    let diags = audit_program_text("p :- not q. q :- not p.", &[]).unwrap();
+    assert!(codes(&diags).contains(&Code::L003), "{diags:?}");
+    // Negation over a lower stratum is stratified and clean.
+    let ok = audit_program_text("f(1). g(X) :- f(X), not h(X). h(2).", &[]).unwrap();
+    assert!(!codes(&ok).contains(&Code::L003), "{ok:?}");
+}
+
+#[test]
+fn l004_rule_can_never_fire() {
+    // `cyc` heads a rule (so it is not L002) but is never derivable.
+    let diags = audit_program_text("cyc :- cyc. dead :- cyc.", &[]).unwrap();
+    let hit = diags.iter().find(|d| d.code == Code::L004).expect("L004");
+    assert!(hit.message.contains("cyc/0"), "{}", hit.message);
+    assert!(!codes(&audit_program_text(CLEAN_PROGRAM, &[]).unwrap()).contains(&Code::L004));
+}
+
+#[test]
+fn l005_predicate_irrelevant_to_goals() {
+    let diags = audit_program_text("f(1). g(X) :- f(X). goal(X) :- f(X).", &["goal"]).unwrap();
+    let hit = diags.iter().find(|d| d.code == Code::L005).expect("L005");
+    assert_eq!(hit.severity, Severity::Note);
+    assert!(hit.message.contains("g/1"), "{}", hit.message);
+    // With every head predicate a goal, nothing is irrelevant.
+    let ok = audit_program_text("f(1). g(X) :- f(X).", &["f", "g"]).unwrap();
+    assert!(!codes(&ok).contains(&Code::L005), "{ok:?}");
+}

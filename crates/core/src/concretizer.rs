@@ -24,6 +24,11 @@ pub struct ConcretizerConfig {
     /// Restrict facts to the goal's possible dependency closure
     /// (default true; `false` is the scope-filter ablation).
     pub filter_irrelevant: bool,
+    /// Statically prune rules that can never fire (and rules irrelevant
+    /// to the solution predicates) before grounding, via
+    /// [`spackle_asp::Program::prune_unreachable`]. Off by default; the
+    /// `spackle-audit` analyses back its soundness.
+    pub prune_dead: bool,
     /// Underlying ASP solver configuration.
     pub solver: SolverConfig,
 }
@@ -36,6 +41,7 @@ impl Default for ConcretizerConfig {
             os: Os::new("linux"),
             target: Target::new("x86_64"),
             filter_irrelevant: true,
+            prune_dead: false,
             solver: SolverConfig::default(),
         }
     }
@@ -88,6 +94,9 @@ pub struct ConcretizeStats {
     pub reusable_specs: usize,
     /// Generated program size in bytes.
     pub program_bytes: usize,
+    /// Non-ground rules removed by static pruning before grounding
+    /// (0 unless [`ConcretizerConfig::prune_dead`] is set).
+    pub pruned_rules: usize,
     /// ASP engine statistics.
     pub solver: SolveStats,
 }
@@ -206,8 +215,17 @@ impl<'a> Concretizer<'a> {
         let encode_time = t0.elapsed();
 
         let t1 = Instant::now();
-        let program = parse_program(&text)
+        let mut program = parse_program(&text)
             .map_err(|e| CoreError::Solve(format!("generated program invalid: {e}")))?;
+        let mut pruned_rules = 0usize;
+        if self.config.prune_dead {
+            // The interpreter reads exactly `attr` and `splice_to` from
+            // the model; constraints, choices, and costs are always kept.
+            let goals = [Sym::intern("attr"), Sym::intern("splice_to")];
+            let (pruned, report) = program.prune_unreachable(&goals);
+            program = pruned;
+            pruned_rules = report.dropped_rules();
+        }
         let parse_time = t1.elapsed();
 
         let solver = Solver::with_config(self.config.solver.clone());
@@ -252,6 +270,7 @@ impl<'a> Concretizer<'a> {
                 total_time: t_total.elapsed(),
                 reusable_specs: reusable_count,
                 program_bytes: text.len(),
+                pruned_rules,
                 solver: solver_stats,
             },
         })

@@ -124,15 +124,22 @@ pub fn encode(
     // ---- determine the relevant package closure ----
     let mut root_names: Vec<Sym> = Vec::new();
     let mut roots: Vec<Sym> = Vec::new();
+    let mut resolved_roots: Vec<AbstractSpec> = Vec::new();
     for r in &goal.roots {
         let name = r.name.ok_or_else(|| {
             CoreError::BadGoal("root specs must name a package".into())
         })?;
-        if repo.get(name).is_none() {
-            return Err(CoreError::BadGoal(format!("unknown package {name}")));
-        }
-        root_names.push(name);
-        roots.push(name);
+        // Resolve through the repository: a virtual root with a sole
+        // provider concretizes that provider; an ambiguous one reports
+        // every candidate (matching `spackle audit`'s diagnostics).
+        let pkg = repo
+            .lookup(name)
+            .map_err(|e| CoreError::BadGoal(e.to_string()))?;
+        root_names.push(pkg.name);
+        roots.push(pkg.name);
+        let mut resolved = r.clone();
+        resolved.name = Some(pkg.name);
+        resolved_roots.push(resolved);
         for d in &r.deps {
             if let Some(dn) = d.spec.name {
                 if repo.is_virtual(dn) {
@@ -298,7 +305,7 @@ pub fn encode(
     }
 
     // ---- goal ----
-    for root in &goal.roots {
+    for root in &resolved_roots {
         emit_goal_root(&mut rules, repo, root, &mut ct)?;
     }
     for f in &goal.forbidden {

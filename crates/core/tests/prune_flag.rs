@@ -1,0 +1,105 @@
+//! The `prune_dead` concretizer flag: grounding input must get strictly
+//! smaller while solutions stay identical; goal resolution must report
+//! every provider of an ambiguous virtual root.
+
+use spackle_core::{Concretizer, ConcretizerConfig, CoreError};
+use spackle_repo::{PackageBuilder, Repository};
+use spackle_spec::parse_spec;
+
+fn demo_repo() -> Repository {
+    Repository::from_packages([
+        PackageBuilder::new("zlib")
+            .version("1.3")
+            .version("1.2.11")
+            .build()
+            .unwrap(),
+        PackageBuilder::new("mpich")
+            .version("3.4.3")
+            .provides("mpi")
+            .build()
+            .unwrap(),
+        PackageBuilder::new("openmpi")
+            .version("4.1.5")
+            .provides("mpi")
+            .build()
+            .unwrap(),
+        PackageBuilder::new("app")
+            .version("2.0")
+            .version("1.0")
+            .variant_bool("shared", true)
+            .depends_on("zlib")
+            .depends_on("mpi")
+            .build()
+            .unwrap(),
+    ])
+    .unwrap()
+}
+
+#[test]
+fn pruned_concretization_matches_unpruned() {
+    let repo = demo_repo();
+    let goal = parse_spec("app+shared").unwrap();
+
+    let plain = Concretizer::new(&repo).concretize(&goal).unwrap();
+    assert_eq!(plain.stats.pruned_rules, 0);
+
+    let pruned = Concretizer::new(&repo)
+        .with_config(ConcretizerConfig {
+            prune_dead: true,
+            ..ConcretizerConfig::default()
+        })
+        .concretize(&goal)
+        .unwrap();
+
+    // With no reusable caches, the reuse/impose bridge rules (and more)
+    // can never fire: the grounder's input program must shrink.
+    assert!(
+        pruned.stats.pruned_rules > 0,
+        "expected dead rules to be pruned, report: {:?}",
+        pruned.stats.pruned_rules
+    );
+    // And the answer is bit-identical.
+    assert_eq!(plain.spec().dag_hash(), pruned.spec().dag_hash());
+    assert_eq!(plain.built, pruned.built);
+    assert_eq!(plain.reused, pruned.reused);
+}
+
+#[test]
+fn ambiguous_virtual_root_lists_all_providers() {
+    let repo = demo_repo();
+    let err = Concretizer::new(&repo)
+        .concretize(&parse_spec("mpi").unwrap())
+        .unwrap_err();
+    match err {
+        CoreError::BadGoal(msg) => {
+            assert!(msg.contains("mpich"), "missing first provider: {msg}");
+            assert!(msg.contains("openmpi"), "missing second provider: {msg}");
+        }
+        other => panic!("expected BadGoal, got {other:?}"),
+    }
+}
+
+#[test]
+fn sole_provider_virtual_root_resolves() {
+    let repo = Repository::from_packages([
+        PackageBuilder::new("mpich")
+            .version("3.4.3")
+            .provides("mpi")
+            .build()
+            .unwrap(),
+    ])
+    .unwrap();
+    let sol = Concretizer::new(&repo)
+        .concretize(&parse_spec("mpi@3.4.3").unwrap())
+        .unwrap();
+    assert_eq!(sol.spec().root().name.as_str(), "mpich");
+}
+
+#[test]
+fn unknown_root_is_a_bad_goal() {
+    let repo = demo_repo();
+    let err = Concretizer::new(&repo)
+        .concretize(&parse_spec("ghost").unwrap())
+        .unwrap_err();
+    assert!(matches!(err, CoreError::BadGoal(_)));
+}

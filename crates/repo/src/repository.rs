@@ -21,6 +21,18 @@ pub enum RepoError {
     },
     /// A package name collides with a virtual name.
     VirtualCollision(String),
+    /// A lookup named a virtual provided by several packages, with no way
+    /// to pick one. Lists *every* matching provider so callers (the
+    /// concretizer's goal resolution and `spackle audit`) can report the
+    /// full candidate set.
+    AmbiguousVirtual {
+        /// The virtual name looked up.
+        virtual_name: String,
+        /// Every package providing it, in declaration order.
+        providers: Vec<String>,
+    },
+    /// A lookup named something that is neither a package nor a virtual.
+    NoSuchPackage(String),
 }
 
 impl fmt::Display for RepoError {
@@ -34,6 +46,15 @@ impl fmt::Display for RepoError {
             RepoError::VirtualCollision(n) => {
                 write!(f, "{n} is both a concrete package and a virtual")
             }
+            RepoError::AmbiguousVirtual {
+                virtual_name,
+                providers,
+            } => write!(
+                f,
+                "virtual {virtual_name} is ambiguous: provided by {}",
+                providers.join(", ")
+            ),
+            RepoError::NoSuchPackage(n) => write!(f, "no such package: {n}"),
         }
     }
 }
@@ -80,6 +101,28 @@ impl Repository {
     /// Look up a package definition.
     pub fn get(&self, name: Sym) -> Option<&PackageDef> {
         self.packages.get(&name)
+    }
+
+    /// Resolve `name` to a concrete package definition: a package by that
+    /// name, or — when `name` is a virtual — its sole provider. A virtual
+    /// with several providers is ambiguous; the error carries the full
+    /// provider list so callers report every candidate, not just the
+    /// first.
+    pub fn lookup(&self, name: Sym) -> Result<&PackageDef, RepoError> {
+        if let Some(pkg) = self.packages.get(&name) {
+            return Ok(pkg);
+        }
+        match self.providers.get(&name).map(Vec::as_slice) {
+            Some([sole]) => Ok(self
+                .packages
+                .get(sole)
+                .expect("provider index refers to an added package")),
+            Some(provs) => Err(RepoError::AmbiguousVirtual {
+                virtual_name: name.as_str().to_string(),
+                providers: provs.iter().map(|p| p.as_str().to_string()).collect(),
+            }),
+            None => Err(RepoError::NoSuchPackage(name.as_str().to_string())),
+        }
     }
 
     /// All package definitions, in name order.
@@ -226,6 +269,43 @@ mod tests {
         assert!(!r.is_virtual(Sym::intern("zlib")));
         let provs: Vec<&str> = r.providers_of(mpi).iter().map(|s| s.as_str()).collect();
         assert_eq!(provs, vec!["mpich", "openmpi"]);
+    }
+
+    #[test]
+    fn lookup_resolves_sole_provider_and_reports_all_ambiguous() {
+        let r = mini_repo();
+        // Concrete package resolves to itself.
+        assert_eq!(
+            r.lookup(Sym::intern("zlib")).unwrap().name.as_str(),
+            "zlib"
+        );
+        // An ambiguous virtual reports every provider, in order.
+        match r.lookup(Sym::intern("mpi")) {
+            Err(RepoError::AmbiguousVirtual {
+                virtual_name,
+                providers,
+            }) => {
+                assert_eq!(virtual_name, "mpi");
+                assert_eq!(providers, vec!["mpich", "openmpi"]);
+            }
+            other => panic!("expected AmbiguousVirtual, got {other:?}"),
+        }
+        // Unknown names are distinct from ambiguity.
+        assert!(matches!(
+            r.lookup(Sym::intern("ghost")),
+            Err(RepoError::NoSuchPackage(_))
+        ));
+        // A single-provider virtual resolves to that provider.
+        let blas = PackageBuilder::new("openblas")
+            .version("0.3")
+            .provides("blas")
+            .build()
+            .unwrap();
+        let solo = Repository::from_packages([blas]).unwrap();
+        assert_eq!(
+            solo.lookup(Sym::intern("blas")).unwrap().name.as_str(),
+            "openblas"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod hash;
 pub mod ident;
 pub mod parser;
 pub mod satisfy;
+pub mod span;
 pub mod spec;
 pub mod splice;
 pub mod variant;
@@ -35,7 +36,8 @@ pub use arch::{Os, Target};
 pub use error::SpecError;
 pub use hash::{Sha256, SpecHash};
 pub use ident::Sym;
-pub use parser::parse_spec;
+pub use parser::{parse_spec, parse_spec_spanned};
+pub use span::{Span, SpecSpans};
 pub use spec::{
     AbstractDep, AbstractSpec, ConcreteNode, ConcreteSpec, DepTypes, NodeId,
 };

@@ -19,6 +19,7 @@
 use crate::arch::{Os, Target};
 use crate::error::SpecError;
 use crate::ident::Sym;
+use crate::span::{Span, SpecSpans};
 use crate::spec::{AbstractDep, AbstractSpec, DepTypes};
 use crate::variant::VariantValue;
 use crate::version::VersionReq;
@@ -87,6 +88,26 @@ fn is_value_char(c: char) -> bool {
 /// assert_eq!(s.deps.len(), 2); // clang (build) and zlib (link-run)
 /// ```
 pub fn parse_spec(input: &str) -> Result<AbstractSpec> {
+    parse_spec_inner(input, None)
+}
+
+/// Parse a single spec expression, also recording the byte spans of the
+/// root node's tokens (see [`SpecSpans`]) for diagnostic underlining.
+///
+/// ```
+/// use spackle_spec::parse_spec_spanned;
+/// let (spec, spans) = parse_spec_spanned("zlib@1.2:1.4 +shared").unwrap();
+/// assert_eq!(spec.name.unwrap().as_str(), "zlib");
+/// let v = spans.version.unwrap();
+/// assert_eq!(&"zlib@1.2:1.4 +shared"[v.start..v.end], "@1.2:1.4");
+/// ```
+pub fn parse_spec_spanned(input: &str) -> Result<(AbstractSpec, SpecSpans)> {
+    let mut spans = SpecSpans::default();
+    let spec = parse_spec_inner(input, Some(&mut spans))?;
+    Ok((spec, spans))
+}
+
+fn parse_spec_inner(input: &str, spans: Option<&mut SpecSpans>) -> Result<AbstractSpec> {
     let mut cur = Cursor::new(input);
     cur.eat_ws();
     if cur.peek().is_none() {
@@ -94,7 +115,7 @@ pub fn parse_spec(input: &str) -> Result<AbstractSpec> {
     }
 
     // Parse the root node, then a flat sequence of sigil-introduced deps.
-    let root = parse_node(&mut cur, true)?;
+    let root = parse_node_spanned(&mut cur, true, spans)?;
     let mut segments: Vec<(char, AbstractSpec)> = Vec::new();
     loop {
         cur.eat_ws();
@@ -143,6 +164,14 @@ pub fn parse_spec(input: &str) -> Result<AbstractSpec> {
 /// at `^`, `%`, or end of input. `allow_anonymous` permits a missing name
 /// (only the root of a `when=` constraint may be anonymous).
 fn parse_node(cur: &mut Cursor<'_>, allow_anonymous: bool) -> Result<AbstractSpec> {
+    parse_node_spanned(cur, allow_anonymous, None)
+}
+
+fn parse_node_spanned(
+    cur: &mut Cursor<'_>,
+    allow_anonymous: bool,
+    mut spans: Option<&mut SpecSpans>,
+) -> Result<AbstractSpec> {
     let mut spec = AbstractSpec::anonymous();
     cur.eat_ws();
 
@@ -155,6 +184,9 @@ fn parse_node(cur: &mut Cursor<'_>, allow_anonymous: bool) -> Result<AbstractSpe
             cur.pos = start;
         } else {
             spec.name = Some(Sym::intern(word));
+            if let Some(s) = spans.as_deref_mut() {
+                s.name = Some(Span::new(start, cur.pos));
+            }
         }
     } else if !allow_anonymous && !matches!(cur.peek(), Some('@' | '+' | '~')) {
         return Err(cur.err("expected package name after dependency sigil"));
@@ -164,6 +196,7 @@ fn parse_node(cur: &mut Cursor<'_>, allow_anonymous: bool) -> Result<AbstractSpe
         // Attributes may be glued (`hdf5@1.14+cxx~mpi`) or space-separated.
         let before_ws = cur.pos;
         cur.eat_ws();
+        let frag_start = cur.pos;
         match cur.peek() {
             Some('@') => {
                 cur.bump();
@@ -175,24 +208,21 @@ fn parse_node(cur: &mut Cursor<'_>, allow_anonymous: bool) -> Result<AbstractSpe
                 spec.version = spec.version.intersect(&req).ok_or_else(|| {
                     SpecError::Conflict("incompatible version constraints in spec".to_string())
                 })?;
+                if let Some(s) = spans.as_deref_mut() {
+                    s.version = Some(Span::new(frag_start, cur.pos));
+                }
             }
-            Some('+') => {
+            Some(sigil @ ('+' | '~')) => {
                 cur.bump();
                 let name = cur.read_while(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
                 if name.is_empty() {
-                    return Err(cur.err("expected variant name after '+'"));
+                    return Err(cur.err(format!("expected variant name after '{sigil}'")));
                 }
-                spec.variants
-                    .insert(Sym::intern(name), VariantValue::Bool(true));
-            }
-            Some('~') => {
-                cur.bump();
-                let name = cur.read_while(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
-                if name.is_empty() {
-                    return Err(cur.err("expected variant name after '~'"));
+                let key = Sym::intern(name);
+                spec.variants.insert(key, VariantValue::Bool(sigil == '+'));
+                if let Some(s) = spans.as_deref_mut() {
+                    s.variants.push((key, Span::new(frag_start, cur.pos)));
                 }
-                spec.variants
-                    .insert(Sym::intern(name), VariantValue::Bool(false));
             }
             Some(c) if c.is_ascii_alphanumeric() => {
                 // Must be key=value, otherwise this word belongs to someone
@@ -214,7 +244,13 @@ fn parse_node(cur: &mut Cursor<'_>, allow_anonymous: bool) -> Result<AbstractSpe
                 if value.is_empty() {
                     return Err(cur.err(format!("expected value after '{key}='")));
                 }
-                apply_key_value(&mut spec, key, value)?;
+                let is_variant = apply_key_value(&mut spec, key, value)?;
+                if is_variant {
+                    if let Some(s) = spans.as_deref_mut() {
+                        s.variants
+                            .push((Sym::intern(key), Span::new(frag_start, cur.pos)));
+                    }
+                }
             }
             _ => {
                 cur.pos = before_ws;
@@ -225,7 +261,9 @@ fn parse_node(cur: &mut Cursor<'_>, allow_anonymous: bool) -> Result<AbstractSpe
     Ok(spec)
 }
 
-fn apply_key_value(spec: &mut AbstractSpec, key: &str, value: &str) -> Result<()> {
+/// Apply a `key=value` fragment; returns true when it set a variant (as
+/// opposed to os/target/platform/arch).
+fn apply_key_value(spec: &mut AbstractSpec, key: &str, value: &str) -> Result<bool> {
     match key {
         "os" => spec.os = Some(Os::new(value)),
         "target" => spec.target = Some(Target::new(value)),
@@ -250,9 +288,10 @@ fn apply_key_value(spec: &mut AbstractSpec, key: &str, value: &str) -> Result<()
         _ => {
             spec.variants
                 .insert(Sym::intern(key), VariantValue::parse(value));
+            return Ok(true);
         }
     }
-    Ok(())
+    Ok(false)
 }
 
 #[cfg(test)]
@@ -424,6 +463,33 @@ mod tests {
         assert!(parse_spec("hdf5 key=").is_err());
         assert!(parse_spec("a ^b c").is_err());
         assert!(parse_spec("x arch=weird").is_err());
+    }
+
+    #[test]
+    fn spanned_parse_records_root_tokens() {
+        let text = "hdf5@1.14.5+cxx~mpi api=default target=icelake ^zlib@1.3";
+        let (spec, spans) = parse_spec_spanned(text).unwrap();
+        assert_eq!(spec.name.unwrap().as_str(), "hdf5");
+        let slice = |s: Span| &text[s.start..s.end];
+        assert_eq!(slice(spans.name.unwrap()), "hdf5");
+        // Root version span, not the dependency's.
+        assert_eq!(slice(spans.version.unwrap()), "@1.14.5");
+        let vars: Vec<(&str, &str)> = spans
+            .variants
+            .iter()
+            .map(|(n, s)| (n.as_str(), slice(*s)))
+            .collect();
+        assert_eq!(
+            vars,
+            [
+                ("cxx", "+cxx"),
+                ("mpi", "~mpi"),
+                ("api", "api=default"),
+            ]
+        );
+        assert_eq!(spans.variant(Sym::intern("mpi")).map(slice), Some("~mpi"));
+        // target= is not a variant; no span recorded for it.
+        assert!(spans.variant(Sym::intern("target")).is_none());
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Byte spans into spec-syntax source text, recorded by
+//! [`parse_spec_spanned`](crate::parse_spec_spanned) so diagnostics
+//! (notably `spackle-audit`) can underline the exact token — a version
+//! requirement or variant setting — that a finding is about.
+
+use crate::ident::Sym;
+
+/// A half-open byte range `[start, end)` into the parsed source text.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True when the span covers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Token spans for the *root node* of a parsed spec expression.
+///
+/// Dependency nodes (`^`/`%`) are not tracked: directive diagnostics
+/// always talk about a single node, and re-parsing a rendered node is
+/// cheap when a dependency's spans are needed.
+#[derive(Clone, Debug, Default)]
+pub struct SpecSpans {
+    /// Span of the package name, if present.
+    pub name: Option<Span>,
+    /// Span of the last `@…` version fragment, including the sigil.
+    pub version: Option<Span>,
+    /// Span of each variant setting (`+v`, `~v`, or `key=value`,
+    /// including sigil/key), in source order.
+    pub variants: Vec<(Sym, Span)>,
+}
+
+impl SpecSpans {
+    /// The span recorded for variant `name`, if any.
+    pub fn variant(&self, name: Sym) -> Option<Span> {
+        self.variants
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| *s)
+    }
+}

@@ -39,6 +39,9 @@ commands:
   providers <virtual>              show providers of a virtual package
   splices                          list all can_splice declarations
   abi-audit --cache FILE           discover ABI-compatible replacement pairs
+  audit [options]                  statically check the demo repo and solver program
+      --json                       machine-readable report
+      --deny CODE                  promote CODE (e.g. SPKL-R002) to an error (repeatable)
   env <create|add|concretize|install|status> FILE [args]
                                    manage an environment (spack.yaml/lock analogue)
       env create FILE
@@ -190,6 +193,51 @@ fn main() -> ExitCode {
                 println!("cache: {} specs -> {path}", cache.len());
             }
             ExitCode::SUCCESS
+        }
+        "audit" => {
+            let json = args.iter().any(|a| a == "--json");
+            let mut deny = Vec::new();
+            for c in flag_values(&args, "--deny") {
+                match spackle::audit::Code::parse(c) {
+                    Some(code) => deny.push(code),
+                    None => {
+                        eprintln!("spackle: unknown diagnostic code: {c}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            // Level 1 audits the demo repository; level 2 audits the
+            // exact ASP program the concretizer would hand the solver
+            // for a representative goal (empty cache, default config).
+            let goal = Goal::single(parse_spec("hypre").expect("valid demo goal"));
+            let enc = match Concretizer::new(&repo).program_text(&goal) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("spackle: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let program = match spackle::asp::parse_program(&enc.program) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("spackle: generated program invalid: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // The interpreter reads exactly these predicates from models.
+            let goals = [Sym::intern("attr"), Sym::intern("splice_to")];
+            let mut report = spackle::audit::audit(&repo, &program, &goals);
+            report.deny(&deny);
+            if json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.has_errors() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         "install" => {
             let Some(text) = args.get(1) else { return usage() };

@@ -22,6 +22,8 @@
 //! * [`install`] — install layout, binary relocation, and splice
 //!   rewiring (§3.4, §4.2).
 //! * [`core`] — the concretizer with automatic splicing (§5).
+//! * [`audit`] — static analysis over repositories and the generated
+//!   logic program, with structured diagnostics and dead-rule pruning.
 //! * [`radiuss`] — the synthetic RADIUSS experiment stack (§6.1).
 //!
 //! ## Quickstart
@@ -56,6 +58,7 @@
 pub mod environment;
 
 pub use spackle_asp as asp;
+pub use spackle_audit as audit;
 pub use spackle_buildcache as buildcache;
 pub use spackle_core as core;
 pub use spackle_install as install;
@@ -66,6 +69,7 @@ pub use spackle_spec as spec;
 /// The commonly used types, one `use` away.
 pub mod prelude {
     pub use crate::environment::{Environment, Lockfile};
+    pub use spackle_audit::AuditReport;
     pub use spackle_buildcache::{
         Artifact, ArtifactError, BuildCache, CacheEntry, CacheError, CacheSource, ChainedCache,
     };
