@@ -97,6 +97,12 @@ pub struct SatStats {
 }
 
 /// The CDCL solver.
+///
+/// `Clone` copies the complete solver state (clause arena, watches,
+/// heuristics). Cloning a freshly-translated instance and searching on
+/// the clone is indistinguishable from translating again — the basis
+/// for re-solving memoized programs without re-running translation.
+#[derive(Clone)]
 pub struct Sat {
     // Clause storage. Original and learnt clauses share the arena;
     // learnt ones are marked and may be deleted by clause-DB reduction

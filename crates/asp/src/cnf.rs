@@ -11,6 +11,7 @@ use rustc_hash::FxHashMap;
 /// Everything the solving layers need to map between atoms and SAT
 /// variables, find rule-body literals (for loop clauses), and build cost
 /// bounds.
+#[derive(Clone)]
 pub struct Translation {
     /// SAT variable per interned atom (indexed by `AtomId.0`).
     pub atom_var: Vec<Var>,

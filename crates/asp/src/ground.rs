@@ -19,9 +19,24 @@
 //!    genuinely model-dependent predicate is an error rather than a
 //!    silent mis-solve. Minimize conditions stay model-dependent.
 //!
-//! Joins are index-backed: per (predicate, arity) relations with lazily
-//! built per-argument-position hash indexes, so fact bases with many
+//! Joins are index-backed: per (predicate, arity) relations with
+//! per-argument-position hash indexes (pre-declared by a static probe
+//! analysis, incrementally maintained), so fact bases with many
 //! thousands of `hash_attr` entries ground quickly.
+//!
+//! ## Parallelism and determinism
+//!
+//! Rule instantiation is split into *join* work (enumerate matching
+//! substitutions — read-only over the grounder state) and *emission*
+//! work (intern head atoms, assign ids, record ground rules — mutating).
+//! Joins for a batch of work items run on a bounded
+//! [`std::thread::scope`] pool; their results are then emitted **in work
+//! item order** by the single-threaded master. Because joins never
+//! mutate the store and the master replays matches in the same order the
+//! sequential path would produce them, the grounded program — every
+//! rule, choice, constraint, minimize term, the atom *numbering*, and
+//! the term numbering — is bit-identical for every thread count. See
+//! DESIGN.md ("Parallel grounding") for the full argument.
 
 use crate::program::{BodyElem, CmpOp, Head, Program, Rule};
 use crate::term::{Atom, AtomId, GroundStore, GroundTerm, Term, TermId};
@@ -29,6 +44,7 @@ use crate::{AspError, Result};
 use rustc_hash::{FxHashMap, FxHashSet};
 use spackle_spec::Sym;
 use std::cmp::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 
 /// A ground normal rule (`head :- pos, not neg`). Facts have empty bodies.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -301,6 +317,27 @@ fn resolve(store: &mut GroundStore, s: &Subst, t: &Term) -> Option<TermId> {
     }
 }
 
+/// Resolve `t` under `s` to an *already interned* ground term id,
+/// without interning. `None` means either an unbound variable (ruled
+/// out at probe positions by the static analysis) or a ground term that
+/// is not in the store — in which case no interned atom can contain it,
+/// so a candidate lookup on it is correctly empty.
+fn lookup_resolved(store: &GroundStore, s: &Subst, t: &Term) -> Option<TermId> {
+    match t {
+        Term::Int(i) => store.find_term(&GroundTerm::Int(*i)),
+        Term::Sym(x) => store.find_term(&GroundTerm::Sym(*x)),
+        Term::Str(x) => store.find_term(&GroundTerm::Str(*x)),
+        Term::Var(v) => lookup(s, *v),
+        Term::Func(name, args) => {
+            let mut kids = Vec::with_capacity(args.len());
+            for a in args {
+                kids.push(lookup_resolved(store, s, a)?);
+            }
+            store.find_term(&GroundTerm::Func(*name, kids.into()))
+        }
+    }
+}
+
 /// Unify pattern `t` with ground term `tid` under `s`, appending new
 /// bindings. On mismatch returns false; caller truncates `s`.
 fn unify(store: &GroundStore, s: &mut Subst, t: &Term, tid: TermId) -> bool {
@@ -316,15 +353,327 @@ fn unify(store: &GroundStore, s: &mut Subst, t: &Term, tid: TermId) -> bool {
             }
         },
         Term::Func(name, args) => match store.term_data(tid) {
-            GroundTerm::Func(n2, kids) if n2 == name && kids.len() == args.len() => {
-                let kids: Vec<TermId> = kids.to_vec();
-                args.iter()
-                    .zip(kids)
-                    .all(|(a, k)| unify(store, s, a, k))
-            }
+            GroundTerm::Func(n2, kids) if n2 == name && kids.len() == args.len() => args
+                .iter()
+                .zip(kids.iter())
+                .all(|(a, &k)| unify(store, s, a, k)),
             _ => false,
         },
     }
+}
+
+// ---------------------------------------------------------------------
+// Comparison evaluation without interning
+// ---------------------------------------------------------------------
+
+/// A term being compared: either a pattern term (with variables resolved
+/// through the substitution) or an interned ground term.
+#[derive(Clone, Copy)]
+enum TermView<'a> {
+    Pat(&'a Term),
+    Id(TermId),
+}
+
+/// Compare two terms under `s` by the store's total order (ints < syms <
+/// strings < funcs), without interning anything. Errors on unbound
+/// variables (safety guarantees they cannot occur).
+fn cmp_resolved(
+    store: &GroundStore,
+    s: &Subst,
+    a: TermView<'_>,
+    b: TermView<'_>,
+) -> Result<Ordering> {
+    fn deref<'a>(_store: &GroundStore, s: &Subst, v: TermView<'a>) -> Result<TermView<'a>> {
+        match v {
+            TermView::Pat(Term::Var(x)) => match lookup(s, *x) {
+                Some(id) => Ok(TermView::Id(id)),
+                None => Err(AspError::Internal(format!(
+                    "comparison operand not ground: variable {x}"
+                ))),
+            },
+            other => Ok(other),
+        }
+    }
+    fn rank(store: &GroundStore, v: TermView<'_>) -> u8 {
+        match v {
+            TermView::Pat(Term::Int(_)) => 0,
+            TermView::Pat(Term::Sym(_)) => 1,
+            TermView::Pat(Term::Str(_)) => 2,
+            TermView::Pat(Term::Func(..)) => 3,
+            TermView::Pat(Term::Var(_)) => unreachable!("deref resolved variables"),
+            TermView::Id(id) => match store.term_data(id) {
+                GroundTerm::Int(_) => 0,
+                GroundTerm::Sym(_) => 1,
+                GroundTerm::Str(_) => 2,
+                GroundTerm::Func(..) => 3,
+            },
+        }
+    }
+    let a = deref(store, s, a)?;
+    let b = deref(store, s, b)?;
+    if let (TermView::Id(x), TermView::Id(y)) = (a, b) {
+        return Ok(store.compare(x, y));
+    }
+    let (ra, rb) = (rank(store, a), rank(store, b));
+    if ra != rb {
+        return Ok(ra.cmp(&rb));
+    }
+    match ra {
+        0 => {
+            let get = |v: TermView<'_>| match v {
+                TermView::Pat(Term::Int(i)) => *i,
+                TermView::Id(id) => match store.term_data(id) {
+                    GroundTerm::Int(i) => *i,
+                    _ => unreachable!("rank matched"),
+                },
+                _ => unreachable!("rank matched"),
+            };
+            Ok(get(a).cmp(&get(b)))
+        }
+        1 | 2 => {
+            let get = |v: TermView<'_>| match v {
+                TermView::Pat(Term::Sym(x)) | TermView::Pat(Term::Str(x)) => *x,
+                TermView::Id(id) => match store.term_data(id) {
+                    GroundTerm::Sym(x) | GroundTerm::Str(x) => *x,
+                    _ => unreachable!("rank matched"),
+                },
+                _ => unreachable!("rank matched"),
+            };
+            Ok(get(a).cmp(&get(b)))
+        }
+        _ => {
+            enum FuncView<'a> {
+                Pat(&'a [Term]),
+                Id(&'a [TermId]),
+            }
+            impl FuncView<'_> {
+                fn len(&self) -> usize {
+                    match self {
+                        FuncView::Pat(args) => args.len(),
+                        FuncView::Id(kids) => kids.len(),
+                    }
+                }
+            }
+            fn as_func<'a>(store: &'a GroundStore, v: TermView<'a>) -> (Sym, FuncView<'a>) {
+                match v {
+                    TermView::Pat(Term::Func(n, args)) => (*n, FuncView::Pat(args)),
+                    TermView::Id(id) => match store.term_data(id) {
+                        GroundTerm::Func(n, kids) => (*n, FuncView::Id(kids)),
+                        _ => unreachable!("rank matched"),
+                    },
+                    _ => unreachable!("rank matched"),
+                }
+            }
+            fn kid<'a>(f: &FuncView<'a>, i: usize) -> TermView<'a> {
+                match f {
+                    FuncView::Pat(args) => TermView::Pat(&args[i]),
+                    FuncView::Id(kids) => TermView::Id(kids[i]),
+                }
+            }
+            let (na, fa) = as_func(store, a);
+            let (nb, fb) = as_func(store, b);
+            let head = na.cmp(&nb).then_with(|| fa.len().cmp(&fb.len()));
+            if head != Ordering::Equal {
+                return Ok(head);
+            }
+            for i in 0..fa.len() {
+                match cmp_resolved(store, s, kid(&fa, i), kid(&fb, i))? {
+                    Ordering::Equal => continue,
+                    ord => return Ok(ord),
+                }
+            }
+            Ok(Ordering::Equal)
+        }
+    }
+}
+
+/// Evaluate all comparison builtins under `s`; true when every one
+/// holds. Never interns.
+fn eval_cmps(store: &GroundStore, s: &Subst, cmps: &[(Term, CmpOp, Term)]) -> Result<bool> {
+    for (l, op, r) in cmps {
+        let ord = cmp_resolved(store, s, TermView::Pat(l), TermView::Pat(r))?;
+        let hold = match op {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        };
+        if !hold {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------
+// Join plans: static probe analysis
+// ---------------------------------------------------------------------
+
+/// A compiled positive-body join: the literal patterns, the comparison
+/// filters, and one statically chosen *probe* argument position per
+/// literal.
+///
+/// The probe for literal `j` is the first argument position whose
+/// variables are all bound once literals `0..j` (plus the join's initial
+/// bindings) have matched. This is exactly the position the previous
+/// implementation selected dynamically per candidate lookup — a variable
+/// is bound at runtime iff it occurs in an earlier positive literal or
+/// the initial substitution — but knowing it up front lets the grounder
+/// pre-declare the per-position hash indexes and maintain them
+/// incrementally instead of rebuilding them lazily mid-join.
+struct JoinSpec {
+    pats: Vec<Atom>,
+    cmps: Vec<(Term, CmpOp, Term)>,
+    probes: Vec<Option<usize>>,
+}
+
+impl JoinSpec {
+    fn new(pats: Vec<Atom>, cmps: Vec<(Term, CmpOp, Term)>, init_bound: &FxHashSet<Sym>) -> Self {
+        let probes = probe_positions(&pats, init_bound);
+        JoinSpec { pats, cmps, probes }
+    }
+}
+
+/// For each literal, the first argument position fully bound by earlier
+/// literals plus `init_bound` (constants count as bound), or `None` when
+/// every position contains an unbound variable (full-scan literal).
+fn probe_positions(pats: &[Atom], init_bound: &FxHashSet<Sym>) -> Vec<Option<usize>> {
+    let mut bound: FxHashSet<Sym> = init_bound.clone();
+    let mut probes = Vec::with_capacity(pats.len());
+    for a in pats {
+        let mut probe = None;
+        for (i, arg) in a.args.iter().enumerate() {
+            let mut vs = Vec::new();
+            arg.collect_vars(&mut vs);
+            if vs.iter().all(|v| bound.contains(v)) {
+                probe = Some(i);
+                break;
+            }
+        }
+        probes.push(probe);
+        let mut vs = Vec::new();
+        a.collect_vars(&mut vs);
+        bound.extend(vs);
+    }
+    probes
+}
+
+/// A choice element, compiled: the element atom, the combined
+/// body+condition join used during the possible-atom closure, and the
+/// condition-only join (seeded with the outer body's bindings) used at
+/// choice-emission time.
+struct ElemPlan<'a> {
+    atom: &'a Atom,
+    closure: JoinSpec,
+    cond: JoinSpec,
+    cond_neg: Vec<Atom>,
+}
+
+enum HeadPlan<'a> {
+    Atom(&'a Atom),
+    Choice {
+        lower: Option<u32>,
+        upper: Option<u32>,
+        elements: Vec<ElemPlan<'a>>,
+    },
+    Constraint,
+}
+
+struct RulePlan<'a> {
+    head: HeadPlan<'a>,
+    body: JoinSpec,
+    neg: Vec<Atom>,
+}
+
+fn plan_rules(program: &Program) -> Vec<RulePlan<'_>> {
+    let empty: FxHashSet<Sym> = FxHashSet::default();
+    program
+        .rules
+        .iter()
+        .map(|r| {
+            let nb = normalize_body(&r.body);
+            let head = match &r.head {
+                Head::Atom(a) => HeadPlan::Atom(a),
+                Head::None => HeadPlan::Constraint,
+                Head::Choice {
+                    lower,
+                    upper,
+                    elements,
+                } => {
+                    let mut body_vars: FxHashSet<Sym> = FxHashSet::default();
+                    for a in &nb.pos {
+                        let mut vs = Vec::new();
+                        a.collect_vars(&mut vs);
+                        body_vars.extend(vs);
+                    }
+                    let elems = elements
+                        .iter()
+                        .map(|el| {
+                            let cond = normalize_body(&el.condition);
+                            let mut closure_pats = nb.pos.clone();
+                            closure_pats.extend(cond.pos.iter().cloned());
+                            let mut closure_cmps = nb.cmps.clone();
+                            closure_cmps.extend(cond.cmps.iter().cloned());
+                            ElemPlan {
+                                atom: &el.atom,
+                                closure: JoinSpec::new(closure_pats, closure_cmps, &empty),
+                                cond: JoinSpec::new(cond.pos, cond.cmps, &body_vars),
+                                cond_neg: cond.neg,
+                            }
+                        })
+                        .collect();
+                    HeadPlan::Choice {
+                        lower: *lower,
+                        upper: *upper,
+                        elements: elems,
+                    }
+                }
+            };
+            RulePlan {
+                head,
+                body: JoinSpec::new(nb.pos, nb.cmps, &empty),
+                neg: nb.neg,
+            }
+        })
+        .collect()
+}
+
+/// Every (predicate, arity, argument position) any join will ever probe,
+/// so the relations can install those indexes at creation time.
+fn collect_wanted(
+    plans: &[RulePlan<'_>],
+    min_plans: &[(JoinSpec, Vec<Atom>)],
+) -> FxHashMap<(Sym, usize), Vec<usize>> {
+    let mut wanted: FxHashMap<(Sym, usize), FxHashSet<usize>> = FxHashMap::default();
+    let mut add = |spec: &JoinSpec| {
+        for (a, p) in spec.pats.iter().zip(&spec.probes) {
+            if let Some(p) = p {
+                wanted.entry((a.pred, a.args.len())).or_default().insert(*p);
+            }
+        }
+    };
+    for rp in plans {
+        add(&rp.body);
+        if let HeadPlan::Choice { elements, .. } = &rp.head {
+            for el in elements {
+                add(&el.closure);
+                add(&el.cond);
+            }
+        }
+    }
+    for (spec, _) in min_plans {
+        add(spec);
+    }
+    wanted
+        .into_iter()
+        .map(|(k, v)| {
+            let mut v: Vec<usize> = v.into_iter().collect();
+            v.sort_unstable();
+            (k, v)
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -334,8 +683,9 @@ fn unify(store: &GroundStore, s: &mut Subst, t: &Term, tid: TermId) -> bool {
 #[derive(Default)]
 struct PredRel {
     atoms: Vec<AtomId>,
-    /// Lazily built index per argument position.
-    by_arg: Vec<Option<FxHashMap<TermId, Vec<AtomId>>>>,
+    /// Pre-declared index per probed argument position, maintained
+    /// incrementally as atoms become possible (buckets keep rank order).
+    by_arg: FxHashMap<usize, FxHashMap<TermId, Vec<AtomId>>>,
 }
 
 struct Grounder {
@@ -346,6 +696,10 @@ struct Grounder {
     rank_of: Vec<usize>,
     possible: Vec<AtomId>,
     limits: GroundLimits,
+    /// Worker threads for join batches (1 = fully sequential).
+    threads: usize,
+    /// Index positions each (predicate, arity) relation must maintain.
+    wanted: FxHashMap<(Sym, usize), Vec<usize>>,
 }
 
 /// One complete instantiation of a body: the substitution and the chosen
@@ -355,14 +709,24 @@ struct Match {
     chosen: Vec<AtomId>,
 }
 
+/// One join invocation: a compiled spec, initial bindings, and an
+/// optional semi-naive delta restriction `(literal, lo_rank, hi_rank)`.
+struct JoinJob<'p> {
+    spec: &'p JoinSpec,
+    init: Subst,
+    delta: Option<(usize, usize, usize)>,
+}
+
 impl Grounder {
-    fn new(limits: GroundLimits) -> Self {
+    fn new(limits: GroundLimits, threads: usize, wanted: FxHashMap<(Sym, usize), Vec<usize>>) -> Self {
         Grounder {
             store: GroundStore::new(),
             rels: FxHashMap::default(),
             rank_of: Vec::new(),
             possible: Vec::new(),
             limits,
+            threads: threads.max(1),
+            wanted,
         }
     }
 
@@ -388,122 +752,77 @@ impl Grounder {
         self.rank_of[id.0 as usize] = self.possible.len();
         self.possible.push(id);
         let (pred, args) = self.store.atom_data(id);
-        let arity = args.len();
-        let args_owned: Vec<TermId> = args.to_vec();
-        let rel = self.rels.entry((pred, arity)).or_default();
-        rel.atoms.push(id);
-        for (i, slot) in rel.by_arg.iter_mut().enumerate() {
-            if let Some(map) = slot {
-                map.entry(args_owned[i]).or_default().push(id);
+        let key = (pred, args.len());
+        if !self.rels.contains_key(&key) {
+            let mut rel = PredRel::default();
+            if let Some(ps) = self.wanted.get(&key) {
+                for &p in ps {
+                    rel.by_arg.insert(p, FxHashMap::default());
+                }
             }
+            self.rels.insert(key, rel);
+        }
+        let rel = self.rels.get_mut(&key).expect("just ensured");
+        rel.atoms.push(id);
+        for (&p, map) in rel.by_arg.iter_mut() {
+            map.entry(args[p]).or_default().push(id);
         }
         true
     }
 
-    /// Candidate atoms matching `pattern` under `s` with rank in
-    /// `[lo, hi)`.
-    fn candidates(&mut self, s: &Subst, pattern: &Atom, lo: usize, hi: usize) -> Vec<AtomId> {
+    /// Candidate atoms matching `pattern` under `s`: the pre-declared
+    /// index bucket when a probe position was chosen statically, the
+    /// whole relation otherwise. Read-only — safe to call from join
+    /// workers. (A probe term that was never interned can occur in no
+    /// atom, so the empty slice is exact.)
+    fn candidates(&self, s: &Subst, pattern: &Atom, probe: Option<usize>) -> &[AtomId] {
         let key = (pattern.pred, pattern.args.len());
-        if !self.rels.contains_key(&key) {
-            return Vec::new();
-        }
-        // Prefer an index on an argument position that is ground under s.
-        let mut ground_arg: Option<(usize, TermId)> = None;
-        for (i, a) in pattern.args.iter().enumerate() {
-            let mut vs = Vec::new();
-            a.collect_vars(&mut vs);
-            if vs.iter().all(|v| lookup(s, *v).is_some()) {
-                if let Some(tid) = resolve(&mut self.store, s, a) {
-                    ground_arg = Some((i, tid));
-                    break;
-                }
-            }
-        }
-        let rel = self.rels.get_mut(&key).expect("checked above");
-        let base: Vec<AtomId> = match ground_arg {
-            Some((i, tid)) => {
-                if rel.by_arg.len() <= i {
-                    rel.by_arg.resize_with(i + 1, || None);
-                }
-                if rel.by_arg[i].is_none() {
-                    let mut map: FxHashMap<TermId, Vec<AtomId>> = FxHashMap::default();
-                    for &aid in &rel.atoms {
-                        let (_, args) = self.store.atom_data(aid);
-                        map.entry(args[i]).or_default().push(aid);
-                    }
-                    rel.by_arg[i] = Some(map);
-                }
-                rel.by_arg[i]
-                    .as_ref()
-                    .expect("just built")
-                    .get(&tid)
-                    .cloned()
-                    .unwrap_or_default()
-            }
-            None => rel.atoms.clone(),
+        let Some(rel) = self.rels.get(&key) else {
+            return &[];
         };
-        if lo == 0 && hi == usize::MAX {
-            base
-        } else {
-            base.into_iter()
-                .filter(|a| {
-                    let r = self.rank(*a);
-                    r >= lo && r < hi
-                })
-                .collect()
+        match probe {
+            Some(p) => {
+                let Some(tid) = lookup_resolved(&self.store, s, &pattern.args[p]) else {
+                    return &[];
+                };
+                match rel
+                    .by_arg
+                    .get(&p)
+                    .expect("probe position pre-declared by collect_wanted")
+                    .get(&tid)
+                {
+                    Some(bucket) => bucket,
+                    None => &[],
+                }
+            }
+            None => &rel.atoms,
         }
     }
 
-    /// Enumerate instantiations of `pats` (with `cmps` filters), starting
-    /// from substitution `init`. When `delta` is `Some((i, lo, hi))`,
-    /// literal `i` is restricted to atoms with rank in `[lo, hi)`.
-    fn join(
-        &mut self,
-        pats: &[Atom],
-        cmps: &[(Term, CmpOp, Term)],
-        init: &Subst,
-        init_chosen: &[AtomId],
-        delta: Option<(usize, usize, usize)>,
-    ) -> Result<Vec<Match>> {
+    /// Enumerate instantiations of `job.spec` starting from `job.init`.
+    /// Read-only over the grounder; all interning is deferred to the
+    /// caller (the single-threaded master).
+    fn run_job(&self, job: &JoinJob<'_>) -> Result<Vec<Match>> {
         let mut out = Vec::new();
-        let mut s = init.to_vec();
-        let mut chosen = init_chosen.to_vec();
-        self.join_rec(pats, cmps, 0, delta, &mut s, &mut chosen, &mut out)?;
+        let mut s = job.init.clone();
+        let mut chosen = Vec::with_capacity(job.spec.pats.len());
+        self.join_rec(job.spec, 0, job.delta, &mut s, &mut chosen, &mut out)?;
         Ok(out)
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn join_rec(
-        &mut self,
-        pats: &[Atom],
-        cmps: &[(Term, CmpOp, Term)],
+        &self,
+        spec: &JoinSpec,
         i: usize,
         delta: Option<(usize, usize, usize)>,
         s: &mut Subst,
         chosen: &mut Vec<AtomId>,
         out: &mut Vec<Match>,
     ) -> Result<()> {
-        if i == pats.len() {
+        if i == spec.pats.len() {
             // All positive literals matched; evaluate comparisons.
-            for (l, op, r) in cmps {
-                let lv = resolve(&mut self.store, s, l).ok_or_else(|| {
-                    AspError::Internal(format!("comparison lhs not ground: {l}"))
-                })?;
-                let rv = resolve(&mut self.store, s, r).ok_or_else(|| {
-                    AspError::Internal(format!("comparison rhs not ground: {r}"))
-                })?;
-                let ord = self.store.compare(lv, rv);
-                let hold = match op {
-                    CmpOp::Eq => ord == Ordering::Equal,
-                    CmpOp::Ne => ord != Ordering::Equal,
-                    CmpOp::Lt => ord == Ordering::Less,
-                    CmpOp::Le => ord != Ordering::Greater,
-                    CmpOp::Gt => ord == Ordering::Greater,
-                    CmpOp::Ge => ord != Ordering::Less,
-                };
-                if !hold {
-                    return Ok(());
-                }
+            if !eval_cmps(&self.store, s, &spec.cmps)? {
+                return Ok(());
             }
             out.push(Match {
                 subst: s.clone(),
@@ -515,24 +834,73 @@ impl Grounder {
             Some((dpos, lo, hi)) if dpos == i => (lo, hi),
             _ => (0, usize::MAX),
         };
-        let cands = self.candidates(s, &pats[i], lo, hi);
-        for cand in cands {
+        let cands = self.candidates(s, &spec.pats[i], spec.probes[i]);
+        for &cand in cands {
+            if lo != 0 || hi != usize::MAX {
+                let r = self.rank(cand);
+                if r < lo || r >= hi {
+                    continue;
+                }
+            }
             let mark = s.len();
             let (_, args) = self.store.atom_data(cand);
-            let args: Vec<TermId> = args.to_vec();
-            let ok = pats[i]
+            let ok = spec.pats[i]
                 .args
                 .iter()
-                .zip(&args)
+                .zip(args.iter())
                 .all(|(p, &t)| unify(&self.store, s, p, t));
             if ok {
                 chosen.push(cand);
-                self.join_rec(pats, cmps, i + 1, delta, s, chosen, out)?;
+                self.join_rec(spec, i + 1, delta, s, chosen, out)?;
                 chosen.pop();
             }
             s.truncate(mark);
         }
         Ok(())
+    }
+
+    /// Run a batch of join jobs, possibly on worker threads, returning
+    /// match lists **indexed by job**. Workers only read the grounder
+    /// (joins never intern), and results are reassembled by job index,
+    /// so the outcome — including which error surfaces first — is
+    /// independent of the thread count and of scheduling.
+    fn run_batch(&self, jobs: &[JoinJob<'_>]) -> Result<Vec<Vec<Match>>> {
+        let n = jobs.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return jobs.iter().map(|j| self.run_job(j)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut buckets: Vec<Vec<(usize, Result<Vec<Match>>)>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            mine.push((i, self.run_job(&jobs[i])));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for h in handles {
+                buckets.push(h.join().expect("grounder join worker panicked"));
+            }
+        });
+        let mut slots: Vec<Option<Result<Vec<Match>>>> = (0..n).map(|_| None).collect();
+        for (i, r) in buckets.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job index claimed exactly once"))
+            .collect()
     }
 
     fn intern_under(&mut self, s: &Subst, a: &Atom) -> Result<AtomId> {
@@ -548,62 +916,81 @@ impl Grounder {
 
 /// Ground `program` into a propositional [`GroundProgram`].
 pub fn ground(program: &Program) -> Result<GroundProgram> {
-    ground_with_limits(program, GroundLimits::default())
+    ground_parallel(program, GroundLimits::default(), 1)
 }
 
-/// Ground with explicit resource limits.
+/// Ground with explicit resource limits (single-threaded).
 pub fn ground_with_limits(program: &Program, limits: GroundLimits) -> Result<GroundProgram> {
+    ground_parallel(program, limits, 1)
+}
+
+/// Ground with explicit resource limits and a join worker-thread count.
+///
+/// The result is **bit-identical** for every `threads` value: joins are
+/// read-only and their matches are emitted by the single-threaded master
+/// in work-item order, so atom/term numbering, rule order, and every
+/// downstream model agree with the sequential path (see module docs).
+pub fn ground_parallel(
+    program: &Program,
+    limits: GroundLimits,
+    threads: usize,
+) -> Result<GroundProgram> {
     for r in &program.rules {
         check_safety(r)?;
     }
-    let mut g = Grounder::new(limits);
-
-    // Pre-normalize rules.
-    struct NormRule<'a> {
-        head: &'a Head,
-        body: NormBody,
-    }
-    let norm: Vec<NormRule<'_>> = program
-        .rules
+    let plans = plan_rules(program);
+    let min_plans: Vec<(JoinSpec, Vec<Atom>)> = program
+        .minimize
         .iter()
-        .map(|r| NormRule {
-            head: &r.head,
-            body: normalize_body(&r.body),
+        .map(|me| {
+            let cond = normalize_body(&me.condition);
+            (
+                JoinSpec::new(cond.pos, cond.cmps, &FxHashSet::default()),
+                cond.neg,
+            )
         })
         .collect();
+    let wanted = collect_wanted(&plans, &min_plans);
+    let mut g = Grounder::new(limits, threads, wanted);
+    let no_subst: Subst = Vec::new();
 
     // ---- Phase 1: possible-atom closure (semi-naive). ----
     // Round 0: derivations with no positive literals at all (plain facts,
     // and choice elements whose body and condition are both literal-free)
     // fire exactly once; everything else participates in the loop below.
-    for nr in &norm {
-        if !nr.body.pos.is_empty() {
+    for rp in &plans {
+        if !rp.body.pats.is_empty() {
             continue;
         }
-        match nr.head {
-            Head::Atom(a) => {
-                let matches = g.join(&[], &nr.body.cmps, &Vec::new(), &[], None)?;
-                for m in matches {
+        match &rp.head {
+            HeadPlan::Atom(a) => {
+                let job = JoinJob {
+                    spec: &rp.body,
+                    init: no_subst.clone(),
+                    delta: None,
+                };
+                for m in g.run_job(&job)? {
                     let id = g.intern_under(&m.subst, a)?;
                     g.add_possible(id);
                 }
             }
-            Head::Choice { elements, .. } => {
+            HeadPlan::Choice { elements, .. } => {
                 for el in elements {
-                    let cond = normalize_body(&el.condition);
-                    if !cond.pos.is_empty() {
+                    if !el.closure.pats.is_empty() {
                         continue; // handled in the semi-naive loop
                     }
-                    let mut cmps = nr.body.cmps.clone();
-                    cmps.extend(cond.cmps.iter().cloned());
-                    let matches = g.join(&[], &cmps, &Vec::new(), &[], None)?;
-                    for m in matches {
-                        let id = g.intern_under(&m.subst, &el.atom)?;
+                    let job = JoinJob {
+                        spec: &el.closure,
+                        init: no_subst.clone(),
+                        delta: None,
+                    };
+                    for m in g.run_job(&job)? {
+                        let id = g.intern_under(&m.subst, el.atom)?;
                         g.add_possible(id);
                     }
                 }
             }
-            Head::None => {}
+            HeadPlan::Constraint => {}
         }
     }
     let mut prev_start = 0usize;
@@ -612,55 +999,47 @@ pub fn ground_with_limits(program: &Program, limits: GroundLimits) -> Result<Gro
         if prev_start == prev_end {
             break;
         }
-        for nr in &norm {
-            // Combined literal lists per derivation target: for normal
-            // heads the body; for choice elements body + condition.
-            match nr.head {
-                Head::Choice { elements, .. } => {
+        // One job per (derivation target, delta literal), in rule →
+        // element → position order. All joins in the round read the
+        // round-start state (a match that additionally needs an atom
+        // derived *this* round is found next round, when that atom is in
+        // the delta window — the fixpoint is unchanged); the master then
+        // interns heads in job order, so possible-atom ranks are the same
+        // at every thread count.
+        let mut jobs: Vec<JoinJob<'_>> = Vec::new();
+        let mut targets: Vec<&Atom> = Vec::new();
+        for rp in &plans {
+            match &rp.head {
+                HeadPlan::Atom(a) => {
+                    for dpos in 0..rp.body.pats.len() {
+                        jobs.push(JoinJob {
+                            spec: &rp.body,
+                            init: no_subst.clone(),
+                            delta: Some((dpos, prev_start, prev_end)),
+                        });
+                        targets.push(a);
+                    }
+                }
+                HeadPlan::Choice { elements, .. } => {
                     for el in elements {
-                        let cond = normalize_body(&el.condition);
-                        let mut pats = nr.body.pos.clone();
-                        pats.extend(cond.pos.iter().cloned());
-                        if pats.is_empty() {
-                            continue; // fired in round 0
-                        }
-                        let mut cmps = nr.body.cmps.clone();
-                        cmps.extend(cond.cmps.iter().cloned());
-                        for dpos in 0..pats.len() {
-                            let matches = g.join(
-                                &pats,
-                                &cmps,
-                                &Vec::new(),
-                                &[],
-                                Some((dpos, prev_start, prev_end)),
-                            )?;
-                            for m in matches {
-                                let id = g.intern_under(&m.subst, &el.atom)?;
-                                g.add_possible(id);
-                            }
+                        for dpos in 0..el.closure.pats.len() {
+                            jobs.push(JoinJob {
+                                spec: &el.closure,
+                                init: no_subst.clone(),
+                                delta: Some((dpos, prev_start, prev_end)),
+                            });
+                            targets.push(el.atom);
                         }
                     }
                 }
-                Head::Atom(a) => {
-                    let npos = nr.body.pos.len();
-                    if npos == 0 {
-                        continue; // fired in round 0
-                    }
-                    for dpos in 0..npos {
-                        let matches = g.join(
-                            &nr.body.pos,
-                            &nr.body.cmps,
-                            &Vec::new(),
-                            &[],
-                            Some((dpos, prev_start, prev_end)),
-                        )?;
-                        for m in matches {
-                            let id = g.intern_under(&m.subst, a)?;
-                            g.add_possible(id);
-                        }
-                    }
-                }
-                Head::None => {}
+                HeadPlan::Constraint => {}
+            }
+        }
+        let results = g.run_batch(&jobs)?;
+        for (ti, matches) in results.into_iter().enumerate() {
+            for m in matches {
+                let id = g.intern_under(&m.subst, targets[ti])?;
+                g.add_possible(id);
             }
         }
         if g.possible.len() > g.limits.max_atoms {
@@ -673,30 +1052,49 @@ pub fn ground_with_limits(program: &Program, limits: GroundLimits) -> Result<Gro
     }
 
     // ---- Phase 2: emit ground normal rules. ----
+    // The closure is fixed now, so all emission joins run as one batch;
+    // interning head/negative atoms cannot affect them (candidates come
+    // only from the possible relations, which no longer change).
     let mut rules: Vec<GroundRule> = Vec::new();
     let mut rule_set: FxHashSet<GroundRule> = FxHashSet::default();
-    for nr in &norm {
-        let Head::Atom(head) = nr.head else { continue };
-        let matches = g.join(&nr.body.pos, &nr.body.cmps, &Vec::new(), &[], None)?;
-        for m in matches {
-            let h = g.intern_under(&m.subst, head)?;
-            let mut neg = Vec::with_capacity(nr.body.neg.len());
-            for n in &nr.body.neg {
-                neg.push(g.intern_under(&m.subst, n)?);
+    {
+        let mut jobs: Vec<JoinJob<'_>> = Vec::new();
+        for rp in &plans {
+            if matches!(rp.head, HeadPlan::Atom(_)) {
+                jobs.push(JoinJob {
+                    spec: &rp.body,
+                    init: no_subst.clone(),
+                    delta: None,
+                });
             }
-            let gr = GroundRule {
-                head: h,
-                pos: m.chosen.clone().into(),
-                neg: neg.into(),
+        }
+        let mut results = g.run_batch(&jobs)?.into_iter();
+        for rp in &plans {
+            let HeadPlan::Atom(head) = &rp.head else {
+                continue;
             };
-            if rule_set.insert(gr.clone()) {
-                rules.push(gr);
-            }
-            if rules.len() > g.limits.max_rules {
-                return Err(AspError::ResourceLimit(format!(
-                    "ground rules exceeded {}",
-                    g.limits.max_rules
-                )));
+            let matches = results.next().expect("one result per normal rule");
+            for m in matches {
+                let Match { subst, chosen } = m;
+                let h = g.intern_under(&subst, head)?;
+                let mut neg = Vec::with_capacity(rp.neg.len());
+                for n in &rp.neg {
+                    neg.push(g.intern_under(&subst, n)?);
+                }
+                let gr = GroundRule {
+                    head: h,
+                    pos: chosen.into(),
+                    neg: neg.into(),
+                };
+                if rule_set.insert(gr.clone()) {
+                    rules.push(gr);
+                }
+                if rules.len() > g.limits.max_rules {
+                    return Err(AspError::ResourceLimit(format!(
+                        "ground rules exceeded {}",
+                        g.limits.max_rules
+                    )));
+                }
             }
         }
     }
@@ -753,29 +1151,87 @@ pub fn ground_with_limits(program: &Program, limits: GroundLimits) -> Result<Gro
     }
 
     // ---- Phase 4: choices, constraints, minimize. ----
+    // Batch A: outer body joins for every choice rule and constraint
+    // (rule order), then every minimize condition. Batch B: the
+    // choice-element condition joins, each seeded with an outer match's
+    // bindings, in (rule, match, element) order. Both batches are
+    // read-only; the master then replays results in the original
+    // sequential emission order.
+    let mut outer: Vec<Vec<Match>>;
+    let min_results: Vec<Vec<Match>>;
+    {
+        let mut jobs: Vec<JoinJob<'_>> = Vec::new();
+        for rp in &plans {
+            if matches!(rp.head, HeadPlan::Choice { .. } | HeadPlan::Constraint) {
+                jobs.push(JoinJob {
+                    spec: &rp.body,
+                    init: no_subst.clone(),
+                    delta: None,
+                });
+            }
+        }
+        let min_start = jobs.len();
+        for (spec, _) in &min_plans {
+            jobs.push(JoinJob {
+                spec,
+                init: no_subst.clone(),
+                delta: None,
+            });
+        }
+        outer = g.run_batch(&jobs)?;
+        min_results = outer.split_off(min_start);
+    }
+    let mut cond_results: Vec<Vec<Match>>;
+    {
+        let mut cond_jobs: Vec<JoinJob<'_>> = Vec::new();
+        let mut oi = 0usize;
+        for rp in &plans {
+            match &rp.head {
+                HeadPlan::Choice { elements, .. } => {
+                    for m in &outer[oi] {
+                        for el in elements {
+                            cond_jobs.push(JoinJob {
+                                spec: &el.cond,
+                                init: m.subst.clone(),
+                                delta: None,
+                            });
+                        }
+                    }
+                    oi += 1;
+                }
+                HeadPlan::Constraint => oi += 1,
+                HeadPlan::Atom(_) => {}
+            }
+        }
+        cond_results = g.run_batch(&cond_jobs)?;
+    }
+
     let mut choices: Vec<GroundChoice> = Vec::new();
     let mut choice_set: FxHashSet<GroundChoice> = FxHashSet::default();
     let mut constraints: Vec<GroundConstraint> = Vec::new();
     let mut constraint_set: FxHashSet<GroundConstraint> = FxHashSet::default();
-    for (ri, nr) in norm.iter().enumerate() {
-        match nr.head {
-            Head::Choice {
+    let mut oi = 0usize;
+    let mut ci = 0usize;
+    for (ri, rp) in plans.iter().enumerate() {
+        match &rp.head {
+            HeadPlan::Choice {
                 lower,
                 upper,
                 elements,
             } => {
-                let matches = g.join(&nr.body.pos, &nr.body.cmps, &Vec::new(), &[], None)?;
+                let matches = std::mem::take(&mut outer[oi]);
+                oi += 1;
                 for m in matches {
-                    let mut neg = Vec::with_capacity(nr.body.neg.len());
-                    for n in &nr.body.neg {
-                        neg.push(g.intern_under(&m.subst, n)?);
+                    let Match { subst, chosen } = m;
+                    let mut neg = Vec::with_capacity(rp.neg.len());
+                    for n in &rp.neg {
+                        neg.push(g.intern_under(&subst, n)?);
                     }
                     let mut elems: Vec<AtomId> = Vec::new();
                     let mut elem_seen: FxHashSet<AtomId> = FxHashSet::default();
                     for el in elements {
-                        let cond = normalize_body(&el.condition);
-                        let cond_matches =
-                            g.join(&cond.pos, &cond.cmps, &m.subst, &[], None)?;
+                        let cond_matches = std::mem::take(&mut cond_results[ci]);
+                        ci += 1;
                         for cm in cond_matches {
                             // Conditions must be certain (domain predicates).
                             for &c in &cm.chosen {
@@ -786,7 +1242,7 @@ pub fn ground_with_limits(program: &Program, limits: GroundLimits) -> Result<Gro
                                     });
                                 }
                             }
-                            for n in &cond.neg {
+                            for n in &el.cond_neg {
                                 let nid = g.intern_under(&cm.subst, n)?;
                                 if g.is_possible(nid) {
                                     return Err(AspError::DerivableNegatedCondition {
@@ -795,7 +1251,7 @@ pub fn ground_with_limits(program: &Program, limits: GroundLimits) -> Result<Gro
                                     });
                                 }
                             }
-                            let e = g.intern_under(&cm.subst, &el.atom)?;
+                            let e = g.intern_under(&cm.subst, el.atom)?;
                             if elem_seen.insert(e) {
                                 elems.push(e);
                             }
@@ -804,7 +1260,7 @@ pub fn ground_with_limits(program: &Program, limits: GroundLimits) -> Result<Gro
                     let gc = GroundChoice {
                         lower: *lower,
                         upper: *upper,
-                        pos: m.chosen.clone().into(),
+                        pos: chosen.into(),
                         neg: neg.into(),
                         elements: elems.into(),
                     };
@@ -813,15 +1269,17 @@ pub fn ground_with_limits(program: &Program, limits: GroundLimits) -> Result<Gro
                     }
                 }
             }
-            Head::None => {
-                let matches = g.join(&nr.body.pos, &nr.body.cmps, &Vec::new(), &[], None)?;
+            HeadPlan::Constraint => {
+                let matches = std::mem::take(&mut outer[oi]);
+                oi += 1;
                 for m in matches {
-                    let mut neg = Vec::with_capacity(nr.body.neg.len());
-                    for n in &nr.body.neg {
-                        neg.push(g.intern_under(&m.subst, n)?);
+                    let Match { subst, chosen } = m;
+                    let mut neg = Vec::with_capacity(rp.neg.len());
+                    for n in &rp.neg {
+                        neg.push(g.intern_under(&subst, n)?);
                     }
                     let gc = GroundConstraint {
-                        pos: m.chosen.clone().into(),
+                        pos: chosen.into(),
                         neg: neg.into(),
                     };
                     if constraint_set.insert(gc.clone()) {
@@ -829,38 +1287,42 @@ pub fn ground_with_limits(program: &Program, limits: GroundLimits) -> Result<Gro
                     }
                 }
             }
-            Head::Atom(_) => {}
+            HeadPlan::Atom(_) => {}
         }
     }
 
     let mut minimize: Vec<GroundMin> = Vec::new();
     let mut min_set: FxHashSet<GroundMin> = FxHashSet::default();
-    for me in &program.minimize {
-        let cond = normalize_body(&me.condition);
-        let matches = g.join(&cond.pos, &cond.cmps, &Vec::new(), &[], None)?;
+    for ((me, (_, cond_neg)), matches) in program
+        .minimize
+        .iter()
+        .zip(&min_plans)
+        .zip(min_results)
+    {
         for m in matches {
-            let w = resolve_int(&mut g, &m.subst, &me.weight)?;
+            let Match { subst, chosen } = m;
+            let w = resolve_int(&mut g, &subst, &me.weight)?;
             if w < 0 {
                 return Err(AspError::BadWeight(format!(
                     "negative #minimize weight {w} is not supported by this engine"
                 )));
             }
-            let p = resolve_int(&mut g, &m.subst, &me.priority)?;
+            let p = resolve_int(&mut g, &subst, &me.priority)?;
             let mut tuple = Vec::with_capacity(me.terms.len());
             for t in &me.terms {
-                tuple.push(resolve(&mut g.store, &m.subst, t).ok_or_else(|| {
+                tuple.push(resolve(&mut g.store, &subst, t).ok_or_else(|| {
                     AspError::Internal(format!("non-ground minimize tuple term {t}"))
                 })?);
             }
-            let mut neg = Vec::with_capacity(cond.neg.len());
-            for n in &cond.neg {
-                neg.push(g.intern_under(&m.subst, n)?);
+            let mut neg = Vec::with_capacity(cond_neg.len());
+            for n in cond_neg {
+                neg.push(g.intern_under(&subst, n)?);
             }
             let gm = GroundMin {
                 weight: w,
                 priority: p,
                 tuple: tuple.into(),
-                pos: m.chosen.clone().into(),
+                pos: chosen.into(),
                 neg: neg.into(),
             };
             if min_set.insert(gm.clone()) {
@@ -1148,5 +1610,39 @@ mod tests {
     fn duplicate_facts_dedupe() {
         let gp = ground_text("a. a. a.");
         assert_eq!(gp.rules.len(), 1);
+    }
+
+    #[test]
+    fn parallel_grounding_is_bit_identical() {
+        // The whole determinism argument in one assertion: every ground
+        // structure — and the atom/term *numbering* — matches the
+        // sequential path at any thread count.
+        let text = r#"
+            edge(1,2). edge(2,3). edge(3,4). edge(4,5).
+            path(X,Y) :- edge(X,Y).
+            path(X,Z) :- path(X,Y), edge(Y,Z).
+            n(X) :- edge(X,Y).
+            n(Y) :- edge(X,Y).
+            { pick(X) : n(X) } 2.
+            reach(X) :- pick(X).
+            reach(Y) :- reach(X), path(X,Y).
+            :- pick(X), pick(Y), X < Y, path(Y,X).
+            #minimize { 1@1,X : pick(X) }.
+        "#;
+        let prog = parse_program(text).unwrap();
+        let seq = ground_parallel(&prog, GroundLimits::default(), 1).unwrap();
+        for threads in [2usize, 8] {
+            let par = ground_parallel(&prog, GroundLimits::default(), threads).unwrap();
+            assert_eq!(seq.rules, par.rules, "rules differ at {threads} threads");
+            assert_eq!(seq.choices, par.choices);
+            assert_eq!(seq.constraints, par.constraints);
+            assert_eq!(seq.minimize, par.minimize);
+            assert_eq!(seq.certain, par.certain);
+            assert_eq!(seq.possible, par.possible);
+            assert_eq!(seq.store.atom_count(), par.store.atom_count());
+            for a in &seq.possible {
+                assert_eq!(seq.store.format_atom(*a), par.store.format_atom(*a));
+            }
+        }
     }
 }

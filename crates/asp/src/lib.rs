@@ -46,11 +46,13 @@ pub use analysis::{
     derivable_preds, pred_of, relevant_preds, stratify, PredGraph, PredKey, Stratification,
 };
 pub use certify::{certify_model, CertifyError};
-pub use ground::{unsafe_variables, SafetyContext, UnsafeVariable};
+pub use ground::{
+    ground_parallel, unsafe_variables, GroundLimits, GroundProgram, SafetyContext, UnsafeVariable,
+};
 pub use model::Model;
 pub use parser::parse_program;
 pub use program::{Program, PruneReport, Rule};
-pub use solve::{SolveOutcome, SolveStats, Solver, SolverConfig};
+pub use solve::{SolveOutcome, SolveStats, Solver, SolverConfig, TranslatedProgram};
 pub use term::{Atom, Term};
 
 use std::fmt;

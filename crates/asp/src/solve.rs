@@ -3,13 +3,14 @@
 
 use crate::cdcl::{Lit, Sat, SatResult};
 use crate::cnf::{add_upper_bound, add_upper_bound_guarded, translate, Translation};
-use crate::ground::{ground_with_limits, GroundLimits, GroundProgram};
+use crate::ground::{ground_parallel, GroundLimits, GroundProgram};
 use crate::model::Model;
 use crate::program::Program;
 use crate::stability::{check_stability, Stability};
 use crate::term::AtomId;
 use crate::{AspError, Result};
 use rustc_hash::FxHashSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Solver configuration.
@@ -21,6 +22,10 @@ pub struct SolverConfig {
     pub max_stability_loops: usize,
     /// Conflict budget per SAT call (`u64::MAX` = unlimited).
     pub conflict_budget: u64,
+    /// Worker threads for grounding joins (1 = sequential). The grounded
+    /// program is bit-identical at every setting; see
+    /// [`crate::ground::ground_parallel`].
+    pub ground_threads: usize,
 }
 
 impl Default for SolverConfig {
@@ -29,6 +34,7 @@ impl Default for SolverConfig {
             limits: GroundLimits::default(),
             max_stability_loops: 10_000,
             conflict_budget: u64::MAX,
+            ground_threads: 1,
         }
     }
 }
@@ -69,6 +75,24 @@ pub enum SolveOutcome {
     Unsat,
 }
 
+/// A ground program with its CNF translation and a pristine (pre-search)
+/// SAT instance — the unit of ground-program memoization. Produced by
+/// [`Solver::translate_ground`]; every [`Solver::solve_translated`] call
+/// clones the SAT instance, so repeated re-solves start from identical
+/// state and never contaminate one another.
+pub struct TranslatedProgram {
+    gp: Arc<GroundProgram>,
+    sat: Sat,
+    tr: Translation,
+}
+
+impl TranslatedProgram {
+    /// The underlying ground program.
+    pub fn ground(&self) -> &Arc<GroundProgram> {
+        &self.gp
+    }
+}
+
 /// The ASP solver facade.
 #[derive(Default)]
 pub struct Solver {
@@ -89,22 +113,72 @@ impl Solver {
     /// Ground and solve `program`, optimizing `#minimize` objectives
     /// lexicographically (highest priority first).
     pub fn solve(&self, program: &Program) -> Result<(SolveOutcome, SolveStats)> {
-        let mut stats = SolveStats::default();
         let t0 = Instant::now();
-        let gp = ground_with_limits(program, self.config.limits)?;
-        stats.ground_time = t0.elapsed();
-        stats.ground_atoms = gp.possible.len();
-        stats.ground_rules = gp.rules.len();
-        stats.ground_choices = gp.choices.len();
-        stats.ground_constraints = gp.constraints.len();
+        let gp = self.ground(program)?;
+        let ground_time = t0.elapsed();
+        let (outcome, mut stats) = self.solve_ground(gp)?;
+        stats.ground_time = ground_time;
+        Ok((outcome, stats))
+    }
 
+    /// Ground `program` under this solver's limits and
+    /// [`SolverConfig::ground_threads`], returning a shareable handle
+    /// suitable for [`Solver::solve_ground`] — the ground-program
+    /// memoization entry point.
+    pub fn ground(&self, program: &Program) -> Result<Arc<GroundProgram>> {
+        Ok(Arc::new(ground_parallel(
+            program,
+            self.config.limits,
+            self.config.ground_threads,
+        )?))
+    }
+
+    /// Solve an already-grounded program. Equivalent to
+    /// [`Solver::translate_ground`] followed by
+    /// [`Solver::solve_translated`]; one cached [`GroundProgram`] can be
+    /// re-solved any number of times, and because the engine is
+    /// deterministic a re-solve returns the same outcome as the original
+    /// solve. `stats.ground_time` is zero here (the caller knows whether
+    /// grounding actually ran); `stats.solve_time` includes translation.
+    pub fn solve_ground(&self, gp: Arc<GroundProgram>) -> Result<(SolveOutcome, SolveStats)> {
         let t1 = Instant::now();
+        let tp = self.translate_ground(gp);
+        let (outcome, mut stats) = self.solve_translated(&tp)?;
+        stats.solve_time = t1.elapsed();
+        Ok((outcome, stats))
+    }
+
+    /// Translate an already-grounded program to CNF once, producing a
+    /// [`TranslatedProgram`] that [`Solver::solve_translated`] can
+    /// re-solve without repeating the translation — the second layer of
+    /// ground-program memoization.
+    pub fn translate_ground(&self, gp: Arc<GroundProgram>) -> TranslatedProgram {
         let mut sat = Sat::new();
         sat.set_conflict_budget(self.config.conflict_budget);
         let tr = translate(&gp, &mut sat);
+        TranslatedProgram { gp, sat, tr }
+    }
+
+    /// Solve a translated program. The pristine SAT instance is cloned
+    /// per call (so repeated solves are independent and start from
+    /// identical state) and the conflict budget is re-applied from this
+    /// solver's config, since the budget is a per-solve knob rather than
+    /// part of the translation.
+    pub fn solve_translated(&self, tp: &TranslatedProgram) -> Result<(SolveOutcome, SolveStats)> {
+        let mut stats = SolveStats {
+            ground_atoms: tp.gp.possible.len(),
+            ground_rules: tp.gp.rules.len(),
+            ground_choices: tp.gp.choices.len(),
+            ground_constraints: tp.gp.constraints.len(),
+            ..Default::default()
+        };
+
+        let t1 = Instant::now();
+        let mut sat = tp.sat.clone();
+        sat.set_conflict_budget(self.config.conflict_budget);
         stats.sat_vars = sat.num_vars();
 
-        let outcome = self.search(gp, &tr, &mut sat, &mut stats)?;
+        let outcome = self.search(tp.gp.clone(), &tp.tr, &mut sat, &mut stats)?;
         stats.solve_time = t1.elapsed();
         stats.conflicts = sat.stats.conflicts;
         stats.decisions = sat.stats.decisions;
@@ -195,12 +269,11 @@ impl Solver {
 
     fn search(
         &self,
-        gp: GroundProgram,
+        gp: Arc<GroundProgram>,
         tr: &Translation,
         sat: &mut Sat,
         stats: &mut SolveStats,
     ) -> Result<SolveOutcome> {
-        let gp = std::sync::Arc::new(gp);
         let Some(mut model) = self.stable_solve(&gp, tr, sat, &[], stats)? else {
             return Ok(SolveOutcome::Unsat);
         };
@@ -279,11 +352,10 @@ impl Solver {
     /// fewer models.
     pub fn enumerate(&self, program: &Program, limit: usize) -> Result<Vec<Model>> {
         let mut stats = SolveStats::default();
-        let gp = ground_with_limits(program, self.config.limits)?;
+        let gp = self.ground(program)?;
         let mut sat = Sat::new();
         sat.set_conflict_budget(self.config.conflict_budget);
         let tr = translate(&gp, &mut sat);
-        let gp = std::sync::Arc::new(gp);
         let mut out = Vec::new();
         while out.len() < limit {
             let Some(model) = self.stable_solve(&gp, &tr, &mut sat, &[], &mut stats)? else {

@@ -236,6 +236,13 @@ impl GroundStore {
         self.atom_map.get(&(pred, args.into())).copied()
     }
 
+    /// Look up a term id without interning. `None` means the term has
+    /// never been interned — so in particular no interned atom can
+    /// contain it.
+    pub fn find_term(&self, t: &GroundTerm) -> Option<TermId> {
+        self.term_map.get(t).copied()
+    }
+
     /// Total order on ground terms: ints < syms < strings < funcs, each
     /// group internally ordered. Used by comparison builtins.
     pub fn compare(&self, a: TermId, b: TermId) -> Ordering {

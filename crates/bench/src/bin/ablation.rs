@@ -8,9 +8,9 @@
 //! grows with the whole cache rather than with the goal's slice of it.
 //!
 //! Usage:
-//!   ablation [--trials N] [--seed S]
+//!   ablation [--trials N] [--warmup N] [--seed S]
 
-use spackle_bench::{mean_std_ms, percent_increase, run_trials, Args};
+use spackle_bench::{mean_std_ms, percent_increase, run_trials_warm, Args};
 use spackle_core::{Concretizer, ConcretizerConfig};
 use spackle_radiuss::{public_cache, radiuss_repo};
 use spackle_spec::parse_spec;
@@ -19,6 +19,7 @@ use std::time::Instant;
 fn main() {
     let args = Args::parse();
     let trials = args.get_usize("trials", 5);
+    let warmup = args.get_usize("warmup", 1);
     let seed = args.get_u64("seed", 42);
 
     let repo = radiuss_repo();
@@ -37,7 +38,7 @@ fn main() {
                 filter_irrelevant: filter,
                 ..ConcretizerConfig::splice_spack_disabled()
             };
-            let times = run_trials(trials, || {
+            let times = run_trials_warm(trials, warmup, || {
                 let t = Instant::now();
                 Concretizer::new(&repo)
                     .with_config(cfg.clone())

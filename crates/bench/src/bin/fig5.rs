@@ -8,12 +8,12 @@
 //! +7.1% with the public cache — i.e. the indirection is negligible.
 //!
 //! Usage:
-//!   fig5 [--trials N] [--public-dags N] [--seed S] [--threads N]
+//!   fig5 [--trials N] [--warmup N] [--public-dags N] [--seed S] [--threads N]
 //!
 //! Defaults keep total runtime modest; pass `--trials 30 --public-dags
 //! 8000` for paper-scale runs (the public cache then holds ~20k specs).
 
-use spackle_bench::{default_threads, mean_std_ms, parallel_map, percent_increase, run_trials, Args};
+use spackle_bench::{default_threads, mean_std_ms, parallel_map, percent_increase, run_trials_warm, Args};
 use spackle_core::{Concretizer, ConcretizerConfig};
 use spackle_radiuss::ExperimentEnv;
 use spackle_spec::parse_spec;
@@ -22,6 +22,7 @@ use std::time::Instant;
 fn main() {
     let args = Args::parse();
     let trials = args.get_usize("trials", 10);
+    let warmup = args.get_usize("warmup", 1);
     let public_dags = args.get_usize("public-dags", 1000);
     let seed = args.get_u64("seed", 42);
     let threads = args.get_usize("threads", default_threads());
@@ -66,7 +67,7 @@ fn main() {
         };
         let spec = parse_spec(root).expect("root name");
         let time_config = |cfg: ConcretizerConfig| {
-            run_trials(trials, || {
+            run_trials_warm(trials, warmup, || {
                 let t = Instant::now();
                 Concretizer::new(&env.repo_plain)
                     .with_config(cfg.clone())

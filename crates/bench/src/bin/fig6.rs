@@ -15,9 +15,9 @@
 //! for hours of avoided rebuilds.
 //!
 //! Usage:
-//!   fig6 [--trials N] [--public-dags N] [--seed S] [--threads N] [--joint]
+//!   fig6 [--trials N] [--warmup N] [--public-dags N] [--seed S] [--threads N] [--joint]
 
-use spackle_bench::{default_threads, mean_std_ms, parallel_map, percent_increase, run_trials, Args};
+use spackle_bench::{default_threads, mean_std_ms, parallel_map, percent_increase, run_trials_warm, Args};
 use spackle_core::{Concretizer, ConcretizerConfig, Goal};
 use spackle_radiuss::ExperimentEnv;
 use spackle_spec::parse_spec;
@@ -26,6 +26,7 @@ use std::time::Instant;
 fn main() {
     let args = Args::parse();
     let trials = args.get_usize("trials", 10);
+    let warmup = args.get_usize("warmup", 1);
     let public_dags = args.get_usize("public-dags", 1000);
     let seed = args.get_u64("seed", 42);
     let threads = args.get_usize("threads", default_threads());
@@ -90,7 +91,7 @@ fn main() {
         } else {
             parse_spec(root).expect("goal")
         };
-        let old_times = run_trials(trials, || {
+        let old_times = run_trials_warm(trials, warmup, || {
             let t = Instant::now();
             Concretizer::new(&env.repo_plain)
                 .with_config(ConcretizerConfig::old_spack())
@@ -107,7 +108,7 @@ fn main() {
         };
         let mut splices = 0usize;
         let mut spliced_ok = !mpi; // control spec needs no splices
-        let new_times = run_trials(trials, || {
+        let new_times = run_trials_warm(trials, warmup, || {
             let t = Instant::now();
             let sol = Concretizer::new(&env.repo_mpiabi)
                 .with_config(ConcretizerConfig::splice_spack())

@@ -10,9 +10,9 @@
 //! MPI dependency.
 //!
 //! Usage:
-//!   fig7 [--trials N] [--seed S] [--threads N] [--replicas a,b,c]
+//!   fig7 [--trials N] [--warmup N] [--seed S] [--threads N] [--replicas a,b,c]
 
-use spackle_bench::{default_threads, mean_std_ms, parallel_map, percent_increase, run_trials, Args};
+use spackle_bench::{default_threads, mean_std_ms, parallel_map, percent_increase, run_trials_warm, Args};
 use spackle_core::{Concretizer, ConcretizerConfig, Goal};
 use spackle_radiuss::ExperimentEnv;
 use spackle_spec::{parse_spec, Sym};
@@ -21,6 +21,7 @@ use std::time::Instant;
 fn main() {
     let args = Args::parse();
     let trials = args.get_usize("trials", 10);
+    let warmup = args.get_usize("warmup", 1);
     let seed = args.get_u64("seed", 42);
     let threads = args.get_usize("threads", default_threads());
     let replica_counts = [1usize, 10, 25, 50, 75, 100];
@@ -69,7 +70,7 @@ fn main() {
         for (n, repo) in &repos {
             let mut goal = Goal::single(parse_spec(root).expect("root"));
             goal.forbidden.push(Sym::intern("mpich"));
-            let times = run_trials(trials, || {
+            let times = run_trials_warm(trials, warmup, || {
                 let t = Instant::now();
                 Concretizer::new(repo)
                     .with_config(ConcretizerConfig::splice_spack())

@@ -1,0 +1,358 @@
+//! **perf-report** — the concretization fast-path regression harness.
+//!
+//! Runs fig5/fig6-style multi-goal RADIUSS workloads through three
+//! configurations of the same concretizer:
+//!
+//! * `sequential` — single-threaded grounding, no memoization (the
+//!   baseline every prior figure measured);
+//! * `parallel`   — `ground_threads` worker threads for grounding joins;
+//! * `cached`     — `ground_threads` workers plus a shared
+//!   [`spackle_core::GroundCache`], so repeated solves skip
+//!   encode + parse + ground + CNF translation entirely.
+//!
+//! Every mode must produce *identical* solutions (same DAG hashes, same
+//! reuse/build/splice decisions) — the run exits nonzero on any
+//! divergence, which is what the CI `bench-smoke` job gates on. Timing
+//! and cache statistics are written to `BENCH_concretize.json`.
+//!
+//! Usage:
+//!   perf-report [--trials N] [--warmup N] [--goals N] [--public-dags N]
+//!               [--seed S] [--ground-threads N] [--out PATH] [--smoke]
+//!
+//! `--smoke` shrinks the workloads for CI (fewer goals, smaller public
+//! cache); `--ground-threads` defaults to 4 to match the paper-harness
+//! speedup criterion.
+
+use serde::Serialize;
+use spackle_bench::{mean_std_ms, run_trials_warm, Args};
+use spackle_buildcache::BuildCache;
+use spackle_core::{Concretizer, ConcretizerConfig, GroundCache, Solution};
+use spackle_radiuss::ExperimentEnv;
+use spackle_repo::Repository;
+use spackle_spec::{parse_spec, AbstractSpec};
+use std::time::Instant;
+
+/// A goal with its display name.
+struct NamedGoal {
+    name: String,
+    spec: AbstractSpec,
+}
+
+/// A canonical rendering of everything that makes two solutions "the
+/// same": per-root DAG hashes plus the reuse / build / splice decisions.
+fn signature(goal: &NamedGoal, sol: &Solution) -> String {
+    let hashes: Vec<String> = sol.specs.iter().map(|s| s.dag_hash().to_string()).collect();
+    format!(
+        "{} specs=[{}] reused={} built={} spliced={}",
+        goal.name,
+        hashes.join(","),
+        sol.reused.len(),
+        sol.built.len(),
+        sol.spliced.len()
+    )
+}
+
+/// One timed sweep over every goal in the workload; returns the wall
+/// time and the per-goal solution signatures.
+fn sweep(
+    repo: &Repository,
+    cache: &BuildCache,
+    config: &ConcretizerConfig,
+    ground_cache: Option<&GroundCache>,
+    goals: &[NamedGoal],
+) -> (std::time::Duration, Vec<String>) {
+    let mut conc = Concretizer::new(repo)
+        .with_config(config.clone())
+        .with_reusable(cache);
+    if let Some(gc) = ground_cache {
+        conc = conc.with_ground_cache(gc);
+    }
+    let t = Instant::now();
+    let mut sigs = Vec::with_capacity(goals.len());
+    for g in goals {
+        let sol = conc
+            .concretize(&g.spec)
+            .unwrap_or_else(|e| panic!("perf-report {}: {e}", g.name));
+        sigs.push(signature(g, &sol));
+    }
+    (t.elapsed(), sigs)
+}
+
+struct ModeResult {
+    name: &'static str,
+    mean_ms: f64,
+    std_ms: f64,
+    sigs: Vec<Vec<String>>,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Run one mode: `warmup` discarded sweeps, then `trials` timed ones.
+/// The ground cache (when present) is deliberately shared across warmup
+/// and trials — populating it is the warmup's job.
+#[allow(clippy::too_many_arguments)]
+fn run_mode(
+    name: &'static str,
+    trials: usize,
+    warmup: usize,
+    repo: &Repository,
+    cache: &BuildCache,
+    config: &ConcretizerConfig,
+    ground_cache: Option<&GroundCache>,
+    goals: &[NamedGoal],
+) -> ModeResult {
+    let mut sigs: Vec<Vec<String>> = Vec::new();
+    let times = run_trials_warm(trials, warmup, || {
+        let (dt, s) = sweep(repo, cache, config, ground_cache, goals);
+        sigs.push(s);
+        dt
+    });
+    let (mean_ms, std_ms) = mean_std_ms(&times);
+    ModeResult {
+        name,
+        mean_ms,
+        std_ms,
+        sigs,
+        cache_hits: ground_cache.map_or(0, GroundCache::hits),
+        cache_misses: ground_cache.map_or(0, GroundCache::misses),
+    }
+}
+
+struct Workload<'a> {
+    name: &'static str,
+    repo: &'a Repository,
+    cache: &'a BuildCache,
+    base_config: ConcretizerConfig,
+    goals: Vec<NamedGoal>,
+}
+
+/// One mode's entry in `BENCH_concretize.json`. `speedup_vs_sequential`
+/// is 1.0 for the sequential baseline itself; the cache counters are
+/// zero for the uncached modes.
+#[derive(Serialize)]
+struct ModeJson {
+    mean_ms: f64,
+    std_ms: f64,
+    speedup_vs_sequential: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+}
+
+#[derive(Serialize)]
+struct ModesJson {
+    sequential: ModeJson,
+    parallel: ModeJson,
+    cached: ModeJson,
+}
+
+#[derive(Serialize)]
+struct WorkloadJson {
+    name: String,
+    goals: Vec<String>,
+    modes: ModesJson,
+    equivalent: bool,
+}
+
+#[derive(Serialize)]
+struct ReportJson {
+    generated_by: String,
+    workload: String,
+    cpus: usize,
+    ground_threads: usize,
+    trials: usize,
+    warmup: usize,
+    smoke: bool,
+    public_dags: usize,
+    seed: u64,
+    workloads: Vec<WorkloadJson>,
+}
+
+impl ModeJson {
+    fn from_result(m: &ModeResult, seq_mean: f64) -> ModeJson {
+        let total = m.cache_hits + m.cache_misses;
+        ModeJson {
+            mean_ms: round3(m.mean_ms),
+            std_ms: round3(m.std_ms),
+            speedup_vs_sequential: round3(seq_mean / m.mean_ms.max(1e-9)),
+            cache_hits: m.cache_hits,
+            cache_misses: m.cache_misses,
+            cache_hit_rate: if total > 0 {
+                round3(m.cache_hits as f64 / total as f64)
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.has("smoke");
+    let trials = args.get_usize("trials", if smoke { 2 } else { 5 });
+    let warmup = args.get_usize("warmup", 1);
+    let ground_threads = args.get_usize("ground-threads", 4);
+    let goals_n = args.get_usize("goals", if smoke { 3 } else { 32 });
+    let public_dags = args.get_usize("public-dags", if smoke { 50 } else { 300 });
+    let seed = args.get_u64("seed", 42);
+    let out_path = args.get_str("out", "BENCH_concretize.json");
+
+    eprintln!("perf-report: setting up environment (public-dags={public_dags}, seed={seed})...");
+    let t0 = Instant::now();
+    let env = ExperimentEnv::setup(public_dags, seed);
+    eprintln!(
+        "perf-report: setup took {:?}; local cache = {} specs",
+        t0.elapsed(),
+        env.local.len()
+    );
+
+    // Workload 1 (fig5-style): plain RADIUSS roots, indirect encoding,
+    // splicing off, local cache, static dead-rule pruning on — the full
+    // fast-path configuration (pruning cost is part of what a
+    // ground-cache hit amortizes away).
+    let fig5_goals: Vec<NamedGoal> = env
+        .roots
+        .iter()
+        .take(goals_n)
+        .map(|r| NamedGoal {
+            name: r.as_str().to_string(),
+            spec: parse_spec(r.as_str()).expect("root name"),
+        })
+        .collect();
+
+    // Workload 2 (fig6-style): MPI-dependent roots pinned to the mpiabi
+    // mock, full splicing, local cache.
+    let fig6_goals: Vec<NamedGoal> = env
+        .mpi_roots
+        .iter()
+        .take(goals_n)
+        .map(|r| {
+            let name = format!("{} ^mpiabi", r.as_str());
+            NamedGoal {
+                spec: parse_spec(&name).expect("mpi goal"),
+                name,
+            }
+        })
+        .collect();
+
+    let workloads = [
+        Workload {
+            name: "fig5-multi-goal",
+            repo: &env.repo_plain,
+            cache: &env.local,
+            base_config: ConcretizerConfig {
+                prune_dead: true,
+                ..ConcretizerConfig::splice_spack_disabled()
+            },
+            goals: fig5_goals,
+        },
+        Workload {
+            name: "fig6-splice-multi-goal",
+            repo: &env.repo_mpiabi,
+            cache: &env.local,
+            base_config: ConcretizerConfig::splice_spack(),
+            goals: fig6_goals,
+        },
+    ];
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut diverged = false;
+    let mut workload_reports = Vec::new();
+
+    for w in &workloads {
+        eprintln!(
+            "perf-report: workload {} ({} goals, {} trials + {} warmup per mode)",
+            w.name,
+            w.goals.len(),
+            trials,
+            warmup
+        );
+
+        let mut seq_cfg = w.base_config.clone();
+        seq_cfg.solver.ground_threads = 1;
+        let mut par_cfg = w.base_config.clone();
+        par_cfg.solver.ground_threads = ground_threads;
+
+        let ground_cache = GroundCache::new();
+        let modes = [
+            run_mode("sequential", trials, warmup, w.repo, w.cache, &seq_cfg, None, &w.goals),
+            run_mode("parallel", trials, warmup, w.repo, w.cache, &par_cfg, None, &w.goals),
+            run_mode(
+                "cached",
+                trials,
+                warmup,
+                w.repo,
+                w.cache,
+                &par_cfg,
+                Some(&ground_cache),
+                &w.goals,
+            ),
+        ];
+
+        // Equivalence gate: every sweep of every mode must match the
+        // first sequential sweep goal-for-goal.
+        let reference = &modes[0].sigs[0];
+        for m in &modes {
+            for (i, s) in m.sigs.iter().enumerate() {
+                if s != reference {
+                    diverged = true;
+                    eprintln!(
+                        "perf-report: DIVERGENCE in {} mode {} sweep {i}:\n  expected {:?}\n  got      {:?}",
+                        w.name, m.name, reference, s
+                    );
+                }
+            }
+        }
+
+        let seq_mean = modes[0].mean_ms;
+        for m in &modes {
+            eprintln!(
+                "perf-report:   {:<10} {:>9.2} ms ± {:.2}{}",
+                m.name,
+                m.mean_ms,
+                m.std_ms,
+                if m.name == "sequential" {
+                    String::new()
+                } else {
+                    format!("  ({:.2}x vs sequential)", seq_mean / m.mean_ms.max(1e-9))
+                }
+            );
+        }
+
+        workload_reports.push(WorkloadJson {
+            name: w.name.to_string(),
+            goals: w.goals.iter().map(|g| g.name.clone()).collect(),
+            modes: ModesJson {
+                sequential: ModeJson::from_result(&modes[0], seq_mean),
+                parallel: ModeJson::from_result(&modes[1], seq_mean),
+                cached: ModeJson::from_result(&modes[2], seq_mean),
+            },
+            equivalent: !diverged,
+        });
+    }
+
+    let report = ReportJson {
+        generated_by: "spackle-bench perf-report".to_string(),
+        workload: "multi-goal radiuss".to_string(),
+        cpus,
+        ground_threads,
+        trials,
+        warmup,
+        smoke,
+        public_dags,
+        seed,
+        workloads: workload_reports,
+    };
+    let pretty = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, pretty + "\n").expect("write report");
+    eprintln!("perf-report: wrote {out_path}");
+
+    if diverged {
+        eprintln!("perf-report: FAILED — modes diverged; see above");
+        std::process::exit(1);
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}

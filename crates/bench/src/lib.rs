@@ -27,7 +27,22 @@ pub fn percent_increase(base: f64, new: f64) -> f64 {
 
 /// Run `trials` timed invocations of `f` (sequentially, so each sample
 /// is a clean single-threaded solve) and return the wall times.
-pub fn run_trials(trials: usize, mut f: impl FnMut() -> Duration) -> Vec<Duration> {
+pub fn run_trials(trials: usize, f: impl FnMut() -> Duration) -> Vec<Duration> {
+    run_trials_warm(trials, 0, f)
+}
+
+/// Like [`run_trials`], but first runs `warmup` invocations whose times
+/// are discarded. Warmup evicts one-time costs — lazy symbol interning,
+/// allocator growth, cold instruction caches — that would otherwise
+/// inflate the first sample and the reported standard deviation.
+pub fn run_trials_warm(
+    trials: usize,
+    warmup: usize,
+    mut f: impl FnMut() -> Duration,
+) -> Vec<Duration> {
+    for _ in 0..warmup {
+        f();
+    }
     (0..trials).map(|_| f()).collect()
 }
 
@@ -85,17 +100,28 @@ pub struct Args {
 impl Args {
     /// Parse `std::env::args()`.
     pub fn parse() -> Args {
-        let argv: Vec<String> = std::env::args().skip(1).collect();
+        Args::from_argv(std::env::args().skip(1).collect())
+    }
+
+    /// Parse an explicit argument vector (the testing seam for
+    /// [`Args::parse`]).
+    pub fn from_argv(argv: Vec<String>) -> Args {
         let mut pairs = Vec::new();
         let mut i = 0;
         while i < argv.len() {
             if let Some(key) = argv[i].strip_prefix("--") {
-                let value = argv.get(i + 1).cloned().unwrap_or_default();
+                // A following `--flag` is the next option, not this
+                // option's value (so boolean flags compose anywhere).
+                let value = match argv.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        i += 1;
+                        v.clone()
+                    }
+                    _ => String::new(),
+                };
                 pairs.push((key.to_string(), value));
-                i += 2;
-            } else {
-                i += 1;
             }
+            i += 1;
         }
         Args { pairs }
     }
@@ -116,6 +142,15 @@ impl Args {
             .find(|(k, _)| k == key)
             .and_then(|(_, v)| v.parse().ok())
             .unwrap_or(default)
+    }
+
+    /// Fetch a string flag with a default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Is a boolean flag present?
@@ -164,5 +199,30 @@ mod tests {
     fn trials_count() {
         let times = run_trials(4, || Duration::from_micros(1));
         assert_eq!(times.len(), 4);
+    }
+
+    #[test]
+    fn boolean_flags_do_not_swallow_the_next_option() {
+        let args = Args::from_argv(
+            ["--trials", "2", "--smoke", "--out", "report.json"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert_eq!(args.get_usize("trials", 0), 2);
+        assert!(args.has("smoke"));
+        assert_eq!(args.get_str("out", "default"), "report.json");
+    }
+
+    #[test]
+    fn warmup_runs_are_discarded() {
+        let mut calls = 0;
+        let times = run_trials_warm(3, 2, || {
+            calls += 1;
+            Duration::from_micros(calls)
+        });
+        assert_eq!(calls, 5, "warmup + trials all execute");
+        assert_eq!(times.len(), 3, "only timed trials are recorded");
+        assert_eq!(times[0], Duration::from_micros(3), "warmup discarded");
     }
 }

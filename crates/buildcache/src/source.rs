@@ -49,6 +49,24 @@ pub trait CacheSource {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// An order-sensitive fingerprint of the reusable-spec set: the DAG
+    /// hash of every entry, in [`iter`] order. Two sources with the same
+    /// fingerprint inject the same reuse facts into the concretizer, so
+    /// this is the cache-identity input to ground-program memoization.
+    /// Valid within one process only (it uses the default `Hasher`);
+    /// never persist it.
+    ///
+    /// [`iter`]: CacheSource::iter
+    fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.len().hash(&mut h);
+        for e in self.iter() {
+            e.spec.dag_hash().0.hash(&mut h);
+        }
+        h.finish()
+    }
 }
 
 impl CacheSource for BuildCache {

@@ -1,12 +1,14 @@
 //! The public concretizer API: compile → ground/solve → interpret.
 
 use crate::encode::{encode, EncodeConfig, Encoded, Encoding, Goal};
+use crate::ground_cache::{GroundCache, PreparedProgram};
 use crate::interpret::{interpret, Interpretation, SpliceReport};
 use crate::CoreError;
 use spackle_asp::{parse_program, SolveOutcome, SolveStats, Solver, SolverConfig};
 use spackle_buildcache::CacheSource;
 use spackle_repo::Repository;
 use spackle_spec::{AbstractSpec, ConcreteSpec, Os, Sym, Target};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Concretizer configuration: which Spack variant to emulate.
@@ -97,6 +99,14 @@ pub struct ConcretizeStats {
     /// Non-ground rules removed by static pruning before grounding
     /// (0 unless [`ConcretizerConfig::prune_dead`] is set).
     pub pruned_rules: usize,
+    /// Whether this solve reused a memoized ground program (always
+    /// `false` without [`Concretizer::with_ground_cache`]).
+    pub ground_cache_hit: bool,
+    /// Cumulative hits on the attached [`GroundCache`] after this solve.
+    pub ground_cache_hits: u64,
+    /// Cumulative misses on the attached [`GroundCache`] after this
+    /// solve.
+    pub ground_cache_misses: u64,
     /// ASP engine statistics.
     pub solver: SolveStats,
 }
@@ -131,6 +141,7 @@ pub struct Concretizer<'a> {
     repo: &'a Repository,
     caches: Vec<&'a dyn CacheSource>,
     config: ConcretizerConfig,
+    ground_cache: Option<&'a GroundCache>,
 }
 
 impl<'a> Concretizer<'a> {
@@ -140,6 +151,7 @@ impl<'a> Concretizer<'a> {
             repo,
             caches: Vec::new(),
             config: ConcretizerConfig::default(),
+            ground_cache: None,
         }
     }
 
@@ -165,6 +177,18 @@ impl<'a> Concretizer<'a> {
     /// [`ChainedCache`]: spackle_buildcache::ChainedCache
     pub fn with_reusable(mut self, cache: &'a dyn CacheSource) -> Self {
         self.caches.push(cache);
+        self
+    }
+
+    /// Memoize prepared ground programs in `cache`. Repeated solves of
+    /// the same (repository revision, reusable-spec set, goal, encode
+    /// config) skip encode + parse + ground + CNF translation entirely
+    /// and go straight to [`spackle_asp::Solver::solve_translated`]; the
+    /// engine's determinism makes the cached result identical to an
+    /// uncached solve. One cache may back many concretizers (and
+    /// threads) in the same process.
+    pub fn with_ground_cache(mut self, cache: &'a GroundCache) -> Self {
+        self.ground_cache = Some(cache);
         self
     }
 
@@ -202,10 +226,51 @@ impl<'a> Concretizer<'a> {
         Ok(enc)
     }
 
-    /// Concretize a goal (possibly multiple roots, possibly with
-    /// forbidden packages).
-    pub fn concretize_goal(&self, goal: &Goal) -> Result<Solution, CoreError> {
-        let t_total = Instant::now();
+    /// The memoization key for `goal` under this concretizer: a
+    /// fingerprint of every input that determines the prepared ground
+    /// program — repository revision, the reusable-spec fingerprints in
+    /// cache order, the goal, the encode-relevant configuration, and the
+    /// grounding limits. Solver search knobs (`ground_threads`,
+    /// `conflict_budget`, `max_stability_loops`) are deliberately
+    /// excluded: they never change the ground program. Process-local;
+    /// never persist it.
+    pub fn ground_key(&self, goal: &Goal) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.repo.revision().hash(&mut h);
+        self.caches.len().hash(&mut h);
+        for c in &self.caches {
+            c.fingerprint().hash(&mut h);
+        }
+        // Goal and the config axes derive Debug deterministically; their
+        // renderings are injective enough for a conservative key (a
+        // collision between distinct renderings would require two
+        // different goals printing identically, which the derived
+        // formatting rules out).
+        format!("{goal:?}").hash(&mut h);
+        format!(
+            "{:?}|{}|{:?}|{:?}|{}|{}",
+            self.config.encoding,
+            self.config.splicing,
+            self.config.os,
+            self.config.target,
+            self.config.filter_irrelevant,
+            self.config.prune_dead,
+        )
+        .hash(&mut h);
+        self.config.solver.limits.max_atoms.hash(&mut h);
+        self.config.solver.limits.max_rules.hash(&mut h);
+        h.finish()
+    }
+
+    /// Run the pre-solve pipeline — encode, parse, optionally prune,
+    /// ground — returning the prepared program plus the encode / parse /
+    /// ground wall times.
+    fn prepare(
+        &self,
+        goal: &Goal,
+        solver: &Solver,
+    ) -> Result<(PreparedProgram, Duration, Duration, Duration), CoreError> {
         let t0 = Instant::now();
         let Encoded {
             program: text,
@@ -228,10 +293,70 @@ impl<'a> Concretizer<'a> {
         }
         let parse_time = t1.elapsed();
 
-        let solver = Solver::with_config(self.config.solver.clone());
-        let (outcome, solver_stats) = solver
-            .solve(&program)
+        // Ground and CNF-translate together: both are skipped on a cache
+        // hit, so `ground_time` covers the whole prepared-program cost
+        // beyond encode + parse.
+        let t2 = Instant::now();
+        let ground = solver
+            .ground(&program)
             .map_err(|e| CoreError::Solve(e.to_string()))?;
+        let translated = Arc::new(solver.translate_ground(ground));
+        let ground_time = t2.elapsed();
+
+        Ok((
+            PreparedProgram {
+                program: translated,
+                root_names,
+                reusable_count,
+                program_bytes: text.len(),
+                pruned_rules,
+            },
+            encode_time,
+            parse_time,
+            ground_time,
+        ))
+    }
+
+    /// Concretize a goal (possibly multiple roots, possibly with
+    /// forbidden packages).
+    pub fn concretize_goal(&self, goal: &Goal) -> Result<Solution, CoreError> {
+        let t_total = Instant::now();
+        let solver = Solver::with_config(self.config.solver.clone());
+
+        let mut ground_cache_hit = false;
+        let (prepared, encode_time, parse_time, ground_time) = match self.ground_cache {
+            Some(cache) => {
+                let key = self.ground_key(goal);
+                match cache.lookup(key) {
+                    Some(prepared) => {
+                        ground_cache_hit = true;
+                        (prepared, Duration::ZERO, Duration::ZERO, Duration::ZERO)
+                    }
+                    None => {
+                        let (prepared, et, pt, gt) = self.prepare(goal, &solver)?;
+                        cache.insert(key, prepared.clone());
+                        (prepared, et, pt, gt)
+                    }
+                }
+            }
+            None => self.prepare(goal, &solver)?,
+        };
+        let PreparedProgram {
+            program: translated,
+            root_names,
+            reusable_count,
+            program_bytes,
+            pruned_rules,
+        } = prepared;
+
+        let (outcome, mut solver_stats) = solver
+            .solve_translated(&translated)
+            .map_err(|e| CoreError::Solve(e.to_string()))?;
+        // `solve_translated` cannot know grounding cost; restore the
+        // stats convention that `solver.ground_time` covers this solve's
+        // ground + translate work (zero on a cache hit — that is the
+        // point).
+        solver_stats.ground_time = ground_time;
         let model = match outcome {
             SolveOutcome::Unsat => return Err(CoreError::Unsatisfiable),
             SolveOutcome::Optimal(m) => m,
@@ -269,8 +394,11 @@ impl<'a> Concretizer<'a> {
                 interpret_time,
                 total_time: t_total.elapsed(),
                 reusable_specs: reusable_count,
-                program_bytes: text.len(),
+                program_bytes,
                 pruned_rules,
+                ground_cache_hit,
+                ground_cache_hits: self.ground_cache.map_or(0, GroundCache::hits),
+                ground_cache_misses: self.ground_cache.map_or(0, GroundCache::misses),
                 solver: solver_stats,
             },
         })

@@ -1,0 +1,113 @@
+//! Ground-program memoization: skip encode + parse + ground + CNF
+//! translation on repeated solves.
+//!
+//! The radiuss workloads solve dozens of near-identical goals against one
+//! repository and one reusable-spec set; encoding, grounding, and
+//! translation dominate their latency. A [`GroundCache`] keys a fully
+//! prepared [`spackle_asp::TranslatedProgram`] by a fingerprint of
+//! everything that determines it — repository revision, the reusable-spec
+//! sets (in cache order), the goal, the encode configuration, and the
+//! grounding limits — so a repeated solve goes straight to
+//! [`spackle_asp::Solver::solve_translated`], which clones the pristine
+//! pre-search SAT instance and searches. The engine is deterministic, so
+//! a cached re-solve returns a bit-identical model (and therefore
+//! identical specs and DAG hashes) to an uncached one.
+//!
+//! Fingerprints use the process-default hasher plus [`Repository::revision`]
+//! (a process-unique stamp), so a cache is only meaningful within one
+//! process — exactly the scope the paper's repeated-concretization
+//! workloads need. Never persist the keys.
+//!
+//! [`Repository::revision`]: spackle_repo::Repository::revision
+
+use rustc_hash::FxHashMap;
+use spackle_asp::TranslatedProgram;
+use spackle_spec::Sym;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Everything the concretizer needs to resume after the ground and
+/// translate steps: the translated program plus the encode-time
+/// byproducts that feed model interpretation and statistics.
+#[derive(Clone)]
+pub struct PreparedProgram {
+    /// The grounded + CNF-translated program, shareable across solves.
+    pub program: Arc<TranslatedProgram>,
+    /// Root package names, in request order (interpretation input).
+    pub root_names: Vec<Sym>,
+    /// Reusable specs encoded into the program.
+    pub reusable_count: usize,
+    /// Generated program text size in bytes.
+    pub program_bytes: usize,
+    /// Non-ground rules removed by static pruning before grounding.
+    pub pruned_rules: usize,
+}
+
+/// A process-local memo table from solve fingerprints to prepared ground
+/// programs, with hit/miss counters. Interior-mutable and thread-safe,
+/// so one cache can back an entire benchmark run (or a long-lived
+/// service) through a shared reference.
+#[derive(Default)]
+pub struct GroundCache {
+    entries: Mutex<FxHashMap<u64, PreparedProgram>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl GroundCache {
+    /// An empty cache.
+    pub fn new() -> GroundCache {
+        GroundCache::default()
+    }
+
+    /// Look up `key`, counting a hit or a miss.
+    pub fn lookup(&self, key: u64) -> Option<PreparedProgram> {
+        let found = self
+            .entries
+            .lock()
+            .expect("ground cache poisoned")
+            .get(&key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Store the prepared program for `key` (last writer wins; entries
+    /// for one key are interchangeable because the preparation pipeline
+    /// is deterministic).
+    pub fn insert(&self, key: u64, prepared: PreparedProgram) {
+        self.entries
+            .lock()
+            .expect("ground cache poisoned")
+            .insert(key, prepared);
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached ground programs.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("ground cache poisoned").len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all entries (counters are kept; they describe lookups, not
+    /// contents).
+    pub fn clear(&self) {
+        self.entries.lock().expect("ground cache poisoned").clear();
+    }
+}

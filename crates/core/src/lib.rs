@@ -20,11 +20,13 @@
 
 pub mod concretizer;
 pub mod encode;
+pub mod ground_cache;
 pub mod interpret;
 pub mod logic;
 
 pub use concretizer::{ConcretizeStats, Concretizer, ConcretizerConfig, Solution};
 pub use encode::{EncodeConfig, Encoded, Encoding, Goal};
+pub use ground_cache::{GroundCache, PreparedProgram};
 pub use interpret::SpliceReport;
 
 use std::fmt;

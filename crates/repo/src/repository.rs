@@ -66,7 +66,13 @@ impl std::error::Error for RepoError {}
 pub struct Repository {
     packages: BTreeMap<Sym, PackageDef>,
     providers: BTreeMap<Sym, Vec<Sym>>, // virtual -> providers
+    /// Process-unique revision stamp; see [`Repository::revision`].
+    revision: u64,
 }
+
+/// Process-global revision counter backing [`Repository::revision`].
+/// Starts at 1 so the default (empty) repository keeps revision 0.
+static NEXT_REVISION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl Repository {
     /// Empty repository.
@@ -95,7 +101,18 @@ impl Repository {
                 .push(pkg.name);
         }
         self.packages.insert(pkg.name, pkg);
+        self.revision = NEXT_REVISION.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(())
+    }
+
+    /// A process-unique revision stamp for this repository's contents:
+    /// bumped on every successful [`Repository::add`], shared by clones
+    /// until one of them is mutated. Equal revisions imply identical
+    /// package sets (the converse does not hold — two independently
+    /// built repositories always differ), which is exactly the
+    /// conservative guarantee ground-program memoization needs.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Look up a package definition.
