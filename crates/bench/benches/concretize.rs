@@ -7,14 +7,25 @@
 //! * `fig7_scaling/*` — splice candidates at 10 vs 100 replicas.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use spackle_buildcache::CacheSource;
 use spackle_core::{Concretizer, ConcretizerConfig, Goal};
 use spackle_radiuss::ExperimentEnv;
 use spackle_spec::{parse_spec, Sym};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 fn env() -> &'static ExperimentEnv {
     static ENV: OnceLock<ExperimentEnv> = OnceLock::new();
     ENV.get_or_init(|| ExperimentEnv::setup(300, 42))
+}
+
+fn local() -> &'static Arc<dyn CacheSource> {
+    static C: OnceLock<Arc<dyn CacheSource>> = OnceLock::new();
+    C.get_or_init(|| Arc::new(env().local.clone()))
+}
+
+fn public() -> &'static Arc<dyn CacheSource> {
+    static C: OnceLock<Arc<dyn CacheSource>> = OnceLock::new();
+    C.get_or_init(|| Arc::new(env().public.clone()))
 }
 
 fn bench_encoding(c: &mut Criterion) {
@@ -31,7 +42,7 @@ fn bench_encoding(c: &mut Criterion) {
                 b.iter(|| {
                     Concretizer::new(&env.repo_plain)
                         .with_config(cfg.clone())
-                        .with_reusable(&env.local)
+                        .with_reusable(local())
                         .concretize(&spec)
                         .unwrap()
                 })
@@ -40,7 +51,7 @@ fn bench_encoding(c: &mut Criterion) {
                 b.iter(|| {
                     Concretizer::new(&env.repo_plain)
                         .with_config(cfg.clone())
-                        .with_reusable(&env.public)
+                        .with_reusable(public())
                         .concretize(&spec)
                         .unwrap()
                 })
@@ -61,7 +72,7 @@ fn bench_splicing(c: &mut Criterion) {
             b.iter(|| {
                 Concretizer::new(&env.repo_plain)
                     .with_config(ConcretizerConfig::old_spack())
-                    .with_reusable(&env.local)
+                    .with_reusable(local())
                     .concretize(&old_goal)
                     .unwrap()
             })
@@ -70,7 +81,7 @@ fn bench_splicing(c: &mut Criterion) {
             b.iter(|| {
                 Concretizer::new(&env.repo_mpiabi)
                     .with_config(ConcretizerConfig::splice_spack())
-                    .with_reusable(&env.local)
+                    .with_reusable(local())
                     .concretize(&new_goal)
                     .unwrap()
             })
@@ -79,7 +90,7 @@ fn bench_splicing(c: &mut Criterion) {
             b.iter(|| {
                 Concretizer::new(&env.repo_mpiabi)
                     .with_config(ConcretizerConfig::splice_spack())
-                    .with_reusable(&env.public)
+                    .with_reusable(public())
                     .concretize(&new_goal)
                     .unwrap()
             })
@@ -100,7 +111,7 @@ fn bench_scaling(c: &mut Criterion) {
             b.iter(|| {
                 Concretizer::new(&repo)
                     .with_config(ConcretizerConfig::splice_spack())
-                    .with_reusable(&env.local)
+                    .with_reusable(local())
                     .concretize_goal(&goal)
                     .unwrap()
             })

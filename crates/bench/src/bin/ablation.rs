@@ -11,9 +11,11 @@
 //!   ablation [--trials N] [--warmup N] [--seed S]
 
 use spackle_bench::{mean_std_ms, percent_increase, run_trials_warm, Args};
+use spackle_buildcache::CacheSource;
 use spackle_core::{Concretizer, ConcretizerConfig};
 use spackle_radiuss::{public_cache, radiuss_repo};
 use spackle_spec::parse_spec;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -32,6 +34,8 @@ fn main() {
 
     for dags in [100usize, 300, 1000] {
         let cache = public_cache(&repo, dags, seed);
+        let entries = cache.len();
+        let cache: Arc<dyn CacheSource> = Arc::new(cache);
         let goal = parse_spec("hypre").expect("goal");
         let time_with = |filter: bool| {
             let cfg = ConcretizerConfig {
@@ -54,7 +58,7 @@ fn main() {
         println!(
             "{:>10} {:>9} {:>9.2}±{:<5.2} {:>9.2}±{:<5.2} {:>+8.1}",
             dags,
-            cache.len(),
+            entries,
             on_mean,
             on_std,
             off_mean,

@@ -16,7 +16,9 @@
 use spackle_bench::{default_threads, mean_std_ms, parallel_map, percent_increase, run_trials_warm, Args};
 use spackle_core::{Concretizer, ConcretizerConfig};
 use spackle_radiuss::ExperimentEnv;
+use spackle_buildcache::CacheSource;
 use spackle_spec::parse_spec;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -60,10 +62,15 @@ fn main() {
         }
     }
 
+    // Shared handles built once: every worker thread's solves read the
+    // same two indexes (the daemon-style sharing the owned API enables).
+    let local: Arc<dyn CacheSource> = Arc::new(env.local.clone());
+    let public: Arc<dyn CacheSource> = Arc::new(env.public.clone());
+
     let cells: Vec<Cell> = parallel_map(jobs, threads, |(root, cache_label)| {
         let cache = match *cache_label {
-            "local" => &env.local,
-            _ => &env.public,
+            "local" => &local,
+            _ => &public,
         };
         let spec = parse_spec(root).expect("root name");
         let time_config = |cfg: ConcretizerConfig| {

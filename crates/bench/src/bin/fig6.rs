@@ -20,7 +20,9 @@
 use spackle_bench::{default_threads, mean_std_ms, parallel_map, percent_increase, run_trials_warm, Args};
 use spackle_core::{Concretizer, ConcretizerConfig, Goal};
 use spackle_radiuss::ExperimentEnv;
+use spackle_buildcache::CacheSource;
 use spackle_spec::parse_spec;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -79,10 +81,14 @@ fn main() {
     let is_mpi_root =
         |root: &str| env.mpi_roots.iter().any(|m| m.as_str() == root);
 
+    // One shared handle per cache, read by every worker thread's solves.
+    let local: Arc<dyn CacheSource> = Arc::new(env.local.clone());
+    let public: Arc<dyn CacheSource> = Arc::new(env.public.clone());
+
     let cells: Vec<Cell> = parallel_map(jobs, threads, |(root, cache_label)| {
         let cache = match *cache_label {
-            "local" => &env.local,
-            _ => &env.public,
+            "local" => &local,
+            _ => &public,
         };
         let mpi = is_mpi_root(root);
         // Old spack: explicit dependency on the reference MPI.
@@ -183,7 +189,7 @@ fn main() {
     if joint {
         println!();
         println!("# joint concretization of all MPI-dependent specs");
-        for (label, cache) in [("local", &env.local), ("public", &env.public)] {
+        for (label, cache) in [("local", &local), ("public", &public)] {
             let old_goal = Goal {
                 roots: env
                     .mpi_roots

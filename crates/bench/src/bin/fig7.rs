@@ -15,7 +15,9 @@
 use spackle_bench::{default_threads, mean_std_ms, parallel_map, percent_increase, run_trials_warm, Args};
 use spackle_core::{Concretizer, ConcretizerConfig, Goal};
 use spackle_radiuss::ExperimentEnv;
+use spackle_buildcache::CacheSource;
 use spackle_spec::{parse_spec, Sym};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -59,6 +61,8 @@ fn main() {
         .collect();
 
     let is_mpi_root = |root: &str| env.mpi_roots.iter().any(|m| m.as_str() == root);
+    // One shared handle, read concurrently by every worker thread.
+    let local: Arc<dyn CacheSource> = Arc::new(env.local.clone());
 
     struct Row {
         root: String,
@@ -74,7 +78,7 @@ fn main() {
                 let t = Instant::now();
                 Concretizer::new(repo)
                     .with_config(ConcretizerConfig::splice_spack())
-                    .with_reusable(&env.local)
+                    .with_reusable(&local)
                     .concretize_goal(&goal)
                     .unwrap_or_else(|e| panic!("fig7 {root} n={n}: {e}"));
                 t.elapsed()

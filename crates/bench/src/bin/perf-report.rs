@@ -25,11 +25,12 @@
 
 use serde::Serialize;
 use spackle_bench::{mean_std_ms, run_trials_warm, Args};
-use spackle_buildcache::BuildCache;
+use spackle_buildcache::CacheSource;
 use spackle_core::{Concretizer, ConcretizerConfig, GroundCache, Solution};
 use spackle_radiuss::ExperimentEnv;
 use spackle_repo::Repository;
 use spackle_spec::{parse_spec, AbstractSpec};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A goal with its display name.
@@ -56,16 +57,16 @@ fn signature(goal: &NamedGoal, sol: &Solution) -> String {
 /// time and the per-goal solution signatures.
 fn sweep(
     repo: &Repository,
-    cache: &BuildCache,
+    cache: &Arc<dyn CacheSource>,
     config: &ConcretizerConfig,
-    ground_cache: Option<&GroundCache>,
+    ground_cache: Option<&Arc<GroundCache>>,
     goals: &[NamedGoal],
 ) -> (std::time::Duration, Vec<String>) {
     let mut conc = Concretizer::new(repo)
         .with_config(config.clone())
         .with_reusable(cache);
     if let Some(gc) = ground_cache {
-        conc = conc.with_ground_cache(gc);
+        conc = conc.with_ground_cache(Arc::clone(gc));
     }
     let t = Instant::now();
     let mut sigs = Vec::with_capacity(goals.len());
@@ -96,9 +97,9 @@ fn run_mode(
     trials: usize,
     warmup: usize,
     repo: &Repository,
-    cache: &BuildCache,
+    cache: &Arc<dyn CacheSource>,
     config: &ConcretizerConfig,
-    ground_cache: Option<&GroundCache>,
+    ground_cache: Option<&Arc<GroundCache>>,
     goals: &[NamedGoal],
 ) -> ModeResult {
     let mut sigs: Vec<Vec<String>> = Vec::new();
@@ -113,15 +114,15 @@ fn run_mode(
         mean_ms,
         std_ms,
         sigs,
-        cache_hits: ground_cache.map_or(0, GroundCache::hits),
-        cache_misses: ground_cache.map_or(0, GroundCache::misses),
+        cache_hits: ground_cache.map_or(0, |gc| gc.hits()),
+        cache_misses: ground_cache.map_or(0, |gc| gc.misses()),
     }
 }
 
 struct Workload<'a> {
     name: &'static str,
     repo: &'a Repository,
-    cache: &'a BuildCache,
+    cache: Arc<dyn CacheSource>,
     base_config: ConcretizerConfig,
     goals: Vec<NamedGoal>,
 }
@@ -235,11 +236,15 @@ fn main() {
         })
         .collect();
 
+    // One shared handle: both workloads (and every mode within them)
+    // read the same local-cache index, daemon-style.
+    let local: Arc<dyn CacheSource> = Arc::new(env.local.clone());
+
     let workloads = [
         Workload {
             name: "fig5-multi-goal",
             repo: &env.repo_plain,
-            cache: &env.local,
+            cache: Arc::clone(&local),
             base_config: ConcretizerConfig {
                 prune_dead: true,
                 ..ConcretizerConfig::splice_spack_disabled()
@@ -249,7 +254,7 @@ fn main() {
         Workload {
             name: "fig6-splice-multi-goal",
             repo: &env.repo_mpiabi,
-            cache: &env.local,
+            cache: Arc::clone(&local),
             base_config: ConcretizerConfig::splice_spack(),
             goals: fig6_goals,
         },
@@ -273,16 +278,16 @@ fn main() {
         let mut par_cfg = w.base_config.clone();
         par_cfg.solver.ground_threads = ground_threads;
 
-        let ground_cache = GroundCache::new();
+        let ground_cache = GroundCache::shared();
         let modes = [
-            run_mode("sequential", trials, warmup, w.repo, w.cache, &seq_cfg, None, &w.goals),
-            run_mode("parallel", trials, warmup, w.repo, w.cache, &par_cfg, None, &w.goals),
+            run_mode("sequential", trials, warmup, w.repo, &w.cache, &seq_cfg, None, &w.goals),
+            run_mode("parallel", trials, warmup, w.repo, &w.cache, &par_cfg, None, &w.goals),
             run_mode(
                 "cached",
                 trials,
                 warmup,
                 w.repo,
-                w.cache,
+                &w.cache,
                 &par_cfg,
                 Some(&ground_cache),
                 &w.goals,

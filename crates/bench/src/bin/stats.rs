@@ -7,15 +7,19 @@
 //!   stats [--public-dags N] [--seed S] [--mpiabi]
 
 use spackle_bench::Args;
+use spackle_buildcache::CacheSource;
 use spackle_core::{Concretizer, ConcretizerConfig};
 use spackle_radiuss::ExperimentEnv;
 use spackle_spec::parse_spec;
+use std::sync::Arc;
 
 fn main() {
     let args = Args::parse();
     let public_dags = args.get_usize("public-dags", 300);
     let seed = args.get_u64("seed", 42);
     let env = ExperimentEnv::setup(public_dags, seed);
+    let local: Arc<dyn CacheSource> = Arc::new(env.local.clone());
+    let public: Arc<dyn CacheSource> = Arc::new(env.public.clone());
 
     println!(
         "{:<14} {:<9} {:<7} {:>9} {:>9} {:>9} {:>10} {:>9} {:>7} {:>7}",
@@ -32,7 +36,7 @@ fn main() {
             ),
             ("splice", ConcretizerConfig::splice_spack(), &env.repo_mpiabi),
         ] {
-            for (cache_label, cache) in [("local", &env.local), ("public", &env.public)] {
+            for (cache_label, cache) in [("local", &local), ("public", &public)] {
                 let sol = Concretizer::new(repo)
                     .with_config(cfg.clone())
                     .with_reusable(cache)

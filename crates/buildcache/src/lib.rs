@@ -36,11 +36,12 @@
 //! });
 //! let public = BuildCache::new();
 //!
-//! let chain = ChainedCache::with(vec![&local, &public]);
-//! assert!(chain.contains(spec.dag_hash()));
-//!
 //! let json = local.to_json();
 //! assert_eq!(BuildCache::from_json(&json).unwrap().len(), local.len());
+//!
+//! // Sources are owned (or Arc'd) — a chain shares them across threads.
+//! let chain = ChainedCache::with(vec![local, public]);
+//! assert!(chain.contains(spec.dag_hash()));
 //! ```
 
 pub mod abi;
@@ -51,4 +52,4 @@ pub mod source;
 pub use abi::{abi_compatible, suggest_splices, AbiIncompatibility, SpliceSuggestion};
 pub use artifact::{Artifact, ArtifactError, ARTIFACT_FORMAT_VERSION, SLOT_HEADROOM};
 pub use cache::{BuildCache, CacheEntry, CacheError, CACHE_SCHEMA_VERSION};
-pub use source::{CacheSource, ChainedCache};
+pub use source::{CacheSource, ChainedCache, IntoCacheSource};

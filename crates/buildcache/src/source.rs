@@ -13,21 +13,33 @@
 //! ordered mirror list. A spliced install can therefore find a spec's
 //! *run* binary in the local cache and its *build-spec* binary in the
 //! public one without any caller-side plumbing.
+//!
+//! Sources are **shared, not borrowed**: long-lived consumers (the
+//! `spackled` concretization service, benchmark harnesses, worker
+//! threads) hold `Arc<dyn CacheSource>` handles, so one in-memory index
+//! can back any number of concurrent solves without a lifetime tying it
+//! to a single stack frame. [`IntoCacheSource`] keeps short-lived
+//! callers ergonomic: passing an owned source, an `Arc`, or a `&source`
+//! (cloned) all work at the same call site.
 
 use crate::cache::{BuildCache, CacheEntry};
 use rustc_hash::FxHashSet;
 use spackle_spec::{SpecHash, Sym};
+use std::sync::Arc;
 
 /// Read access to a collection of reusable specs and their binaries.
 ///
 /// Object-safe on purpose: planners and solvers hold `&dyn CacheSource`
-/// so new backends never force an API break. Implementations must be
+/// or `Arc<dyn CacheSource>` so new backends never force an API break.
+/// `Send + Sync` is part of the contract: every source must tolerate
+/// concurrent readers, because one cache instance backs many solver
+/// threads in the shared-state concretizer API. Implementations must be
 /// internally consistent — every entry reachable from [`iter`] must also
 /// be reachable via [`get`] under its spec's DAG hash.
 ///
 /// [`iter`]: CacheSource::iter
 /// [`get`]: CacheSource::get
-pub trait CacheSource {
+pub trait CacheSource: Send + Sync {
     /// Exact-hash lookup.
     fn get(&self, hash: SpecHash) -> Option<&CacheEntry>;
 
@@ -91,40 +103,93 @@ impl CacheSource for BuildCache {
     }
 }
 
+/// Conversion into a shared cache-source handle.
+///
+/// This is the argument seam of the owned concretizer API: any of the
+/// following work where an `impl IntoCacheSource` is expected —
+///
+/// * an owned source (`BuildCache`, `ChainedCache`, a custom backend) —
+///   moved into a fresh `Arc`; pass `cache.clone()` to keep using the
+///   original (the clone is explicit on purpose — it is a real copy);
+/// * `Arc<dyn CacheSource>` / `&Arc<dyn CacheSource>` — shared verbatim,
+///   the zero-copy form long-lived and hot-path callers should use so
+///   every solve reads one index instead of copying it.
+///
+/// Clones share the original's [`CacheSource::fingerprint`] (it is
+/// content-derived), so ground-program memoization keys are unaffected
+/// by which conversion a call site picks. (Coherence keeps this trait
+/// from also accepting `&source` or `Arc<ConcreteType>` directly: a
+/// downstream crate may implement `CacheSource` for its own references
+/// or `Arc` wrappers, which would make those blanket impls ambiguous.
+/// Coerce once — `let c: Arc<dyn CacheSource> = Arc::new(source);` —
+/// and share `&c` from then on.)
+pub trait IntoCacheSource {
+    /// Produce the shared handle.
+    fn into_cache_source(self) -> Arc<dyn CacheSource>;
+}
+
+impl<T: CacheSource + 'static> IntoCacheSource for T {
+    fn into_cache_source(self) -> Arc<dyn CacheSource> {
+        Arc::new(self)
+    }
+}
+
+impl IntoCacheSource for Arc<dyn CacheSource> {
+    fn into_cache_source(self) -> Arc<dyn CacheSource> {
+        self
+    }
+}
+
+impl IntoCacheSource for &Arc<dyn CacheSource> {
+    fn into_cache_source(self) -> Arc<dyn CacheSource> {
+        Arc::clone(self)
+    }
+}
+
 /// An ordered overlay of cache sources with first-hit-wins lookup.
 ///
 /// Earlier sources shadow later ones: `get` returns the first source's
 /// entry for a hash, and `candidates_for`/`iter` deduplicate by DAG hash
 /// in source order. Chains nest — a `ChainedCache` is itself a
 /// `CacheSource`.
-#[derive(Default)]
-pub struct ChainedCache<'a> {
-    sources: Vec<&'a dyn CacheSource>,
+///
+/// The chain owns shared handles to its sources (`Arc<dyn CacheSource>`),
+/// so it is `'static`, cheaply cloneable, and safe to hand to worker
+/// threads — a chain built once at daemon startup serves every request.
+#[derive(Default, Clone)]
+pub struct ChainedCache {
+    sources: Vec<Arc<dyn CacheSource>>,
 }
 
-impl<'a> ChainedCache<'a> {
+impl ChainedCache {
     /// An empty chain (resolves nothing).
-    pub fn new() -> ChainedCache<'a> {
+    pub fn new() -> ChainedCache {
         ChainedCache::default()
     }
 
     /// A chain over `sources`, highest priority first.
-    pub fn with(sources: Vec<&'a dyn CacheSource>) -> ChainedCache<'a> {
-        ChainedCache { sources }
+    pub fn with<I, S>(sources: I) -> ChainedCache
+    where
+        I: IntoIterator<Item = S>,
+        S: IntoCacheSource,
+    {
+        ChainedCache {
+            sources: sources.into_iter().map(IntoCacheSource::into_cache_source).collect(),
+        }
     }
 
     /// Append a source at the lowest priority.
-    pub fn push(&mut self, source: &'a dyn CacheSource) {
-        self.sources.push(source);
+    pub fn push(&mut self, source: impl IntoCacheSource) {
+        self.sources.push(source.into_cache_source());
     }
 
     /// The chained sources, highest priority first.
-    pub fn sources(&self) -> &[&'a dyn CacheSource] {
+    pub fn sources(&self) -> &[Arc<dyn CacheSource>] {
         &self.sources
     }
 }
 
-impl CacheSource for ChainedCache<'_> {
+impl CacheSource for ChainedCache {
     fn get(&self, hash: SpecHash) -> Option<&CacheEntry> {
         self.sources.iter().find_map(|s| s.get(hash))
     }
@@ -195,7 +260,7 @@ mod tests {
         let mut back = BuildCache::new();
         back.add_spec_with(&spec, |_| Artifact::build("/back", &[], vec![]).to_bytes());
 
-        let chain = ChainedCache::with(vec![&front, &back]);
+        let chain = ChainedCache::with(vec![front, back]);
         let hit = chain.get(hash).expect("resolves");
         assert_eq!(hit.artifact().unwrap().own_prefix(), "/front");
         assert_eq!(chain.len(), 1, "shadowed entries count once");
@@ -209,7 +274,7 @@ mod tests {
         b.add_spec(&single("zlib", "1.3"));
         b.add_spec(&pair("hdf5", "zlib"));
 
-        let chain = ChainedCache::with(vec![&a, &b]);
+        let chain = ChainedCache::with(vec![a, b]);
         assert_eq!(chain.len(), 4); // zlib@1.2, zlib@1.3, zlib@1.0, hdf5
         assert_eq!(chain.candidates_for(Sym::intern("zlib")).len(), 3);
         assert!(chain.contains(single("zlib", "1.2").dag_hash()));
@@ -223,8 +288,9 @@ mod tests {
         a.add_spec(&single("zlib", "1.2"));
         let mut b = BuildCache::new();
         b.add_spec(&single("zlib", "1.3"));
-        let inner = ChainedCache::with(vec![&a]);
-        let outer = ChainedCache::with(vec![&inner, &b]);
+        let inner = ChainedCache::with(vec![a]);
+        let mut outer = ChainedCache::with(vec![inner]);
+        outer.push(b);
         assert_eq!(outer.len(), 2);
         assert!(outer.contains(single("zlib", "1.2").dag_hash()));
     }

@@ -1,11 +1,19 @@
 //! The public concretizer API: compile → ground/solve → interpret.
+//!
+//! The concretizer is **owned and shareable**: it holds `Arc` handles to
+//! its repository, its reusable-spec sources, and (optionally) a warm
+//! [`GroundCache`], so it is `Clone + Send + Sync + 'static`. A
+//! long-lived service builds one set of handles at startup and stamps
+//! out a cheap per-request `Concretizer` per worker thread; a one-shot
+//! CLI call passes plain references and lets the conversion traits copy
+//! what little state there is.
 
 use crate::encode::{encode, EncodeConfig, Encoded, Encoding, Goal};
 use crate::ground_cache::{GroundCache, PreparedProgram};
 use crate::interpret::{interpret, Interpretation, SpliceReport};
 use crate::CoreError;
 use spackle_asp::{parse_program, SolveOutcome, SolveStats, Solver, SolverConfig};
-use spackle_buildcache::CacheSource;
+use spackle_buildcache::{CacheSource, IntoCacheSource};
 use spackle_repo::Repository;
 use spackle_spec::{AbstractSpec, ConcreteSpec, Os, Sym, Target};
 use std::sync::Arc;
@@ -77,6 +85,37 @@ impl ConcretizerConfig {
             ..Default::default()
         }
     }
+
+    /// Is this configuration internally consistent? Splicing requires
+    /// the indirect (`hash_attr`) encoding: the direct encoding fixes a
+    /// reused spec's whole closure, leaving nothing to splice.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.splicing && self.encoding == Encoding::Direct {
+            return Err(CoreError::Config(
+                "splicing requires the indirect (hash_attr) encoding; the direct encoding \
+                 imposes a reused spec's full closure, so nothing can be spliced — disable \
+                 splicing, switch to Encoding::Indirect, or call \
+                 ConcretizerConfig::normalize() to resolve the conflict explicitly"
+                    .to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Resolve inconsistent axis combinations in the documented
+    /// direction: under the direct encoding splicing is structurally
+    /// impossible, so it is switched off. This is the **explicit** form
+    /// of a normalization older releases applied silently inside
+    /// `with_config`; the concretizer now rejects inconsistent
+    /// configurations with [`CoreError::Config`] instead, so service
+    /// clients get a diagnosable error rather than a quietly different
+    /// solve.
+    pub fn normalize(mut self) -> Self {
+        if self.encoding == Encoding::Direct {
+            self.splicing = false;
+        }
+        self
+    }
 }
 
 /// Timing and size measurements for one concretization.
@@ -102,10 +141,13 @@ pub struct ConcretizeStats {
     /// Whether this solve reused a memoized ground program (always
     /// `false` without [`Concretizer::with_ground_cache`]).
     pub ground_cache_hit: bool,
-    /// Cumulative hits on the attached [`GroundCache`] after this solve.
+    /// Cumulative hits on the attached [`GroundCache`] *as of this
+    /// solve's lookup* — taken from the counter update itself, so the
+    /// value is exact even when many threads share the cache.
     pub ground_cache_hits: u64,
-    /// Cumulative misses on the attached [`GroundCache`] after this
-    /// solve.
+    /// Cumulative misses on the attached [`GroundCache`] as of this
+    /// solve's lookup (same atomic-snapshot guarantee as
+    /// [`ConcretizeStats::ground_cache_hits`]).
     pub ground_cache_misses: u64,
     /// ASP engine statistics.
     pub solver: SolveStats,
@@ -137,16 +179,33 @@ impl Solution {
 
 /// The concretizer: resolves abstract specs against a repository and
 /// reusable binaries.
-pub struct Concretizer<'a> {
-    repo: &'a Repository,
-    caches: Vec<&'a dyn CacheSource>,
+///
+/// Owned and cloneable: the repository, the cache sources, and the
+/// optional ground cache are all `Arc` handles, so a `Concretizer` (or a
+/// clone of one) can move to a worker thread, and N concretizers can
+/// share one warm [`GroundCache`] and one set of reusable-spec indexes.
+#[derive(Clone)]
+pub struct Concretizer {
+    repo: Arc<Repository>,
+    caches: Vec<Arc<dyn CacheSource>>,
     config: ConcretizerConfig,
-    ground_cache: Option<&'a GroundCache>,
+    ground_cache: Option<Arc<GroundCache>>,
 }
 
-impl<'a> Concretizer<'a> {
-    /// Concretizer over `repo` with default (splice spack) configuration.
-    pub fn new(repo: &'a Repository) -> Self {
+impl Concretizer {
+    /// Concretizer over a borrowed `repo` with default (splice spack)
+    /// configuration. The repository is **cloned** into a shared handle
+    /// (clones keep the original's [`Repository::revision`], so
+    /// ground-cache keys still match across concretizers built from the
+    /// same repository). For long-lived or multi-threaded use, build the
+    /// handle once and use [`Concretizer::shared`].
+    pub fn new(repo: &Repository) -> Self {
+        Concretizer::shared(Arc::new(repo.clone()))
+    }
+
+    /// Concretizer over an already-shared repository handle — the
+    /// zero-copy constructor services and worker pools use.
+    pub fn shared(repo: Arc<Repository>) -> Self {
         Concretizer {
             repo,
             caches: Vec::new(),
@@ -155,28 +214,34 @@ impl<'a> Concretizer<'a> {
         }
     }
 
-    /// Use the given configuration.
+    /// The repository this concretizer resolves against.
+    pub fn repository(&self) -> &Arc<Repository> {
+        &self.repo
+    }
+
+    /// Use the given configuration, **verbatim**.
+    ///
+    /// Inconsistent axis combinations (splicing under the direct
+    /// encoding) are *not* silently repaired here; they surface as
+    /// [`CoreError::Config`] from the solve entry points, so remote
+    /// callers see an actionable error instead of a quietly different
+    /// answer. Call [`ConcretizerConfig::normalize`] first to opt into
+    /// the repair explicitly.
     pub fn with_config(mut self, config: ConcretizerConfig) -> Self {
-        if config.splicing && config.encoding == Encoding::Direct {
-            // Splicing structurally requires the indirect encoding; the
-            // constructor normalizes rather than erroring at solve time.
-            let mut c = config;
-            c.splicing = false;
-            self.config = c;
-        } else {
-            self.config = config;
-        }
+        self.config = config;
         self
     }
 
     /// Add a source of reusable specs (may be called repeatedly; e.g.
-    /// local then public). Any [`CacheSource`] works: a [`BuildCache`],
-    /// a [`ChainedCache`], or a custom backend.
+    /// local then public). Any [`CacheSource`] works — a [`BuildCache`],
+    /// a [`ChainedCache`], or a custom backend — passed as an owned
+    /// value, an `Arc`, or a `&source` (cloned; see [`IntoCacheSource`]
+    /// for the exact conversions).
     ///
     /// [`BuildCache`]: spackle_buildcache::BuildCache
     /// [`ChainedCache`]: spackle_buildcache::ChainedCache
-    pub fn with_reusable(mut self, cache: &'a dyn CacheSource) -> Self {
-        self.caches.push(cache);
+    pub fn with_reusable(mut self, cache: impl IntoCacheSource) -> Self {
+        self.caches.push(cache.into_cache_source());
         self
     }
 
@@ -185,9 +250,10 @@ impl<'a> Concretizer<'a> {
     /// config) skip encode + parse + ground + CNF translation entirely
     /// and go straight to [`spackle_asp::Solver::solve_translated`]; the
     /// engine's determinism makes the cached result identical to an
-    /// uncached solve. One cache may back many concretizers (and
-    /// threads) in the same process.
-    pub fn with_ground_cache(mut self, cache: &'a GroundCache) -> Self {
+    /// uncached solve. The cache is a shared handle: one warm
+    /// [`GroundCache`] may back every concretizer and every thread in a
+    /// process — that is the `spackled` service's entire fast path.
+    pub fn with_ground_cache(mut self, cache: Arc<GroundCache>) -> Self {
         self.ground_cache = Some(cache);
         self
     }
@@ -195,6 +261,18 @@ impl<'a> Concretizer<'a> {
     /// Concretize a single abstract spec.
     pub fn concretize(&self, spec: &AbstractSpec) -> Result<Solution, CoreError> {
         self.concretize_goal(&Goal::single(spec.clone()))
+    }
+
+    /// The encode-relevant view of the configuration, after validation.
+    fn encode_config(&self) -> Result<EncodeConfig, CoreError> {
+        self.config.validate()?;
+        Ok(EncodeConfig {
+            encoding: self.config.encoding,
+            splicing: self.config.splicing,
+            os: self.config.os,
+            target: self.config.target,
+            filter_irrelevant: self.config.filter_irrelevant,
+        })
     }
 
     /// Compile a goal into the complete ASP program text this
@@ -205,14 +283,8 @@ impl<'a> Concretizer<'a> {
     /// verification layers (the `spackle-oracle` differential harness)
     /// can re-solve and certificate-check the same program.
     pub fn program_text(&self, goal: &Goal) -> Result<Encoded, CoreError> {
-        let enc_cfg = EncodeConfig {
-            encoding: self.config.encoding,
-            splicing: self.config.splicing && self.config.encoding == Encoding::Indirect,
-            os: self.config.os,
-            target: self.config.target,
-            filter_irrelevant: self.config.filter_irrelevant,
-        };
-        let mut enc = encode(self.repo, &self.caches, goal, &enc_cfg)?;
+        let enc_cfg = self.encode_config()?;
+        let mut enc = encode(&self.repo, &self.caches, goal, &enc_cfg)?;
         enc.program.push_str(crate::logic::BASE_PROGRAM);
         match enc_cfg.encoding {
             Encoding::Direct => enc.program.push_str(crate::logic::REUSE_DIRECT),
@@ -321,20 +393,28 @@ impl<'a> Concretizer<'a> {
     /// forbidden packages).
     pub fn concretize_goal(&self, goal: &Goal) -> Result<Solution, CoreError> {
         let t_total = Instant::now();
+        // Validate before touching the cache so a misconfigured request
+        // fails identically with and without a ground cache attached.
+        self.config.validate()?;
         let solver = Solver::with_config(self.config.solver.clone());
 
         let mut ground_cache_hit = false;
-        let (prepared, encode_time, parse_time, ground_time) = match self.ground_cache {
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let (prepared, encode_time, parse_time, ground_time) = match &self.ground_cache {
             Some(cache) => {
                 let key = self.ground_key(goal);
-                match cache.lookup(key) {
+                let (found, hits, misses) = cache.lookup_counted(key);
+                cache_hits = hits;
+                cache_misses = misses;
+                match found {
                     Some(prepared) => {
                         ground_cache_hit = true;
                         (prepared, Duration::ZERO, Duration::ZERO, Duration::ZERO)
                     }
                     None => {
                         let (prepared, et, pt, gt) = self.prepare(goal, &solver)?;
-                        cache.insert(key, prepared.clone());
+                        cache.insert(key, self.repo.revision(), prepared.clone());
                         (prepared, et, pt, gt)
                     }
                 }
@@ -397,10 +477,17 @@ impl<'a> Concretizer<'a> {
                 program_bytes,
                 pruned_rules,
                 ground_cache_hit,
-                ground_cache_hits: self.ground_cache.map_or(0, GroundCache::hits),
-                ground_cache_misses: self.ground_cache.map_or(0, GroundCache::misses),
+                ground_cache_hits: cache_hits,
+                ground_cache_misses: cache_misses,
                 solver: solver_stats,
             },
         })
     }
 }
+
+// A concretizer clone must be able to move to any worker thread; this
+// is the load-bearing bound of the shared-state API.
+const _: fn() = || {
+    fn assert_send_sync_clone<T: Send + Sync + Clone>() {}
+    assert_send_sync_clone::<Concretizer>();
+};

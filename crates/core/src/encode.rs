@@ -111,10 +111,14 @@ pub struct Encoded {
     pub reusable_count: usize,
 }
 
-/// Compile everything into one ASP program.
+/// Compile everything into one ASP program. Caches are shared handles
+/// so the same slice the owned [`Concretizer`] holds can be passed down
+/// without reborrowing gymnastics.
+///
+/// [`Concretizer`]: crate::Concretizer
 pub fn encode(
     repo: &Repository,
-    caches: &[&dyn CacheSource],
+    caches: &[std::sync::Arc<dyn CacheSource>],
     goal: &Goal,
     cfg: &EncodeConfig,
 ) -> Result<Encoded, CoreError> {

@@ -48,7 +48,7 @@ pub struct Interpretation {
 /// Decode the model into concrete specs.
 pub fn interpret(
     model: &Model,
-    caches: &[&dyn CacheSource],
+    caches: &[std::sync::Arc<dyn CacheSource>],
     root_names: &[Sym],
 ) -> Result<Interpretation, CoreError> {
     let mut nodes: BTreeMap<Sym, NodeInfo> = BTreeMap::new();

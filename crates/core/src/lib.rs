@@ -26,7 +26,7 @@ pub mod logic;
 
 pub use concretizer::{ConcretizeStats, Concretizer, ConcretizerConfig, Solution};
 pub use encode::{EncodeConfig, Encoded, Encoding, Goal};
-pub use ground_cache::{GroundCache, PreparedProgram};
+pub use ground_cache::{GroundCache, GroundCacheStats, PreparedProgram, SHARD_COUNT};
 pub use interpret::SpliceReport;
 
 use std::fmt;
@@ -36,6 +36,13 @@ use std::fmt;
 pub enum CoreError {
     /// The goal is malformed (unknown package, anonymous root, ...).
     BadGoal(String),
+    /// The concretizer configuration is internally inconsistent (e.g.
+    /// splicing requested under the direct encoding). Surfaced as a
+    /// structured error so remote clients of a concretization service
+    /// can diagnose it, instead of being silently normalized into a
+    /// different solve. See [`ConcretizerConfig::normalize`] for the
+    /// explicit repair.
+    Config(String),
     /// A repository feature this reproduction does not model.
     Unsupported(String),
     /// The underlying ASP engine failed.
@@ -50,6 +57,7 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::BadGoal(m) => write!(f, "bad goal: {m}"),
+            CoreError::Config(m) => write!(f, "configuration: {m}"),
             CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
             CoreError::Solve(m) => write!(f, "solver: {m}"),
             CoreError::Unsatisfiable => write!(f, "no satisfying concretization exists"),

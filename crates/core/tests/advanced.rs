@@ -50,7 +50,7 @@ fn generic_binaries_reused_on_newer_microarch() {
     // build target.
     let sol = Concretizer::new(&repo)
         .with_config(config_on("icelake"))
-        .with_reusable(&cache)
+        .with_reusable(cache.clone())
         .concretize(&parse_spec("app").unwrap())
         .unwrap();
     assert!(sol.built.is_empty(), "built: {:?}", sol.built);
@@ -72,7 +72,7 @@ fn newer_binaries_not_reused_on_older_microarch() {
     // A haswell machine cannot execute icelake binaries: rebuild.
     let sol = Concretizer::new(&repo)
         .with_config(config_on("haswell"))
-        .with_reusable(&cache)
+        .with_reusable(cache.clone())
         .concretize(&parse_spec("app").unwrap())
         .unwrap();
     assert_eq!(sol.built.len(), 2, "must rebuild: {:?}", sol.reused);
@@ -90,7 +90,7 @@ fn cross_family_binaries_rejected() {
     cache.add_spec(farm.spec());
     let sol = Concretizer::new(&repo)
         .with_config(config_on("skylake"))
-        .with_reusable(&cache)
+        .with_reusable(cache.clone())
         .concretize(&parse_spec("app").unwrap())
         .unwrap();
     assert_eq!(sol.built.len(), 2);
@@ -126,7 +126,7 @@ fn mismatched_os_cache_not_reused() {
             os: Os::new("ubuntu22.04"),
             ..ConcretizerConfig::splice_spack_disabled()
         })
-        .with_reusable(&cache)
+        .with_reusable(cache.clone())
         .concretize(&parse_spec("app").unwrap())
         .unwrap();
     assert_eq!(sol.built.len(), 2);
@@ -245,7 +245,7 @@ fn splice_propagates_through_reused_chain() {
 
     let sol = Concretizer::new(&repo)
         .with_config(ConcretizerConfig::splice_spack())
-        .with_reusable(&cache)
+        .with_reusable(cache.clone())
         .concretize(&parse_spec("app ^mpiabi").unwrap())
         .unwrap();
     // Only mpiabi builds; app AND solver both reused although their MPI
@@ -278,7 +278,7 @@ fn can_splice_version_constraint_limits_targets() {
 
     let sol = Concretizer::new(&repo)
         .with_config(ConcretizerConfig::splice_spack())
-        .with_reusable(&cache)
+        .with_reusable(cache.clone())
         .concretize(&parse_spec("app ^mpiabi").unwrap())
         .unwrap();
     // No valid splice: mpiabi only replaces mpich@3.4.3. Everything
@@ -323,7 +323,7 @@ fn fig1_cross_package_splice_with_when_clause() {
     goal.forbidden.push(Sym::intern("example-ng"));
     let sol = Concretizer::new(&repo)
         .with_config(ConcretizerConfig::splice_spack())
-        .with_reusable(&cache)
+        .with_reusable(cache.clone())
         .concretize_goal(&goal)
         .unwrap();
     assert_eq!(sol.spliced.len(), 1);
@@ -336,15 +336,27 @@ fn fig1_cross_package_splice_with_when_clause() {
 }
 
 #[test]
-fn direct_encoding_with_splicing_flag_normalizes() {
+fn direct_encoding_with_splicing_flag_is_a_config_error() {
     let repo = chain_repo();
     let cfg = ConcretizerConfig {
         encoding: Encoding::Direct,
-        splicing: true, // structurally impossible; must normalize off
+        splicing: true, // structurally impossible under Direct
         ..ConcretizerConfig::default()
     };
+    // The contradiction is rejected loudly instead of silently solving a
+    // different problem than the caller asked for...
+    let err = Concretizer::new(&repo)
+        .with_config(cfg.clone())
+        .concretize(&parse_spec("app").unwrap())
+        .unwrap_err();
+    assert!(
+        matches!(err, CoreError::Config(_)),
+        "expected CoreError::Config, got {err:?}"
+    );
+    // ...and the documented repair is explicit: normalize() turns
+    // splicing off, after which the solve proceeds splice-free.
     let sol = Concretizer::new(&repo)
-        .with_config(cfg)
+        .with_config(cfg.normalize())
         .concretize(&parse_spec("app").unwrap())
         .unwrap();
     assert!(sol.spliced.is_empty());
@@ -379,7 +391,7 @@ fn irrelevant_cache_entries_filtered_from_encoding() {
     cache.add_spec(c.concretize(&parse_spec("zlib").unwrap()).unwrap().spec());
     // Concretizing app must only consider the zlib entry.
     let sol = Concretizer::new(&repo)
-        .with_reusable(&cache)
+        .with_reusable(cache.clone())
         .concretize(&parse_spec("app").unwrap())
         .unwrap();
     assert_eq!(sol.stats.reusable_specs, 1);

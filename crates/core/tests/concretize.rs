@@ -185,7 +185,7 @@ fn cache_of(repo: &Repository, spec_str: &str) -> BuildCache {
 fn full_reuse_zero_builds() {
     let repo = test_repo();
     let cache = cache_of(&repo, "py-shroud");
-    let c = Concretizer::new(&repo).with_reusable(&cache);
+    let c = Concretizer::new(&repo).with_reusable(cache.clone());
     let sol = c.concretize(&parse_spec("py-shroud").unwrap()).unwrap();
     assert_eq!(sol.built.len(), 0, "built: {:?}", sol.built);
     assert_eq!(sol.reused.len(), 2);
@@ -197,7 +197,7 @@ fn full_reuse_zero_builds() {
 fn partial_reuse_of_shared_deps() {
     let repo = test_repo();
     let cache = cache_of(&repo, "py-shroud"); // contains zlib@1.3
-    let c = Concretizer::new(&repo).with_reusable(&cache);
+    let c = Concretizer::new(&repo).with_reusable(cache.clone());
     let sol = c.concretize(&parse_spec("hdf5~mpi").unwrap()).unwrap();
     // zlib reused from cache; hdf5 built.
     assert!(sol.reused.iter().any(|s| s.as_str() == "zlib"));
@@ -211,12 +211,12 @@ fn rq1_old_and_new_encodings_agree_without_splicing() {
     for goal in ["example", "example@1.0.0", "hdf5~mpi", "py-shroud", "app"] {
         let old = Concretizer::new(&repo)
             .with_config(ConcretizerConfig::old_spack())
-            .with_reusable(&cache)
+            .with_reusable(cache.clone())
             .concretize(&parse_spec(goal).unwrap())
             .unwrap();
         let new = Concretizer::new(&repo)
             .with_config(ConcretizerConfig::splice_spack_disabled())
-            .with_reusable(&cache)
+            .with_reusable(cache.clone())
             .concretize(&parse_spec(goal).unwrap())
             .unwrap();
         assert_eq!(
@@ -241,7 +241,7 @@ fn rq2_splice_synthesized_when_needed() {
     // dependents (app, hdf5) because mpich binaries can't be mixed out.
     let old = Concretizer::new(&repo)
         .with_config(ConcretizerConfig::old_spack())
-        .with_reusable(&cache)
+        .with_reusable(cache.clone())
         .concretize(&parse_spec("app ^mpiabi").unwrap())
         .unwrap();
     assert!(
@@ -255,7 +255,7 @@ fn rq2_splice_synthesized_when_needed() {
     // mpich. Only mpiabi itself may need building.
     let new = Concretizer::new(&repo)
         .with_config(ConcretizerConfig::splice_spack())
-        .with_reusable(&cache)
+        .with_reusable(cache.clone())
         .concretize(&parse_spec("app ^mpiabi").unwrap())
         .unwrap();
     assert!(
@@ -284,7 +284,7 @@ fn splicing_disabled_behaves_like_old_spack() {
     let cache = cache_of(&repo, "app ^mpich");
     let disabled = Concretizer::new(&repo)
         .with_config(ConcretizerConfig::splice_spack_disabled())
-        .with_reusable(&cache)
+        .with_reusable(cache.clone())
         .concretize(&parse_spec("app ^mpiabi").unwrap())
         .unwrap();
     assert!(disabled.spliced.is_empty());
@@ -299,7 +299,7 @@ fn forbidden_package_forces_alternative() {
     goal.forbidden.push(Sym::intern("mpich"));
     let sol = Concretizer::new(&repo)
         .with_config(ConcretizerConfig::splice_spack())
-        .with_reusable(&cache)
+        .with_reusable(cache.clone())
         .concretize_goal(&goal)
         .unwrap();
     let spec = &sol.specs[0];
@@ -338,7 +338,7 @@ fn non_mpi_package_unaffected_by_splice_config() {
     let cache = cache_of(&repo, "py-shroud");
     let with_splice = Concretizer::new(&repo)
         .with_config(ConcretizerConfig::splice_spack())
-        .with_reusable(&cache)
+        .with_reusable(cache.clone())
         .concretize(&parse_spec("py-shroud").unwrap())
         .unwrap();
     assert!(with_splice.spliced.is_empty());

@@ -3,7 +3,7 @@
 //! encodings, and parses under the engine.
 
 use spackle_asp::parse_program;
-use spackle_buildcache::BuildCache;
+use spackle_buildcache::{BuildCache, CacheSource};
 use spackle_core::encode::{encode, EncodeConfig, Goal};
 use spackle_core::{Concretizer, Encoding};
 use spackle_repo::{PackageBuilder, Repository};
@@ -64,7 +64,7 @@ fn generated_program_always_parses() {
     ] {
         let out = encode(
             &repo,
-            &[&cache],
+            &[std::sync::Arc::new(cache.clone()) as std::sync::Arc<dyn CacheSource>],
             &Goal::single(parse_spec("example").unwrap()),
             &cfg(enc, splice),
         )
@@ -130,7 +130,7 @@ fn direct_encoding_emits_imposed_constraints() {
     let cache = cached(&repo, "example");
     let out = encode(
         &repo,
-        &[&cache],
+        &[std::sync::Arc::new(cache.clone()) as std::sync::Arc<dyn CacheSource>],
         &Goal::single(parse_spec("example").unwrap()),
         &cfg(Encoding::Direct, false),
     )
@@ -150,7 +150,7 @@ fn indirect_encoding_emits_hash_attr() {
     let cache = cached(&repo, "example");
     let out = encode(
         &repo,
-        &[&cache],
+        &[std::sync::Arc::new(cache.clone()) as std::sync::Arc<dyn CacheSource>],
         &Goal::single(parse_spec("example").unwrap()),
         &cfg(Encoding::Indirect, false),
     )
@@ -169,11 +169,11 @@ fn splice_rules_only_when_enabled() {
     let cache = cached(&repo, "example");
     let goal = Goal::single(parse_spec("example").unwrap());
 
-    let without = encode(&repo, &[&cache], &goal, &cfg(Encoding::Indirect, false)).unwrap();
+    let without = encode(&repo, &[std::sync::Arc::new(cache.clone()) as std::sync::Arc<dyn CacheSource>], &goal, &cfg(Encoding::Indirect, false)).unwrap();
     assert!(!without.program.contains("can_splice"));
     assert!(!without.program.contains("splicer_decl"));
 
-    let with = encode(&repo, &[&cache], &goal, &cfg(Encoding::Indirect, true)).unwrap();
+    let with = encode(&repo, &[std::sync::Arc::new(cache.clone()) as std::sync::Arc<dyn CacheSource>], &goal, &cfg(Encoding::Indirect, true)).unwrap();
     // Fig 4a-style compiled rule for the zlib-ng directive.
     assert!(with.program.contains("can_splice(node(\"zlib-ng\"), \"zlib\", Hash)"));
     assert!(with.program.contains("splicer_decl(\"zlib-ng\", \"zlib\")"));
@@ -235,7 +235,7 @@ fn reusable_count_reflects_filtering() {
     let repo = repo();
     let cache = cached(&repo, "example"); // example + zlib entries
     let goal = Goal::single(parse_spec("zlib").unwrap());
-    let out = encode(&repo, &[&cache], &goal, &cfg(Encoding::Indirect, false)).unwrap();
+    let out = encode(&repo, &[std::sync::Arc::new(cache.clone()) as std::sync::Arc<dyn CacheSource>], &goal, &cfg(Encoding::Indirect, false)).unwrap();
     // Only the zlib entry is within zlib's closure.
     assert_eq!(out.reusable_count, 1);
 }

@@ -29,8 +29,8 @@ fn tiny_repo() -> Repository {
 #[test]
 fn identical_resolve_hits_and_matches() {
     let repo = tiny_repo();
-    let cache = GroundCache::new();
-    let conc = Concretizer::new(&repo).with_ground_cache(&cache);
+    let cache = GroundCache::shared();
+    let conc = Concretizer::new(&repo).with_ground_cache(cache.clone());
     let goal = parse_spec("app").unwrap();
 
     let first = conc.concretize(&goal).unwrap();
@@ -58,10 +58,10 @@ fn identical_resolve_hits_and_matches() {
 #[test]
 fn repository_change_misses() {
     let mut repo = tiny_repo();
-    let cache = GroundCache::new();
+    let cache = GroundCache::shared();
     let goal = parse_spec("app").unwrap();
     Concretizer::new(&repo)
-        .with_ground_cache(&cache)
+        .with_ground_cache(cache.clone())
         .concretize(&goal)
         .unwrap();
 
@@ -71,7 +71,7 @@ fn repository_change_misses() {
     repo.add(PackageBuilder::new("bzip2").version("1.0").build().unwrap())
         .unwrap();
     let sol = Concretizer::new(&repo)
-        .with_ground_cache(&cache)
+        .with_ground_cache(cache.clone())
         .concretize(&goal)
         .unwrap();
     assert!(!sol.stats.ground_cache_hit);
@@ -83,8 +83,8 @@ fn repository_change_misses() {
 #[test]
 fn goal_change_misses() {
     let repo = tiny_repo();
-    let cache = GroundCache::new();
-    let conc = Concretizer::new(&repo).with_ground_cache(&cache);
+    let cache = GroundCache::shared();
+    let conc = Concretizer::new(&repo).with_ground_cache(cache.clone());
     conc.concretize(&parse_spec("app").unwrap()).unwrap();
 
     let sol = conc.concretize(&parse_spec("app@1.0").unwrap()).unwrap();
@@ -103,11 +103,11 @@ fn goal_change_misses() {
 #[test]
 fn config_change_misses() {
     let repo = tiny_repo();
-    let cache = GroundCache::new();
+    let cache = GroundCache::shared();
     let goal = parse_spec("app").unwrap();
     Concretizer::new(&repo)
         .with_config(ConcretizerConfig::splice_spack_disabled())
-        .with_ground_cache(&cache)
+        .with_ground_cache(cache.clone())
         .concretize(&goal)
         .unwrap();
 
@@ -117,14 +117,14 @@ fn config_change_misses() {
     };
     let sol = Concretizer::new(&repo)
         .with_config(other_target)
-        .with_ground_cache(&cache)
+        .with_ground_cache(cache.clone())
         .concretize(&goal)
         .unwrap();
     assert!(!sol.stats.ground_cache_hit, "target change must miss");
 
     let sol = Concretizer::new(&repo)
         .with_config(ConcretizerConfig::old_spack())
-        .with_ground_cache(&cache)
+        .with_ground_cache(cache.clone())
         .concretize(&goal)
         .unwrap();
     assert!(!sol.stats.ground_cache_hit, "encoding change must miss");
@@ -141,10 +141,10 @@ fn reusable_set_change_misses() {
     let mut bc = BuildCache::new();
     bc.add_spec(base.spec());
 
-    let cache = GroundCache::new();
+    let cache = GroundCache::shared();
     let first = Concretizer::new(&repo)
-        .with_reusable(&bc)
-        .with_ground_cache(&cache)
+        .with_reusable(bc.clone())
+        .with_ground_cache(cache.clone())
         .concretize(&goal)
         .unwrap();
     assert!(!first.stats.ground_cache_hit);
@@ -156,8 +156,8 @@ fn reusable_set_change_misses() {
         .unwrap();
     bc.add_spec(zlib.spec());
     let second = Concretizer::new(&repo)
-        .with_reusable(&bc)
-        .with_ground_cache(&cache)
+        .with_reusable(bc.clone())
+        .with_ground_cache(cache.clone())
         .concretize(&goal)
         .unwrap();
     assert!(
@@ -200,14 +200,14 @@ fn check_cached_equals_uncached(seed: u64) {
     }
 
     let uncached = Concretizer::new(&repo)
-        .with_reusable(&bc)
+        .with_reusable(bc.clone())
         .concretize(&goal)
         .unwrap();
 
-    let gc = GroundCache::new();
+    let gc = GroundCache::shared();
     let conc = Concretizer::new(&repo)
-        .with_reusable(&bc)
-        .with_ground_cache(&gc);
+        .with_reusable(bc.clone())
+        .with_ground_cache(gc.clone());
     let miss = conc.concretize(&goal).unwrap();
     let hit = conc.concretize(&goal).unwrap();
     assert!(!miss.stats.ground_cache_hit && hit.stats.ground_cache_hit);

@@ -73,7 +73,7 @@ fn spliced_install_resolves_across_a_chain() {
     assert!(InstallPlan::plan(&spliced, &mirror).builds() > 0);
 
     // Chained, the union resolves everything binary-only.
-    let chain = ChainedCache::with(vec![&local, &mirror]);
+    let chain = ChainedCache::with(vec![local.clone(), mirror.clone()]);
     assert!(chain.contains(build_hash));
     let plan = InstallPlan::plan(&spliced, &chain);
     assert_eq!(plan.builds(), 0, "no compilation with the chain");

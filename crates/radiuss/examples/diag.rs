@@ -10,7 +10,7 @@ fn main() {
         ] {
             let sol = Concretizer::new(&env.repo_plain)
                 .with_config(cfg)
-                .with_reusable(&env.local)
+                .with_reusable(env.local.clone())
                 .concretize(&spec)
                 .unwrap();
             let s = &sol.stats;

@@ -3,8 +3,12 @@
 fn main() {
     use std::time::Instant;
     use spackle_core::{Concretizer, ConcretizerConfig};
+    use spackle_buildcache::CacheSource;
+    use std::sync::Arc;
     let t0 = Instant::now();
     let env = spackle_radiuss::ExperimentEnv::setup(500, 42);
+    let local: Arc<dyn CacheSource> = Arc::new(env.local.clone());
+    let public: Arc<dyn CacheSource> = Arc::new(env.public.clone());
     println!(
         "setup: {:?} local={} public={}",
         t0.elapsed(),
@@ -14,7 +18,7 @@ fn main() {
     // Encoding-only configs (fig 5 shape).
     for root in ["hypre", "visit", "py-shroud"] {
         let spec = spackle_spec::parse_spec(root).unwrap();
-        for (label, cache) in [("local", &env.local), ("public", &env.public)] {
+        for (label, cache) in [("local", &local), ("public", &public)] {
             for (cfgname, cfg) in [
                 ("old", ConcretizerConfig::old_spack()),
                 ("new", ConcretizerConfig::splice_spack_disabled()),
@@ -38,7 +42,7 @@ fn main() {
     // Splice config (fig 6 shape): root ^mpiabi.
     for root in ["hypre", "mfem"] {
         let spec = spackle_spec::parse_spec(&format!("{root} ^mpiabi")).unwrap();
-        for (label, cache) in [("local", &env.local), ("public", &env.public)] {
+        for (label, cache) in [("local", &local), ("public", &public)] {
             let t = Instant::now();
             let sol = Concretizer::new(&env.repo_mpiabi)
                 .with_config(ConcretizerConfig::splice_spack())

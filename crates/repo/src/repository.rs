@@ -115,6 +115,18 @@ impl Repository {
         self.revision
     }
 
+    /// Force a fresh revision stamp without changing contents.
+    ///
+    /// This is the *reload* primitive for long-lived services: swapping
+    /// in a re-read (possibly byte-identical) repository must move every
+    /// downstream revision-keyed cache — ground-program memoization in
+    /// particular — onto a new key space, so `spackled`'s `invalidate`
+    /// request clones the resident repository, bumps the clone, and
+    /// publishes it while in-flight solves finish on the old snapshot.
+    pub fn bump_revision(&mut self) {
+        self.revision = NEXT_REVISION.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
     /// Look up a package definition.
     pub fn get(&self, name: Sym) -> Option<&PackageDef> {
         self.packages.get(&name)

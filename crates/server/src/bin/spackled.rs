@@ -1,0 +1,202 @@
+//! `spackled` — the long-lived concretization daemon.
+//!
+//! Boots the RADIUSS universe (the paper's experimental stack, with the
+//! mpiabi shim package), builds the local and public buildcaches once,
+//! and serves concretize / audit / stats / invalidate requests over
+//! line-delimited JSON on TCP until a client sends `shutdown`.
+//!
+//! ```text
+//! spackled [--listen ADDR] [--public-dags N] [--seed S] [--smoke]
+//! ```
+//!
+//! * `--listen ADDR`   — bind address (default `127.0.0.1:7654`;
+//!   use port `0` for an ephemeral port, printed at boot)
+//! * `--public-dags N` — synthesized public-cache DAGs (default `100`;
+//!   `0` serves from the local cache alone)
+//! * `--seed S`        — public-cache synthesis seed (default `42`)
+//! * `--smoke`         — boot on an ephemeral port, run a scripted
+//!   ping / concretize / stats / invalidate / shutdown exchange against
+//!   the live server, and exit nonzero on any protocol mismatch. Used
+//!   by CI's `server-smoke` job.
+
+use spackle_buildcache::{CacheSource, ChainedCache};
+use spackle_radiuss::{local_cache, public_cache, radiuss_repo, with_mpiabi};
+use spackle_server::server::ServerState;
+use spackle_server::{serve, Client, Request};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    listen: String,
+    public_dags: usize,
+    seed: u64,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: "127.0.0.1:7654".to_string(),
+        public_dags: 100,
+        seed: 42,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--public-dags" => {
+                args.public_dags = value("--public-dags")?
+                    .parse()
+                    .map_err(|e| format!("--public-dags: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: spackled [--listen ADDR] [--public-dags N] [--seed S] [--smoke]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Build the resident state: the RADIUSS repository (with the mpiabi
+/// shim, so splice goals resolve) and the chained local + public caches.
+fn boot_state(public_dags: usize, seed: u64) -> ServerState {
+    let base = radiuss_repo();
+    let repo = with_mpiabi(&base);
+    eprintln!(
+        "spackled: repository ready ({} packages, revision {})",
+        repo.len(),
+        repo.revision()
+    );
+
+    let local = local_cache(&base);
+    eprintln!("spackled: local cache ready ({} entries)", local.len());
+    let mut caches: Vec<Arc<dyn CacheSource>> = Vec::new();
+    if public_dags > 0 {
+        let public = public_cache(&base, public_dags, seed);
+        eprintln!(
+            "spackled: public cache ready ({} entries, {public_dags} dags, seed {seed})",
+            public.len()
+        );
+        caches.push(Arc::new(ChainedCache::with(vec![local, public])));
+    } else {
+        caches.push(Arc::new(local));
+    }
+    ServerState::new(repo, caches)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("spackled: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.smoke {
+        return match smoke(args.public_dags, args.seed) {
+            Ok(()) => {
+                println!("spackled: smoke OK");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("spackled: smoke FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let state = Arc::new(boot_state(args.public_dags, args.seed));
+    let server = match serve(state, &args.listen) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("spackled: cannot bind {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("spackled: listening on {}", server.addr());
+    server.join();
+    println!("spackled: shut down cleanly");
+    ExitCode::SUCCESS
+}
+
+/// The scripted end-to-end self-check behind `--smoke`: every assertion
+/// here is a protocol guarantee CI relies on.
+fn smoke(public_dags: usize, seed: u64) -> Result<(), String> {
+    // Small universe: the smoke job checks the protocol, not throughput.
+    let state = Arc::new(boot_state(public_dags.min(25), seed));
+    let server = serve(state, "127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr();
+    eprintln!("spackled: smoke server on {addr}");
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+
+    fn expect(cond: bool, what: &str) -> Result<(), String> {
+        if cond {
+            Ok(())
+        } else {
+            Err(what.to_string())
+        }
+    }
+
+    let ping = client.call(Request::op("ping"))?;
+    expect(ping.ok && ping.protocol == spackle_server::PROTOCOL_VERSION, "ping")?;
+
+    // Cold solve, then the identical goal again: the second must be a
+    // warm ground-cache hit with bit-identical hashes.
+    let cold = client.concretize("hypre ^mpiabi")?;
+    expect(cold.ok, "cold concretize failed")?;
+    expect(!cold.ground_cache_hit, "first solve must miss the ground cache")?;
+    expect(!cold.hashes.is_empty(), "cold solve returned no hashes")?;
+    let warm = client.concretize("hypre ^mpiabi")?;
+    expect(warm.ok, "warm concretize failed")?;
+    expect(warm.ground_cache_hit, "second solve must hit the ground cache")?;
+    expect(warm.hashes == cold.hashes, "warm hashes differ from cold")?;
+    expect(warm.solve_ms >= 0.0, "bad solve_ms")?;
+
+    let audit = client.call(Request::op("audit"))?;
+    expect(audit.ok, "audit failed")?;
+    expect(audit.audit_errors == 0, "repository audit reported errors")?;
+
+    let stats = client.stats()?;
+    expect(stats.ok, "stats failed")?;
+    expect(stats.concretizations == 2, "expected 2 concretizations")?;
+    expect(stats.ground_hits == 1 && stats.ground_misses == 1, "hit/miss counters")?;
+    expect(stats.failures == 0, "unexpected failures recorded")?;
+    expect(stats.cache_entries >= 1, "ground cache should be warm")?;
+    let rev_before = stats.repo_revision;
+
+    // Invalidate: revision bumps, warm entries drop, next solve misses
+    // but still produces the same answer.
+    let inv = client.invalidate()?;
+    expect(inv.ok, "invalidate failed")?;
+    expect(inv.repo_revision > rev_before, "revision must increase")?;
+    expect(inv.invalidated >= 1, "invalidate dropped nothing")?;
+    let rebuilt = client.concretize("hypre ^mpiabi")?;
+    expect(rebuilt.ok, "post-invalidate concretize failed")?;
+    expect(!rebuilt.ground_cache_hit, "post-invalidate solve must miss")?;
+    expect(rebuilt.hashes == cold.hashes, "post-invalidate hashes differ")?;
+
+    // A structured config error must arrive as a failure, not a panic.
+    let bad = client.call(Request::concretize("hypre").with_config("old+splice"))?;
+    expect(!bad.ok, "inconsistent config must fail")?;
+    expect(bad.error.starts_with("configuration:"), "config error not structured")?;
+
+    let down = client.shutdown()?;
+    expect(down.ok, "shutdown refused")?;
+    server.join();
+    Ok(())
+}

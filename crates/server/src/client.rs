@@ -1,0 +1,76 @@
+//! A minimal blocking client for the `spackled` protocol — used by the
+//! integration tests, the `--smoke` self-check, and as the reference
+//! implementation for external clients (the protocol is just
+//! line-delimited JSON; see `protocol.rs`).
+
+use crate::protocol::{Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a running `spackled`.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            reader,
+            writer,
+            next_id: 0,
+        })
+    }
+
+    /// Send one request and block for its response. Stamps a fresh
+    /// correlation id and verifies the server echoed it.
+    pub fn call(&mut self, mut request: Request) -> Result<Response, String> {
+        self.next_id += 1;
+        request.id = self.next_id;
+        let line = request.to_line();
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+
+        let mut reply = String::new();
+        match self.reader.read_line(&mut reply) {
+            Ok(0) => return Err("server closed the connection".to_string()),
+            Ok(_) => {}
+            Err(e) => return Err(format!("recv: {e}")),
+        }
+        let response = Response::from_line(reply.trim())?;
+        if response.id != request.id {
+            return Err(format!(
+                "correlation mismatch: sent id {} got {}",
+                request.id, response.id
+            ));
+        }
+        Ok(response)
+    }
+
+    /// `concretize` one spec with the session-default configuration.
+    pub fn concretize(&mut self, spec: &str) -> Result<Response, String> {
+        self.call(Request::concretize(spec))
+    }
+
+    /// Fetch the service counters.
+    pub fn stats(&mut self) -> Result<Response, String> {
+        self.call(Request::op("stats"))
+    }
+
+    /// Trigger a repository reload / ground-cache invalidation.
+    pub fn invalidate(&mut self) -> Result<Response, String> {
+        self.call(Request::op("invalidate"))
+    }
+
+    /// Ask the server to stop accepting and drain.
+    pub fn shutdown(&mut self) -> Result<Response, String> {
+        self.call(Request::op("shutdown"))
+    }
+}

@@ -1,0 +1,284 @@
+//! Request dispatch: one function per operation, all funneled through
+//! [`handle`]. Handlers never touch sockets — they map a parsed
+//! [`Request`] plus the shared [`ServerState`] and per-connection
+//! [`Session`] to a [`Response`], which keeps every operation unit
+//! testable without a live server.
+
+use crate::protocol::{Request, Response, PROTOCOL_VERSION};
+use crate::server::ServerState;
+use crate::session::{config_preset, Session};
+use spackle_audit::{audit, audit_repository, AuditReport, Severity};
+use spackle_core::Goal;
+use spackle_spec::{parse_spec, Sym};
+use std::time::Instant;
+
+/// Dispatch one request. Infallible at this layer: every failure mode
+/// becomes an `ok:false` response with a rendered error.
+pub fn handle(state: &ServerState, session: &mut Session, request: &Request) -> Response {
+    let response = match request.op.as_str() {
+        "ping" => {
+            let mut r = Response::ok_for(request);
+            r.protocol = PROTOCOL_VERSION;
+            r
+        }
+        "concretize" => concretize(state, session, request),
+        "last" => match session.last() {
+            Some(prev) => {
+                let mut r = prev.clone();
+                r.id = request.id;
+                r.op = request.op.clone();
+                r
+            }
+            None => Response::err_for(request, "no concretization on this connection yet"),
+        },
+        "set-config" => match session.set_default_config(&request.config) {
+            Ok(()) => Response::ok_for(request),
+            Err(e) => Response::err_for(request, e),
+        },
+        "audit" => run_audit(state, session, request),
+        "stats" => stats(state, request),
+        "invalidate" => {
+            let (revision, dropped) = state.invalidate();
+            let mut r = Response::ok_for(request);
+            r.repo_revision = revision;
+            r.invalidated = dropped as u64;
+            r
+        }
+        "shutdown" => Response::ok_for(request),
+        other => Response::err_for(request, format!("unknown op {other:?}")),
+    };
+    if !response.ok {
+        state.telemetry().record_failure();
+    }
+    response
+}
+
+/// Parse the request's goal: `roots` when non-empty, else `spec`.
+fn parse_goal(request: &Request) -> Result<Goal, String> {
+    let texts: Vec<&str> = if request.roots.is_empty() {
+        if request.spec.is_empty() {
+            return Err("concretize needs a `spec` or non-empty `roots`".to_string());
+        }
+        vec![request.spec.as_str()]
+    } else {
+        request.roots.iter().map(String::as_str).collect()
+    };
+    let mut goal = Goal {
+        roots: Vec::with_capacity(texts.len()),
+        forbidden: Vec::new(),
+    };
+    for text in texts {
+        goal.roots
+            .push(parse_spec(text).map_err(|e| format!("bad spec {text:?}: {e}"))?);
+    }
+    for name in &request.forbid {
+        goal.forbidden.push(Sym::intern(name));
+    }
+    Ok(goal)
+}
+
+fn concretize(state: &ServerState, session: &mut Session, request: &Request) -> Response {
+    let preset = session.effective_config(&request.config);
+    let config = match config_preset(preset) {
+        Ok(c) => c,
+        Err(e) => return Response::err_for(request, e),
+    };
+    let goal = match parse_goal(request) {
+        Ok(g) => g,
+        Err(e) => return Response::err_for(request, e),
+    };
+
+    let conc = state.concretizer(config);
+    let t = Instant::now();
+    let result = conc.concretize_goal(&goal);
+    let wall = t.elapsed();
+    state.telemetry().record_solve(wall, result.is_ok());
+
+    match result {
+        Ok(solution) => {
+            let mut r = Response::ok_for(request);
+            r.hashes = solution
+                .specs
+                .iter()
+                .map(|s| s.dag_hash().to_string())
+                .collect();
+            r.reused = solution.reused.iter().map(|s| s.as_str().to_string()).collect();
+            r.built = solution.built.iter().map(|s| s.as_str().to_string()).collect();
+            r.spliced = solution.spliced.len() as u64;
+            r.ground_cache_hit = solution.stats.ground_cache_hit;
+            r.solve_ms = wall.as_secs_f64() * 1e3;
+            session.remember(&r);
+            r
+        }
+        Err(e) => Response::err_for(request, e.to_string()),
+    }
+}
+
+/// Audit the resident repository; when the request names a goal spec,
+/// also audit the exact ASP program a solve of that goal would hand the
+/// solver (the concretizer reads `attr` and `splice_to` from models).
+fn run_audit(state: &ServerState, session: &mut Session, request: &Request) -> Response {
+    let repo = state.repo_snapshot();
+    let mut report = AuditReport::new(audit_repository(&repo));
+
+    if !request.spec.is_empty() {
+        let preset = session.effective_config(&request.config);
+        let config = match config_preset(preset) {
+            Ok(c) => c,
+            Err(e) => return Response::err_for(request, e),
+        };
+        let goal = match parse_goal(request) {
+            Ok(g) => g,
+            Err(e) => return Response::err_for(request, e),
+        };
+        let encoded = match state.concretizer(config).program_text(&goal) {
+            Ok(e) => e,
+            Err(e) => return Response::err_for(request, e.to_string()),
+        };
+        let program = match spackle_asp::parse_program(&encoded.program) {
+            Ok(p) => p,
+            Err(e) => {
+                return Response::err_for(request, format!("generated program invalid: {e}"))
+            }
+        };
+        let goals = [Sym::intern("attr"), Sym::intern("splice_to")];
+        report = audit(&repo, &program, &goals);
+    }
+
+    let mut r = Response::ok_for(request);
+    r.audit_errors = report.count(Severity::Error) as u64;
+    r.audit_warnings = report.count(Severity::Warning) as u64;
+    r.audit_report = report.render_json();
+    r
+}
+
+fn stats(state: &ServerState, request: &Request) -> Response {
+    let telemetry = state.telemetry().snapshot();
+    let cache = state.ground_cache().stats();
+    let mut r = Response::ok_for(request);
+    r.requests = telemetry.requests;
+    r.concretizations = telemetry.concretizations;
+    r.failures = telemetry.failures;
+    r.in_flight = telemetry.in_flight;
+    r.total_solve_ms = telemetry.total_solve.as_secs_f64() * 1e3;
+    r.max_solve_ms = telemetry.max_solve.as_secs_f64() * 1e3;
+    r.uptime_s = telemetry.uptime.as_secs_f64();
+    r.ground_hits = cache.hits;
+    r.ground_misses = cache.misses;
+    r.hit_rate = cache.hit_rate();
+    r.cache_entries = cache.entries as u64;
+    r.invalidated = cache.invalidated;
+    r.repo_revision = state.repo_snapshot().revision();
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerState;
+    use spackle_repo::{PackageBuilder, Repository};
+    use std::sync::Arc;
+
+    fn tiny_state() -> Arc<ServerState> {
+        let repo = Repository::from_packages([
+            PackageBuilder::new("zlib").version("1.3").build().unwrap(),
+            PackageBuilder::new("app")
+                .version("1.0")
+                .depends_on("zlib")
+                .build()
+                .unwrap(),
+        ])
+        .unwrap();
+        Arc::new(ServerState::new(repo, Vec::new()))
+    }
+
+    #[test]
+    fn concretize_then_last_then_stats() {
+        let state = tiny_state();
+        let mut session = Session::new();
+
+        let resp = handle(&state, &mut session, &Request::concretize("app").with_id(1));
+        assert!(resp.ok, "{}", resp.error);
+        assert_eq!(resp.hashes.len(), 1);
+        assert!(!resp.ground_cache_hit, "cold cache");
+
+        let again = handle(&state, &mut session, &Request::concretize("app").with_id(2));
+        assert!(again.ok);
+        assert!(again.ground_cache_hit, "warm cache");
+        assert_eq!(again.hashes, resp.hashes, "warm solve is bit-identical");
+
+        let last = handle(&state, &mut session, &Request::op("last").with_id(3));
+        assert!(last.ok);
+        assert_eq!(last.id, 3);
+        assert_eq!(last.hashes, again.hashes);
+
+        let stats = handle(&state, &mut session, &Request::op("stats"));
+        assert_eq!(stats.concretizations, 2);
+        assert_eq!(stats.ground_hits, 1);
+        assert_eq!(stats.ground_misses, 1);
+        assert_eq!(stats.in_flight, 0, "handlers run outside begin_request here");
+    }
+
+    #[test]
+    fn inconsistent_config_is_a_structured_error() {
+        let state = tiny_state();
+        let mut session = Session::new();
+        let resp = handle(
+            &state,
+            &mut session,
+            &Request::concretize("app").with_config("old+splice"),
+        );
+        assert!(!resp.ok);
+        assert!(
+            resp.error.starts_with("configuration:"),
+            "structured config error over the wire, got: {}",
+            resp.error
+        );
+    }
+
+    #[test]
+    fn invalidate_drops_and_rebuilds() {
+        let state = tiny_state();
+        let mut session = Session::new();
+        handle(&state, &mut session, &Request::concretize("app"));
+        assert_eq!(state.ground_cache().len(), 1);
+
+        let inv = handle(&state, &mut session, &Request::op("invalidate"));
+        assert!(inv.ok);
+        assert_eq!(inv.invalidated, 1);
+        assert_eq!(state.ground_cache().len(), 0);
+
+        let resp = handle(&state, &mut session, &Request::concretize("app"));
+        assert!(resp.ok);
+        assert!(!resp.ground_cache_hit, "fresh revision misses, then repopulates");
+        assert_eq!(state.ground_cache().len(), 1);
+    }
+
+    #[test]
+    fn unknown_op_and_bad_spec_fail_cleanly() {
+        let state = tiny_state();
+        let mut session = Session::new();
+        assert!(!handle(&state, &mut session, &Request::op("frobnicate")).ok);
+        assert!(!handle(&state, &mut session, &Request::concretize("@@@ nope")).ok);
+        let empty = handle(&state, &mut session, &Request::op("concretize"));
+        assert!(!empty.ok);
+        let stats = handle(&state, &mut session, &Request::op("stats"));
+        assert_eq!(stats.failures, 3);
+    }
+
+    #[test]
+    fn audit_repo_and_program() {
+        let state = tiny_state();
+        let mut session = Session::new();
+        let repo_only = handle(&state, &mut session, &Request::op("audit"));
+        assert!(repo_only.ok);
+        assert_eq!(repo_only.audit_errors, 0, "{}", repo_only.audit_report);
+
+        let mut with_goal = Request::op("audit");
+        with_goal.spec = "app".to_string();
+        let full = handle(&state, &mut session, &with_goal);
+        assert!(full.ok);
+        assert_eq!(full.audit_errors, 0, "{}", full.audit_report);
+        assert!(!full.audit_report.is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! The `spackled` wire protocol: line-delimited JSON over a stream.
+//!
+//! Each request is one JSON object on one line; the server answers with
+//! exactly one JSON object on one line. Both shapes are *flat* structs
+//! whose fields all carry defaults, so either side may omit anything it
+//! does not use and old clients keep working against newer servers (and
+//! vice versa) — unknown fields are ignored, missing fields default.
+//!
+//! Operations (`op`):
+//!
+//! | op           | request fields              | response fields |
+//! |--------------|-----------------------------|-----------------|
+//! | `ping`       | —                           | `ok`, `protocol` |
+//! | `concretize` | `spec` or `roots`, `forbid`, `config` | `hashes`, `reused`, `built`, `spliced`, `ground_cache_hit`, `solve_ms` |
+//! | `last`       | —                           | the previous concretize response for this connection |
+//! | `set-config` | `config`                    | `ok` (session default updated) |
+//! | `audit`      | —                           | `audit_errors`, `audit_warnings`, `audit_report` |
+//! | `stats`      | —                           | telemetry + ground-cache counters + `repo_revision` |
+//! | `invalidate` | —                           | `invalidated` (entries dropped), `repo_revision` (new) |
+//! | `shutdown`   | —                           | `ok`; the server stops accepting and drains |
+//!
+//! `config` names a [`spackle_core::ConcretizerConfig`] preset:
+//! `"splice"` (default), `"no-splice"`, `"old"`, or the deliberately
+//! inconsistent `"old+splice"` (used to exercise the structured
+//! `CoreError::Config` path end-to-end). An empty string means "use the
+//! session default" (see `session.rs`).
+
+use serde::{Deserialize, Serialize};
+
+/// Wire protocol revision; echoed in every `ping` response.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Upper bound on one request line, in bytes. A line longer than this is
+/// rejected without parsing (protects the server from unbounded reads).
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// One client request. Flat on purpose: every field defaults, `op`
+/// selects the operation and the other fields parameterize it.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Request {
+    /// Operation name (see module docs).
+    #[serde(default)]
+    pub op: String,
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    #[serde(default)]
+    pub id: u64,
+    /// Single-root goal spec text (`concretize`).
+    #[serde(default)]
+    pub spec: String,
+    /// Multi-root goal spec texts (`concretize`; wins over `spec` when
+    /// non-empty).
+    #[serde(default)]
+    pub roots: Vec<String>,
+    /// Package names forbidden from the solution (`concretize`).
+    #[serde(default)]
+    pub forbid: Vec<String>,
+    /// Configuration preset name (`concretize`, `set-config`).
+    #[serde(default)]
+    pub config: String,
+}
+
+impl Request {
+    /// A request with only `op` set.
+    pub fn op(op: &str) -> Request {
+        Request {
+            op: op.to_string(),
+            ..Request::default()
+        }
+    }
+
+    /// A single-root concretize request.
+    pub fn concretize(spec: &str) -> Request {
+        Request {
+            spec: spec.to_string(),
+            ..Request::op("concretize")
+        }
+    }
+
+    /// Attach a correlation id.
+    pub fn with_id(mut self, id: u64) -> Request {
+        self.id = id;
+        self
+    }
+
+    /// Select a configuration preset.
+    pub fn with_config(mut self, config: &str) -> Request {
+        self.config = config.to_string();
+        self
+    }
+
+    /// Serialize as one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("request serializes")
+    }
+
+    /// Parse one protocol line.
+    pub fn from_line(line: &str) -> Result<Request, String> {
+        serde_json::from_str(line).map_err(|e| e.to_string())
+    }
+}
+
+/// One server response. Flat like [`Request`]; consult the fields your
+/// `op` populates and ignore the rest (they hold defaults).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Response {
+    /// Did the operation succeed? When `false`, `error` explains why.
+    #[serde(default)]
+    pub ok: bool,
+    /// Correlation id copied from the request.
+    #[serde(default)]
+    pub id: u64,
+    /// Operation this answers (copied from the request).
+    #[serde(default)]
+    pub op: String,
+    /// Protocol revision (`ping`).
+    #[serde(default)]
+    pub protocol: u64,
+    /// Error description when `ok` is `false`. Structured configuration
+    /// errors arrive with a `configuration:` prefix (the rendered
+    /// `CoreError::Config`), distinguishable from parse or solve errors.
+    #[serde(default)]
+    pub error: String,
+
+    // --- concretize ---
+    /// DAG hash per requested root, request order.
+    #[serde(default)]
+    pub hashes: Vec<String>,
+    /// Packages reused from the caches.
+    #[serde(default)]
+    pub reused: Vec<String>,
+    /// Packages built from source.
+    #[serde(default)]
+    pub built: Vec<String>,
+    /// Number of executed splices.
+    #[serde(default)]
+    pub spliced: u64,
+    /// Did this solve reuse a memoized ground program?
+    #[serde(default)]
+    pub ground_cache_hit: bool,
+    /// End-to-end solve wall time in milliseconds.
+    #[serde(default)]
+    pub solve_ms: f64,
+
+    // --- audit ---
+    /// Error-severity diagnostics found.
+    #[serde(default)]
+    pub audit_errors: u64,
+    /// Warning-severity diagnostics found.
+    #[serde(default)]
+    pub audit_warnings: u64,
+    /// The full audit report, rendered as JSON (embedded string).
+    #[serde(default)]
+    pub audit_report: String,
+
+    // --- stats / invalidate ---
+    /// Requests handled since boot (all operations).
+    #[serde(default)]
+    pub requests: u64,
+    /// Successful concretizations since boot.
+    #[serde(default)]
+    pub concretizations: u64,
+    /// Failed requests since boot (parse, config, solve, ...).
+    #[serde(default)]
+    pub failures: u64,
+    /// Requests currently being handled (gauge; includes this one).
+    #[serde(default)]
+    pub in_flight: u64,
+    /// Cumulative ground-cache hits.
+    #[serde(default)]
+    pub ground_hits: u64,
+    /// Cumulative ground-cache misses.
+    #[serde(default)]
+    pub ground_misses: u64,
+    /// `ground_hits / (ground_hits + ground_misses)`, 0.0 when idle.
+    #[serde(default)]
+    pub hit_rate: f64,
+    /// Prepared programs currently resident in the ground cache.
+    #[serde(default)]
+    pub cache_entries: u64,
+    /// Current repository revision stamp.
+    #[serde(default)]
+    pub repo_revision: u64,
+    /// Ground-cache entries dropped (cumulative in `stats`; this call's
+    /// count in `invalidate`).
+    #[serde(default)]
+    pub invalidated: u64,
+    /// Total concretization wall time since boot, milliseconds.
+    #[serde(default)]
+    pub total_solve_ms: f64,
+    /// Slowest single concretization since boot, milliseconds.
+    #[serde(default)]
+    pub max_solve_ms: f64,
+    /// Seconds since the server booted.
+    #[serde(default)]
+    pub uptime_s: f64,
+}
+
+impl Response {
+    /// A success response answering `req`.
+    pub fn ok_for(req: &Request) -> Response {
+        Response {
+            ok: true,
+            id: req.id,
+            op: req.op.clone(),
+            ..Response::default()
+        }
+    }
+
+    /// A failure response answering `req`.
+    pub fn err_for(req: &Request, error: impl Into<String>) -> Response {
+        Response {
+            ok: false,
+            id: req.id,
+            op: req.op.clone(),
+            error: error.into(),
+            ..Response::default()
+        }
+    }
+
+    /// Serialize as one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("response serializes")
+    }
+
+    /// Parse one protocol line.
+    pub fn from_line(line: &str) -> Result<Response, String> {
+        serde_json::from_str(line).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let mut req = Request::concretize("hypre ^mpiabi").with_id(7);
+        req.forbid.push("mpich".to_string());
+        let back = Request::from_line(&req.to_line()).unwrap();
+        assert_eq!(back.op, "concretize");
+        assert_eq!(back.id, 7);
+        assert_eq!(back.spec, "hypre ^mpiabi");
+        assert_eq!(back.forbid, vec!["mpich".to_string()]);
+    }
+
+    #[test]
+    fn response_roundtrip_and_defaults() {
+        let mut resp = Response::ok_for(&Request::op("stats").with_id(3));
+        resp.ground_hits = 60;
+        resp.ground_misses = 4;
+        resp.hit_rate = 0.9375;
+        let back = Response::from_line(&resp.to_line()).unwrap();
+        assert!(back.ok);
+        assert_eq!(back.id, 3);
+        assert_eq!(back.ground_hits, 60);
+        assert!(back.hashes.is_empty(), "unset fields default");
+
+        // A minimal line parses with every field defaulted.
+        let minimal = Response::from_line("{\"ok\":true}").unwrap();
+        assert!(minimal.ok);
+        assert_eq!(minimal.error, "");
+    }
+}

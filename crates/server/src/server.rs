@@ -1,0 +1,244 @@
+//! The service core: shared state, the TCP accept loop, and the
+//! per-connection worker threads.
+//!
+//! [`ServerState`] is the daemon's resident memory — one repository
+//! snapshot behind a read-mostly lock, the chained reusable-spec
+//! sources, one warm [`GroundCache`], and the telemetry counters. Every
+//! request builds a throwaway [`Concretizer`] from `Arc` handles to that
+//! state, so solves on different connections run fully in parallel and
+//! share every index.
+//!
+//! Invalidation is *graceful by construction*: `invalidate` swaps in a
+//! re-stamped repository snapshot and drops stale ground-cache entries,
+//! but solves already in flight keep their own `Arc` snapshot of the old
+//! repository and their own handle to the prepared program, so they
+//! finish — bit-identical to what they would have produced — while new
+//! requests see the new revision. The ground cache's revision floor
+//! rejects stale stragglers trying to repopulate dropped entries.
+
+use crate::handle::handle;
+use crate::protocol::{Request, Response, MAX_LINE_BYTES};
+use crate::session::Session;
+use crate::telemetry::Telemetry;
+use parking_lot::RwLock;
+use spackle_buildcache::CacheSource;
+use spackle_core::{Concretizer, ConcretizerConfig, GroundCache};
+use spackle_repo::Repository;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Everything the daemon keeps resident across requests.
+pub struct ServerState {
+    repo: RwLock<Arc<Repository>>,
+    caches: Vec<Arc<dyn CacheSource>>,
+    ground_cache: Arc<GroundCache>,
+    telemetry: Telemetry,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    /// Resident state over a repository and reusable-spec sources, with
+    /// a fresh warm-ready ground cache.
+    pub fn new(repo: Repository, caches: Vec<Arc<dyn CacheSource>>) -> ServerState {
+        ServerState {
+            repo: RwLock::new(Arc::new(repo)),
+            caches,
+            ground_cache: GroundCache::shared(),
+            telemetry: Telemetry::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The current repository snapshot (cheap: one `Arc` clone under a
+    /// read lock).
+    pub fn repo_snapshot(&self) -> Arc<Repository> {
+        Arc::clone(&self.repo.read())
+    }
+
+    /// A request-scoped concretizer over the *current* snapshot: holds
+    /// its own `Arc`s, so a concurrent `invalidate` never disturbs it.
+    pub fn concretizer(&self, config: ConcretizerConfig) -> Concretizer {
+        let mut conc = Concretizer::shared(self.repo_snapshot())
+            .with_config(config)
+            .with_ground_cache(Arc::clone(&self.ground_cache));
+        for cache in &self.caches {
+            conc = conc.with_reusable(cache);
+        }
+        conc
+    }
+
+    /// Reload: re-stamp the repository snapshot with a fresh revision
+    /// and drop every ground-cache entry keyed below it. Returns
+    /// `(new_revision, entries_dropped)`. In-flight solves keep their
+    /// old snapshot and finish untouched; the cache's revision floor
+    /// keeps them from re-inserting stale programs afterwards.
+    pub fn invalidate(&self) -> (u64, usize) {
+        let new_revision = {
+            let mut slot = self.repo.write();
+            let mut fresh = (**slot).clone();
+            fresh.bump_revision();
+            let rev = fresh.revision();
+            *slot = Arc::new(fresh);
+            rev
+        };
+        let dropped = self.ground_cache.invalidate_below(new_revision);
+        (new_revision, dropped)
+    }
+
+    /// The shared warm ground cache.
+    pub fn ground_cache(&self) -> &Arc<GroundCache> {
+        &self.ground_cache
+    }
+
+    /// The chained reusable-spec sources, highest priority first.
+    pub fn caches(&self) -> &[Arc<dyn CacheSource>] {
+        &self.caches
+    }
+
+    /// The service counters.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Ask the accept loop to stop (idempotent).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Has shutdown been requested?
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server: the bound address plus the accept-loop thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0` requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (for in-process inspection, e.g. tests).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Block until the server has shut down and every connection thread
+    /// has drained.
+    pub fn join(self) {
+        self.accept.join().expect("accept loop panicked");
+    }
+
+    /// Request shutdown from outside a connection (tests, signal
+    /// handlers) and wake the accept loop.
+    pub fn initiate_shutdown(&self) {
+        self.state.request_shutdown();
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+/// accepting connections, one worker thread per connection.
+pub fn serve(state: Arc<ServerState>, addr: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let accept_state = Arc::clone(&state);
+    let accept = std::thread::spawn(move || accept_loop(listener, local, accept_state));
+    Ok(ServerHandle {
+        addr: local,
+        state,
+        accept,
+    })
+}
+
+fn accept_loop(listener: TcpListener, addr: SocketAddr, state: Arc<ServerState>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if state.shutdown_requested() {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                let state = Arc::clone(&state);
+                workers.push(std::thread::spawn(move || {
+                    serve_connection(stream, addr, &state);
+                }));
+            }
+            // Transient accept errors (EMFILE, aborted handshakes) must
+            // not kill the daemon.
+            Err(_) => continue,
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Serve one connection until EOF: read a line, handle it, answer with a
+/// line. Parse failures answer with `ok:false` and keep the connection.
+fn serve_connection(stream: TcpStream, addr: SocketAddr, state: &ServerState) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut session = Session::new();
+    let mut line = String::new();
+
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client hung up
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+
+        let _guard = state.telemetry().begin_request();
+        let response = if line.len() > MAX_LINE_BYTES {
+            state.telemetry().record_failure();
+            Response::err_for(
+                &Request::default(),
+                format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            )
+        } else {
+            match Request::from_line(trimmed) {
+                Ok(request) => handle(state, &mut session, &request),
+                Err(e) => {
+                    state.telemetry().record_failure();
+                    Response::err_for(&Request::default(), format!("bad request: {e}"))
+                }
+            }
+        };
+
+        let is_shutdown = response.ok && response.op == "shutdown";
+        if writer
+            .write_all(response.to_line().as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if is_shutdown {
+            // Raise the flag, then wake the accept loop so it observes
+            // it; the wake connection itself is discarded by the
+            // shutdown check.
+            state.request_shutdown();
+            let _ = TcpStream::connect(addr);
+            break;
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Per-connection state: the session's default configuration preset and
+//! the last concretize response (re-fetchable via the `last` op without
+//! re-solving — handy for clients that fire a solve, drop the result,
+//! and come back for details).
+
+use crate::protocol::Response;
+use spackle_core::{ConcretizerConfig, Encoding};
+
+/// Resolve a configuration preset name.
+///
+/// `"splice"` → [`ConcretizerConfig::splice_spack`],
+/// `"no-splice"` → [`ConcretizerConfig::splice_spack_disabled`],
+/// `"old"` → [`ConcretizerConfig::old_spack`],
+/// `"old+splice"` → the deliberately inconsistent direct-encoding +
+/// splicing combination (the solve surfaces `CoreError::Config`; kept so
+/// clients and tests can exercise the structured-error path end-to-end).
+pub fn config_preset(name: &str) -> Result<ConcretizerConfig, String> {
+    match name {
+        "splice" => Ok(ConcretizerConfig::splice_spack()),
+        "no-splice" => Ok(ConcretizerConfig::splice_spack_disabled()),
+        "old" => Ok(ConcretizerConfig::old_spack()),
+        "old+splice" => Ok(ConcretizerConfig {
+            encoding: Encoding::Direct,
+            splicing: true,
+            ..ConcretizerConfig::default()
+        }),
+        other => Err(format!(
+            "unknown config preset {other:?} (expected \"splice\", \"no-splice\", \
+             \"old\", or \"old+splice\")"
+        )),
+    }
+}
+
+/// State one connection carries between requests.
+#[derive(Debug)]
+pub struct Session {
+    /// Preset used when a concretize request leaves `config` empty.
+    default_config: String,
+    /// The most recent successful concretize response on this
+    /// connection.
+    last: Option<Response>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// Fresh session: default preset is `"splice"` (full splice spack).
+    pub fn new() -> Session {
+        Session {
+            default_config: "splice".to_string(),
+            last: None,
+        }
+    }
+
+    /// The effective preset name for a request-supplied `config` field
+    /// (empty string means "session default").
+    pub fn effective_config<'a>(&'a self, requested: &'a str) -> &'a str {
+        if requested.is_empty() {
+            &self.default_config
+        } else {
+            requested
+        }
+    }
+
+    /// Update the session default. The name is validated here so a typo
+    /// fails at `set-config` time, not on a later concretize.
+    pub fn set_default_config(&mut self, name: &str) -> Result<(), String> {
+        config_preset(name)?;
+        self.default_config = name.to_string();
+        Ok(())
+    }
+
+    /// The current default preset name.
+    pub fn default_config(&self) -> &str {
+        &self.default_config
+    }
+
+    /// Remember a successful concretize response.
+    pub fn remember(&mut self, response: &Response) {
+        self.last = Some(response.clone());
+    }
+
+    /// The last successful concretize response, if any.
+    pub fn last(&self) -> Option<&Response> {
+        self.last.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_resolve() {
+        assert!(config_preset("splice").unwrap().splicing);
+        assert!(!config_preset("no-splice").unwrap().splicing);
+        assert_eq!(config_preset("old").unwrap().encoding, Encoding::Direct);
+        assert!(config_preset("old+splice").unwrap().validate().is_err());
+        assert!(config_preset("bogus").is_err());
+    }
+
+    #[test]
+    fn session_default_and_validation() {
+        let mut s = Session::new();
+        assert_eq!(s.effective_config(""), "splice");
+        assert_eq!(s.effective_config("old"), "old");
+        s.set_default_config("no-splice").unwrap();
+        assert_eq!(s.effective_config(""), "no-splice");
+        assert!(s.set_default_config("bogus").is_err());
+        assert_eq!(s.default_config(), "no-splice", "bad name left default");
+    }
+}

@@ -1,0 +1,153 @@
+//! Service telemetry: lock-free counters shared by every worker thread.
+//!
+//! All counters are monotonic atomics except `in_flight`, a gauge
+//! maintained by [`InFlightGuard`] (RAII, so a panicking handler still
+//! decrements). The `stats` request snapshots everything; snapshots are
+//! *per-counter* consistent (each value is an atomic load) but not a
+//! single cross-counter transaction — good enough for monitoring, and
+//! the price of staying off every hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Cumulative service counters plus the in-flight gauge.
+#[derive(Debug)]
+pub struct Telemetry {
+    started: Instant,
+    requests: AtomicU64,
+    concretizations: AtomicU64,
+    failures: AtomicU64,
+    in_flight: AtomicU64,
+    solve_us_total: AtomicU64,
+    solve_us_max: AtomicU64,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// Fresh telemetry; the uptime clock starts now.
+    pub fn new() -> Telemetry {
+        Telemetry {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            concretizations: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            solve_us_total: AtomicU64::new(0),
+            solve_us_max: AtomicU64::new(0),
+        }
+    }
+
+    /// Count one incoming request and raise the in-flight gauge; the
+    /// returned guard lowers it again when dropped.
+    pub fn begin_request(&self) -> InFlightGuard<'_> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard { telemetry: self }
+    }
+
+    /// Record one finished concretization attempt.
+    pub fn record_solve(&self, wall: Duration, ok: bool) {
+        if ok {
+            self.concretizations.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = wall.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.solve_us_total.fetch_add(us, Ordering::Relaxed);
+        self.solve_us_max.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Record one failed request (any operation).
+    pub fn record_failure(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot every counter.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            concretizations: self.concretizations.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            total_solve: Duration::from_micros(self.solve_us_total.load(Ordering::Relaxed)),
+            max_solve: Duration::from_micros(self.solve_us_max.load(Ordering::Relaxed)),
+            uptime: self.started.elapsed(),
+        }
+    }
+}
+
+/// RAII in-flight decrement (see [`Telemetry::begin_request`]).
+#[derive(Debug)]
+pub struct InFlightGuard<'a> {
+    telemetry: &'a Telemetry,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.telemetry.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One point-in-time view of the counters.
+#[derive(Clone, Debug)]
+pub struct TelemetrySnapshot {
+    /// Requests handled since boot (all operations).
+    pub requests: u64,
+    /// Successful concretizations since boot.
+    pub concretizations: u64,
+    /// Failed requests since boot.
+    pub failures: u64,
+    /// Requests currently in flight.
+    pub in_flight: u64,
+    /// Total concretization wall time since boot.
+    pub total_solve: Duration,
+    /// Slowest single concretization since boot.
+    pub max_solve: Duration,
+    /// Time since boot.
+    pub uptime: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let t = Arc::new(Telemetry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        let _guard = t.begin_request();
+                        t.record_solve(Duration::from_micros(i), i % 10 != 0);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        let s = t.snapshot();
+        assert_eq!(s.requests, 400);
+        assert_eq!(s.concretizations, 4 * 90);
+        assert_eq!(s.in_flight, 0, "every guard dropped");
+        assert_eq!(s.max_solve, Duration::from_micros(99));
+        assert_eq!(s.total_solve, Duration::from_micros(4 * 99 * 100 / 2));
+    }
+
+    #[test]
+    fn in_flight_guard_survives_panic() {
+        let t = Telemetry::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = t.begin_request();
+            panic!("handler died");
+        }));
+        assert!(result.is_err());
+        assert_eq!(t.snapshot().in_flight, 0, "guard ran on unwind");
+    }
+}

@@ -70,7 +70,7 @@ fn main() {
     // Old spack: no ABI model, so Trilinos must rebuild on the cluster.
     let old = Concretizer::new(&cluster_repo)
         .with_config(ConcretizerConfig::old_spack())
-        .with_reusable(&cache)
+        .with_reusable(cache.clone())
         .concretize_goal(&goal)
         .unwrap();
     println!(
@@ -82,7 +82,7 @@ fn main() {
     // Splice spack: reuse the farm's Trilinos, splice cray-mpich in.
     let new = Concretizer::new(&cluster_repo)
         .with_config(ConcretizerConfig::splice_spack())
-        .with_reusable(&cache)
+        .with_reusable(cache.clone())
         .concretize_goal(&goal)
         .unwrap();
     println!(

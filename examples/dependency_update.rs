@@ -59,7 +59,7 @@ fn main() {
     // Without splicing: the whole chain rebuilds.
     let old = Concretizer::new(&repo)
         .with_config(ConcretizerConfig::old_spack())
-        .with_reusable(&cache)
+        .with_reusable(cache.clone())
         .concretize(&goal)
         .unwrap();
     println!(
@@ -72,7 +72,7 @@ fn main() {
     // With splicing: only zlib itself builds; dependents are spliced.
     let new = Concretizer::new(&repo)
         .with_config(ConcretizerConfig::splice_spack())
-        .with_reusable(&cache)
+        .with_reusable(cache.clone())
         .concretize(&goal)
         .unwrap();
     println!(

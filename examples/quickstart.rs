@@ -69,7 +69,7 @@ fn main() {
         installer.build_artifact(sub, sub.root_id())
     });
     let sol2 = Concretizer::new(&repo)
-        .with_reusable(&cache)
+        .with_reusable(cache.clone())
         .concretize(&goal)
         .unwrap();
     println!(

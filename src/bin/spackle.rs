@@ -171,7 +171,7 @@ fn main() -> ExitCode {
             }
             let sol = match Concretizer::new(&repo)
                 .with_config(cfg)
-                .with_reusable(&cache)
+                .with_reusable(cache.clone())
                 .concretize_goal(&goal)
             {
                 Ok(s) => s,
@@ -252,7 +252,7 @@ fn main() -> ExitCode {
             let root = flag_value(&args, "--root").unwrap_or("./spackle-store");
             let sol = match Concretizer::new(&repo)
                 .with_config(ConcretizerConfig::splice_spack())
-                .with_reusable(&cache)
+                .with_reusable(cache.clone())
                 .concretize(&spec)
             {
                 Ok(s) => s,
@@ -383,7 +383,8 @@ fn main() -> ExitCode {
                     }),
                 "concretize" => (|| {
                     let mut env = load_env()?;
-                    let cache = load_cache(flag_value(&args, "--cache"));
+                    let cache: std::sync::Arc<dyn CacheSource> =
+                        std::sync::Arc::new(load_cache(flag_value(&args, "--cache")));
                     let cfg = if args.iter().any(|a| a == "--old") {
                         ConcretizerConfig::old_spack()
                     } else if args.iter().any(|a| a == "--no-splice") {
@@ -392,7 +393,7 @@ fn main() -> ExitCode {
                         ConcretizerConfig::splice_spack()
                     };
                     let lock = env
-                        .concretize(&repo, &[&cache], cfg)
+                        .concretize(&repo, &[cache], cfg)
                         .map_err(|e| e.to_string())?;
                     println!(
                         "concretized {} roots, {} distinct packages",

@@ -114,11 +114,13 @@ impl Environment {
 
     /// Jointly concretize all roots and pin the result. `caches` may be
     /// any mix of [`CacheSource`] backends (plain `BuildCache`s, chained
-    /// views, ...).
+    /// views, ...) behind shared `Arc<dyn CacheSource>` handles — the
+    /// same handles a long-lived service holds, so environment solves
+    /// share indexes with every other solve in the process.
     pub fn concretize(
         &mut self,
         repo: &Repository,
-        caches: &[&dyn CacheSource],
+        caches: &[std::sync::Arc<dyn CacheSource>],
         config: ConcretizerConfig,
     ) -> Result<&Lockfile, EnvError> {
         let mut goal = Goal {
@@ -131,7 +133,7 @@ impl Environment {
         }
         let mut c = Concretizer::new(repo).with_config(config);
         for cache in caches {
-            c = c.with_reusable(*cache);
+            c = c.with_reusable(cache);
         }
         let sol = c.concretize_goal(&goal).map_err(EnvError::Concretize)?;
         let mut lock = Lockfile::default();

@@ -56,7 +56,7 @@ fn environment_lock_then_reuse() {
     // Round-trip through JSON, then re-concretize against the cache:
     // zero builds.
     let mut env2 = Environment::from_json(&env.to_json()).unwrap();
-    env2.concretize(&repo, &[&cache], ConcretizerConfig::splice_spack_disabled())
+    env2.concretize(&repo, &[std::sync::Arc::new(cache.clone()) as std::sync::Arc<dyn CacheSource>], ConcretizerConfig::splice_spack_disabled())
         .unwrap();
     let mut local = Installer::new(InstallLayout::new("/home/user/.spackle"));
     let report = env2.install(&mut local, &cache).unwrap();
@@ -88,7 +88,7 @@ fn environment_deploys_spliced_on_cray() {
     cluster_env.add("hypre ^cray-mpich").unwrap();
     cluster_env.add("mfem ^cray-mpich").unwrap();
     let lock = cluster_env
-        .concretize(&repo, &[&cache], ConcretizerConfig::splice_spack())
+        .concretize(&repo, &[std::sync::Arc::new(cache.clone()) as std::sync::Arc<dyn CacheSource>], ConcretizerConfig::splice_spack())
         .unwrap();
 
     // Both roots share one cray-mpich, and their parents are spliced

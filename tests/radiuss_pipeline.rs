@@ -12,7 +12,7 @@ use std::sync::OnceLock;
 struct Fixture {
     repo: Repository,
     repo_mpiabi: Repository,
-    cache: BuildCache,
+    cache: std::sync::Arc<dyn CacheSource>,
 }
 
 fn fixture() -> &'static Fixture {
@@ -35,7 +35,7 @@ fn fixture() -> &'static Fixture {
         Fixture {
             repo,
             repo_mpiabi,
-            cache,
+            cache: std::sync::Arc::new(cache),
         }
     })
 }
@@ -85,8 +85,8 @@ fn rq2_splice_end_to_end_with_install() {
 
     // Install: spliced parents rewire from cached binaries.
     let mut inst = Installer::new(InstallLayout::new("/opt/spackle-farm/store"));
-    let plan = InstallPlan::plan(spec, &fx.cache);
-    let report = inst.install(spec, &fx.cache, &plan).unwrap();
+    let plan = InstallPlan::plan(spec, &*fx.cache);
+    let report = inst.install(spec, &*fx.cache, &plan).unwrap();
     assert!(report.rewired >= 1, "report: {report:?}");
     assert_eq!(report.built, 1); // mpiabi
     let problems = inst.verify(spec);
