@@ -1,10 +1,14 @@
 //! A MiniSat-style CDCL SAT solver: two watched literals with blockers,
 //! first-UIP conflict analysis, VSIDS-style activity ordering, phase
-//! saving, and Luby restarts. Supports incremental clause addition between
-//! `solve` calls (used by the optimizer's branch-and-bound loop and the
-//! stability CEGAR loop).
+//! saving, Luby restarts, and LBD-scored learnt-clause deletion — each
+//! search heuristic toggleable via [`SatConfig`]. Supports incremental
+//! clause addition between `solve` calls (used by the optimizer's
+//! branch-and-bound loop and the stability CEGAR loop) and an optional
+//! [`preprocessing pass`](Sat::preprocess) whose eliminated variables
+//! are transparently reconstructed in returned models and transparently
+//! *reintroduced* when later clauses or assumptions mention them.
 
-
+use crate::preprocess::{preprocess as run_preprocess, PreprocessConfig, PreprocessStats, TraceEntry};
 
 /// A boolean variable, numbered from 0.
 pub type Var = u32;
@@ -68,6 +72,42 @@ struct Watcher {
     blocker: Lit,
 }
 
+/// Search-heuristic toggles for the CDCL loop. Defaults enable
+/// everything (the "modern" engine); switching one off reproduces the
+/// corresponding seed-engine behavior, which is what the solver-config
+/// differential matrix exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SatConfig {
+    /// Branch on the variable's last-seen polarity instead of `false`.
+    pub phase_saving: bool,
+    /// Luby-scheduled restarts.
+    pub restarts: bool,
+    /// Score learnt clauses by literal block distance for database
+    /// reduction (protecting glue clauses) instead of by activity only.
+    pub lbd_deletion: bool,
+}
+
+impl Default for SatConfig {
+    fn default() -> Self {
+        SatConfig {
+            phase_saving: true,
+            restarts: true,
+            lbd_deletion: true,
+        }
+    }
+}
+
+impl SatConfig {
+    /// All heuristics off — the seed engine's search loop.
+    pub fn seed_engine() -> Self {
+        SatConfig {
+            phase_saving: false,
+            restarts: false,
+            lbd_deletion: false,
+        }
+    }
+}
+
 /// Outcome of a `solve` call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SatResult {
@@ -111,6 +151,7 @@ pub struct Sat {
     learnt: Vec<bool>,
     deleted: Vec<bool>,
     clause_activity: Vec<f64>,
+    lbd: Vec<u32>, // literal block distance per clause (0 = original)
     cla_inc: f64,
     n_learnt_live: usize,
     max_learnts: usize,
@@ -131,10 +172,18 @@ pub struct Sat {
 
     seen: Vec<bool>, // scratch for conflict analysis
 
+    // Preprocessing residue: variables removed by pure-literal / bounded
+    // variable elimination, their saved clauses (chronological order),
+    // and the reconstructed model values for them after a Sat result.
+    eliminated: Vec<bool>,
+    elim_trace: Vec<(Var, Vec<Vec<Lit>>)>,
+    ext_val: Vec<bool>,
+
     ok: bool, // false once a top-level conflict proves UNSAT
     /// Cumulative statistics.
     pub stats: SatStats,
     conflict_budget: u64,
+    cfg: SatConfig,
 }
 
 const NO_REASON: u32 = u32::MAX;
@@ -153,6 +202,7 @@ impl Sat {
             learnt: Vec::new(),
             deleted: Vec::new(),
             clause_activity: Vec::new(),
+            lbd: Vec::new(),
             cla_inc: 1.0,
             n_learnt_live: 0,
             max_learnts: 4000,
@@ -169,15 +219,30 @@ impl Sat {
             heap_index: Vec::new(),
             phase: Vec::new(),
             seen: Vec::new(),
+            eliminated: Vec::new(),
+            elim_trace: Vec::new(),
+            ext_val: Vec::new(),
             ok: true,
             stats: SatStats::default(),
             conflict_budget: u64::MAX,
+            cfg: SatConfig::default(),
         }
     }
 
     /// Limit the number of conflicts per `solve` call (`u64::MAX` = none).
     pub fn set_conflict_budget(&mut self, budget: u64) {
         self.conflict_budget = budget;
+    }
+
+    /// Set the search-heuristic toggles (takes effect on the next
+    /// `solve` / database reduction).
+    pub fn set_search_config(&mut self, cfg: SatConfig) {
+        self.cfg = cfg;
+    }
+
+    /// The current search-heuristic toggles.
+    pub fn search_config(&self) -> SatConfig {
+        self.cfg
     }
 
     /// Set the learnt-clause count that triggers a database reduction
@@ -195,6 +260,8 @@ impl Sat {
         self.activity.push(0.0);
         self.phase.push(false);
         self.seen.push(false);
+        self.eliminated.push(false);
+        self.ext_val.push(false);
         self.heap_index.push(u32::MAX);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
@@ -234,6 +301,10 @@ impl Sat {
         if !self.ok {
             return false;
         }
+        self.reintroduce_vars(lits);
+        if !self.ok {
+            return false;
+        }
         self.backtrack(0);
         // Normalize: sort, dedupe, drop false-at-0, detect tautology and
         // satisfied-at-0.
@@ -269,15 +340,16 @@ impl Sat {
                 }
             }
             _ => {
-                self.attach_clause(c.into_boxed_slice(), false);
+                self.attach_clause(c.into_boxed_slice(), false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, c: Box<[Lit]>, learnt: bool) -> u32 {
+    fn attach_clause(&mut self, c: Box<[Lit]>, learnt: bool, lbd: u32) -> u32 {
         let idx = self.clauses.len() as u32;
         self.deleted.push(false);
+        self.lbd.push(lbd);
         self.clause_activity.push(if learnt { self.cla_inc } else { 0.0 });
         if learnt {
             self.n_learnt_live += 1;
@@ -601,10 +673,12 @@ impl Sat {
         }
     }
 
-    /// Delete roughly the less-active half of the learnt clauses.
-    /// Binary clauses and clauses currently serving as reasons are kept.
-    /// Deletion tombstones the clause; its watchers are dropped lazily by
-    /// `propagate`.
+    /// Delete roughly the worse half of the learnt clauses. Binary
+    /// clauses and clauses currently serving as reasons are kept; with
+    /// LBD deletion enabled, glue clauses (LBD ≤ 2) are also protected
+    /// and clauses are ranked worst-LBD-first (activity breaks ties),
+    /// otherwise purely by activity. Deletion tombstones the clause; its
+    /// watchers are dropped lazily by `propagate`.
     fn reduce_db(&mut self) {
         self.stats.reductions += 1;
         self.cla_inc *= 1.001; // slight protection for recent clauses
@@ -614,31 +688,81 @@ impl Sat {
             .map(|l| self.reason[l.var() as usize])
             .filter(|&r| r != NO_REASON)
             .collect();
-        let mut cands: Vec<(f64, u32)> = (0..self.clauses.len() as u32)
+        let lbd_mode = self.cfg.lbd_deletion;
+        let mut cands: Vec<(u32, f64, u32)> = (0..self.clauses.len() as u32)
             .filter(|&i| {
                 let ci = i as usize;
                 self.learnt[ci]
                     && !self.deleted[ci]
                     && self.clauses[ci].len() > 2
                     && !locked.contains(&i)
+                    && !(lbd_mode && self.lbd[ci] <= 2)
             })
-            .map(|i| (self.clause_activity[i as usize], i))
+            .map(|i| (self.lbd[i as usize], self.clause_activity[i as usize], i))
             .collect();
-        cands.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        if lbd_mode {
+            // Worst clauses first: highest LBD, then lowest activity.
+            cands.sort_by(|a, b| {
+                b.0.cmp(&a.0).then(
+                    a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal),
+                )
+            });
+        } else {
+            cands.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        }
         let to_delete = cands.len() / 2;
-        for &(_, i) in cands.iter().take(to_delete) {
+        for &(_, _, i) in cands.iter().take(to_delete) {
             self.deleted[i as usize] = true;
             self.n_learnt_live -= 1;
             self.stats.deleted_clauses += 1;
         }
     }
 
+    /// Literal block distance of a (learnt) clause under the current
+    /// assignment: the number of distinct decision levels among its
+    /// literals.
+    fn compute_lbd(&self, c: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = c.iter().map(|l| self.level[l.var() as usize]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    /// Drop every learnt clause, clear saved phases and activities: the
+    /// next `solve` searches from scratch. Used by the optimizer's
+    /// non-incremental branch-and-bound mode (and its differential
+    /// tests) to reproduce the seed engine's re-search behavior.
+    pub fn forget_learnts(&mut self) {
+        self.backtrack(0);
+        for i in 0..self.clauses.len() {
+            if self.learnt[i] && !self.deleted[i] {
+                self.deleted[i] = true;
+            }
+        }
+        self.n_learnt_live = 0;
+        // Level-0 trail entries may cite learnt reasons; clear them (a
+        // level-0 assignment needs no justification).
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var() as usize;
+            self.reason[v] = NO_REASON;
+        }
+        for p in &mut self.phase {
+            *p = false;
+        }
+        for a in &mut self.activity {
+            *a = 0.0;
+        }
+        self.var_inc = 1.0;
+        self.cla_inc = 1.0;
+    }
+
     // --- main search ---
 
     fn pick_branch(&mut self) -> Option<Lit> {
         while let Some(v) = self.heap_pop() {
-            if self.assign[v as usize] == LBool::Undef {
-                return Some(Lit::with_value(v, self.phase[v as usize]));
+            if self.assign[v as usize] == LBool::Undef && !self.eliminated[v as usize] {
+                let polarity = self.cfg.phase_saving && self.phase[v as usize];
+                return Some(Lit::with_value(v, polarity));
             }
         }
         None
@@ -655,6 +779,12 @@ impl Sat {
     /// remains usable, and only a level-0 conflict marks the formula
     /// globally unsatisfiable.
     pub fn solve_with(&mut self, assumps: &[Lit]) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        // Assumptions over preprocessing-eliminated variables force those
+        // variables (and everything eliminated after them) back in.
+        self.reintroduce_vars(assumps);
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -676,11 +806,12 @@ impl Sat {
                     return SatResult::Unsat;
                 }
                 let (learnt, bt) = self.analyze(confl);
+                let lbd = self.compute_lbd(&learnt);
                 self.backtrack(bt);
                 if learnt.len() == 1 {
                     self.enqueue(learnt[0], NO_REASON);
                 } else {
-                    let idx = self.attach_clause(learnt.clone().into_boxed_slice(), true);
+                    let idx = self.attach_clause(learnt.clone().into_boxed_slice(), true, lbd);
                     self.enqueue(learnt[0], idx);
                 }
                 self.decay_activity();
@@ -693,7 +824,7 @@ impl Sat {
                     self.backtrack(0);
                     return SatResult::Unknown;
                 }
-                if conflicts_this_call >= next_restart {
+                if self.cfg.restarts && conflicts_this_call >= next_restart {
                     restart_unit += 1;
                     next_restart = conflicts_this_call + luby(restart_unit) * 100;
                     self.stats.restarts += 1;
@@ -726,7 +857,10 @@ impl Sat {
                     return SatResult::Unsat;
                 }
                 match next.or_else(|| self.pick_branch()) {
-                    None => return SatResult::Sat,
+                    None => {
+                        self.reconstruct_model();
+                        return SatResult::Sat;
+                    }
                     Some(l) => {
                         self.stats.decisions += 1;
                         self.trail_lim.push(self.trail.len());
@@ -738,9 +872,149 @@ impl Sat {
     }
 
     /// Model value of `v` after a `Sat` result. Unassigned vars (possible
-    /// when they occur in no clause) read as `false`.
+    /// when they occur in no clause) read as `false`; variables removed
+    /// by preprocessing read their reconstructed value.
     pub fn value(&self, v: Var) -> bool {
+        if self.eliminated[v as usize] {
+            return self.ext_val[v as usize];
+        }
         matches!(self.assign[v as usize], LBool::True)
+    }
+
+    // --- preprocessing integration ---
+
+    /// Run the [`crate::preprocess`] pipeline over the current formula
+    /// and rebuild the solver from the simplified clauses. Must be
+    /// called before search (typically right after translation);
+    /// existing learnt clauses are discarded. Variables flagged in
+    /// `frozen` are never eliminated and stay safe to mention in later
+    /// clauses and assumptions; eliminated variables still yield correct
+    /// [`Sat::value`]s through model reconstruction, and are reintroduced
+    /// automatically if mentioned again.
+    pub fn preprocess(&mut self, config: &PreprocessConfig, frozen: &[bool]) -> PreprocessStats {
+        if !self.ok || !config.enabled {
+            return PreprocessStats::default();
+        }
+        self.backtrack(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return PreprocessStats::default();
+        }
+        let mut input: Vec<Vec<Lit>> = Vec::with_capacity(self.trail.len() + self.clauses.len());
+        for &l in &self.trail {
+            input.push(vec![l]);
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            // Learnt clauses are implied — dropping them is sound (and
+            // there are none on the intended call path, pre-search).
+            if !self.deleted[i] && !self.learnt[i] {
+                input.push(c.to_vec());
+            }
+        }
+        let pre = run_preprocess(self.num_vars(), &input, frozen, config);
+        let stats = pre.stats;
+        if pre.unsat {
+            self.ok = false;
+            return stats;
+        }
+        self.rebuild_from(pre);
+        stats
+    }
+
+    /// Replace the solver's formula with a preprocessing result.
+    fn rebuild_from(&mut self, pre: crate::preprocess::Preprocessed) {
+        self.clauses.clear();
+        self.learnt.clear();
+        self.deleted.clear();
+        self.clause_activity.clear();
+        self.lbd.clear();
+        self.n_learnt_live = 0;
+        for w in &mut self.watches {
+            w.clear();
+        }
+        self.trail.clear();
+        self.trail_lim.clear();
+        self.qhead = 0;
+        for v in 0..self.num_vars() {
+            self.assign[v] = LBool::Undef;
+            self.level[v] = 0;
+            self.reason[v] = NO_REASON;
+        }
+        let clauses = pre.clauses.clone();
+        for entry in pre.into_trace() {
+            match entry {
+                TraceEntry::Fixed(l) => {
+                    if self.lit_value(l) == LBool::Undef {
+                        self.enqueue(l, NO_REASON);
+                    }
+                }
+                TraceEntry::Eliminated { var, clauses } => {
+                    self.eliminated[var as usize] = true;
+                    self.elim_trace.push((var, clauses));
+                }
+            }
+        }
+        for c in clauses {
+            debug_assert!(c.len() >= 2, "preprocessed output must be unit-free");
+            self.attach_clause(c.into_boxed_slice(), false, 0);
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+        }
+    }
+
+    /// Pop elimination-stack entries (newest first) until no literal in
+    /// `lits` references an eliminated variable, re-adding each entry's
+    /// saved clauses. Entries never mention variables eliminated before
+    /// them, so each restored clause is immediately attachable.
+    fn reintroduce_vars(&mut self, lits: &[Lit]) {
+        if self.elim_trace.is_empty() {
+            return;
+        }
+        while lits.iter().any(|l| self.eliminated[l.var() as usize]) {
+            let (var, clauses) = self
+                .elim_trace
+                .pop()
+                .expect("eliminated variable without a trace entry");
+            self.eliminated[var as usize] = false;
+            if self.heap_index[var as usize] == u32::MAX
+                && self.assign[var as usize] == LBool::Undef
+            {
+                self.heap_insert(var);
+            }
+            for c in clauses {
+                if !self.add_clause(&c) {
+                    return; // formula became UNSAT; ok is already false
+                }
+            }
+        }
+    }
+
+    /// Compute model values for eliminated variables by replaying the
+    /// elimination stack newest-first over the current assignment.
+    fn reconstruct_model(&mut self) {
+        if self.elim_trace.is_empty() {
+            return;
+        }
+        let mut model: Vec<bool> = (0..self.num_vars())
+            .map(|v| matches!(self.assign[v], LBool::True))
+            .collect();
+        for (var, clauses) in self.elim_trace.iter().rev() {
+            let vi = *var as usize;
+            let sat_under =
+                |m: &[bool], c: &[Lit]| c.iter().any(|l| m[l.var() as usize] != l.is_neg());
+            model[vi] = false;
+            if !clauses.iter().all(|c| sat_under(&model, c)) {
+                model[vi] = true;
+                debug_assert!(
+                    clauses.iter().all(|c| sat_under(&model, c)),
+                    "elimination invariant violated for var {var}"
+                );
+            }
+        }
+        for (var, _) in &self.elim_trace {
+            self.ext_val[*var as usize] = model[*var as usize];
+        }
     }
 }
 
@@ -1067,5 +1341,192 @@ mod tests {
     fn luby_sequence_prefix() {
         let got: Vec<u64> = (0..15).map(luby).collect();
         assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn seed_engine_config_still_solves() {
+        let np = 5;
+        let nh = 4;
+        let mut s = Sat::new();
+        s.set_search_config(SatConfig::seed_engine());
+        let x: Vec<Vec<Var>> = (0..np)
+            .map(|_| (0..nh).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &x {
+            let c: Vec<Lit> = row.iter().map(|&v| p(v)).collect();
+            s.add_clause(&c);
+        }
+        for i1 in 0..np {
+            for i2 in (i1 + 1)..np {
+                for (&a, &b) in x[i1].iter().zip(&x[i2]) {
+                    s.add_clause(&[n(a), n(b)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert_eq!(s.stats.restarts, 0, "restarts disabled");
+    }
+
+    #[test]
+    fn preprocess_then_solve_reconstructs_eliminated() {
+        // Chain a → x → y → b with x, y eliminable; a, b frozen.
+        let mut s = Sat::new();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        let (a, x, y, b) = (vars[0], vars[1], vars[2], vars[3]);
+        let orig = vec![
+            vec![n(a), p(x)],
+            vec![n(x), p(y)],
+            vec![n(y), p(b)],
+            vec![p(a)],
+        ];
+        for c in &orig {
+            s.add_clause(c);
+        }
+        let mut frozen = vec![false; 4];
+        frozen[a as usize] = true;
+        frozen[b as usize] = true;
+        let stats = s.preprocess(&PreprocessConfig::default(), &frozen);
+        assert!(stats.fixed_literals > 0, "unit chain should fix: {stats:?}");
+        assert_eq!(s.solve(), SatResult::Sat);
+        for c in &orig {
+            assert!(
+                c.iter().any(|l| s.value(l.var()) != l.is_neg()),
+                "reconstructed model violates {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn eliminated_var_reintroduced_by_assumption() {
+        // (¬x ∨ a), (x ∨ b): x is eliminable over frozen a, b. Assuming
+        // x afterwards must still behave like the original formula:
+        // x=true forces a.
+        let mut s = Sat::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let x = s.new_var();
+        s.add_clause(&[n(x), p(a)]);
+        s.add_clause(&[p(x), p(b)]);
+        let frozen = vec![true, true, false];
+        let stats = s.preprocess(&PreprocessConfig::default(), &frozen);
+        assert_eq!(stats.eliminated_vars, 1, "{stats:?}");
+        // x is gone but an assumption on it reintroduces it.
+        assert_eq!(s.solve_with(&[p(x), n(b)]), SatResult::Sat);
+        assert!(s.value(a), "x=true must force a through the restored clause");
+        // And the original semantics fully hold: x ∧ ¬a is now UNSAT.
+        assert_eq!(s.solve_with(&[p(x), n(a)]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn eliminated_var_reintroduced_by_clause() {
+        let mut s = Sat::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let x = s.new_var();
+        s.add_clause(&[n(x), p(a)]);
+        s.add_clause(&[p(x), p(b)]);
+        let frozen = vec![true, true, false];
+        assert_eq!(
+            s.preprocess(&PreprocessConfig::default(), &frozen).eliminated_vars,
+            1
+        );
+        // New clauses force x true and a false: UNSAT overall.
+        assert!(s.add_clause(&[p(x)]));
+        let ok = s.add_clause(&[n(a)]);
+        assert!(!ok || s.solve() == SatResult::Unsat);
+    }
+
+    #[test]
+    fn preprocess_detects_unsat() {
+        let mut s = Sat::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[p(a), p(b)]);
+        s.add_clause(&[p(a), n(b)]);
+        s.add_clause(&[n(a), p(b)]);
+        s.add_clause(&[n(a), n(b)]);
+        let frozen = vec![false; 2];
+        s.preprocess(&PreprocessConfig::default(), &frozen);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn forget_learnts_resets_search_state() {
+        // Solve something conflict-heavy, forget, and re-solve: same
+        // answer, and the learnt database is empty in between.
+        let np = 6;
+        let nh = 5;
+        let mut s = Sat::new();
+        let x: Vec<Vec<Var>> = (0..np)
+            .map(|_| (0..nh).map(|_| s.new_var()).collect())
+            .collect();
+        // Placement clauses for all pigeons but the last: satisfiable
+        // (the last pigeon simply goes nowhere).
+        for row in x.iter().take(np - 1) {
+            let c: Vec<Lit> = row.iter().map(|&v| p(v)).collect();
+            s.add_clause(&c);
+        }
+        for i1 in 0..np {
+            for i2 in (i1 + 1)..np {
+                for (&a, &b) in x[i1].iter().zip(&x[i2]) {
+                    s.add_clause(&[n(a), n(b)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Sat);
+        s.forget_learnts();
+        assert_eq!(s.n_learnt_live, 0);
+        assert!(s.phase.iter().all(|&ph| !ph), "phases cleared");
+        // Now place the last pigeon too: the full PHP(6,5) is UNSAT.
+        let c: Vec<Lit> = x[np - 1].iter().map(|&v| p(v)).collect();
+        s.add_clause(&c);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn lbd_deletion_preserves_answers() {
+        // PHP(7,6) under a tiny learnt budget with LBD deletion on
+        // (default): the UNSAT proof must still land and glue clauses
+        // must have been protected (reductions happened).
+        let np = 7;
+        let nh = 6;
+        let mut s = Sat::new();
+        s.set_max_learnts(50);
+        assert!(s.search_config().lbd_deletion);
+        let x: Vec<Vec<Var>> = (0..np)
+            .map(|_| (0..nh).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &x {
+            let c: Vec<Lit> = row.iter().map(|&v| p(v)).collect();
+            s.add_clause(&c);
+        }
+        for i1 in 0..np {
+            for i2 in (i1 + 1)..np {
+                for (&a, &b) in x[i1].iter().zip(&x[i2]) {
+                    s.add_clause(&[n(a), n(b)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.stats.reductions > 0);
+        assert!(s.stats.deleted_clauses > 0);
+    }
+
+    #[test]
+    fn stats_account_search_effort() {
+        let mut s = Sat::new();
+        let vars: Vec<Var> = (0..12).map(|_| s.new_var()).collect();
+        for w in vars.windows(2) {
+            s.add_clause(&[n(w[0]), p(w[1])]);
+        }
+        s.add_clause(&[p(vars[0])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.stats.propagations >= vars.len() as u64 - 1);
+        let before = s.stats;
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(
+            s.stats.propagations >= before.propagations,
+            "stats are cumulative"
+        );
     }
 }

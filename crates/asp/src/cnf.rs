@@ -71,22 +71,7 @@ fn build_counter(sat: &mut Sat, items: &[(i64, Lit)], bound: i64) -> (Vec<Lit>, 
     // Normalize by the GCD of the weights: uniform weights (e.g. the
     // concretizer's 100-per-build objective) then become a plain
     // cardinality counter, shrinking the circuit by that factor.
-    fn gcd(a: i64, b: i64) -> i64 {
-        if b == 0 {
-            a
-        } else {
-            gcd(b, a % b)
-        }
-    }
-    let g = {
-        let mut g = 0;
-        for &(w, _) in items {
-            if w > 0 {
-                g = gcd(g, w);
-            }
-        }
-        g.max(1)
-    };
+    let g = weight_gcd(items);
     let bound = bound.div_euclid(g);
     let mut heavy = Vec::new();
     let mut effective: Vec<(i64, Lit)> = Vec::with_capacity(items.len());
@@ -105,10 +90,107 @@ fn build_counter(sat: &mut Sat, items: &[(i64, Lit)], bound: i64) -> (Vec<Lit>, 
     if total <= bound {
         return (heavy, None); // remaining items cannot overflow
     }
-    let width = (bound + 1) as usize;
-    // reg[j-1] = "weighted prefix sum >= j", for j in 1..=bound+1.
+    let overflow = counter_outputs(sat, &effective, bound)[bound as usize];
+    (heavy, overflow)
+}
+
+/// A reusable upper-bound circuit over one weighted literal set.
+///
+/// [`add_upper_bound_guarded`] rebuilds an `O(n * bound)` sequential
+/// counter for every bound it asserts; branch-and-bound descent asserts
+/// a *monotonically shrinking* series of bounds over the *same* items,
+/// so all but the first circuit are redundant. A `BoundCounter` is built
+/// once at the loosest bound the caller will ever need and then answers
+/// every tighter bound with a single one-literal (or guarded two-literal)
+/// clause over the already-built counter outputs.
+///
+/// Contract: construction hard-asserts items whose single weight already
+/// exceeds `max_bound` to false, so it is only sound when the caller
+/// guarantees the eventually-accepted model keeps the sum at or below
+/// `max_bound` — exactly the branch-and-bound situation, where
+/// `max_bound` is the incumbent cost and the level is later pinned at
+/// its (smaller or equal) optimum.
+pub struct BoundCounter {
+    /// GCD the weights were normalized by.
+    g: i64,
+    /// `reg[j]` is implied whenever the normalized sum reaches `j + 1`;
+    /// `None` means that sum is unreachable.
+    reg: Vec<Option<Lit>>,
+}
+
+impl BoundCounter {
+    /// Build the counter wide enough to assert any bound in
+    /// `0..=max_bound` later. `max_bound` must be non-negative.
+    pub fn build(sat: &mut Sat, items: &[(i64, Lit)], max_bound: i64) -> BoundCounter {
+        debug_assert!(max_bound >= 0);
+        debug_assert!(items.iter().all(|&(w, _)| w >= 0));
+        let g = weight_gcd(items);
+        let built = max_bound.div_euclid(g);
+        let mut effective: Vec<(i64, Lit)> = Vec::with_capacity(items.len());
+        for &(w, l) in items {
+            if w == 0 {
+                continue;
+            }
+            let w = w / g;
+            if w > built {
+                // Can never appear in a model within `max_bound`.
+                sat.add_clause(&[l.negate()]);
+            } else {
+                effective.push((w, l));
+            }
+        }
+        let reg = counter_outputs(sat, &effective, built);
+        BoundCounter { g, reg }
+    }
+
+    /// Assert `sum(weight_i * x_i) <= bound`, guarded by `act` when
+    /// given (`act -> bound`). `bound` must not exceed the `max_bound`
+    /// the counter was built for. Returns false if the formula became
+    /// trivially unsatisfiable.
+    pub fn assert_upper(&self, sat: &mut Sat, bound: i64, act: Option<Lit>) -> bool {
+        let clause_with = |o: Option<Lit>| -> Vec<Lit> {
+            act.iter().map(|a| a.negate()).chain(o.map(|o| o.negate())).collect()
+        };
+        if bound < 0 {
+            return sat.add_clause(&clause_with(None));
+        }
+        let idx = bound.div_euclid(self.g) as usize;
+        debug_assert!(idx < self.reg.len() || self.reg.is_empty());
+        match self.reg.get(idx).copied().flatten() {
+            // The normalized sum can never reach `idx + 1`: the bound
+            // holds vacuously.
+            None => true,
+            Some(o) => sat.add_clause(&clause_with(Some(o))),
+        }
+    }
+}
+
+/// GCD of the non-zero weights (1 when there are none).
+fn weight_gcd(items: &[(i64, Lit)]) -> i64 {
+    fn gcd(a: i64, b: i64) -> i64 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    let mut g = 0;
+    for &(w, _) in items {
+        if w > 0 {
+            g = gcd(g, w);
+        }
+    }
+    g.max(1)
+}
+
+/// The sequential-counter DP shared by [`build_counter`] and
+/// [`BoundCounter`]: returns `reg` of width `bound + 1` where `reg[j]`
+/// is implied whenever the weighted sum over `items` (already
+/// normalized) reaches `j + 1`. One-directional derivation clauses.
+fn counter_outputs(sat: &mut Sat, items: &[(i64, Lit)], bound: i64) -> Vec<Option<Lit>> {
+    let width = (bound + 1).max(0) as usize;
     let mut reg: Vec<Option<Lit>> = vec![None; width];
-    for &(w, x) in &effective {
+    for &(w, x) in items {
         let prev = reg.clone();
         for j in 1..=(bound + 1) {
             let ji = (j - 1) as usize;
@@ -135,7 +217,7 @@ fn build_counter(sat: &mut Sat, items: &[(i64, Lit)], bound: i64) -> (Vec<Lit>, 
             reg[ji] = Some(out);
         }
     }
-    (heavy, reg[bound as usize])
+    reg
 }
 
 /// Add clauses enforcing `sum(weight_i * x_i) <= bound`. Returns false if

@@ -20,15 +20,22 @@
 //!    rules over an over-approximated Herbrand base.
 //! 3. **Translate** ([`cnf`]) — Clark completion plus sequential-counter
 //!    cardinality encodings to CNF.
-//! 4. **Search** ([`cdcl`]) — a MiniSat-style CDCL SAT solver (two
-//!    watched literals, 1UIP learning, VSIDS, phase saving, restarts).
-//! 5. **Verify** ([`stability`]) — a model-guided Gelfond–Lifschitz
+//! 4. **Preprocess** ([`preprocess`]) — SatELite-style simplification
+//!    (unit propagation to fixpoint, pure/failed literals, subsumption +
+//!    self-subsuming resolution, bounded variable elimination with model
+//!    reconstruction) over the translated CNF, with ASP-visible
+//!    variables frozen.
+//! 5. **Search** ([`cdcl`]) — a MiniSat-style CDCL SAT solver (two
+//!    watched literals with blockers, 1UIP learning, VSIDS, phase
+//!    saving, Luby restarts, LBD-scored clause deletion).
+//! 6. **Verify** ([`stability`]) — a model-guided Gelfond–Lifschitz
 //!    stability check; non-stable models are blocked and search resumes
 //!    (CEGAR). Programs whose ground positive-dependency graph is acyclic
 //!    — like the concretizer's, where ground recursion follows package
 //!    DAGs — never trigger the loop.
-//! 6. **Optimize** ([`solve`]) — lexicographic branch-and-bound over
-//!    `#minimize` priorities.
+//! 7. **Optimize** ([`solve`]) — lexicographic branch-and-bound over
+//!    `#minimize` priorities, incrementally reusing learned clauses
+//!    across bound tightenings.
 
 pub mod analysis;
 pub mod cdcl;
@@ -37,6 +44,7 @@ pub mod cnf;
 pub mod ground;
 pub mod model;
 pub mod parser;
+pub mod preprocess;
 pub mod program;
 pub mod solve;
 pub mod stability;
@@ -45,12 +53,14 @@ pub mod term;
 pub use analysis::{
     derivable_preds, pred_of, relevant_preds, stratify, PredGraph, PredKey, Stratification,
 };
+pub use cdcl::SatConfig;
 pub use certify::{certify_model, CertifyError};
 pub use ground::{
     ground_parallel, unsafe_variables, GroundLimits, GroundProgram, SafetyContext, UnsafeVariable,
 };
 pub use model::Model;
 pub use parser::parse_program;
+pub use preprocess::{preprocess, PreprocessConfig, PreprocessStats, Preprocessed};
 pub use program::{Program, PruneReport, Rule};
 pub use solve::{SolveOutcome, SolveStats, Solver, SolverConfig, TranslatedProgram};
 pub use term::{Atom, Term};

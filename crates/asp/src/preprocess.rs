@@ -1,0 +1,913 @@
+//! SatELite-style CNF preprocessing: a standalone simplification pass
+//! run between CNF translation and CDCL search.
+//!
+//! Techniques (each individually toggleable via [`PreprocessConfig`]):
+//!
+//! * **unit propagation** to fixpoint (always on while enabled — every
+//!   other technique assumes a unit-free formula);
+//! * **pure-literal elimination** — a variable occurring with only one
+//!   polarity is removed together with its clauses;
+//! * **failed-literal elimination** — probing a literal by unit
+//!   propagation; a conflict entails its negation as a new unit;
+//! * **clause subsumption** and **self-subsuming resolution**
+//!   (strengthening);
+//! * **bounded variable elimination** (BVE) by distribution, accepting
+//!   an elimination only when the resolvent set does not grow the
+//!   formula beyond a configured margin.
+//!
+//! Elimination is *model-changing*: pure-literal and BVE steps remove
+//! variables whose values are no longer determined by the simplified
+//! formula. Every such step pushes an entry onto a **reconstruction
+//! stack** ([`Preprocessed::reconstruct`]) so a model of the simplified
+//! formula extends to a model of the original one. Variables the caller
+//! will mention later — in assumptions or incrementally added clauses —
+//! must be declared **frozen**; frozen variables are never eliminated
+//! (the ASP pipeline freezes atom, body, and cost variables, leaving
+//! only auxiliary encoding variables eliminable).
+//!
+//! What is *not* model-changing: units, failed literals, subsumption,
+//! and strengthening only add entailed facts or drop implied clauses,
+//! so the projection of the model set onto the surviving variables is
+//! preserved exactly — which is what the ASP layers (stable-model
+//! enumeration, lexicographic optimization, certification) rely on.
+
+use crate::cdcl::{Lit, Var};
+
+/// Which preprocessing techniques to run, plus their resource bounds.
+#[derive(Clone, Debug)]
+pub struct PreprocessConfig {
+    /// Master switch. When `false`, [`preprocess`] returns the input
+    /// unchanged (and [`crate::solve::Solver`] skips the pass wholesale).
+    pub enabled: bool,
+    /// Eliminate variables that occur with a single polarity.
+    pub pure_literals: bool,
+    /// Probe literals by unit propagation; conflicts entail units.
+    pub failed_literals: bool,
+    /// Remove clauses subsumed by a (strictly smaller or equal) clause.
+    pub subsumption: bool,
+    /// Strengthen clauses by self-subsuming resolution.
+    pub self_subsumption: bool,
+    /// Bounded variable elimination by distribution.
+    pub var_elim: bool,
+    /// BVE accepts an elimination only when
+    /// `resolvents <= removed_clauses + var_elim_growth`.
+    pub var_elim_growth: usize,
+    /// BVE skips variables with more than this many occurrences of
+    /// either polarity (quadratic resolvent blow-up guard).
+    pub var_elim_max_occ: usize,
+    /// BVE rejects resolvents longer than this.
+    pub var_elim_max_len: usize,
+    /// Total clause-visit budget for failed-literal probing; 0 disables
+    /// probing regardless of `failed_literals`.
+    pub probe_budget: u64,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig {
+            enabled: true,
+            pure_literals: true,
+            failed_literals: true,
+            subsumption: true,
+            self_subsumption: true,
+            var_elim: true,
+            var_elim_growth: 0,
+            var_elim_max_occ: 12,
+            var_elim_max_len: 16,
+            probe_budget: 2_000_000,
+        }
+    }
+}
+
+impl PreprocessConfig {
+    /// Everything off — the seed engine's behavior.
+    pub fn disabled() -> Self {
+        PreprocessConfig {
+            enabled: false,
+            pure_literals: false,
+            failed_literals: false,
+            subsumption: false,
+            self_subsumption: false,
+            var_elim: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Counters for one preprocessing run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PreprocessStats {
+    /// Entailed units fixed (initial units + propagation + failed lits).
+    pub fixed_literals: u64,
+    /// Units contributed specifically by failed-literal probing.
+    pub failed_literals: u64,
+    /// Variables removed by pure-literal elimination.
+    pub pure_literals: u64,
+    /// Clauses removed by subsumption.
+    pub subsumed_clauses: u64,
+    /// Clauses shortened by self-subsuming resolution.
+    pub strengthened_clauses: u64,
+    /// Variables removed by bounded variable elimination.
+    pub eliminated_vars: u64,
+    /// Resolvent clauses added by BVE.
+    pub resolvents_added: u64,
+    /// Clauses in the input (after intake normalization).
+    pub clauses_in: u64,
+    /// Clauses in the simplified output.
+    pub clauses_out: u64,
+    /// Technique sweeps until fixpoint.
+    pub rounds: u64,
+}
+
+impl PreprocessStats {
+    /// Did this run change nothing? (The idempotence criterion: a second
+    /// pass over preprocessed output must be a no-op.)
+    pub fn is_noop(&self) -> bool {
+        self.fixed_literals == 0
+            && self.pure_literals == 0
+            && self.subsumed_clauses == 0
+            && self.strengthened_clauses == 0
+            && self.eliminated_vars == 0
+    }
+}
+
+/// One entry of the model-reconstruction stack, in chronological order.
+#[derive(Clone, Debug)]
+pub enum TraceEntry {
+    /// An entailed unit: every model sets this literal true.
+    Fixed(Lit),
+    /// A variable removed by pure-literal elimination or BVE, with the
+    /// original clauses that mentioned it. Reconstruction picks the
+    /// value satisfying all of them.
+    Eliminated {
+        /// The removed variable.
+        var: Var,
+        /// Snapshot of the clauses containing `var` at removal time.
+        clauses: Vec<Vec<Lit>>,
+    },
+}
+
+/// The result of [`preprocess`]: the simplified formula, statistics,
+/// and the reconstruction stack.
+#[derive(Clone, Debug)]
+pub struct Preprocessed {
+    /// Variable count (unchanged: variables are never renumbered).
+    pub num_vars: usize,
+    /// The simplified clauses. Unit-free (units live in the trace) and
+    /// free of fixed or eliminated variables.
+    pub clauses: Vec<Vec<Lit>>,
+    /// What the pass did.
+    pub stats: PreprocessStats,
+    /// The pass derived the empty clause: the input is unsatisfiable
+    /// (`clauses` and the trace are meaningless in that case).
+    pub unsat: bool,
+    trace: Vec<TraceEntry>,
+}
+
+impl Preprocessed {
+    /// Extend `model` (indexed by variable, `true`/`false` per var, at
+    /// least `num_vars` long) from a model of the simplified formula to
+    /// a model of the *original* formula: replays the reconstruction
+    /// stack newest-first, setting fixed variables to their entailed
+    /// values and eliminated variables to whichever value satisfies
+    /// their saved clauses.
+    pub fn reconstruct(&self, model: &mut [bool]) {
+        debug_assert!(model.len() >= self.num_vars);
+        for entry in self.trace.iter().rev() {
+            match entry {
+                TraceEntry::Fixed(l) => model[l.var() as usize] = !l.is_neg(),
+                TraceEntry::Eliminated { var, clauses } => {
+                    let v = *var as usize;
+                    model[v] = false;
+                    let sat_under = |m: &[bool], c: &[Lit]| {
+                        c.iter().any(|l| m[l.var() as usize] != l.is_neg())
+                    };
+                    if !clauses.iter().all(|c| sat_under(model, c)) {
+                        model[v] = true;
+                        debug_assert!(
+                            clauses.iter().all(|c| sat_under(model, c)),
+                            "elimination invariant violated for var {var}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The reconstruction stack, oldest entry first.
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    /// Consume, returning the reconstruction stack (for embedding into a
+    /// solver that will do its own reconstruction).
+    pub fn into_trace(self) -> Vec<TraceEntry> {
+        self.trace
+    }
+}
+
+/// Working state of one preprocessing run.
+struct Pre<'a> {
+    cfg: &'a PreprocessConfig,
+    /// Per-variable freeze flag (never eliminate).
+    frozen: Vec<bool>,
+    /// Clause arena; `None` = removed. Live clauses are sorted, deduped,
+    /// tautology-free, and contain no assigned variables.
+    clauses: Vec<Option<Vec<Lit>>>,
+    /// Occurrence lists per literal (`Lit.0`-indexed). May hold stale
+    /// clause indices; every use re-validates membership.
+    occ: Vec<Vec<u32>>,
+    /// Exact live occurrence count per literal.
+    n_occ: Vec<u32>,
+    /// Permanent assignment per variable (entailed or WLOG-chosen).
+    assign: Vec<Option<bool>>,
+    /// Variables removed by elimination.
+    gone: Vec<bool>,
+    /// Pending entailed units.
+    units: Vec<Lit>,
+    trace: Vec<TraceEntry>,
+    stats: PreprocessStats,
+    unsat: bool,
+    probe_budget: u64,
+}
+
+impl<'a> Pre<'a> {
+    fn new(num_vars: usize, cfg: &'a PreprocessConfig, frozen: &[bool]) -> Pre<'a> {
+        let mut fr = vec![false; num_vars];
+        fr[..frozen.len().min(num_vars)].copy_from_slice(&frozen[..frozen.len().min(num_vars)]);
+        Pre {
+            cfg,
+            frozen: fr,
+            clauses: Vec::new(),
+            occ: vec![Vec::new(); num_vars * 2],
+            n_occ: vec![0; num_vars * 2],
+            assign: vec![None; num_vars],
+            gone: vec![false; num_vars],
+            units: Vec::new(),
+            trace: Vec::new(),
+            stats: PreprocessStats::default(),
+            unsat: false,
+            probe_budget: cfg.probe_budget,
+        }
+    }
+
+    fn value(&self, l: Lit) -> Option<bool> {
+        self.assign[l.var() as usize].map(|v| v != l.is_neg())
+    }
+
+    /// Intern one input clause: sort, dedupe, drop tautologies, reduce
+    /// against the current assignment.
+    fn intake(&mut self, lits: &[Lit]) {
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        for w in c.windows(2) {
+            if w[0].var() == w[1].var() {
+                return; // x ∨ ¬x
+            }
+        }
+        if c.iter().any(|&l| self.value(l) == Some(true)) {
+            return;
+        }
+        c.retain(|&l| self.value(l).is_none());
+        match c.len() {
+            0 => self.unsat = true,
+            1 => self.push_unit(c[0]),
+            _ => {
+                self.add_clause(c);
+            }
+        }
+    }
+
+    /// Record an entailed unit (deduplicated against the assignment).
+    fn push_unit(&mut self, l: Lit) {
+        match self.value(l) {
+            Some(true) => {}
+            Some(false) => self.unsat = true,
+            None => {
+                self.assign[l.var() as usize] = Some(!l.is_neg());
+                self.trace.push(TraceEntry::Fixed(l));
+                self.stats.fixed_literals += 1;
+                self.units.push(l);
+            }
+        }
+    }
+
+    /// Attach a live (already normalized, length ≥ 2) clause.
+    fn add_clause(&mut self, c: Vec<Lit>) -> u32 {
+        let idx = self.clauses.len() as u32;
+        for &l in &c {
+            self.occ[l.0 as usize].push(idx);
+            self.n_occ[l.0 as usize] += 1;
+        }
+        self.clauses.push(Some(c));
+        idx
+    }
+
+    fn remove_clause(&mut self, ci: u32) {
+        if let Some(c) = self.clauses[ci as usize].take() {
+            for &l in &c {
+                self.n_occ[l.0 as usize] -= 1;
+            }
+        }
+    }
+
+    /// Remove literal `l` from clause `ci` (it is false, or resolved
+    /// away by strengthening). May produce a unit or the empty clause.
+    fn shrink_clause(&mut self, ci: u32, l: Lit) {
+        let Some(c) = self.clauses[ci as usize].as_mut() else {
+            return;
+        };
+        let Some(pos) = c.iter().position(|&x| x == l) else {
+            return;
+        };
+        c.remove(pos);
+        self.n_occ[l.0 as usize] -= 1;
+        match self.clauses[ci as usize].as_ref().map(|c| c.len()) {
+            Some(0) => {
+                self.unsat = true;
+            }
+            Some(1) => {
+                let u = self.clauses[ci as usize].as_ref().expect("live")[0];
+                self.remove_clause(ci);
+                self.push_unit(u);
+            }
+            _ => {}
+        }
+    }
+
+    /// Unit propagation to fixpoint over the occurrence lists.
+    fn propagate(&mut self) {
+        while let Some(l) = self.units.pop() {
+            if self.unsat {
+                return;
+            }
+            // Clauses satisfied by l disappear; clauses containing ¬l
+            // shrink.
+            for ci in std::mem::take(&mut self.occ[l.0 as usize]) {
+                if self.contains(ci, l) {
+                    self.remove_clause(ci);
+                }
+            }
+            let neg = l.negate();
+            for ci in std::mem::take(&mut self.occ[neg.0 as usize]) {
+                if self.contains(ci, neg) {
+                    self.shrink_clause(ci, neg);
+                    if self.unsat {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn contains(&self, ci: u32, l: Lit) -> bool {
+        self.clauses[ci as usize]
+            .as_ref()
+            .is_some_and(|c| c.binary_search(&l).is_ok())
+    }
+
+    /// 64-bit variable signature for subsumption prefiltering.
+    fn sig(c: &[Lit]) -> u64 {
+        c.iter().fold(0u64, |s, l| s | 1u64 << (l.var() % 64))
+    }
+
+    /// If `sub` subsumes `target` *modulo one flipped literal*, return
+    /// that literal of `target` (self-subsuming resolution removes it).
+    /// `None` when not even that holds; `Some(None)` for plain
+    /// subsumption.
+    #[allow(clippy::option_option)]
+    fn subsumes(sub: &[Lit], target: &[Lit]) -> Option<Option<Lit>> {
+        if sub.len() > target.len() {
+            return None;
+        }
+        let mut flipped: Option<Lit> = None;
+        let mut j = 0;
+        for &l in sub {
+            let want = [l, l.negate()];
+            loop {
+                if j == target.len() {
+                    return None;
+                }
+                let t = target[j];
+                j += 1;
+                if t == want[0] {
+                    break;
+                }
+                if t == want[1] {
+                    if flipped.is_some() {
+                        return None;
+                    }
+                    flipped = Some(t);
+                    break;
+                }
+                if t > want[0] && t > want[1] {
+                    return None;
+                }
+            }
+        }
+        Some(flipped)
+    }
+
+    /// One subsumption + strengthening sweep. Returns whether anything
+    /// changed.
+    fn subsumption_sweep(&mut self) -> bool {
+        let mut changed = false;
+        let mut ci = 0u32;
+        while (ci as usize) < self.clauses.len() {
+            if self.unsat {
+                return changed;
+            }
+            let Some(c) = self.clauses[ci as usize].clone() else {
+                ci += 1;
+                continue;
+            };
+            let csig = Self::sig(&c);
+            // Scan candidates through the occurrence lists of the
+            // rarest literal (both polarities, to catch strengthening).
+            let pivot = c
+                .iter()
+                .copied()
+                .min_by_key(|l| self.n_occ[l.0 as usize] + self.n_occ[l.negate().0 as usize])
+                .expect("non-empty clause");
+            for side in [pivot, pivot.negate()] {
+                for di in self.occ[side.0 as usize].clone() {
+                    if di == ci || self.unsat {
+                        continue;
+                    }
+                    let Some(d) = self.clauses[di as usize].as_ref() else {
+                        continue;
+                    };
+                    if !self.contains(di, side) || (csig & !Self::sig(d)) != 0 {
+                        continue;
+                    }
+                    match Self::subsumes(&c, d) {
+                        Some(None) if self.cfg.subsumption => {
+                            self.remove_clause(di);
+                            self.stats.subsumed_clauses += 1;
+                            changed = true;
+                        }
+                        Some(Some(flipped)) if self.cfg.self_subsumption => {
+                            self.shrink_clause(di, flipped);
+                            self.stats.strengthened_clauses += 1;
+                            changed = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            ci += 1;
+        }
+        if changed {
+            self.propagate();
+        }
+        changed
+    }
+
+    /// Probe `l`: temporarily assume it and unit-propagate. Returns
+    /// `true` when propagation derives a conflict (so ¬l is entailed).
+    fn probe(&mut self, l: Lit) -> bool {
+        let mut temp: Vec<Option<bool>> = self.assign.clone();
+        let mut queue = vec![l];
+        let mut conflict = false;
+        'outer: while let Some(p) = queue.pop() {
+            match temp[p.var() as usize] {
+                Some(v) if v != p.is_neg() => continue,
+                Some(_) => {
+                    conflict = true;
+                    break;
+                }
+                None => temp[p.var() as usize] = Some(!p.is_neg()),
+            }
+            let neg = p.negate();
+            for &ci in &self.occ[neg.0 as usize] {
+                if self.probe_budget == 0 {
+                    break 'outer;
+                }
+                self.probe_budget -= 1;
+                let Some(c) = self.clauses[ci as usize].as_ref() else {
+                    continue;
+                };
+                if c.binary_search(&neg).is_err() {
+                    continue;
+                }
+                let mut unassigned: Option<Lit> = None;
+                let mut n_unassigned = 0;
+                let mut satisfied = false;
+                for &x in c {
+                    match temp[x.var() as usize] {
+                        None => {
+                            n_unassigned += 1;
+                            unassigned = Some(x);
+                        }
+                        Some(v) if v != x.is_neg() => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(_) => {}
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match n_unassigned {
+                    0 => {
+                        conflict = true;
+                        break 'outer;
+                    }
+                    1 => queue.push(unassigned.expect("counted")),
+                    _ => {}
+                }
+            }
+        }
+        conflict
+    }
+
+    /// One failed-literal sweep over literals that occur in binary
+    /// clauses (the candidates with propagation reach). Returns whether
+    /// any unit was learned.
+    fn failed_literal_sweep(&mut self) -> bool {
+        let mut candidates: Vec<Lit> = Vec::new();
+        for c in self.clauses.iter().flatten() {
+            if c.len() == 2 {
+                // A false watch on either literal propagates the other:
+                // probing their negations has reach.
+                candidates.push(c[0].negate());
+                candidates.push(c[1].negate());
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut changed = false;
+        for l in candidates {
+            if self.unsat || self.probe_budget == 0 {
+                break;
+            }
+            if self.assign[l.var() as usize].is_some() || self.gone[l.var() as usize] {
+                continue;
+            }
+            if self.probe(l) {
+                self.stats.failed_literals += 1;
+                self.push_unit(l.negate());
+                self.propagate();
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Live clause indices containing literal `l` (validated).
+    fn live_occ(&self, l: Lit) -> Vec<u32> {
+        self.occ[l.0 as usize]
+            .iter()
+            .copied()
+            .filter(|&ci| self.contains(ci, l))
+            .collect()
+    }
+
+    /// Resolve `a` and `b` on variable `v`. `None` = tautology.
+    fn resolve(a: &[Lit], b: &[Lit], v: Var) -> Option<Vec<Lit>> {
+        let mut r: Vec<Lit> = a
+            .iter()
+            .chain(b.iter())
+            .copied()
+            .filter(|l| l.var() != v)
+            .collect();
+        r.sort_unstable();
+        r.dedup();
+        for w in r.windows(2) {
+            if w[0].var() == w[1].var() {
+                return None;
+            }
+        }
+        Some(r)
+    }
+
+    /// One pure-literal + bounded-variable-elimination sweep over all
+    /// variables. Returns whether any variable was eliminated.
+    fn elimination_sweep(&mut self) -> bool {
+        let mut changed = false;
+        for v in 0..self.assign.len() as Var {
+            if self.unsat {
+                return changed;
+            }
+            let vi = v as usize;
+            if self.frozen[vi] || self.gone[vi] || self.assign[vi].is_some() {
+                continue;
+            }
+            let pos = self.live_occ(Lit::pos(v));
+            let neg = self.live_occ(Lit::neg(v));
+            if pos.is_empty() && neg.is_empty() {
+                continue; // the variable is simply absent
+            }
+            let pure = pos.is_empty() || neg.is_empty();
+            if pure {
+                if !self.cfg.pure_literals {
+                    continue;
+                }
+            } else {
+                if !self.cfg.var_elim {
+                    continue;
+                }
+                if pos.len() > self.cfg.var_elim_max_occ || neg.len() > self.cfg.var_elim_max_occ {
+                    continue;
+                }
+            }
+
+            // Compute the resolvent set (empty for a pure variable).
+            let budget = pos.len() + neg.len() + self.cfg.var_elim_growth;
+            let mut resolvents: Vec<Vec<Lit>> = Vec::new();
+            let mut too_many = false;
+            'res: for &pi in &pos {
+                let a = self.clauses[pi as usize].as_ref().expect("live").clone();
+                for &ni in &neg {
+                    let b = self.clauses[ni as usize].as_ref().expect("live");
+                    if let Some(r) = Self::resolve(&a, b, v) {
+                        if r.len() > self.cfg.var_elim_max_len {
+                            too_many = true;
+                            break 'res;
+                        }
+                        resolvents.push(r);
+                        if resolvents.len() > budget {
+                            too_many = true;
+                            break 'res;
+                        }
+                    }
+                }
+            }
+            if too_many {
+                continue;
+            }
+
+            // Commit: snapshot the variable's clauses, remove them, add
+            // the resolvents.
+            let mut snapshot: Vec<Vec<Lit>> = Vec::with_capacity(pos.len() + neg.len());
+            for &ci in pos.iter().chain(neg.iter()) {
+                snapshot.push(self.clauses[ci as usize].as_ref().expect("live").clone());
+                self.remove_clause(ci);
+            }
+            self.gone[vi] = true;
+            self.trace.push(TraceEntry::Eliminated {
+                var: v,
+                clauses: snapshot,
+            });
+            if pure {
+                self.stats.pure_literals += 1;
+            } else {
+                self.stats.eliminated_vars += 1;
+            }
+            for r in resolvents {
+                self.stats.resolvents_added += 1;
+                match r.len() {
+                    0 => self.unsat = true,
+                    1 => self.push_unit(r[0]),
+                    _ => {
+                        self.add_clause(r);
+                    }
+                }
+            }
+            self.propagate();
+            changed = true;
+        }
+        changed
+    }
+
+    fn run(&mut self) {
+        self.propagate();
+        while !self.unsat {
+            self.stats.rounds += 1;
+            let mut changed = false;
+            if self.cfg.subsumption || self.cfg.self_subsumption {
+                changed |= self.subsumption_sweep();
+            }
+            if self.cfg.failed_literals && self.probe_budget > 0 {
+                changed |= self.failed_literal_sweep();
+            }
+            if self.cfg.pure_literals || self.cfg.var_elim {
+                changed |= self.elimination_sweep();
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+}
+
+/// Run the preprocessing pipeline over `clauses` (over `num_vars`
+/// variables; every literal must reference a variable below that).
+/// `frozen` flags variables that must survive untouched by value-
+/// changing techniques (shorter-than-`num_vars` slices are padded with
+/// `false`).
+pub fn preprocess(
+    num_vars: usize,
+    clauses: &[Vec<Lit>],
+    frozen: &[bool],
+    config: &PreprocessConfig,
+) -> Preprocessed {
+    let mut pre = Pre::new(num_vars, config, frozen);
+    if config.enabled {
+        for c in clauses {
+            debug_assert!(
+                c.iter().all(|l| (l.var() as usize) < num_vars),
+                "literal references unknown variable"
+            );
+            pre.intake(c);
+            if pre.unsat {
+                break;
+            }
+        }
+        pre.stats.clauses_in = pre.clauses.len() as u64 + pre.stats.fixed_literals;
+        if !pre.unsat {
+            pre.run();
+        }
+    } else {
+        pre.stats.clauses_in = clauses.len() as u64;
+    }
+
+    if !config.enabled {
+        return Preprocessed {
+            num_vars,
+            clauses: clauses.to_vec(),
+            stats: pre.stats,
+            unsat: false,
+            trace: Vec::new(),
+        };
+    }
+
+    let out: Vec<Vec<Lit>> = pre.clauses.iter().flatten().cloned().collect();
+    pre.stats.clauses_out = out.len() as u64;
+    Preprocessed {
+        num_vars,
+        clauses: out,
+        stats: pre.stats,
+        unsat: pre.unsat,
+        trace: std::mem::take(&mut pre.trace),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: Var) -> Lit {
+        Lit::pos(v)
+    }
+    fn n(v: Var) -> Lit {
+        Lit::neg(v)
+    }
+
+    fn run(num_vars: usize, clauses: &[Vec<Lit>]) -> Preprocessed {
+        preprocess(num_vars, clauses, &[], &PreprocessConfig::default())
+    }
+
+    #[test]
+    fn unit_chain_fixes_everything() {
+        // a; ¬a ∨ b; ¬b ∨ c — pure units after propagation.
+        let pre = run(3, &[vec![p(0)], vec![n(0), p(1)], vec![n(1), p(2)]]);
+        assert!(!pre.unsat);
+        assert!(pre.clauses.is_empty());
+        assert_eq!(pre.stats.fixed_literals, 3);
+        let mut model = vec![false; 3];
+        pre.reconstruct(&mut model);
+        assert_eq!(model, vec![true, true, true]);
+    }
+
+    #[test]
+    fn up_conflict_is_unsat() {
+        let pre = run(2, &[vec![p(0)], vec![n(0), p(1)], vec![n(1)]]);
+        assert!(pre.unsat);
+    }
+
+    #[test]
+    fn pure_literal_removed_and_reconstructed() {
+        // x appears only positively; y only negatively.
+        let pre = run(3, &[vec![p(0), p(2)], vec![p(0), n(1)], vec![n(1), n(2), p(0)]]);
+        assert!(!pre.unsat);
+        // Everything collapses: x pure positive satisfies all clauses.
+        assert!(pre.clauses.is_empty());
+        let mut model = vec![false; 3];
+        pre.reconstruct(&mut model);
+        assert!(model[0], "pure-positive variable reconstructs true");
+        // Original clauses all satisfied.
+        for c in [vec![p(0), p(2)], vec![p(0), n(1)], vec![n(1), n(2), p(0)]] {
+            assert!(c.iter().any(|l| model[l.var() as usize] != l.is_neg()));
+        }
+    }
+
+    #[test]
+    fn frozen_variables_survive() {
+        let frozen = vec![true, true, true];
+        let pre = preprocess(
+            3,
+            &[vec![p(0), p(1)], vec![p(0), p(2)]],
+            &frozen,
+            &PreprocessConfig::default(),
+        );
+        assert_eq!(pre.stats.pure_literals, 0);
+        assert_eq!(pre.stats.eliminated_vars, 0);
+        assert_eq!(pre.clauses.len(), 2);
+    }
+
+    #[test]
+    fn subsumption_drops_superset() {
+        let frozen = vec![true; 3];
+        let pre = preprocess(
+            3,
+            &[vec![p(0), p(1)], vec![p(0), p(1), p(2)]],
+            &frozen,
+            &PreprocessConfig::default(),
+        );
+        assert_eq!(pre.stats.subsumed_clauses, 1);
+        assert_eq!(pre.clauses, vec![vec![p(0), p(1)]]);
+    }
+
+    #[test]
+    fn self_subsumption_strengthens() {
+        // (a ∨ b) and (a ∨ ¬b ∨ c) → (a ∨ c); then (a ∨ c) stays.
+        let frozen = vec![true; 3];
+        let pre = preprocess(
+            3,
+            &[vec![p(0), p(1)], vec![p(0), n(1), p(2)]],
+            &frozen,
+            &PreprocessConfig::default(),
+        );
+        assert_eq!(pre.stats.strengthened_clauses, 1);
+        assert!(pre.clauses.contains(&vec![p(0), p(2)]));
+    }
+
+    #[test]
+    fn failed_literal_finds_entailed_unit() {
+        // ¬a → b (a∨b), ¬a → ¬b (a∨¬b): probing ¬a conflicts, so a.
+        // Freeze to keep elimination from solving it first.
+        let frozen = vec![true; 2];
+        let cfg = PreprocessConfig {
+            subsumption: false,
+            self_subsumption: false,
+            ..Default::default()
+        };
+        let pre = preprocess(2, &[vec![p(0), p(1)], vec![p(0), n(1)]], &frozen, &cfg);
+        assert!(!pre.unsat);
+        assert!(pre.stats.failed_literals >= 1, "stats: {:?}", pre.stats);
+        let mut model = vec![false; 2];
+        pre.reconstruct(&mut model);
+        assert!(model[0]);
+    }
+
+    #[test]
+    fn bve_eliminates_and_reconstructs() {
+        // v = 1 is definitional-ish: (¬v ∨ a), (v ∨ b) over frozen a,b.
+        // Eliminating v produces resolvent (a ∨ b).
+        let frozen = vec![true, true, false];
+        let orig = vec![vec![n(2), p(0)], vec![p(2), p(1)]];
+        let pre = preprocess(3, &orig, &frozen, &PreprocessConfig::default());
+        assert_eq!(pre.stats.eliminated_vars, 1);
+        assert_eq!(pre.clauses, vec![vec![p(0), p(1)]]);
+        // A model of the simplified formula: a=true, b=false.
+        let mut model = vec![true, false, false];
+        pre.reconstruct(&mut model);
+        for c in &orig {
+            assert!(
+                c.iter().any(|l| model[l.var() as usize] != l.is_neg()),
+                "reconstructed model violates {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tautologies_vanish_at_intake() {
+        let pre = run(2, &[vec![p(0), n(0)], vec![p(1), n(1), p(0)]]);
+        assert!(!pre.unsat);
+        assert!(pre.clauses.is_empty());
+    }
+
+    #[test]
+    fn disabled_config_is_identity() {
+        let clauses = vec![vec![p(0), p(1)], vec![p(0)]];
+        let pre = preprocess(2, &clauses, &[], &PreprocessConfig::disabled());
+        assert!(!pre.unsat);
+        assert_eq!(pre.clauses, clauses);
+        assert!(pre.stats.is_noop());
+        assert!(pre.trace().is_empty());
+    }
+
+    #[test]
+    fn idempotent_on_small_formulas() {
+        let clauses = vec![
+            vec![p(0), p(1), p(2)],
+            vec![n(0), p(3)],
+            vec![n(3), p(4), n(1)],
+            vec![p(2), n(4)],
+            vec![p(5)],
+            vec![n(5), p(1), p(3)],
+        ];
+        let first = run(6, &clauses);
+        assert!(!first.unsat);
+        let second = run(6, &first.clauses);
+        assert!(
+            second.stats.is_noop(),
+            "second pass must be a no-op: {:?}",
+            second.stats
+        );
+        assert_eq!(second.clauses, first.clauses);
+    }
+}

@@ -1,10 +1,11 @@
 //! The solve orchestrator: ground → translate → CDCL search → stability
 //! CEGAR → lexicographic branch-and-bound optimization.
 
-use crate::cdcl::{Lit, Sat, SatResult};
-use crate::cnf::{add_upper_bound, add_upper_bound_guarded, translate, Translation};
+use crate::cdcl::{Lit, Sat, SatConfig, SatResult};
+use crate::cnf::{add_upper_bound, add_upper_bound_guarded, translate, BoundCounter, Translation};
 use crate::ground::{ground_parallel, GroundLimits, GroundProgram};
 use crate::model::Model;
+use crate::preprocess::{PreprocessConfig, PreprocessStats};
 use crate::program::Program;
 use crate::stability::{check_stability, Stability};
 use crate::term::AtomId;
@@ -26,6 +27,20 @@ pub struct SolverConfig {
     /// program is bit-identical at every setting; see
     /// [`crate::ground::ground_parallel`].
     pub ground_threads: usize,
+    /// CNF preprocessing run once per translation (ASP-visible variables
+    /// are frozen automatically; see [`crate::preprocess`]).
+    pub preprocess: PreprocessConfig,
+    /// CDCL search-heuristic toggles (phase saving, restarts, LBD
+    /// deletion).
+    pub sat: SatConfig,
+    /// Incremental `#minimize` branch-and-bound: keep learned clauses
+    /// and saved phases across bound tightenings, build one shared
+    /// [`BoundCounter`] circuit per priority level (each probe/pin
+    /// asserts a tighter bound with a single clause), and skip the
+    /// post-pin re-solve when the incumbent assignment still encodes
+    /// the best model. When `false` every bound probe rebuilds the
+    /// counter and searches from scratch (the seed engine's behavior).
+    pub incremental_bnb: bool,
 }
 
 impl Default for SolverConfig {
@@ -35,6 +50,23 @@ impl Default for SolverConfig {
             max_stability_loops: 10_000,
             conflict_budget: u64::MAX,
             ground_threads: 1,
+            preprocess: PreprocessConfig::default(),
+            sat: SatConfig::default(),
+            incremental_bnb: true,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The seed engine: no preprocessing, no search heuristics, and
+    /// from-scratch branch-and-bound — the baseline the modern engine is
+    /// benchmarked and differential-tested against.
+    pub fn seed_engine() -> Self {
+        SolverConfig {
+            preprocess: PreprocessConfig::disabled(),
+            sat: SatConfig::seed_engine(),
+            incremental_bnb: false,
+            ..Default::default()
         }
     }
 }
@@ -56,6 +88,26 @@ pub struct SolveStats {
     pub conflicts: u64,
     /// CDCL decisions.
     pub decisions: u64,
+    /// CDCL literal propagations.
+    pub propagations: u64,
+    /// CDCL restarts.
+    pub restarts: u64,
+    /// Learnt-clause database reductions.
+    pub reductions: u64,
+    /// Learnt clauses deleted by reductions.
+    pub deleted_clauses: u64,
+    /// Preprocessing: entailed unit literals fixed.
+    pub pre_fixed_literals: u64,
+    /// Preprocessing: units found by failed-literal probing.
+    pub pre_failed_literals: u64,
+    /// Preprocessing: pure-literal variables removed.
+    pub pre_pure_literals: u64,
+    /// Preprocessing: clauses removed by subsumption.
+    pub pre_subsumed_clauses: u64,
+    /// Preprocessing: clauses strengthened by self-subsuming resolution.
+    pub pre_strengthened_clauses: u64,
+    /// Preprocessing: variables removed by bounded variable elimination.
+    pub pre_eliminated_vars: u64,
     /// Stability (CEGAR) restarts.
     pub stability_restarts: u64,
     /// Optimization probes (bound-and-resolve steps).
@@ -84,6 +136,7 @@ pub struct TranslatedProgram {
     gp: Arc<GroundProgram>,
     sat: Sat,
     tr: Translation,
+    pre: PreprocessStats,
 }
 
 impl TranslatedProgram {
@@ -91,6 +144,38 @@ impl TranslatedProgram {
     pub fn ground(&self) -> &Arc<GroundProgram> {
         &self.gp
     }
+
+    /// Statistics from the preprocessing pass run at translation time
+    /// (all zero when preprocessing is disabled).
+    pub fn preprocess_stats(&self) -> PreprocessStats {
+        self.pre
+    }
+}
+
+/// Freeze every SAT variable the ASP layers reference after translation:
+/// atom variables (model extraction, enumeration blocking, loop
+/// clauses), the constant-true variable, rule/choice body literals (loop
+/// clauses), and cost literals (bound circuits, cost evaluation). Only
+/// auxiliary encoding variables — sequential-counter internals — remain
+/// eliminable.
+fn frozen_vars(tr: &Translation, num_vars: usize) -> Vec<bool> {
+    let mut frozen = vec![false; num_vars];
+    frozen[tr.true_var as usize] = true;
+    for &v in &tr.atom_var {
+        frozen[v as usize] = true;
+    }
+    for &l in &tr.rule_body {
+        frozen[l.var() as usize] = true;
+    }
+    for &l in &tr.choice_body {
+        frozen[l.var() as usize] = true;
+    }
+    for (_, items) in &tr.cost {
+        for &(_, l) in items {
+            frozen[l.var() as usize] = true;
+        }
+    }
+    frozen
 }
 
 /// The ASP solver facade.
@@ -155,8 +240,17 @@ impl Solver {
     pub fn translate_ground(&self, gp: Arc<GroundProgram>) -> TranslatedProgram {
         let mut sat = Sat::new();
         sat.set_conflict_budget(self.config.conflict_budget);
+        sat.set_search_config(self.config.sat);
         let tr = translate(&gp, &mut sat);
-        TranslatedProgram { gp, sat, tr }
+        // Preprocess once here so memoized re-solves (which clone the
+        // pristine instance) inherit the simplified formula for free.
+        let pre = if self.config.preprocess.enabled {
+            let frozen = frozen_vars(&tr, sat.num_vars());
+            sat.preprocess(&self.config.preprocess, &frozen)
+        } else {
+            PreprocessStats::default()
+        };
+        TranslatedProgram { gp, sat, tr, pre }
     }
 
     /// Solve a translated program. The pristine SAT instance is cloned
@@ -176,12 +270,23 @@ impl Solver {
         let t1 = Instant::now();
         let mut sat = tp.sat.clone();
         sat.set_conflict_budget(self.config.conflict_budget);
+        sat.set_search_config(self.config.sat);
         stats.sat_vars = sat.num_vars();
 
         let outcome = self.search(tp.gp.clone(), &tp.tr, &mut sat, &mut stats)?;
         stats.solve_time = t1.elapsed();
         stats.conflicts = sat.stats.conflicts;
         stats.decisions = sat.stats.decisions;
+        stats.propagations = sat.stats.propagations;
+        stats.restarts = sat.stats.restarts;
+        stats.reductions = sat.stats.reductions;
+        stats.deleted_clauses = sat.stats.deleted_clauses;
+        stats.pre_fixed_literals = tp.pre.fixed_literals;
+        stats.pre_failed_literals = tp.pre.failed_literals;
+        stats.pre_pure_literals = tp.pre.pure_literals;
+        stats.pre_subsumed_clauses = tp.pre.subsumed_clauses;
+        stats.pre_strengthened_clauses = tp.pre.strengthened_clauses;
+        stats.pre_eliminated_vars = tp.pre.eliminated_vars;
         Ok((outcome, stats))
     }
 
@@ -289,22 +394,48 @@ impl Solver {
 
         for level in 0..tr.cost.len() {
             let (_, items) = &tr.cost[level];
+            // Incremental mode builds ONE counter circuit per priority
+            // level, sized for the incumbent cost; every descent probe
+            // and the final pin then assert a tighter bound with a
+            // single clause over the shared counter outputs. The seed
+            // path below rebuilds a fresh O(n * bound) circuit per
+            // probe, which dominates warm-solve time on optimization
+            // workloads.
+            let mut counter: Option<BoundCounter> = None;
+            // Set when the last SAT call at this level ended UNSAT (a
+            // failed probe), i.e. the solver's assignment no longer
+            // encodes `model` and a re-solve is needed before trusting
+            // `eval_cost` again.
+            let mut clobbered = false;
             loop {
                 let current = best_costs[level].1;
                 if current == 0 {
                     break; // weights are non-negative: 0 is optimal
                 }
+                // Non-incremental mode: discard everything learned so
+                // far and re-search each bound from scratch, like the
+                // seed engine did.
+                if !self.config.incremental_bnb {
+                    sat.forget_learnts();
+                }
                 // Probe: can we do strictly better?
                 let act = Lit::pos(sat.new_var());
-                add_upper_bound_guarded(sat, items, current - 1, act);
+                if self.config.incremental_bnb {
+                    if counter.is_none() {
+                        counter = Some(BoundCounter::build(sat, items, current));
+                    }
+                    counter
+                        .as_ref()
+                        .expect("built above")
+                        .assert_upper(sat, current - 1, Some(act));
+                } else {
+                    add_upper_bound_guarded(sat, items, current - 1, act);
+                }
                 stats.optimize_probes += 1;
                 match self.stable_solve(&gp, tr, sat, &[act], stats)? {
                     Some(m) => {
-                        // The final pinned re-solve below refreshes the
-                        // model; keep the improved one meanwhile so a
-                        // solver bug cannot hand back a stale spec.
                         model = m;
-                        let _ = &model;
+                        clobbered = false;
                         // Snapshot the full cost vector of the improved
                         // model; higher priorities are pinned so they
                         // cannot have regressed.
@@ -320,28 +451,50 @@ impl Solver {
                         // No improvement possible: retire the probe and
                         // pin this level at its optimum permanently.
                         sat.add_clause(&[act.negate()]);
+                        clobbered = true;
                         break;
                     }
                 }
             }
             // Pin the optimum for this priority level so optimizing lower
-            // levels cannot regress it.
-            add_upper_bound(sat, items, best_costs[level].1);
-            // Re-establish a model satisfying all pins (the last solve may
-            // have ended UNSAT-under-assumptions, clobbering assignments).
-            match self.stable_solve(&gp, tr, sat, &[], stats)? {
-                Some(m) => model = m,
+            // levels cannot regress it. The incumbent model satisfies
+            // the pin by construction (its own cost at this level IS the
+            // bound).
+            match &counter {
+                // The counter was built at the level-entry incumbent,
+                // which the optimum never exceeds.
+                Some(c) => {
+                    c.assert_upper(sat, best_costs[level].1, None);
+                }
                 None => {
-                    return Err(AspError::Internal(
-                        "pinned optimum became unsatisfiable".into(),
-                    ));
+                    add_upper_bound(sat, items, best_costs[level].1);
                 }
             }
-            best_costs = tr
-                .cost
-                .iter()
-                .map(|(p, its)| (*p, Self::eval_cost(sat, its)))
-                .collect();
+            if !self.config.incremental_bnb {
+                sat.forget_learnts();
+            }
+            // Re-establish a model satisfying all pins when the last
+            // solve at this level ended UNSAT-under-assumptions (which
+            // clobbers assignments). The incremental engine skips the
+            // re-solve whenever the solver's assignment still encodes
+            // `model` — on descent-free workloads that removes one full
+            // SAT solve per priority level; the seed engine re-solves
+            // unconditionally, as the baseline always did.
+            if clobbered || !self.config.incremental_bnb {
+                match self.stable_solve(&gp, tr, sat, &[], stats)? {
+                    Some(m) => model = m,
+                    None => {
+                        return Err(AspError::Internal(
+                            "pinned optimum became unsatisfiable".into(),
+                        ));
+                    }
+                }
+                best_costs = tr
+                    .cost
+                    .iter()
+                    .map(|(p, its)| (*p, Self::eval_cost(sat, its)))
+                    .collect();
+            }
         }
 
         Ok(SolveOutcome::Optimal(Model::new(gp, model, best_costs)))
@@ -353,12 +506,17 @@ impl Solver {
     pub fn enumerate(&self, program: &Program, limit: usize) -> Result<Vec<Model>> {
         let mut stats = SolveStats::default();
         let gp = self.ground(program)?;
-        let mut sat = Sat::new();
+        // Shares the translate + preprocess path with `solve`; blocking
+        // clauses range over atom variables, which preprocessing froze,
+        // so enumeration over the simplified instance is exact.
+        let tp = self.translate_ground(gp);
+        let mut sat = tp.sat.clone();
         sat.set_conflict_budget(self.config.conflict_budget);
-        let tr = translate(&gp, &mut sat);
+        sat.set_search_config(self.config.sat);
+        let (gp, tr) = (&tp.gp, &tp.tr);
         let mut out = Vec::new();
         while out.len() < limit {
-            let Some(model) = self.stable_solve(&gp, &tr, &mut sat, &[], &mut stats)? else {
+            let Some(model) = self.stable_solve(gp, tr, &mut sat, &[], &mut stats)? else {
                 break;
             };
             // Block this assignment over the possible-atom universe.
@@ -557,6 +715,95 @@ mod tests {
         assert_eq!(stats.ground_rules, 2);
         assert!(stats.ground_atoms >= 2);
         assert!(stats.sat_vars > 0);
+    }
+
+    #[test]
+    fn seed_engine_matches_modern_engine() {
+        // The all-off configuration must reach the same optima and the
+        // same satisfiability as the all-on default.
+        let programs = [
+            r#"
+            cand("v1"). cand("v2"). cand("v3").
+            1 { pick(V) : cand(V) } 1.
+            cost("v1", 3). cost("v2", 1). cost("v3", 2).
+            #minimize { C@1,V : pick(V), cost(V, C) }.
+            "#,
+            r#"
+            node(1). node(2). node(3).
+            edge(1,2). edge(2,3). edge(1,3).
+            color("r"). color("g").
+            1 { assign(N,C) : color(C) } 1 :- node(N).
+            :- edge(A,B), assign(A,C), assign(B,C).
+            "#,
+            "a :- not b. b :- not a. :- b.",
+        ];
+        for text in programs {
+            let program = parse_program(text).unwrap();
+            let modern = Solver::new().solve(&program).unwrap().0;
+            let seed = Solver::with_config(SolverConfig::seed_engine())
+                .solve(&program)
+                .unwrap()
+                .0;
+            match (&modern, &seed) {
+                (SolveOutcome::Optimal(a), SolveOutcome::Optimal(b)) => {
+                    assert_eq!(a.cost, b.cost, "optima diverge on {text}");
+                }
+                (SolveOutcome::Unsat, SolveOutcome::Unsat) => {}
+                _ => panic!("satisfiability diverges on {text}"),
+            }
+        }
+    }
+
+    #[test]
+    fn preprocessing_stats_surface_in_solve_stats() {
+        // Choice-rule cardinality encodings create eliminable
+        // sequential-counter auxiliaries; the default config must report
+        // preprocessing work on them.
+        let (_, stats) = solve_text(
+            r#"
+            cand("a"). cand("b"). cand("c"). cand("d").
+            1 { pick(V) : cand(V) } 2.
+            :- pick("a"), pick("b").
+        "#,
+        );
+        assert!(
+            stats.pre_fixed_literals
+                + stats.pre_pure_literals
+                + stats.pre_subsumed_clauses
+                + stats.pre_strengthened_clauses
+                + stats.pre_eliminated_vars
+                > 0,
+            "preprocessing found nothing: {stats:?}"
+        );
+        assert!(stats.propagations > 0, "propagation accounting: {stats:?}");
+        assert!(stats.decisions > 0, "decision accounting: {stats:?}");
+    }
+
+    #[test]
+    fn incremental_and_scratch_bnb_agree() {
+        let text = r#"
+            item(1). item(2). item(3). item(4).
+            { take(I) : item(I) }.
+            :- take(1), take(2).
+            covered :- take(3). covered :- take(4).
+            :- not covered.
+            w(1,4). w(2,3). w(3,2). w(4,5).
+            #minimize { W@1,I : take(I), w(I,W) }.
+        "#;
+        let program = parse_program(text).unwrap();
+        let scratch_cfg = SolverConfig {
+            incremental_bnb: false,
+            ..Default::default()
+        };
+        let (inc, _) = Solver::new().solve(&program).unwrap();
+        let (scr, _) = Solver::with_config(scratch_cfg).solve(&program).unwrap();
+        match (inc, scr) {
+            (SolveOutcome::Optimal(a), SolveOutcome::Optimal(b)) => {
+                assert_eq!(a.cost, b.cost);
+                assert_eq!(a.cost, vec![(1, 2)], "take(3) alone is optimal");
+            }
+            _ => panic!("expected optima from both modes"),
+        }
     }
 
     #[test]

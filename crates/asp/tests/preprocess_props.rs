@@ -1,0 +1,357 @@
+//! Metamorphic tests for the SatELite-style preprocessing pass.
+//!
+//! The properties (each over seeded random CNF instances, so failures
+//! replay deterministically):
+//!
+//! 1. **Equisatisfiability** — preprocess-then-solve must agree with
+//!    direct solving on every formula, for every preprocessing
+//!    configuration in the grid.
+//! 2. **Model reconstruction** — whenever the simplified instance is
+//!    satisfiable, replaying the reconstruction trace must yield a full
+//!    assignment that satisfies *every original clause*, including the
+//!    ones subsumed, strengthened, or distributed away.
+//! 3. **Idempotence** — running the pipeline on its own output finds
+//!    nothing further to do (the pipeline already iterates to fixpoint).
+//! 4. **Solver-integrated equivalence** — a [`Sat`] that preprocessed
+//!    (with some vars frozen) answers identically to a pristine solver
+//!    under random assumption sets over the frozen vars.
+//!
+//! Plus minimized regressions for the corner cases that bit during
+//! development: conflicts discovered by unit propagation, unit-only
+//! formulas, tautology-only formulas, and variables eliminated by the
+//! preprocessor and then re-mentioned by later assumptions or clauses.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spackle_asp::cdcl::{Lit, Sat, SatResult, Var};
+use spackle_asp::preprocess::{preprocess, PreprocessConfig};
+
+/// Random CNF skewed toward the shapes the passes act on: short
+/// clauses, repeated variables, occasional duplicate literals and
+/// tautologies, a sprinkle of units.
+fn random_cnf(rng: &mut StdRng) -> (usize, Vec<Vec<Lit>>) {
+    let num_vars = rng.gen_range(3..17);
+    let num_clauses = rng.gen_range(1..49);
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            let len = match rng.gen_range(0..10) {
+                0 => 1,
+                1..=4 => 2,
+                5..=7 => 3,
+                _ => rng.gen_range(4..7),
+            };
+            (0..len)
+                .map(|_| {
+                    let v = rng.gen_range(0..num_vars) as Var;
+                    Lit::with_value(v, rng.gen_bool(0.5))
+                })
+                .collect()
+        })
+        .collect();
+    (num_vars, clauses)
+}
+
+fn solve_directly(num_vars: usize, clauses: &[Vec<Lit>]) -> Option<Vec<bool>> {
+    let mut s = Sat::new();
+    for _ in 0..num_vars {
+        s.new_var();
+    }
+    for c in clauses {
+        if !s.add_clause(c) {
+            return None;
+        }
+    }
+    match s.solve() {
+        SatResult::Sat => Some((0..num_vars as Var).map(|v| s.value(v)).collect()),
+        SatResult::Unsat => None,
+        SatResult::Unknown => unreachable!("no conflict budget set"),
+    }
+}
+
+fn satisfies(clauses: &[Vec<Lit>], model: &[bool]) -> bool {
+    clauses
+        .iter()
+        .all(|c| c.iter().any(|l| model[l.var() as usize] != l.is_neg()))
+}
+
+/// Every preprocessing configuration worth distinguishing: all-on,
+/// each pass alone, each pass ablated.
+fn configs() -> Vec<PreprocessConfig> {
+    let all = PreprocessConfig::default();
+    let up_only = PreprocessConfig {
+        pure_literals: false,
+        failed_literals: false,
+        subsumption: false,
+        self_subsumption: false,
+        var_elim: false,
+        ..all.clone()
+    };
+    let passes: &[fn(&mut PreprocessConfig, bool)] = &[
+        |c, on| c.pure_literals = on,
+        |c, on| c.failed_literals = on,
+        |c, on| c.subsumption = on,
+        |c, on| c.self_subsumption = on,
+        |c, on| c.var_elim = on,
+    ];
+    let mut grid = vec![all.clone(), PreprocessConfig::disabled(), up_only.clone()];
+    for set in passes {
+        let mut ablated = all.clone();
+        set(&mut ablated, false);
+        grid.push(ablated);
+        let mut alone = up_only.clone();
+        set(&mut alone, true);
+        grid.push(alone);
+    }
+    grid
+}
+
+#[test]
+fn preprocess_then_solve_is_equisatisfiable_and_models_reconstruct() {
+    let grid = configs();
+    for seed in 0..400u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (num_vars, clauses) = random_cnf(&mut rng);
+        let direct = solve_directly(num_vars, &clauses);
+        // Freeze nothing: the preprocessor owns every variable.
+        let frozen = vec![false; num_vars];
+        for (ci, config) in grid.iter().enumerate() {
+            let pre = preprocess(num_vars, &clauses, &frozen, config);
+            if pre.unsat {
+                assert!(
+                    direct.is_none(),
+                    "[seed {seed}, config {ci}] preprocessor claims UNSAT on a \
+                     satisfiable formula\nclauses: {clauses:?}"
+                );
+                continue;
+            }
+            let simplified = solve_directly(pre.num_vars, &pre.clauses);
+            assert_eq!(
+                simplified.is_some(),
+                direct.is_some(),
+                "[seed {seed}, config {ci}] satisfiability changed by preprocessing\n\
+                 clauses: {clauses:?}\nsimplified: {:?}",
+                pre.clauses
+            );
+            if let Some(mut model) = simplified {
+                pre.reconstruct(&mut model);
+                assert!(
+                    satisfies(&clauses, &model),
+                    "[seed {seed}, config {ci}] reconstructed model violates an \
+                     original clause\nclauses: {clauses:?}\nmodel: {model:?}\n\
+                     trace: {:?}",
+                    pre.trace()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn preprocessing_is_idempotent() {
+    let config = PreprocessConfig::default();
+    for seed in 0..400u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (num_vars, clauses) = random_cnf(&mut rng);
+        let frozen = vec![false; num_vars];
+        let first = preprocess(num_vars, &clauses, &frozen, &config);
+        if first.unsat {
+            continue;
+        }
+        let second = preprocess(first.num_vars, &first.clauses, &frozen, &config);
+        assert!(
+            !second.unsat && second.stats.is_noop(),
+            "[seed {seed}] second pass found more work: {:?}\n\
+             first output: {:?}",
+            second.stats,
+            first.clauses
+        );
+        assert_eq!(
+            second.clauses, first.clauses,
+            "[seed {seed}] second pass rewrote clauses"
+        );
+    }
+}
+
+/// The solver-integrated path: preprocess with a random *frozen* subset,
+/// then answer random assumption queries over frozen vars. Must match a
+/// solver that never preprocessed — including queries that mention
+/// variables the preprocessor eliminated (exercising reintroduction).
+#[test]
+fn preprocessed_solver_answers_assumption_queries_identically() {
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(0x5EED ^ seed);
+        let (num_vars, clauses) = random_cnf(&mut rng);
+        let frozen: Vec<bool> = (0..num_vars).map(|_| rng.gen_bool(0.5)).collect();
+
+        let mut plain = Sat::new();
+        let mut prepped = Sat::new();
+        for _ in 0..num_vars {
+            plain.new_var();
+            prepped.new_var();
+        }
+        let mut ok = true;
+        for c in &clauses {
+            ok &= plain.add_clause(c);
+            prepped.add_clause(c);
+        }
+        prepped.preprocess(&PreprocessConfig::default(), &frozen);
+
+        for q in 0..12 {
+            // Mix frozen and non-frozen (possibly eliminated) vars.
+            let n_assumps = rng.gen_range(0..4);
+            let assumps: Vec<Lit> = (0..n_assumps)
+                .map(|_| {
+                    let v = rng.gen_range(0..num_vars) as Var;
+                    Lit::with_value(v, rng.gen_bool(0.5))
+                })
+                .collect();
+            let want = if ok {
+                plain.solve_with(&assumps)
+            } else {
+                SatResult::Unsat
+            };
+            let got = prepped.solve_with(&assumps);
+            assert_eq!(
+                want, got,
+                "[seed {seed}, query {q}] assumption query diverged under \
+                 preprocessing\nassumps: {assumps:?}\nfrozen: {frozen:?}\n\
+                 clauses: {clauses:?}"
+            );
+            if got == SatResult::Sat {
+                let model: Vec<bool> = (0..num_vars as Var).map(|v| prepped.value(v)).collect();
+                assert!(
+                    satisfies(&clauses, &model),
+                    "[seed {seed}, query {q}] preprocessed solver returned a \
+                     non-model\nmodel: {model:?}\nclauses: {clauses:?}"
+                );
+                for a in &assumps {
+                    assert_eq!(
+                        model[a.var() as usize],
+                        !a.is_neg(),
+                        "[seed {seed}, query {q}] assumption {a:?} not honored"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimized corner-case regressions.
+// ---------------------------------------------------------------------
+
+fn lit(v: Var, positive: bool) -> Lit {
+    Lit::with_value(v, positive)
+}
+
+/// Unit propagation inside the preprocessor derives the empty clause.
+#[test]
+fn regression_empty_clause_from_unit_propagation() {
+    let clauses = vec![
+        vec![lit(0, true)],
+        vec![lit(0, false), lit(1, true)],
+        vec![lit(1, false)],
+    ];
+    let pre = preprocess(2, &clauses, &[false, false], &PreprocessConfig::default());
+    assert!(pre.unsat, "UP chain 0 -> 1 -> conflict must be detected");
+}
+
+/// A formula that is nothing but (consistent) units: everything is
+/// fixed, the simplified instance is empty, and reconstruction restores
+/// the forced values.
+#[test]
+fn regression_unit_only_formula() {
+    let clauses = vec![vec![lit(0, true)], vec![lit(1, false)], vec![lit(2, true)]];
+    let pre = preprocess(3, &clauses, &[false; 3], &PreprocessConfig::default());
+    assert!(!pre.unsat);
+    assert!(pre.clauses.is_empty(), "units must fully simplify away");
+    let mut model = vec![false; 3];
+    pre.reconstruct(&mut model);
+    assert!(satisfies(&clauses, &model));
+    assert!(model[0] && !model[1] && model[2]);
+}
+
+/// Contradictory units are UNSAT even with every pass but UP disabled.
+#[test]
+fn regression_contradictory_units() {
+    let clauses = vec![vec![lit(0, true)], vec![lit(0, false)]];
+    let config = PreprocessConfig {
+        pure_literals: false,
+        failed_literals: false,
+        subsumption: false,
+        self_subsumption: false,
+        var_elim: false,
+        ..PreprocessConfig::default()
+    };
+    let pre = preprocess(1, &clauses, &[false], &config);
+    assert!(pre.unsat);
+}
+
+/// Tautologies are dropped on intake; a tautology-only formula
+/// simplifies to nothing and any reconstructed assignment satisfies it.
+#[test]
+fn regression_tautology_only_formula() {
+    let clauses = vec![
+        vec![lit(0, true), lit(0, false)],
+        vec![lit(1, true), lit(2, true), lit(1, false)],
+    ];
+    let pre = preprocess(3, &clauses, &[false; 3], &PreprocessConfig::default());
+    assert!(!pre.unsat);
+    assert!(pre.clauses.is_empty());
+    let mut model = vec![false; 3];
+    pre.reconstruct(&mut model);
+    assert!(satisfies(&clauses, &model));
+}
+
+/// A variable eliminated by BVE and then re-mentioned in assumptions:
+/// the integrated solver must reintroduce it and still answer soundly
+/// in *both* polarities — including the polarity that contradicts the
+/// value reconstruction would have picked.
+#[test]
+fn regression_eliminated_var_remention_in_assumptions() {
+    // v2 is eliminable: (v0 | v2) & (v1 | !v2). Freezing v0, v1 only.
+    let clauses = vec![vec![lit(0, true), lit(2, true)], vec![lit(1, true), lit(2, false)]];
+    let mut s = Sat::new();
+    for _ in 0..3 {
+        s.new_var();
+    }
+    for c in &clauses {
+        s.add_clause(c);
+    }
+    let stats = s.preprocess(&PreprocessConfig::default(), &[true, true, false]);
+    assert!(
+        stats.eliminated_vars >= 1,
+        "v2 should be eliminated (stats: {stats:?})"
+    );
+    // Assume v2 true: forces v1 (via v1 | !v2).
+    assert_eq!(s.solve_with(&[lit(2, true)]), SatResult::Sat);
+    assert!(s.value(1), "v2=true must force v1=true after reintroduction");
+    // Assume v2 false: forces v0.
+    assert_eq!(s.solve_with(&[lit(2, false)]), SatResult::Sat);
+    assert!(s.value(0), "v2=false must force v0=true after reintroduction");
+    // Both polarities at once: contradiction through the reintroduced var.
+    assert_eq!(s.solve_with(&[lit(2, true), lit(2, false)]), SatResult::Unsat);
+    // And the solver still works unassumed afterwards.
+    assert_eq!(s.solve(), SatResult::Sat);
+}
+
+/// A variable eliminated by BVE and then re-mentioned by a *new clause*
+/// added after preprocessing: reintroduction plus the new constraint
+/// must both hold.
+#[test]
+fn regression_eliminated_var_remention_in_new_clause() {
+    let clauses = vec![vec![lit(0, true), lit(2, true)], vec![lit(1, true), lit(2, false)]];
+    let mut s = Sat::new();
+    for _ in 0..3 {
+        s.new_var();
+    }
+    for c in &clauses {
+        s.add_clause(c);
+    }
+    let stats = s.preprocess(&PreprocessConfig::default(), &[true, true, false]);
+    assert!(stats.eliminated_vars >= 1);
+    // Force v2 true and v1 false via new clauses: UNSAT (v2 needs v1).
+    assert!(s.add_clause(&[lit(2, true)]));
+    let ok = s.add_clause(&[lit(1, false)]);
+    assert!(!ok || s.solve() == SatResult::Unsat);
+}

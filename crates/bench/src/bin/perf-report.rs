@@ -24,6 +24,7 @@
 //! speedup criterion.
 
 use serde::Serialize;
+use spackle_asp::SolverConfig;
 use spackle_bench::{mean_std_ms, run_trials_warm, Args};
 use spackle_buildcache::CacheSource;
 use spackle_core::{Concretizer, ConcretizerConfig, GroundCache, Solution};
@@ -119,6 +120,122 @@ fn run_mode(
     }
 }
 
+/// Search + preprocessing effort summed over one sweep of a workload.
+#[derive(Serialize, Default, Clone, Copy)]
+struct SearchJson {
+    conflicts: u64,
+    decisions: u64,
+    propagations: u64,
+    restarts: u64,
+    pre_fixed_literals: u64,
+    pre_failed_literals: u64,
+    pre_pure_literals: u64,
+    pre_subsumed_clauses: u64,
+    pre_strengthened_clauses: u64,
+    pre_eliminated_vars: u64,
+}
+
+impl SearchJson {
+    fn absorb(&mut self, sol: &Solution) {
+        let s = &sol.stats.solver;
+        self.conflicts += s.conflicts;
+        self.decisions += s.decisions;
+        self.propagations += s.propagations;
+        self.restarts += s.restarts;
+        self.pre_fixed_literals += s.pre_fixed_literals;
+        self.pre_failed_literals += s.pre_failed_literals;
+        self.pre_pure_literals += s.pre_pure_literals;
+        self.pre_subsumed_clauses += s.pre_subsumed_clauses;
+        self.pre_strengthened_clauses += s.pre_strengthened_clauses;
+        self.pre_eliminated_vars += s.pre_eliminated_vars;
+    }
+}
+
+/// One engine's entry in the seed-vs-modern comparison.
+#[derive(Serialize)]
+struct EngineModeJson {
+    mean_ms: f64,
+    std_ms: f64,
+    speedup_vs_seed: f64,
+    search: SearchJson,
+}
+
+/// The SAT-engine comparison: the same workload solved by the
+/// pre-modernization engine (no preprocessing, no phase saving /
+/// restarts / LBD deletion, from-scratch branch-and-bound) and by the
+/// full modern engine, each over its own warm ground cache so the
+/// measurement is solve-dominated.
+#[derive(Serialize)]
+struct EngineJson {
+    seed: EngineModeJson,
+    modern: EngineModeJson,
+}
+
+/// Like [`sweep`], but also sums the solver's effort counters and
+/// records each goal's lexicographic optimum (see the engine gate).
+fn engine_sweep(
+    repo: &Repository,
+    cache: &Arc<dyn CacheSource>,
+    config: &ConcretizerConfig,
+    ground_cache: &Arc<GroundCache>,
+    goals: &[NamedGoal],
+) -> (std::time::Duration, Vec<String>, Vec<String>, SearchJson) {
+    let conc = Concretizer::new(repo)
+        .with_config(config.clone())
+        .with_reusable(cache)
+        .with_ground_cache(Arc::clone(ground_cache));
+    let t = Instant::now();
+    let mut sigs = Vec::with_capacity(goals.len());
+    let mut costs = Vec::with_capacity(goals.len());
+    let mut effort = SearchJson::default();
+    for g in goals {
+        let sol = conc
+            .concretize(&g.spec)
+            .unwrap_or_else(|e| panic!("perf-report engine {}: {e}", g.name));
+        effort.absorb(&sol);
+        costs.push(format!("{} cost={:?}", g.name, sol.cost));
+        sigs.push(signature(g, &sol));
+    }
+    (t.elapsed(), sigs, costs, effort)
+}
+
+struct EngineModeResult {
+    mean_ms: f64,
+    std_ms: f64,
+    sigs: Vec<Vec<String>>,
+    costs: Vec<Vec<String>>,
+    effort: SearchJson,
+}
+
+fn run_engine_mode(
+    trials: usize,
+    warmup: usize,
+    repo: &Repository,
+    cache: &Arc<dyn CacheSource>,
+    config: &ConcretizerConfig,
+    goals: &[NamedGoal],
+) -> EngineModeResult {
+    let ground_cache = GroundCache::shared();
+    let mut sigs: Vec<Vec<String>> = Vec::new();
+    let mut costs: Vec<Vec<String>> = Vec::new();
+    let mut effort = SearchJson::default();
+    let times = run_trials_warm(trials, warmup, || {
+        let (dt, s, c, e) = engine_sweep(repo, cache, config, &ground_cache, goals);
+        sigs.push(s);
+        costs.push(c);
+        effort = e;
+        dt
+    });
+    let (mean_ms, std_ms) = mean_std_ms(&times);
+    EngineModeResult {
+        mean_ms,
+        std_ms,
+        sigs,
+        costs,
+        effort,
+    }
+}
+
 struct Workload<'a> {
     name: &'static str,
     repo: &'a Repository,
@@ -152,6 +269,7 @@ struct WorkloadJson {
     name: String,
     goals: Vec<String>,
     modes: ModesJson,
+    engine: EngineJson,
     equivalent: bool,
 }
 
@@ -294,6 +412,17 @@ fn main() {
             ),
         ];
 
+        // --- SAT-engine comparison: seed vs modern, warm caches ---
+        let mut seed_cfg = par_cfg.clone();
+        seed_cfg.solver = SolverConfig {
+            ground_threads: seed_cfg.solver.ground_threads,
+            ..SolverConfig::seed_engine()
+        };
+        let modern_cfg = par_cfg.clone();
+        let seed_engine = run_engine_mode(trials, warmup, w.repo, &w.cache, &seed_cfg, &w.goals);
+        let modern_engine =
+            run_engine_mode(trials, warmup, w.repo, &w.cache, &modern_cfg, &w.goals);
+
         // Equivalence gate: every sweep of every mode must match the
         // first sequential sweep goal-for-goal.
         let reference = &modes[0].sigs[0];
@@ -304,6 +433,36 @@ fn main() {
                     eprintln!(
                         "perf-report: DIVERGENCE in {} mode {} sweep {i}:\n  expected {:?}\n  got      {:?}",
                         w.name, m.name, reference, s
+                    );
+                }
+            }
+        }
+        // Engine gate, part 1: the modern engine runs the *same* solver
+        // configuration as the sequential reference, so determinism
+        // demands bit-identical solutions, DAG hashes included.
+        for (i, s) in modern_engine.sigs.iter().enumerate() {
+            if s != reference {
+                diverged = true;
+                eprintln!(
+                    "perf-report: DIVERGENCE in {} engine modern-engine sweep {i}:\n  expected {:?}\n  got      {:?}",
+                    w.name, reference, s
+                );
+            }
+        }
+        // Engine gate, part 2: the seed engine differs in search
+        // machinery, which the solver only guarantees preserves
+        // satisfiability and the lexicographic optimum — co-optimal
+        // models (ties) may legitimately differ, so the comparison is on
+        // cost vectors, not DAG hashes. (The RADIUSS workloads do
+        // exhibit such ties; see DESIGN.md.)
+        let cost_reference = &modern_engine.costs[0];
+        for (ename, e) in [("seed-engine", &seed_engine), ("modern-engine", &modern_engine)] {
+            for (i, c) in e.costs.iter().enumerate() {
+                if c != cost_reference {
+                    diverged = true;
+                    eprintln!(
+                        "perf-report: DIVERGENCE in {} engine {ename} optima sweep {i}:\n  expected {:?}\n  got      {:?}",
+                        w.name, cost_reference, c
                     );
                 }
             }
@@ -324,6 +483,22 @@ fn main() {
             );
         }
 
+        let engine_speedup = seed_engine.mean_ms / modern_engine.mean_ms.max(1e-9);
+        eprintln!(
+            "perf-report:   seed-engine   {:>9.2} ms ± {:.2}",
+            seed_engine.mean_ms, seed_engine.std_ms
+        );
+        eprintln!(
+            "perf-report:   modern-engine {:>9.2} ms ± {:.2}  ({engine_speedup:.2}x vs seed; \
+             {} vars eliminated, {} clauses subsumed, {} conflicts vs {})",
+            modern_engine.mean_ms,
+            modern_engine.std_ms,
+            modern_engine.effort.pre_eliminated_vars,
+            modern_engine.effort.pre_subsumed_clauses,
+            modern_engine.effort.conflicts,
+            seed_engine.effort.conflicts,
+        );
+
         workload_reports.push(WorkloadJson {
             name: w.name.to_string(),
             goals: w.goals.iter().map(|g| g.name.clone()).collect(),
@@ -331,6 +506,20 @@ fn main() {
                 sequential: ModeJson::from_result(&modes[0], seq_mean),
                 parallel: ModeJson::from_result(&modes[1], seq_mean),
                 cached: ModeJson::from_result(&modes[2], seq_mean),
+            },
+            engine: EngineJson {
+                seed: EngineModeJson {
+                    mean_ms: round3(seed_engine.mean_ms),
+                    std_ms: round3(seed_engine.std_ms),
+                    speedup_vs_seed: 1.0,
+                    search: seed_engine.effort,
+                },
+                modern: EngineModeJson {
+                    mean_ms: round3(modern_engine.mean_ms),
+                    std_ms: round3(modern_engine.std_ms),
+                    speedup_vs_seed: round3(engine_speedup),
+                    search: modern_engine.effort,
+                },
             },
             equivalent: !diverged,
         });

@@ -164,6 +164,12 @@ pub struct Solution {
     pub built: Vec<Sym>,
     /// Executed splices.
     pub spliced: Vec<SpliceReport>,
+    /// Lexicographic cost vector of the optimal model, `(priority,
+    /// cost)` pairs highest priority first. Co-optimal models can
+    /// differ across solver configurations (the solver breaks ties by
+    /// search order), but this vector is identical for all of them —
+    /// it is the equivalence the engine guarantees.
+    pub cost: Vec<(i64, i64)>,
     /// Measurements.
     pub stats: ConcretizeStats,
 }
@@ -301,11 +307,13 @@ impl Concretizer {
     /// The memoization key for `goal` under this concretizer: a
     /// fingerprint of every input that determines the prepared ground
     /// program — repository revision, the reusable-spec fingerprints in
-    /// cache order, the goal, the encode-relevant configuration, and the
-    /// grounding limits. Solver search knobs (`ground_threads`,
-    /// `conflict_budget`, `max_stability_loops`) are deliberately
-    /// excluded: they never change the ground program. Process-local;
-    /// never persist it.
+    /// cache order, the goal, the encode-relevant configuration, the
+    /// grounding limits, and the CNF preprocessing configuration (the
+    /// cached entry holds the *preprocessed* pristine SAT instance).
+    /// Solver search knobs (`ground_threads`, `conflict_budget`,
+    /// `max_stability_loops`, `sat`, `incremental_bnb`) are deliberately
+    /// excluded: they never change the prepared program — search config
+    /// is re-applied per solve. Process-local; never persist it.
     pub fn ground_key(&self, goal: &Goal) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -332,6 +340,7 @@ impl Concretizer {
         .hash(&mut h);
         self.config.solver.limits.max_atoms.hash(&mut h);
         self.config.solver.limits.max_rules.hash(&mut h);
+        format!("{:?}", self.config.solver.preprocess).hash(&mut h);
         h.finish()
     }
 
@@ -467,6 +476,7 @@ impl Concretizer {
             reused,
             built,
             spliced,
+            cost: model.cost.clone(),
             stats: ConcretizeStats {
                 encode_time,
                 parse_time,

@@ -24,7 +24,7 @@ use rustc_hash::FxHashSet;
 use spackle_asp::certify;
 use spackle_asp::ground::ground;
 use spackle_asp::term::AtomId;
-use spackle_asp::{parse_program, AspError, SolveOutcome, Solver};
+use spackle_asp::{parse_program, AspError, SolveOutcome, Solver, SolverConfig};
 use spackle_core::{Concretizer, ConcretizerConfig, CoreError, Goal};
 
 /// Cap on free atoms for program-case oracle enumeration.
@@ -42,12 +42,22 @@ pub struct CaseStats {
     pub skipped: bool,
 }
 
-/// Run one program differential case. `Err` carries a human-readable
-/// mismatch description including enough detail to reproduce.
+/// Run one program differential case with the default solver
+/// configuration. `Err` carries a human-readable mismatch description
+/// including enough detail to reproduce.
 pub fn check_program_case(seed: u64) -> Result<CaseStats, String> {
+    check_program_case_with(seed, &SolverConfig::default())
+}
+
+/// Run one program differential case under an explicit
+/// [`SolverConfig`] — the entry point for the solver-config
+/// differential matrix, which replays the same cases under every
+/// engine-technique toggle combination.
+pub fn check_program_case_with(seed: u64, config: &SolverConfig) -> Result<CaseStats, String> {
     let mut rng = TestRng::seed_from_u64(seed);
     let prog = random_program(&mut rng);
-    let fail = |msg: String| Err(format!("[program seed {seed}] {msg}\nprogram:\n{prog}"));
+    let fail =
+        |msg: String| Err(format!("[program seed {seed}, config {config:?}] {msg}\nprogram:\n{prog}"));
 
     let gp = match ground(&prog) {
         Ok(gp) => gp,
@@ -75,7 +85,7 @@ pub fn check_program_case(seed: u64) -> Result<CaseStats, String> {
         .map(|m| reference::render(&gp, m))
         .collect();
 
-    let solver = Solver::new();
+    let solver = Solver::with_config(config.clone());
 
     // ---- model-set comparison (enumeration ignores #minimize) ----
     let limit = (oracle.models.len() + 1).min(MAX_ENUMERATED + 1);

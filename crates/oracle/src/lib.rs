@@ -33,5 +33,5 @@ pub mod genprog;
 pub mod genrepo;
 pub mod reference;
 
-pub use diff::{check_program_case, check_repo_case, CaseStats};
+pub use diff::{check_program_case, check_program_case_with, check_repo_case, CaseStats};
 pub use reference::{OracleError, OracleSolution};

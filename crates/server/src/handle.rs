@@ -96,7 +96,18 @@ fn concretize(state: &ServerState, session: &mut Session, request: &Request) -> 
 
     match result {
         Ok(solution) => {
+            let search = &solution.stats.solver;
+            state.telemetry().record_search(
+                search.conflicts,
+                search.decisions,
+                search.propagations,
+                search.restarts,
+            );
             let mut r = Response::ok_for(request);
+            r.conflicts = search.conflicts;
+            r.decisions = search.decisions;
+            r.propagations = search.propagations;
+            r.restarts = search.restarts;
             r.hashes = solution
                 .specs
                 .iter()
@@ -163,6 +174,10 @@ fn stats(state: &ServerState, request: &Request) -> Response {
     r.total_solve_ms = telemetry.total_solve.as_secs_f64() * 1e3;
     r.max_solve_ms = telemetry.max_solve.as_secs_f64() * 1e3;
     r.uptime_s = telemetry.uptime.as_secs_f64();
+    r.conflicts = telemetry.conflicts;
+    r.decisions = telemetry.decisions;
+    r.propagations = telemetry.propagations;
+    r.restarts = telemetry.restarts;
     r.ground_hits = cache.hits;
     r.ground_misses = cache.misses;
     r.hit_rate = cache.hit_rate();
@@ -201,6 +216,13 @@ mod tests {
         assert!(resp.ok, "{}", resp.error);
         assert_eq!(resp.hashes.len(), 1);
         assert!(!resp.ground_cache_hit, "cold cache");
+        // The tiny instance solves by propagation alone (preprocessing
+        // leaves nothing to decide), so propagations is the counter
+        // guaranteed to move.
+        assert!(
+            resp.propagations > 0,
+            "search effort must surface per solve: {resp:?}"
+        );
 
         let again = handle(&state, &mut session, &Request::concretize("app").with_id(2));
         assert!(again.ok);
@@ -217,6 +239,14 @@ mod tests {
         assert_eq!(stats.ground_hits, 1);
         assert_eq!(stats.ground_misses, 1);
         assert_eq!(stats.in_flight, 0, "handlers run outside begin_request here");
+        assert_eq!(
+            stats.decisions,
+            resp.decisions + again.decisions,
+            "stats must be the exact sum of per-solve search effort"
+        );
+        assert_eq!(stats.propagations, resp.propagations + again.propagations);
+        assert_eq!(stats.conflicts, resp.conflicts + again.conflicts);
+        assert_eq!(stats.restarts, resp.restarts + again.restarts);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! | op           | request fields              | response fields |
 //! |--------------|-----------------------------|-----------------|
 //! | `ping`       | —                           | `ok`, `protocol` |
-//! | `concretize` | `spec` or `roots`, `forbid`, `config` | `hashes`, `reused`, `built`, `spliced`, `ground_cache_hit`, `solve_ms` |
+//! | `concretize` | `spec` or `roots`, `forbid`, `config` | `hashes`, `reused`, `built`, `spliced`, `ground_cache_hit`, `solve_ms`, `conflicts`, `decisions`, `propagations`, `restarts` |
 //! | `last`       | —                           | the previous concretize response for this connection |
 //! | `set-config` | `config`                    | `ok` (session default updated) |
 //! | `audit`      | —                           | `audit_errors`, `audit_warnings`, `audit_report` |
@@ -140,6 +140,21 @@ pub struct Response {
     /// End-to-end solve wall time in milliseconds.
     #[serde(default)]
     pub solve_ms: f64,
+
+    // --- search effort (this solve's in `concretize`/`last`,
+    //     cumulative since boot in `stats`) ---
+    /// SAT conflicts resolved.
+    #[serde(default)]
+    pub conflicts: u64,
+    /// SAT decisions made.
+    #[serde(default)]
+    pub decisions: u64,
+    /// SAT literal propagations performed.
+    #[serde(default)]
+    pub propagations: u64,
+    /// SAT restarts performed.
+    #[serde(default)]
+    pub restarts: u64,
 
     // --- audit ---
     /// Error-severity diagnostics found.

@@ -20,6 +20,10 @@ pub struct Telemetry {
     in_flight: AtomicU64,
     solve_us_total: AtomicU64,
     solve_us_max: AtomicU64,
+    conflicts: AtomicU64,
+    decisions: AtomicU64,
+    propagations: AtomicU64,
+    restarts: AtomicU64,
 }
 
 impl Default for Telemetry {
@@ -39,6 +43,10 @@ impl Telemetry {
             in_flight: AtomicU64::new(0),
             solve_us_total: AtomicU64::new(0),
             solve_us_max: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+            decisions: AtomicU64::new(0),
+            propagations: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
         }
     }
 
@@ -60,6 +68,15 @@ impl Telemetry {
         self.solve_us_max.fetch_max(us, Ordering::Relaxed);
     }
 
+    /// Record the SAT-search effort behind one concretization (the ASP
+    /// engine's own `SolveStats` counters, summed service-wide).
+    pub fn record_search(&self, conflicts: u64, decisions: u64, propagations: u64, restarts: u64) {
+        self.conflicts.fetch_add(conflicts, Ordering::Relaxed);
+        self.decisions.fetch_add(decisions, Ordering::Relaxed);
+        self.propagations.fetch_add(propagations, Ordering::Relaxed);
+        self.restarts.fetch_add(restarts, Ordering::Relaxed);
+    }
+
     /// Record one failed request (any operation).
     pub fn record_failure(&self) {
         self.failures.fetch_add(1, Ordering::Relaxed);
@@ -75,6 +92,10 @@ impl Telemetry {
             total_solve: Duration::from_micros(self.solve_us_total.load(Ordering::Relaxed)),
             max_solve: Duration::from_micros(self.solve_us_max.load(Ordering::Relaxed)),
             uptime: self.started.elapsed(),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+            decisions: self.decisions.load(Ordering::Relaxed),
+            propagations: self.propagations.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
         }
     }
 }
@@ -108,6 +129,14 @@ pub struct TelemetrySnapshot {
     pub max_solve: Duration,
     /// Time since boot.
     pub uptime: Duration,
+    /// SAT conflicts resolved across all concretizations.
+    pub conflicts: u64,
+    /// SAT decisions made across all concretizations.
+    pub decisions: u64,
+    /// SAT literal propagations across all concretizations.
+    pub propagations: u64,
+    /// SAT restarts performed across all concretizations.
+    pub restarts: u64,
 }
 
 #[cfg(test)]
@@ -138,6 +167,30 @@ mod tests {
         assert_eq!(s.in_flight, 0, "every guard dropped");
         assert_eq!(s.max_solve, Duration::from_micros(99));
         assert_eq!(s.total_solve, Duration::from_micros(4 * 99 * 100 / 2));
+    }
+
+    #[test]
+    fn search_effort_accumulates_exactly() {
+        let t = Arc::new(Telemetry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        t.record_search(i, 2 * i, 10 * i, i % 3);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        let s = t.snapshot();
+        let tri = 49 * 50 / 2; // sum 0..50
+        assert_eq!(s.conflicts, 4 * tri);
+        assert_eq!(s.decisions, 8 * tri);
+        assert_eq!(s.propagations, 40 * tri);
+        assert_eq!(s.restarts, 4 * (0..50u64).map(|i| i % 3).sum::<u64>());
     }
 
     #[test]
