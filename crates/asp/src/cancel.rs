@@ -1,0 +1,138 @@
+//! Cooperative cancellation for long-running solves.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle that a caller keeps
+//! and a solver polls. Cancellation has two triggers — an explicit
+//! [`CancelToken::cancel`] call from another thread, or an optional
+//! wall-clock deadline — and both resolve to the same cooperative
+//! contract: the CDCL search loop polls the token between search steps
+//! and unwinds with a structured `Cancelled` result, leaving the solver
+//! reusable. Polling a token created with [`CancelToken::none`] is a
+//! single branch on an empty `Option`, so the non-cancellable fast path
+//! costs nothing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Set (before `cancelled`) when the cancellation came from the
+    /// deadline rather than an explicit `cancel()` call.
+    deadline_hit: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A shared cancellation flag with an optional wall-clock deadline.
+///
+/// Clones share state: cancelling any clone cancels them all. The
+/// default token ([`CancelToken::none`]) can never fire.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A token that never fires — the zero-cost default.
+    pub fn none() -> CancelToken {
+        CancelToken { inner: None }
+    }
+
+    /// A manually-cancellable token with no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline_hit: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// A token that fires once `timeout` has elapsed from now (and can
+    /// also be cancelled manually before that).
+    pub fn with_deadline(timeout: Duration) -> CancelToken {
+        CancelToken::with_deadline_at(Instant::now() + timeout)
+    }
+
+    /// A token that fires at `deadline`.
+    pub fn with_deadline_at(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline_hit: AtomicBool::new(false),
+                deadline: Some(deadline),
+            })),
+        }
+    }
+
+    /// Whether this token can ever fire.
+    pub fn is_cancellable(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Request cancellation. Idempotent; a no-op on [`CancelToken::none`].
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// Poll the token. Returns `Some(deadline_expired)` once cancelled:
+    /// `true` when the wall-clock deadline fired, `false` for an explicit
+    /// [`CancelToken::cancel`]. Checks the deadline lazily, so a token is
+    /// "cancelled by deadline" the first time it is polled past it.
+    pub fn check(&self) -> Option<bool> {
+        let inner = self.inner.as_ref()?;
+        if inner.cancelled.load(Ordering::Acquire) {
+            return Some(inner.deadline_hit.load(Ordering::Acquire));
+        }
+        if let Some(deadline) = inner.deadline {
+            if Instant::now() >= deadline {
+                inner.deadline_hit.store(true, Ordering::Release);
+                inner.cancelled.store(true, Ordering::Release);
+                return Some(true);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fires() {
+        let t = CancelToken::none();
+        t.cancel();
+        assert_eq!(t.check(), None);
+        assert!(!t.is_cancellable());
+    }
+
+    #[test]
+    fn manual_cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert_eq!(u.check(), None);
+        t.cancel();
+        assert_eq!(u.check(), Some(false), "manual cancel, not a deadline");
+        assert_eq!(t.check(), Some(false));
+    }
+
+    #[test]
+    fn expired_deadline_reports_as_deadline() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(t.check(), Some(true));
+        // Sticky after the first observation.
+        assert_eq!(t.check(), Some(true));
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire_early() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert_eq!(t.check(), None);
+        t.cancel();
+        assert_eq!(t.check(), Some(false), "manual cancel beat the deadline");
+    }
+}

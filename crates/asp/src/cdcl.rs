@@ -8,6 +8,7 @@
 //! are transparently reconstructed in returned models and transparently
 //! *reintroduced* when later clauses or assumptions mention them.
 
+use crate::cancel::CancelToken;
 use crate::preprocess::{preprocess as run_preprocess, PreprocessConfig, PreprocessStats, TraceEntry};
 
 /// A boolean variable, numbered from 0.
@@ -117,6 +118,13 @@ pub enum SatResult {
     Unsat,
     /// The conflict budget was exhausted before an answer was reached.
     Unknown,
+    /// The search was cancelled cooperatively before an answer was
+    /// reached — `deadline` is true when a wall-clock deadline fired,
+    /// false for an explicit cancel. The solver remains usable.
+    Cancelled {
+        /// Whether the cancellation came from a deadline.
+        deadline: bool,
+    },
 }
 
 /// Search statistics, cumulative across `solve` calls.
@@ -183,6 +191,7 @@ pub struct Sat {
     /// Cumulative statistics.
     pub stats: SatStats,
     conflict_budget: u64,
+    cancel: CancelToken,
     cfg: SatConfig,
 }
 
@@ -225,6 +234,7 @@ impl Sat {
             ok: true,
             stats: SatStats::default(),
             conflict_budget: u64::MAX,
+            cancel: CancelToken::none(),
             cfg: SatConfig::default(),
         }
     }
@@ -232,6 +242,12 @@ impl Sat {
     /// Limit the number of conflicts per `solve` call (`u64::MAX` = none).
     pub fn set_conflict_budget(&mut self, budget: u64) {
         self.conflict_budget = budget;
+    }
+
+    /// Install a cooperative cancellation token, polled between search
+    /// steps. The default [`CancelToken::none`] never fires.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
     }
 
     /// Set the search-heuristic toggles (takes effect on the next
@@ -796,8 +812,21 @@ impl Sat {
         let mut conflicts_this_call: u64 = 0;
         let mut restart_unit = 0u64;
         let mut next_restart = luby(restart_unit) * 100;
+        // Each loop iteration is one conflict or one decision, so this
+        // polls the token at a bounded interval without an `Instant`
+        // syscall per step. `is_cancellable` keeps the common
+        // non-cancellable path to a single branch.
+        let mut steps: u64 = 0;
+        let poll = self.cancel.is_cancellable();
 
         loop {
+            steps += 1;
+            if poll && steps & 1023 == 1 {
+                if let Some(deadline) = self.cancel.check() {
+                    self.backtrack(0);
+                    return SatResult::Cancelled { deadline };
+                }
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_this_call += 1;

@@ -38,6 +38,7 @@
 //!    across bound tightenings.
 
 pub mod analysis;
+pub mod cancel;
 pub mod cdcl;
 pub mod certify;
 pub mod cnf;
@@ -53,6 +54,7 @@ pub mod term;
 pub use analysis::{
     derivable_preds, pred_of, relevant_preds, stratify, PredGraph, PredKey, Stratification,
 };
+pub use cancel::CancelToken;
 pub use cdcl::SatConfig;
 pub use certify::{certify_model, CertifyError};
 pub use ground::{
@@ -106,6 +108,26 @@ pub enum AspError {
     BadWeight(String),
     /// The grounder or solver hit a configured resource limit.
     ResourceLimit(String),
+    /// The solver gave up after exhausting its conflict budget — a
+    /// bounded "don't know", distinguishable from UNSAT. Carries the
+    /// search effort spent so callers can report (and ship over the
+    /// wire) how hard the solver tried.
+    BudgetExhausted {
+        /// CDCL conflicts at the point of giving up.
+        conflicts: u64,
+        /// CDCL decisions at the point of giving up.
+        decisions: u64,
+        /// CDCL literal propagations at the point of giving up.
+        propagations: u64,
+        /// CDCL restarts at the point of giving up.
+        restarts: u64,
+    },
+    /// The solve was cancelled cooperatively; `deadline` is true when a
+    /// wall-clock deadline fired rather than an explicit cancel.
+    Cancelled {
+        /// Whether a wall-clock deadline triggered the cancellation.
+        deadline: bool,
+    },
     /// An internal invariant failed (a bug).
     Internal(String),
 }
@@ -131,6 +153,24 @@ impl fmt::Display for AspError {
             ),
             AspError::BadWeight(m) => write!(f, "invalid #minimize weight/priority: {m}"),
             AspError::ResourceLimit(m) => write!(f, "resource limit: {m}"),
+            AspError::BudgetExhausted {
+                conflicts,
+                decisions,
+                propagations,
+                restarts,
+            } => write!(
+                f,
+                "conflict budget exhausted after {conflicts} conflicts, \
+                 {decisions} decisions, {propagations} propagations, \
+                 {restarts} restarts"
+            ),
+            AspError::Cancelled { deadline } => {
+                if *deadline {
+                    write!(f, "solve deadline exceeded")
+                } else {
+                    write!(f, "solve cancelled")
+                }
+            }
             AspError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

@@ -1,6 +1,7 @@
 //! The solve orchestrator: ground → translate → CDCL search → stability
 //! CEGAR → lexicographic branch-and-bound optimization.
 
+use crate::cancel::CancelToken;
 use crate::cdcl::{Lit, Sat, SatConfig, SatResult};
 use crate::cnf::{add_upper_bound, add_upper_bound_guarded, translate, BoundCounter, Translation};
 use crate::ground::{ground_parallel, GroundLimits, GroundProgram};
@@ -33,6 +34,10 @@ pub struct SolverConfig {
     /// CDCL search-heuristic toggles (phase saving, restarts, LBD
     /// deletion).
     pub sat: SatConfig,
+    /// Cooperative cancellation: polled in the CDCL search loop
+    /// alongside the conflict budget. The default
+    /// [`CancelToken::none`] never fires.
+    pub cancel: CancelToken,
     /// Incremental `#minimize` branch-and-bound: keep learned clauses
     /// and saved phases across bound tightenings, build one shared
     /// [`BoundCounter`] circuit per priority level (each probe/pin
@@ -52,6 +57,7 @@ impl Default for SolverConfig {
             ground_threads: 1,
             preprocess: PreprocessConfig::default(),
             sat: SatConfig::default(),
+            cancel: CancelToken::none(),
             incremental_bnb: true,
         }
     }
@@ -271,6 +277,7 @@ impl Solver {
         let mut sat = tp.sat.clone();
         sat.set_conflict_budget(self.config.conflict_budget);
         sat.set_search_config(self.config.sat);
+        sat.set_cancel(self.config.cancel.clone());
         stats.sat_vars = sat.num_vars();
 
         let outcome = self.search(tp.gp.clone(), &tp.tr, &mut sat, &mut stats)?;
@@ -304,9 +311,15 @@ impl Solver {
             match sat.solve_with(assumps) {
                 SatResult::Unsat => return Ok(None),
                 SatResult::Unknown => {
-                    return Err(AspError::ResourceLimit(
-                        "conflict budget exhausted".into(),
-                    ));
+                    return Err(AspError::BudgetExhausted {
+                        conflicts: sat.stats.conflicts,
+                        decisions: sat.stats.decisions,
+                        propagations: sat.stats.propagations,
+                        restarts: sat.stats.restarts,
+                    });
+                }
+                SatResult::Cancelled { deadline } => {
+                    return Err(AspError::Cancelled { deadline });
                 }
                 SatResult::Sat => {}
             }
@@ -513,6 +526,7 @@ impl Solver {
         let mut sat = tp.sat.clone();
         sat.set_conflict_budget(self.config.conflict_budget);
         sat.set_search_config(self.config.sat);
+        sat.set_cancel(self.config.cancel.clone());
         let (gp, tr) = (&tp.gp, &tp.tr);
         let mut out = Vec::new();
         while out.len() < limit {
@@ -803,6 +817,76 @@ mod tests {
                 assert_eq!(a.cost, vec![(1, 2)], "take(3) alone is optimal");
             }
             _ => panic!("expected optima from both modes"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_cancels_structurally() {
+        // A token that is already past its deadline must surface as a
+        // typed Cancelled error (deadline=true), never a panic or hang.
+        let program = parse_program(
+            r#"
+            node(1). node(2). node(3).
+            edge(1,2). edge(2,3). edge(1,3).
+            color("r"). color("g"). color("b").
+            1 { assign(N,C) : color(C) } 1 :- node(N).
+            :- edge(A,B), assign(A,C), assign(B,C).
+        "#,
+        )
+        .unwrap();
+        let solver = Solver::with_config(SolverConfig {
+            cancel: CancelToken::with_deadline(Duration::ZERO),
+            ..Default::default()
+        });
+        match solver.solve(&program) {
+            Err(AspError::Cancelled { deadline: true }) => {}
+            Err(other) => panic!("expected deadline cancellation, got {other}"),
+            Ok(_) => panic!("expected deadline cancellation, got an answer"),
+        }
+    }
+
+    #[test]
+    fn manual_cancel_is_distinguishable_from_deadline() {
+        let program = parse_program("{ a }. { b }. :- a, b.").unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let solver = Solver::with_config(SolverConfig {
+            cancel: token,
+            ..Default::default()
+        });
+        match solver.solve(&program) {
+            Err(AspError::Cancelled { deadline: false }) => {}
+            Err(other) => panic!("expected manual cancellation, got {other}"),
+            Ok(_) => panic!("expected manual cancellation, got an answer"),
+        }
+    }
+
+    #[test]
+    fn unfired_token_changes_nothing() {
+        let program = parse_program(
+            r#"
+            cand("v1"). cand("v2").
+            1 { pick(V) : cand(V) } 1.
+            cost("v1", 1). cost("v2", 2).
+            #minimize { C@1,V : pick(V), cost(V, C) }.
+        "#,
+        )
+        .unwrap();
+        let plain = Solver::new().solve(&program).unwrap().0;
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        let guarded = Solver::with_config(SolverConfig {
+            cancel: token,
+            ..Default::default()
+        })
+        .solve(&program)
+        .unwrap()
+        .0;
+        match (plain, guarded) {
+            (SolveOutcome::Optimal(a), SolveOutcome::Optimal(b)) => {
+                assert_eq!(a.cost, b.cost);
+                assert_eq!(a.render(), b.render());
+            }
+            _ => panic!("expected optima from both"),
         }
     }
 

@@ -60,7 +60,9 @@ fn conflict_budget_surfaces_as_resource_limit() {
         ..Default::default()
     });
     match solver.solve(&prog) {
-        Err(AspError::ResourceLimit(_)) => {}
+        Err(AspError::BudgetExhausted { conflicts, .. }) => {
+            assert!(conflicts >= 1, "effort counters must be populated");
+        }
         Err(other) => panic!("unexpected error {other}"),
         Ok(_) => panic!("1 conflict cannot decide PHP(8,7)"),
     }

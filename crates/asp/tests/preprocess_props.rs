@@ -65,6 +65,7 @@ fn solve_directly(num_vars: usize, clauses: &[Vec<Lit>]) -> Option<Vec<bool>> {
         SatResult::Sat => Some((0..num_vars as Var).map(|v| s.value(v)).collect()),
         SatResult::Unsat => None,
         SatResult::Unknown => unreachable!("no conflict budget set"),
+        SatResult::Cancelled { .. } => unreachable!("no cancel token set"),
     }
 }
 

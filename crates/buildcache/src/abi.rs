@@ -14,6 +14,7 @@
 //!   pairs an `abi-audit` would propose as `can_splice` directives.
 
 use crate::artifact::Artifact;
+use crate::cache::CacheError;
 use crate::source::CacheSource;
 use spackle_spec::{Sym, Version};
 use std::collections::{BTreeMap, BTreeSet};
@@ -130,12 +131,14 @@ impl SpliceSuggestion {
 /// same package with the same ABI). Index-only entries (no artifact
 /// bytes) and unparseable artifacts are skipped — the audit only trusts
 /// binaries it can read. Output is deterministic: suggestions are sorted
-/// by (replacement, target, versions).
-pub fn suggest_splices(cache: &dyn CacheSource) -> Vec<SpliceSuggestion> {
+/// by (replacement, target, versions). Fails only when the cache itself
+/// cannot be read (a down or corrupt backend surfaces its `CacheError`
+/// instead of being audited as empty).
+pub fn suggest_splices(cache: &dyn CacheSource) -> Result<Vec<SpliceSuggestion>, CacheError> {
     // name → distinct (version, artifact) representatives, keyed by the
     // serialized symbol table so each ABI is compared once.
     let mut by_name: BTreeMap<Sym, BTreeMap<Vec<String>, (Version, Artifact)>> = BTreeMap::new();
-    for entry in cache.iter() {
+    for entry in cache.iter()? {
         if !entry.has_artifact() {
             continue;
         }
@@ -173,7 +176,7 @@ pub fn suggest_splices(cache: &dyn CacheSource) -> Vec<SpliceSuggestion> {
             .cmp(&(b.replacement, &b.replacement_version, b.target, &b.target_version))
     });
     out.dedup();
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -240,7 +243,7 @@ mod tests {
         add("openmpi", &["MPI_Init", "MPI_Comm=ptr"]);
         add("zlib", &["_ZN4zlib3apiEv"]);
 
-        let suggestions = suggest_splices(&cache);
+        let suggestions = suggest_splices(&cache).unwrap();
         let pairs: Vec<(&str, &str)> = suggestions
             .iter()
             .map(|s| (s.replacement.as_str(), s.target.as_str()))
@@ -251,7 +254,7 @@ mod tests {
             "mpiabi: can_splice(\"mpich@1.0\", when=\"@1.0\")"
         );
         // Index-only entries never produce suggestions.
-        let empty_armed = suggest_splices(&BuildCache::new());
+        let empty_armed = suggest_splices(&BuildCache::new()).unwrap();
         assert!(empty_armed.is_empty());
     }
 }

@@ -27,7 +27,16 @@ use std::fmt;
 /// Current JSON schema version written by [`BuildCache::to_json`].
 pub const CACHE_SCHEMA_VERSION: u32 = 1;
 
-/// Errors loading a persisted cache index.
+/// Errors loading a persisted cache index or reading a cache backend.
+///
+/// The first three variants are index-load failures (local, permanent by
+/// nature). The last three form the runtime fault taxonomy of the
+/// fallible [`CacheSource`](crate::CacheSource) seam: `Transient` reads
+/// may succeed on retry, `Permanent` ones will not, and `Corrupt` marks
+/// a backend that answered with data failing an integrity check. Each
+/// carries the *backend* label where the fault originated, so a failure
+/// deep inside a chained mirror list keeps its provenance all the way up
+/// to daemon telemetry.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CacheError {
     /// The document is not valid JSON for the cache schema (syntax
@@ -48,6 +57,75 @@ pub enum CacheError {
         /// The hash its spec actually has (short form).
         actual: String,
     },
+    /// A backend read failed in a way a retry may fix (timeout, reset
+    /// connection, throttling, a mirror mid-sync).
+    Transient {
+        /// Label of the failing backend.
+        backend: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A backend read failed in a way no retry will fix (missing index,
+    /// authorization failure, unsupported protocol).
+    Permanent {
+        /// Label of the failing backend.
+        backend: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A backend answered, but the data failed an integrity check (an
+    /// entry whose spec hashes differently than the key it was fetched
+    /// under, an unreadable index page). Retryable: a flaky mirror may
+    /// serve a good copy next time.
+    Corrupt {
+        /// Label of the offending backend.
+        backend: String,
+        /// What the integrity check found.
+        detail: String,
+    },
+}
+
+impl CacheError {
+    /// A [`CacheError::Transient`] with the given provenance.
+    pub fn transient(backend: impl Into<String>, detail: impl Into<String>) -> CacheError {
+        CacheError::Transient {
+            backend: backend.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// A [`CacheError::Permanent`] with the given provenance.
+    pub fn permanent(backend: impl Into<String>, detail: impl Into<String>) -> CacheError {
+        CacheError::Permanent {
+            backend: backend.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// A [`CacheError::Corrupt`] with the given provenance.
+    pub fn corrupt(backend: impl Into<String>, detail: impl Into<String>) -> CacheError {
+        CacheError::Corrupt {
+            backend: backend.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// May a retry of the same read succeed? True for `Transient` and
+    /// `Corrupt` (a flaky backend can serve a good copy next attempt),
+    /// false for everything else.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CacheError::Transient { .. } | CacheError::Corrupt { .. })
+    }
+
+    /// The backend the fault originated at, when known.
+    pub fn backend(&self) -> Option<&str> {
+        match self {
+            CacheError::Transient { backend, .. }
+            | CacheError::Permanent { backend, .. }
+            | CacheError::Corrupt { backend, .. } => Some(backend),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for CacheError {
@@ -62,6 +140,15 @@ impl fmt::Display for CacheError {
                 f,
                 "cache entry /{key} holds a spec whose DAG hash is /{actual}"
             ),
+            CacheError::Transient { backend, detail } => {
+                write!(f, "transient cache failure ({backend}): {detail}")
+            }
+            CacheError::Permanent { backend, detail } => {
+                write!(f, "permanent cache failure ({backend}): {detail}")
+            }
+            CacheError::Corrupt { backend, detail } => {
+                write!(f, "corrupt cache data ({backend}): {detail}")
+            }
         }
     }
 }

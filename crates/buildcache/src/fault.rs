@@ -1,0 +1,344 @@
+//! Deterministic fault injection behind the [`CacheSource`] seam.
+//!
+//! [`FaultInjector`] wraps any source and, driven by a seeded splitmix64
+//! stream over its own call counter, injects the three failure classes a
+//! remote mirror exhibits in production:
+//!
+//! * **errors** — transient or permanent [`CacheError`]s, at a
+//!   configurable rate or across a hard outage window of call indices;
+//! * **latency** — injected sleeps, for exercising deadlines and
+//!   backoff behavior;
+//! * **corruption** — point lookups answered with a deterministic junk
+//!   entry whose spec does not hash to the requested key (the class of
+//!   fault integrity validation must catch), and index reads
+//!   ([`CacheSource::iter`]) answered with [`CacheError::Corrupt`] (a
+//!   tampered index is rejected at load, mirroring
+//!   [`BuildCache::from_json`](crate::BuildCache::from_json)).
+//!
+//! Schedules are a pure function of `(seed, call index)`: the same seed
+//! over the same call sequence injects the same faults, which is what
+//! makes the chaos differential suite replayable. The injector is not a
+//! test-only type — it is the reference implementation of a *failing*
+//! backend, and the retry/breaker machinery in
+//! [`ChainedCache`](crate::ChainedCache) is developed against it.
+
+use crate::cache::{CacheEntry, CacheError};
+use crate::source::{splitmix64, CacheSource, IntoCacheSource, SourceFaultStats};
+use spackle_spec::spec::ConcreteSpecBuilder;
+use spackle_spec::{SpecHash, Sym, Version};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fault schedule for one [`FaultInjector`]. All rates are probabilities
+/// in `[0, 1]` evaluated per call against independent seeded draws;
+/// `Default` injects nothing.
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Seed of the fault schedule (same seed → same schedule).
+    pub seed: u64,
+    /// Probability a call fails with a backend error.
+    pub error_rate: f64,
+    /// Of injected errors, the fraction that are transient (the rest
+    /// are permanent).
+    pub transient_ratio: f64,
+    /// Probability a point lookup (`get`/`candidates_for`) answers with
+    /// a corrupted entry, and an index read (`iter`/`fingerprint`) fails
+    /// with [`CacheError::Corrupt`].
+    pub corrupt_rate: f64,
+    /// Probability a call sleeps for [`FaultConfig::latency`] first.
+    pub latency_rate: f64,
+    /// Injected sleep duration.
+    pub latency: Duration,
+    /// Hard outage: calls whose index falls in this range fail with a
+    /// transient error regardless of `error_rate` (models a backend
+    /// that is down for a while, then recovers).
+    pub fail_calls: Option<Range<u64>>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            error_rate: 0.0,
+            transient_ratio: 1.0,
+            corrupt_rate: 0.0,
+            latency_rate: 0.0,
+            latency: Duration::from_millis(1),
+            fail_calls: None,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A backend that always fails with a transient error.
+    pub fn down() -> FaultConfig {
+        FaultConfig {
+            error_rate: 1.0,
+            transient_ratio: 1.0,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// A backend that always fails permanently.
+    pub fn hard_down() -> FaultConfig {
+        FaultConfig {
+            error_rate: 1.0,
+            transient_ratio: 0.0,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// A backend that transiently fails a fraction `rate` of calls under
+    /// `seed`.
+    pub fn flaky(seed: u64, rate: f64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            error_rate: rate,
+            transient_ratio: 1.0,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// A backend that sleeps `latency` on every call.
+    pub fn slow(latency: Duration) -> FaultConfig {
+        FaultConfig {
+            latency_rate: 1.0,
+            latency,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// Live injected-fault counters.
+#[derive(Debug, Default)]
+struct InjectorCounters {
+    injected: AtomicU64,
+    transient: AtomicU64,
+    permanent: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+/// A [`CacheSource`] wrapper that deterministically injects errors,
+/// latency, and corruption into every lookup (see the module docs).
+pub struct FaultInjector {
+    inner: Arc<dyn CacheSource>,
+    label: String,
+    cfg: FaultConfig,
+    calls: AtomicU64,
+    counters: InjectorCounters,
+    /// The deterministic junk entry served on corrupted point lookups:
+    /// a synthetic one-node spec no repository declares, whose DAG hash
+    /// matches no real key — integrity validation must reject it.
+    junk: CacheEntry,
+}
+
+/// What the schedule says one call should do.
+enum Fault {
+    None,
+    Transient,
+    Permanent,
+    Corrupt,
+}
+
+impl FaultInjector {
+    /// Wrap `inner` under `label` with a no-fault configuration
+    /// (configure with [`FaultInjector::with_config`]).
+    pub fn new(inner: impl IntoCacheSource, label: impl Into<String>) -> FaultInjector {
+        let mut b = ConcreteSpecBuilder::new();
+        let n = b.node("xcorrupt", Version::parse("0.0.0").expect("static version"));
+        let junk_spec = b.build(n).expect("one-node junk spec builds");
+        FaultInjector {
+            inner: inner.into_cache_source(),
+            label: label.into(),
+            cfg: FaultConfig::default(),
+            calls: AtomicU64::new(0),
+            counters: InjectorCounters::default(),
+            junk: CacheEntry {
+                spec: junk_spec,
+                artifact: Vec::new(),
+            },
+        }
+    }
+
+    /// Set the fault schedule.
+    pub fn with_config(mut self, cfg: FaultConfig) -> FaultInjector {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Calls observed so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// A uniform draw in `[0, 1)` from stream `lane` at `call`.
+    fn draw(&self, call: u64, lane: u64) -> f64 {
+        let z = splitmix64(self.cfg.seed ^ call.wrapping_mul(0x9e37_79b9) ^ (lane << 56));
+        z as f64 / (u64::MAX as f64 + 1.0)
+    }
+
+    /// Evaluate the schedule for one call: maybe sleep, then decide the
+    /// call's fate.
+    fn schedule(&self) -> Fault {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        if self.draw(call, 1) < self.cfg.latency_rate {
+            self.counters.injected.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.cfg.latency);
+        }
+        if let Some(window) = &self.cfg.fail_calls {
+            if window.contains(&call) {
+                return Fault::Transient;
+            }
+        }
+        if self.draw(call, 2) < self.cfg.error_rate {
+            if self.draw(call, 3) < self.cfg.transient_ratio {
+                return Fault::Transient;
+            }
+            return Fault::Permanent;
+        }
+        if self.draw(call, 4) < self.cfg.corrupt_rate {
+            return Fault::Corrupt;
+        }
+        Fault::None
+    }
+
+    /// Turn a scheduled fault into its error, counting it. `Corrupt`
+    /// here is the *index-read* form (an unloadable index).
+    fn error_for(&self, fault: &Fault, what: &str) -> CacheError {
+        self.counters.injected.fetch_add(1, Ordering::Relaxed);
+        match fault {
+            Fault::Transient => {
+                self.counters.transient.fetch_add(1, Ordering::Relaxed);
+                CacheError::transient(&self.label, format!("injected transient fault ({what})"))
+            }
+            Fault::Permanent => {
+                self.counters.permanent.fetch_add(1, Ordering::Relaxed);
+                CacheError::permanent(&self.label, format!("injected permanent fault ({what})"))
+            }
+            Fault::Corrupt => {
+                self.counters.corrupt.fetch_add(1, Ordering::Relaxed);
+                CacheError::corrupt(&self.label, format!("injected index corruption ({what})"))
+            }
+            Fault::None => unreachable!("no error for a healthy call"),
+        }
+    }
+}
+
+impl CacheSource for FaultInjector {
+    fn get(&self, hash: SpecHash) -> Result<Option<&CacheEntry>, CacheError> {
+        match self.schedule() {
+            Fault::None => self.inner.get(hash),
+            Fault::Corrupt => {
+                // Serve a wrong entry instead of erroring: the caller's
+                // integrity validation is what must catch this.
+                self.counters.injected.fetch_add(1, Ordering::Relaxed);
+                self.counters.corrupt.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(&self.junk))
+            }
+            fault => Err(self.error_for(&fault, "get")),
+        }
+    }
+
+    fn candidates_for(&self, name: Sym) -> Result<Vec<&CacheEntry>, CacheError> {
+        match self.schedule() {
+            Fault::None => self.inner.candidates_for(name),
+            Fault::Corrupt => {
+                self.counters.injected.fetch_add(1, Ordering::Relaxed);
+                self.counters.corrupt.fetch_add(1, Ordering::Relaxed);
+                Ok(vec![&self.junk])
+            }
+            fault => Err(self.error_for(&fault, "candidates_for")),
+        }
+    }
+
+    fn iter(&self) -> Result<Box<dyn Iterator<Item = &CacheEntry> + '_>, CacheError> {
+        match self.schedule() {
+            Fault::None => self.inner.iter(),
+            fault => Err(self.error_for(&fault, "iter")),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn fault_stats(&self) -> SourceFaultStats {
+        let own = SourceFaultStats {
+            injected_faults: self.counters.injected.load(Ordering::Relaxed),
+            transient_errors: self.counters.transient.load(Ordering::Relaxed),
+            permanent_errors: self.counters.permanent.load(Ordering::Relaxed),
+            corrupt_entries: self.counters.corrupt.load(Ordering::Relaxed),
+            ..SourceFaultStats::default()
+        };
+        own.merge(self.inner.fault_stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::BuildCache;
+    use spackle_spec::spec::ConcreteSpecBuilder;
+
+    fn seeded_cache() -> (BuildCache, SpecHash) {
+        let mut b = ConcreteSpecBuilder::new();
+        let n = b.node("zlib", Version::parse("1.3").unwrap());
+        let spec = b.build(n).unwrap();
+        let mut cache = BuildCache::new();
+        cache.add_spec(&spec);
+        (cache, spec.dag_hash())
+    }
+
+    #[test]
+    fn no_faults_is_transparent() {
+        let (cache, hash) = seeded_cache();
+        let inj = FaultInjector::new(cache, "mirror");
+        assert!(inj.get(hash).unwrap().is_some());
+        assert_eq!(inj.iter().unwrap().count(), 1);
+        assert_eq!(inj.fault_stats(), SourceFaultStats::default());
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let (cache, hash) = seeded_cache();
+        let run = |seed: u64| -> Vec<bool> {
+            let inj = FaultInjector::new(cache.clone(), "mirror")
+                .with_config(FaultConfig::flaky(seed, 0.5));
+            (0..64).map(|_| inj.get(hash).is_ok()).collect()
+        };
+        assert_eq!(run(9), run(9), "same seed, same schedule");
+        assert_ne!(run(9), run(10), "different seeds diverge");
+    }
+
+    #[test]
+    fn outage_window_recovers() {
+        let (cache, hash) = seeded_cache();
+        let inj = FaultInjector::new(cache, "mirror").with_config(FaultConfig {
+            fail_calls: Some(0..5),
+            ..FaultConfig::default()
+        });
+        for _ in 0..5 {
+            assert!(inj.get(hash).is_err());
+        }
+        assert!(inj.get(hash).unwrap().is_some(), "recovered after window");
+    }
+
+    #[test]
+    fn corruption_serves_a_mismatched_entry() {
+        let (cache, hash) = seeded_cache();
+        let inj = FaultInjector::new(cache, "mirror").with_config(FaultConfig {
+            corrupt_rate: 1.0,
+            ..FaultConfig::default()
+        });
+        let entry = inj.get(hash).unwrap().expect("corrupt lookup answers");
+        assert_ne!(entry.spec.dag_hash(), hash, "junk must not hash to the key");
+        assert!(inj.iter().is_err(), "index reads fail instead of lying");
+        assert!(inj.fault_stats().corrupt_entries >= 2);
+    }
+}

@@ -40,16 +40,22 @@
 //! assert_eq!(BuildCache::from_json(&json).unwrap().len(), local.len());
 //!
 //! // Sources are owned (or Arc'd) — a chain shares them across threads.
+//! // Lookups are fallible: a backend may be down or corrupt, so every
+//! // read returns a Result (in-memory sources always answer Ok).
 //! let chain = ChainedCache::with(vec![local, public]);
-//! assert!(chain.contains(spec.dag_hash()));
+//! assert!(chain.contains(spec.dag_hash()).unwrap());
 //! ```
 
 pub mod abi;
 pub mod artifact;
 pub mod cache;
+pub mod fault;
 pub mod source;
 
 pub use abi::{abi_compatible, suggest_splices, AbiIncompatibility, SpliceSuggestion};
 pub use artifact::{Artifact, ArtifactError, ARTIFACT_FORMAT_VERSION, SLOT_HEADROOM};
 pub use cache::{BuildCache, CacheEntry, CacheError, CACHE_SCHEMA_VERSION};
-pub use source::{CacheSource, ChainedCache, IntoCacheSource};
+pub use fault::{FaultConfig, FaultInjector};
+pub use source::{
+    CacheSource, ChainedCache, IntoCacheSource, Labeled, RetryPolicy, SourceFaultStats,
+};

@@ -8,12 +8,12 @@
 //! CLI call passes plain references and lets the conversion traits copy
 //! what little state there is.
 
-use crate::encode::{encode, EncodeConfig, Encoded, Encoding, Goal};
+use crate::encode::{cache_error, encode, EncodeConfig, Encoded, Encoding, Goal};
 use crate::ground_cache::{GroundCache, PreparedProgram};
 use crate::interpret::{interpret, Interpretation, SpliceReport};
 use crate::CoreError;
-use spackle_asp::{parse_program, SolveOutcome, SolveStats, Solver, SolverConfig};
-use spackle_buildcache::{CacheSource, IntoCacheSource};
+use spackle_asp::{parse_program, AspError, CancelToken, SolveOutcome, SolveStats, Solver, SolverConfig};
+use spackle_buildcache::{CacheSource, IntoCacheSource, SourceFaultStats};
 use spackle_repo::Repository;
 use spackle_spec::{AbstractSpec, ConcreteSpec, Os, Sym, Target};
 use std::sync::Arc;
@@ -39,6 +39,13 @@ pub struct ConcretizerConfig {
     /// [`spackle_asp::Program::prune_unreachable`]. Off by default; the
     /// `spackle-audit` analyses back its soundness.
     pub prune_dead: bool,
+    /// Graceful degradation (default `true`): when a reusable-spec
+    /// source fails past its retry budget, drop that source, re-solve
+    /// source-only over the survivors, and flag the solution
+    /// [`ConcretizeStats::degraded`] with skipped-source provenance —
+    /// instead of failing the request. Set `false` to surface
+    /// [`CoreError::Cache`] directly.
+    pub degrade_on_cache_failure: bool,
     /// Underlying ASP solver configuration.
     pub solver: SolverConfig,
 }
@@ -52,6 +59,7 @@ impl Default for ConcretizerConfig {
             target: Target::new("x86_64"),
             filter_irrelevant: true,
             prune_dead: false,
+            degrade_on_cache_failure: true,
             solver: SolverConfig::default(),
         }
     }
@@ -118,6 +126,16 @@ impl ConcretizerConfig {
     }
 }
 
+/// Provenance for a reusable-spec source a degraded solve proceeded
+/// without: which backend failed and the error that took it out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SkippedSource {
+    /// Backend label of the dropped source.
+    pub backend: String,
+    /// Rendered error that exhausted the source's retry budget.
+    pub error: String,
+}
+
 /// Timing and size measurements for one concretization.
 #[derive(Clone, Debug, Default)]
 pub struct ConcretizeStats {
@@ -149,6 +167,29 @@ pub struct ConcretizeStats {
     /// solve's lookup (same atomic-snapshot guarantee as
     /// [`ConcretizeStats::ground_cache_hits`]).
     pub ground_cache_misses: u64,
+    /// True when one or more reusable-spec sources failed past their
+    /// retry budget and the solve proceeded without them (see
+    /// [`ConcretizerConfig::degrade_on_cache_failure`]). A degraded
+    /// solution is bit-identical to a fresh solve over the surviving
+    /// sources — only the source set shrank.
+    pub degraded: bool,
+    /// Which sources a degraded solve skipped, in the order they were
+    /// dropped. Empty when `degraded` is false.
+    pub skipped_sources: Vec<SkippedSource>,
+    /// Cache-source retries performed during this solve (delta of the
+    /// sources' cumulative [`SourceFaultStats`] across the call).
+    pub cache_retries: u64,
+    /// Transient cache-source errors observed during this solve.
+    pub cache_transient_errors: u64,
+    /// Permanent cache-source errors observed during this solve.
+    pub cache_permanent_errors: u64,
+    /// Corrupt cache entries detected (and refused) during this solve.
+    pub cache_corrupt_entries: u64,
+    /// Circuit-breaker opens during this solve.
+    pub cache_breaker_opens: u64,
+    /// Faults injected by [`spackle_buildcache::FaultInjector`] wrappers
+    /// during this solve (zero outside chaos testing).
+    pub cache_injected_faults: u64,
     /// ASP engine statistics.
     pub solver: SolveStats,
 }
@@ -251,6 +292,15 @@ impl Concretizer {
         self
     }
 
+    /// Install a cooperative cancellation token (a request deadline or
+    /// an explicit kill switch) on the underlying solver. Shorthand for
+    /// setting [`SolverConfig::cancel`]; checked both in the CDCL search
+    /// loop and at pipeline stage boundaries.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.config.solver.cancel = cancel;
+        self
+    }
+
     /// Memoize prepared ground programs in `cache`. Repeated solves of
     /// the same (repository revision, reusable-spec set, goal, encode
     /// config) skip encode + parse + ground + CNF translation entirely
@@ -289,8 +339,19 @@ impl Concretizer {
     /// verification layers (the `spackle-oracle` differential harness)
     /// can re-solve and certificate-check the same program.
     pub fn program_text(&self, goal: &Goal) -> Result<Encoded, CoreError> {
+        self.program_text_for(goal, &self.caches)
+    }
+
+    /// [`Concretizer::program_text`] over an explicit source set — the
+    /// degraded-mode entry point, where the active sources are a subset
+    /// of the configured ones.
+    fn program_text_for(
+        &self,
+        goal: &Goal,
+        sources: &[Arc<dyn CacheSource>],
+    ) -> Result<Encoded, CoreError> {
         let enc_cfg = self.encode_config()?;
-        let mut enc = encode(&self.repo, &self.caches, goal, &enc_cfg)?;
+        let mut enc = encode(&self.repo, sources, goal, &enc_cfg)?;
         enc.program.push_str(crate::logic::BASE_PROGRAM);
         match enc_cfg.encoding {
             Encoding::Direct => enc.program.push_str(crate::logic::REUSE_DIRECT),
@@ -314,13 +375,30 @@ impl Concretizer {
     /// `max_stability_loops`, `sat`, `incremental_bnb`) are deliberately
     /// excluded: they never change the prepared program — search config
     /// is re-applied per solve. Process-local; never persist it.
-    pub fn ground_key(&self, goal: &Goal) -> u64 {
+    ///
+    /// Fallible because fingerprinting a remote source reads its index;
+    /// a failure here is degradable like any other cache failure.
+    pub fn ground_key(&self, goal: &Goal) -> Result<u64, CoreError> {
+        self.ground_key_for(goal, &self.caches)
+    }
+
+    /// [`Concretizer::ground_key`] over an explicit source set. Degraded
+    /// solves key on the *surviving* sources' fingerprints, so they can
+    /// never alias a full-fleet entry (or each other) in the ground
+    /// cache.
+    fn ground_key_for(
+        &self,
+        goal: &Goal,
+        sources: &[Arc<dyn CacheSource>],
+    ) -> Result<u64, CoreError> {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         self.repo.revision().hash(&mut h);
-        self.caches.len().hash(&mut h);
-        for c in &self.caches {
-            c.fingerprint().hash(&mut h);
+        sources.len().hash(&mut h);
+        for (ci, c) in sources.iter().enumerate() {
+            c.fingerprint()
+                .map_err(|e| cache_error(ci, c.as_ref(), e))?
+                .hash(&mut h);
         }
         // Goal and the config axes derive Debug deterministically; their
         // renderings are injective enough for a conservative key (a
@@ -341,7 +419,7 @@ impl Concretizer {
         self.config.solver.limits.max_atoms.hash(&mut h);
         self.config.solver.limits.max_rules.hash(&mut h);
         format!("{:?}", self.config.solver.preprocess).hash(&mut h);
-        h.finish()
+        Ok(h.finish())
     }
 
     /// Run the pre-solve pipeline — encode, parse, optionally prune,
@@ -351,13 +429,14 @@ impl Concretizer {
         &self,
         goal: &Goal,
         solver: &Solver,
+        sources: &[Arc<dyn CacheSource>],
     ) -> Result<(PreparedProgram, Duration, Duration, Duration), CoreError> {
         let t0 = Instant::now();
         let Encoded {
             program: text,
             root_names,
             reusable_count,
-        } = self.program_text(goal)?;
+        } = self.program_text_for(goal, sources)?;
         let encode_time = t0.elapsed();
 
         let t1 = Instant::now();
@@ -378,9 +457,7 @@ impl Concretizer {
         // hit, so `ground_time` covers the whole prepared-program cost
         // beyond encode + parse.
         let t2 = Instant::now();
-        let ground = solver
-            .ground(&program)
-            .map_err(|e| CoreError::Solve(e.to_string()))?;
+        let ground = solver.ground(&program).map_err(solve_error)?;
         let translated = Arc::new(solver.translate_ground(ground));
         let ground_time = t2.elapsed();
 
@@ -400,11 +477,75 @@ impl Concretizer {
 
     /// Concretize a goal (possibly multiple roots, possibly with
     /// forbidden packages).
+    ///
+    /// This is the fault boundary for reusable-spec sources: when a
+    /// source fails past its retry budget and
+    /// [`ConcretizerConfig::degrade_on_cache_failure`] is set (the
+    /// default), the failing source is dropped, the solve re-runs over
+    /// the survivors, and the solution is flagged
+    /// [`ConcretizeStats::degraded`] with per-source provenance in
+    /// [`ConcretizeStats::skipped_sources`]. The degraded answer is
+    /// bit-identical to a fresh solve that never had the failed source.
     pub fn concretize_goal(&self, goal: &Goal) -> Result<Solution, CoreError> {
-        let t_total = Instant::now();
-        // Validate before touching the cache so a misconfigured request
+        // Validate before touching any cache so a misconfigured request
         // fails identically with and without a ground cache attached.
         self.config.validate()?;
+        let fault_before = self.merged_fault_stats();
+        let mut active: Vec<Arc<dyn CacheSource>> = self.caches.clone();
+        let mut skipped: Vec<SkippedSource> = Vec::new();
+        loop {
+            if let Some(deadline) = self.config.solver.cancel.check() {
+                return Err(CoreError::Cancelled { deadline });
+            }
+            match self.concretize_with_sources(goal, &active) {
+                Ok(mut solution) => {
+                    solution.stats.degraded = !skipped.is_empty();
+                    solution.stats.skipped_sources = std::mem::take(&mut skipped);
+                    let delta = self.merged_fault_stats().saturating_sub(fault_before);
+                    solution.stats.cache_retries = delta.retries;
+                    solution.stats.cache_transient_errors = delta.transient_errors;
+                    solution.stats.cache_permanent_errors = delta.permanent_errors;
+                    solution.stats.cache_corrupt_entries = delta.corrupt_entries;
+                    solution.stats.cache_breaker_opens = delta.breaker_opens;
+                    solution.stats.cache_injected_faults = delta.injected_faults;
+                    return Ok(solution);
+                }
+                Err(CoreError::Cache {
+                    source,
+                    backend,
+                    detail,
+                }) if self.config.degrade_on_cache_failure && source < active.len() => {
+                    active.remove(source);
+                    skipped.push(SkippedSource {
+                        backend,
+                        error: detail,
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Cumulative fault statistics merged over every configured source
+    /// (not just the currently active subset) — the basis for the
+    /// per-solve deltas in [`ConcretizeStats`] and for service-level
+    /// absolute totals.
+    pub fn merged_fault_stats(&self) -> SourceFaultStats {
+        let mut total = SourceFaultStats::default();
+        for c in &self.caches {
+            total = total.merge(c.fault_stats());
+        }
+        total
+    }
+
+    /// One solve attempt over an explicit source set — everything from
+    /// ground-cache lookup through interpretation.
+    fn concretize_with_sources(
+        &self,
+        goal: &Goal,
+        sources: &[Arc<dyn CacheSource>],
+    ) -> Result<Solution, CoreError> {
+        let t_total = Instant::now();
         let solver = Solver::with_config(self.config.solver.clone());
 
         let mut ground_cache_hit = false;
@@ -412,7 +553,7 @@ impl Concretizer {
         let mut cache_misses = 0u64;
         let (prepared, encode_time, parse_time, ground_time) = match &self.ground_cache {
             Some(cache) => {
-                let key = self.ground_key(goal);
+                let key = self.ground_key_for(goal, sources)?;
                 let (found, hits, misses) = cache.lookup_counted(key);
                 cache_hits = hits;
                 cache_misses = misses;
@@ -422,14 +563,21 @@ impl Concretizer {
                         (prepared, Duration::ZERO, Duration::ZERO, Duration::ZERO)
                     }
                     None => {
-                        let (prepared, et, pt, gt) = self.prepare(goal, &solver)?;
+                        let (prepared, et, pt, gt) = self.prepare(goal, &solver, sources)?;
                         cache.insert(key, self.repo.revision(), prepared.clone());
                         (prepared, et, pt, gt)
                     }
                 }
             }
-            None => self.prepare(goal, &solver)?,
+            None => self.prepare(goal, &solver, sources)?,
         };
+        // Stage boundary: catch an expired deadline here even when the
+        // search itself would be too quick to poll its token — slow
+        // backends (injected or real latency) spend the budget during
+        // prepare, and the request must still time out deterministically.
+        if let Some(deadline) = self.config.solver.cancel.check() {
+            return Err(CoreError::Cancelled { deadline });
+        }
         let PreparedProgram {
             program: translated,
             root_names,
@@ -438,9 +586,7 @@ impl Concretizer {
             pruned_rules,
         } = prepared;
 
-        let (outcome, mut solver_stats) = solver
-            .solve_translated(&translated)
-            .map_err(|e| CoreError::Solve(e.to_string()))?;
+        let (outcome, mut solver_stats) = solver.solve_translated(&translated).map_err(solve_error)?;
         // `solve_translated` cannot know grounding cost; restore the
         // stats convention that `solver.ground_time` covers this solve's
         // ground + translate work (zero on a cache hit — that is the
@@ -468,7 +614,7 @@ impl Concretizer {
             reused,
             built,
             spliced,
-        } = interpret(&model, &self.caches, &root_names)?;
+        } = interpret(&model, sources, &root_names)?;
         let interpret_time = t2.elapsed();
 
         Ok(Solution {
@@ -490,8 +636,34 @@ impl Concretizer {
                 ground_cache_hits: cache_hits,
                 ground_cache_misses: cache_misses,
                 solver: solver_stats,
+                // Degradation and fault-delta fields are filled in by
+                // the `concretize_goal` fault boundary, which sees the
+                // whole retry history rather than one attempt.
+                ..Default::default()
             },
         })
+    }
+}
+
+/// Lift an ASP engine error into the typed [`CoreError`] taxonomy:
+/// budget exhaustion and cancellation stay structured (they must be
+/// distinguishable over the wire), everything else renders as a solver
+/// failure.
+fn solve_error(e: AspError) -> CoreError {
+    match e {
+        AspError::BudgetExhausted {
+            conflicts,
+            decisions,
+            propagations,
+            restarts,
+        } => CoreError::BudgetExhausted {
+            conflicts,
+            decisions,
+            propagations,
+            restarts,
+        },
+        AspError::Cancelled { deadline } => CoreError::Cancelled { deadline },
+        other => CoreError::Solve(other.to_string()),
     }
 }
 

@@ -10,7 +10,7 @@
 //! [`EncodeConfig::encoding`] — the paper's RQ1 ablation.
 
 use crate::CoreError;
-use spackle_buildcache::CacheSource;
+use spackle_buildcache::{CacheError, CacheSource};
 use spackle_repo::Repository;
 use spackle_spec::{
     AbstractSpec, ConcreteSpec, Os, Sym, Target, VariantValue, Version, VersionReq,
@@ -111,6 +111,17 @@ pub struct Encoded {
     pub reusable_count: usize,
 }
 
+/// Lift a backend failure into [`CoreError::Cache`], preserving which
+/// top-level source failed (by index and label) so the concretizer's
+/// degraded mode can drop exactly that source and record why.
+pub(crate) fn cache_error(idx: usize, source: &dyn CacheSource, e: CacheError) -> CoreError {
+    CoreError::Cache {
+        source: idx,
+        backend: e.backend().unwrap_or_else(|| source.label()).to_string(),
+        detail: e.to_string(),
+    }
+}
+
 /// Compile everything into one ASP program. Caches are shared handles
 /// so the same slice the owned [`Concretizer`] holds can be passed down
 /// without reborrowing gymnastics.
@@ -196,8 +207,9 @@ pub fn encode(
         spec.nodes().iter().all(|n| closure.contains(&n.name))
     };
     let mut reusable_count = 0usize;
-    for cache in caches {
-        for entry in cache.iter() {
+    for (ci, cache) in caches.iter().enumerate() {
+        let entries = cache.iter().map_err(|e| cache_error(ci, cache.as_ref(), e))?;
+        for entry in entries {
             if !relevant_entry(&entry.spec) {
                 continue;
             }
@@ -317,8 +329,9 @@ pub fn encode(
     }
 
     // ---- reusable specs ----
-    for cache in caches {
-        for entry in cache.iter() {
+    for (ci, cache) in caches.iter().enumerate() {
+        let entries = cache.iter().map_err(|e| cache_error(ci, cache.as_ref(), e))?;
+        for entry in entries {
             if !relevant_entry(&entry.spec) {
                 continue;
             }

@@ -2,9 +2,10 @@
 //! stage of §3.3), including reconstruction of spliced specs with full
 //! build provenance via `ConcreteSpec::splice` (§5.4's output mapping).
 
+use crate::encode::cache_error;
 use crate::CoreError;
 use rustc_hash::FxHashMap;
-use spackle_buildcache::CacheSource;
+use spackle_buildcache::{CacheError, CacheSource};
 use spackle_spec::spec::ConcreteSpecBuilder;
 use spackle_spec::{
     ConcreteSpec, DepTypes, Os, SpecHash, Sym, Target, VariantValue, Version,
@@ -163,9 +164,47 @@ pub fn interpret(
     // Topological order (dependencies first).
     let order = topo_packages(&nodes)?;
 
-    // Cache lookup across all caches.
-    let find_cached = |h: SpecHash| -> Option<&spackle_buildcache::CacheEntry> {
-        caches.iter().find_map(|c| c.get(h))
+    // Cache lookup across all caches. Every source is consulted — a
+    // failing or corrupt backend never masks a healthy one later in the
+    // chain — and a served entry must hash to what was asked for (a
+    // corrupt backend can return a well-formed but wrong entry; the
+    // integrity check turns that into a structured error instead of a
+    // silently wrong spec). Only when no source has a valid entry does a
+    // recorded failure surface, and it surfaces as `CoreError::Cache` so
+    // the concretizer's degraded mode can retry without that source.
+    let find_cached = |h: SpecHash| -> Result<Option<&spackle_buildcache::CacheEntry>, CoreError> {
+        let mut first_err: Option<CoreError> = None;
+        for (ci, c) in caches.iter().enumerate() {
+            match c.get(h) {
+                Ok(Some(entry)) => {
+                    if entry.spec.dag_hash() != h {
+                        if first_err.is_none() {
+                            first_err = Some(cache_error(
+                                ci,
+                                c.as_ref(),
+                                CacheError::corrupt(
+                                    c.label(),
+                                    format!(
+                                        "entry for {} hashes to {}",
+                                        h.short(),
+                                        entry.spec.dag_hash().short()
+                                    ),
+                                ),
+                            ));
+                        }
+                        continue;
+                    }
+                    return Ok(Some(entry));
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(cache_error(ci, c.as_ref(), e));
+                    }
+                }
+            }
+        }
+        first_err.map_or(Ok(None), Err)
     };
 
     let mut memo: BTreeMap<Sym, ConcreteSpec> = BTreeMap::new();
@@ -177,7 +216,7 @@ pub fn interpret(
         let info = &nodes[&name];
         if let Some(h) = info.hash {
             reused.push(name);
-            let entry = find_cached(h).ok_or_else(|| {
+            let entry = find_cached(h)?.ok_or_else(|| {
                 CoreError::Interpret(format!(
                     "model reuses {name}/{} but no cache has it",
                     h.short()

@@ -24,7 +24,7 @@ pub mod ground_cache;
 pub mod interpret;
 pub mod logic;
 
-pub use concretizer::{ConcretizeStats, Concretizer, ConcretizerConfig, Solution};
+pub use concretizer::{ConcretizeStats, Concretizer, ConcretizerConfig, SkippedSource, Solution};
 pub use encode::{EncodeConfig, Encoded, Encoding, Goal};
 pub use ground_cache::{GroundCache, GroundCacheStats, PreparedProgram, SHARD_COUNT};
 pub use interpret::SpliceReport;
@@ -47,10 +47,61 @@ pub enum CoreError {
     Unsupported(String),
     /// The underlying ASP engine failed.
     Solve(String),
+    /// A reusable-spec source failed past its retry budget. `source` is
+    /// the index of the failing top-level source on the concretizer,
+    /// `backend` its human-readable label — the provenance a degraded
+    /// solve records when it proceeds without the source.
+    Cache {
+        /// Index of the failing source in the concretizer's source list.
+        source: usize,
+        /// Backend label of the failing source (e.g. `"public"`).
+        backend: String,
+        /// The underlying cache error, rendered.
+        detail: String,
+    },
+    /// The solve was cancelled; `deadline` is true when a wall-clock
+    /// deadline (request timeout) fired rather than an explicit cancel.
+    Cancelled {
+        /// Whether a wall-clock deadline triggered the cancellation.
+        deadline: bool,
+    },
+    /// The solver exhausted its conflict budget — a bounded "gave up",
+    /// distinguishable from [`CoreError::Unsatisfiable`]. Carries the
+    /// search effort spent so services can ship it over the wire.
+    BudgetExhausted {
+        /// CDCL conflicts at the point of giving up.
+        conflicts: u64,
+        /// CDCL decisions at the point of giving up.
+        decisions: u64,
+        /// CDCL literal propagations at the point of giving up.
+        propagations: u64,
+        /// CDCL restarts at the point of giving up.
+        restarts: u64,
+    },
     /// No concretization satisfies the constraints.
     Unsatisfiable,
     /// The optimal model could not be decoded (an encoder/solver bug).
     Interpret(String),
+}
+
+impl CoreError {
+    /// A short machine-readable tag for each variant — what services
+    /// put in a wire protocol's `error_kind` field so clients can
+    /// dispatch without parsing rendered messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CoreError::BadGoal(_) => "bad_goal",
+            CoreError::Config(_) => "config",
+            CoreError::Unsupported(_) => "unsupported",
+            CoreError::Solve(_) => "solve",
+            CoreError::Cache { .. } => "cache",
+            CoreError::Cancelled { deadline: true } => "timeout",
+            CoreError::Cancelled { deadline: false } => "cancelled",
+            CoreError::BudgetExhausted { .. } => "budget",
+            CoreError::Unsatisfiable => "unsat",
+            CoreError::Interpret(_) => "interpret",
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -60,6 +111,28 @@ impl fmt::Display for CoreError {
             CoreError::Config(m) => write!(f, "configuration: {m}"),
             CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
             CoreError::Solve(m) => write!(f, "solver: {m}"),
+            CoreError::Cache {
+                source,
+                backend,
+                detail,
+            } => write!(f, "cache source #{source} ({backend}) failed: {detail}"),
+            CoreError::Cancelled { deadline } => {
+                if *deadline {
+                    write!(f, "concretization deadline exceeded")
+                } else {
+                    write!(f, "concretization cancelled")
+                }
+            }
+            CoreError::BudgetExhausted {
+                conflicts,
+                decisions,
+                propagations,
+                restarts,
+            } => write!(
+                f,
+                "solver: conflict budget exhausted after {conflicts} conflicts, \
+                 {decisions} decisions, {propagations} propagations, {restarts} restarts"
+            ),
             CoreError::Unsatisfiable => write!(f, "no satisfying concretization exists"),
             CoreError::Interpret(m) => write!(f, "interpretation: {m}"),
         }

@@ -46,6 +46,16 @@ pub enum InstallError {
     },
     /// The artifact could not be parsed or patched.
     Artifact(ArtifactError),
+    /// A cache source failed (or served a corrupt entry) while the
+    /// executor was pulling a binary the plan counted on.
+    CacheFailure {
+        /// The node whose binary was being fetched.
+        node: String,
+        /// Short hash of the entry being fetched.
+        hash: String,
+        /// What the backend reported.
+        detail: String,
+    },
 }
 
 impl From<ArtifactError> for InstallError {
@@ -71,6 +81,9 @@ impl fmt::Display for InstallError {
                 "ambiguous rewire for {node}: old deps {unmatched_old:?} vs new deps {unmatched_new:?}"
             ),
             InstallError::Artifact(e) => write!(f, "artifact error: {e}"),
+            InstallError::CacheFailure { node, hash, detail } => {
+                write!(f, "cache failure installing {node}/{hash}: {detail}")
+            }
         }
     }
 }
@@ -102,17 +115,26 @@ impl InstallPlan {
     /// Decide actions for every node of `spec` given any binary source
     /// (a [`spackle_buildcache::BuildCache`], a
     /// [`spackle_buildcache::ChainedCache`], or a custom backend).
+    ///
+    /// Planning degrades conservatively: a source error or a corrupt
+    /// entry (one that doesn't hash to what was asked for) demotes the
+    /// node to [`Action::Build`] — a flaky mirror costs a rebuild, never
+    /// a wrong or failed plan.
     pub fn plan(spec: &ConcreteSpec, cache: &dyn CacheSource) -> InstallPlan {
         let order = topo_ids(spec);
         let steps = order
             .into_iter()
             .map(|id| {
                 let node = spec.node(id);
+                let cached = matches!(
+                    cache.get(node.hash),
+                    Ok(Some(e)) if e.spec.dag_hash() == node.hash
+                );
                 let action = if let Some(bs) = &node.build_spec {
                     Action::Rewire {
                         build_hash: bs.dag_hash(),
                     }
-                } else if cache.get(node.hash).is_some() {
+                } else if cached {
                     Action::Reuse(node.hash)
                 } else {
                     Action::Build
@@ -134,6 +156,30 @@ impl InstallPlan {
     /// Number of nodes satisfied by cached binaries (reuse + rewire).
     pub fn binary_installs(&self) -> usize {
         self.steps.len() - self.builds()
+    }
+}
+
+/// Fetch `hash` from `cache`, turning backend failures, vanished
+/// entries, and corrupt (wrong-hash) entries into structured
+/// [`InstallError::CacheFailure`]s.
+fn fetch_checked<'c>(
+    cache: &'c dyn CacheSource,
+    node: &str,
+    hash: SpecHash,
+) -> Result<&'c spackle_buildcache::CacheEntry, InstallError> {
+    let fail = |detail: String| InstallError::CacheFailure {
+        node: node.to_string(),
+        hash: hash.short(),
+        detail,
+    };
+    match cache.get(hash) {
+        Ok(Some(e)) if e.spec.dag_hash() == hash => Ok(e),
+        Ok(Some(e)) => Err(fail(format!(
+            "corrupt entry: hashes to {}",
+            e.spec.dag_hash().short()
+        ))),
+        Ok(None) => Err(fail("entry vanished after planning".to_string())),
+        Err(e) => Err(fail(e.to_string())),
     }
 }
 
@@ -257,7 +303,10 @@ impl Installer {
                     self.build_artifact(spec, id)
                 }
                 Action::Reuse(hash) => {
-                    let entry = cache.get(*hash).expect("planned from this cache");
+                    // The plan saw this entry, but the source may have
+                    // failed (or started serving garbage) since; both
+                    // surface structurally instead of panicking.
+                    let entry = fetch_checked(cache, node.name.as_str(), *hash)?;
                     let cached = entry
                         .artifact()?;
                     // Map the artifact's recorded prefixes onto this
@@ -275,12 +324,32 @@ impl Installer {
                     bytes
                 }
                 Action::Rewire { build_hash } => {
-                    let entry = cache.get(*build_hash).ok_or_else(|| {
-                        InstallError::MissingBuildSpecBinary {
-                            node: node.name.as_str().to_string(),
-                            build_hash: build_hash.short(),
+                    let entry = match cache.get(*build_hash) {
+                        Ok(Some(e)) if e.spec.dag_hash() == *build_hash => e,
+                        Ok(Some(e)) => {
+                            return Err(InstallError::CacheFailure {
+                                node: node.name.as_str().to_string(),
+                                hash: build_hash.short(),
+                                detail: format!(
+                                    "corrupt entry: hashes to {}",
+                                    e.spec.dag_hash().short()
+                                ),
+                            });
                         }
-                    })?;
+                        Ok(None) => {
+                            return Err(InstallError::MissingBuildSpecBinary {
+                                node: node.name.as_str().to_string(),
+                                build_hash: build_hash.short(),
+                            });
+                        }
+                        Err(e) => {
+                            return Err(InstallError::CacheFailure {
+                                node: node.name.as_str().to_string(),
+                                hash: build_hash.short(),
+                                detail: e.to_string(),
+                            });
+                        }
+                    };
                     let mapping = rewire_mapping(spec, id, &self.layout)?;
                     // The cached binary may live at a different prefix
                     // than this layout's build-spec prefix; relocate from

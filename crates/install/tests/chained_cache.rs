@@ -74,7 +74,7 @@ fn spliced_install_resolves_across_a_chain() {
 
     // Chained, the union resolves everything binary-only.
     let chain = ChainedCache::with(vec![local.clone(), mirror.clone()]);
-    assert!(chain.contains(build_hash));
+    assert!(chain.contains(build_hash).unwrap());
     let plan = InstallPlan::plan(&spliced, &chain);
     assert_eq!(plan.builds(), 0, "no compilation with the chain");
 

@@ -223,7 +223,7 @@ mod abi_discovery_tests {
                 .unwrap();
             cache.add_spec_with(sol.spec(), farm_artifact);
         }
-        let suggestions = suggest_splices(&cache);
+        let suggestions = suggest_splices(&cache).unwrap();
         assert!(
             suggestions.iter().any(|s| {
                 s.replacement.as_str() == "mpiabi" && s.target.as_str() == "mpich"

@@ -7,10 +7,11 @@
 use crate::protocol::{Request, Response, PROTOCOL_VERSION};
 use crate::server::ServerState;
 use crate::session::{config_preset, Session};
+use spackle_asp::CancelToken;
 use spackle_audit::{audit, audit_repository, AuditReport, Severity};
-use spackle_core::Goal;
+use spackle_core::{CoreError, Goal};
 use spackle_spec::{parse_spec, Sym};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Dispatch one request. Infallible at this layer: every failure mode
 /// becomes an `ok:false` response with a rendered error.
@@ -81,14 +82,32 @@ fn concretize(state: &ServerState, session: &mut Session, request: &Request) -> 
     let preset = session.effective_config(&request.config);
     let config = match config_preset(preset) {
         Ok(c) => c,
-        Err(e) => return Response::err_for(request, e),
+        Err(e) => {
+            let mut r = Response::err_for(request, e);
+            r.error_kind = "config".to_string();
+            return r;
+        }
     };
     let goal = match parse_goal(request) {
         Ok(g) => g,
-        Err(e) => return Response::err_for(request, e),
+        Err(e) => {
+            let mut r = Response::err_for(request, e);
+            r.error_kind = "parse".to_string();
+            return r;
+        }
     };
 
-    let conc = state.concretizer(config);
+    // Per-request deadline wins over the server-wide default.
+    let deadline = if request.timeout_ms > 0 {
+        Some(Duration::from_millis(request.timeout_ms))
+    } else {
+        state.ops().default_timeout
+    };
+    let mut conc = state.concretizer(config);
+    if let Some(budget) = deadline {
+        conc = conc.with_cancel(CancelToken::with_deadline(budget));
+    }
+
     let t = Instant::now();
     let result = conc.concretize_goal(&goal);
     let wall = t.elapsed();
@@ -103,6 +122,9 @@ fn concretize(state: &ServerState, session: &mut Session, request: &Request) -> 
                 search.propagations,
                 search.restarts,
             );
+            if solution.stats.degraded {
+                state.telemetry().record_degraded();
+            }
             let mut r = Response::ok_for(request);
             r.conflicts = search.conflicts;
             r.decisions = search.decisions;
@@ -118,10 +140,41 @@ fn concretize(state: &ServerState, session: &mut Session, request: &Request) -> 
             r.spliced = solution.spliced.len() as u64;
             r.ground_cache_hit = solution.stats.ground_cache_hit;
             r.solve_ms = wall.as_secs_f64() * 1e3;
+            r.degraded = solution.stats.degraded;
+            r.skipped_sources = solution
+                .stats
+                .skipped_sources
+                .iter()
+                .map(|s| s.backend.clone())
+                .collect();
             session.remember(&r);
             r
         }
-        Err(e) => Response::err_for(request, e.to_string()),
+        Err(e) => {
+            let mut r = Response::err_for(request, e.to_string());
+            r.error_kind = e.kind().to_string();
+            r.solve_ms = wall.as_secs_f64() * 1e3;
+            match e {
+                CoreError::Cancelled { deadline: true } => state.telemetry().record_timeout(),
+                // Budget exhaustion carries the solver's effort counters;
+                // surface them so a client can see *how hard* the solver
+                // tried before giving up.
+                CoreError::BudgetExhausted {
+                    conflicts,
+                    decisions,
+                    propagations,
+                    restarts,
+                } => {
+                    state.telemetry().record_budget_exhausted();
+                    r.conflicts = conflicts;
+                    r.decisions = decisions;
+                    r.propagations = propagations;
+                    r.restarts = restarts;
+                }
+                _ => {}
+            }
+            r
+        }
     }
 }
 
@@ -166,6 +219,14 @@ fn run_audit(state: &ServerState, session: &mut Session, request: &Request) -> R
 fn stats(state: &ServerState, request: &Request) -> Response {
     let telemetry = state.telemetry().snapshot();
     let cache = state.ground_cache().stats();
+    // Absolute fault totals over every reusable-spec source (chained
+    // sources already merge their children).
+    let faults = state
+        .caches()
+        .iter()
+        .fold(spackle_buildcache::SourceFaultStats::default(), |acc, c| {
+            acc.merge(c.fault_stats())
+        });
     let mut r = Response::ok_for(request);
     r.requests = telemetry.requests;
     r.concretizations = telemetry.concretizations;
@@ -184,6 +245,17 @@ fn stats(state: &ServerState, request: &Request) -> Response {
     r.cache_entries = cache.entries as u64;
     r.invalidated = cache.invalidated;
     r.repo_revision = state.repo_snapshot().revision();
+    r.shed = telemetry.shed;
+    r.timeouts = telemetry.timeouts;
+    r.budget_exhausted = telemetry.budget_exhausted;
+    r.degraded_solves = telemetry.degraded_solves;
+    r.worker_panics = telemetry.worker_panics;
+    r.cache_retries = faults.retries;
+    r.cache_transient_errors = faults.transient_errors;
+    r.cache_permanent_errors = faults.permanent_errors;
+    r.cache_corrupt_entries = faults.corrupt_entries;
+    r.cache_breaker_opens = faults.breaker_opens;
+    r.cache_injected_faults = faults.injected_faults;
     r
 }
 

@@ -40,8 +40,8 @@ pub mod server;
 pub mod session;
 pub mod telemetry;
 
-pub use client::Client;
+pub use client::{Client, RetryConfig};
 pub use protocol::{Request, Response, MAX_LINE_BYTES, PROTOCOL_VERSION};
-pub use server::{serve, ServerHandle, ServerState};
+pub use server::{serve, DrainReport, OpsConfig, ServerError, ServerHandle, ServerState};
 pub use session::{config_preset, Session};
 pub use telemetry::{Telemetry, TelemetrySnapshot};

@@ -57,6 +57,11 @@ pub struct Request {
     /// Configuration preset name (`concretize`, `set-config`).
     #[serde(default)]
     pub config: String,
+    /// Per-request wall-clock deadline in milliseconds (`concretize`);
+    /// 0 means no deadline beyond the server's default. An expired
+    /// deadline answers `ok:false` with `error_kind:"timeout"`.
+    #[serde(default)]
+    pub timeout_ms: u64,
 }
 
 impl Request {
@@ -120,6 +125,15 @@ pub struct Response {
     /// `CoreError::Config`), distinguishable from parse or solve errors.
     #[serde(default)]
     pub error: String,
+    /// Machine-readable error tag when `ok` is `false`: `"timeout"`,
+    /// `"budget"`, `"overloaded"`, `"cache"`, `"config"`, `"unsat"`,
+    /// ... (see `CoreError::kind`). Empty for legacy/parse errors.
+    #[serde(default)]
+    pub error_kind: String,
+    /// On an `"overloaded"` error: suggested client backoff before
+    /// retrying, in milliseconds.
+    #[serde(default)]
+    pub retry_after_ms: u64,
 
     // --- concretize ---
     /// DAG hash per requested root, request order.
@@ -140,6 +154,15 @@ pub struct Response {
     /// End-to-end solve wall time in milliseconds.
     #[serde(default)]
     pub solve_ms: f64,
+    /// True when the solve proceeded without one or more failed
+    /// reusable-spec sources (graceful degradation). The answer is
+    /// bit-identical to a solve that never had those sources.
+    #[serde(default)]
+    pub degraded: bool,
+    /// Backend labels of the sources a degraded solve skipped, in the
+    /// order they were dropped.
+    #[serde(default)]
+    pub skipped_sources: Vec<String>,
 
     // --- search effort (this solve's in `concretize`/`last`,
     //     cumulative since boot in `stats`) ---
@@ -208,6 +231,41 @@ pub struct Response {
     /// Seconds since the server booted.
     #[serde(default)]
     pub uptime_s: f64,
+
+    // --- fault tolerance (stats; counters since boot) ---
+    /// Requests shed by overload protection.
+    #[serde(default)]
+    pub shed: u64,
+    /// Concretize requests that hit their wall-clock deadline.
+    #[serde(default)]
+    pub timeouts: u64,
+    /// Concretize requests that exhausted the solver's conflict budget.
+    #[serde(default)]
+    pub budget_exhausted: u64,
+    /// Solves that completed degraded (one or more sources skipped).
+    #[serde(default)]
+    pub degraded_solves: u64,
+    /// Worker threads that panicked (captured at drain; 0 is healthy).
+    #[serde(default)]
+    pub worker_panics: u64,
+    /// Cache-source retries performed (cumulative over all sources).
+    #[serde(default)]
+    pub cache_retries: u64,
+    /// Transient cache-source errors observed.
+    #[serde(default)]
+    pub cache_transient_errors: u64,
+    /// Permanent cache-source errors observed.
+    #[serde(default)]
+    pub cache_permanent_errors: u64,
+    /// Corrupt cache entries detected and refused.
+    #[serde(default)]
+    pub cache_corrupt_entries: u64,
+    /// Circuit-breaker opens across all chained sources.
+    #[serde(default)]
+    pub cache_breaker_opens: u64,
+    /// Faults injected by chaos wrappers (non-zero only under test).
+    #[serde(default)]
+    pub cache_injected_faults: u64,
 }
 
 impl Response {

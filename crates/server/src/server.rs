@@ -15,6 +15,25 @@
 //! finish — bit-identical to what they would have produced — while new
 //! requests see the new revision. The ground cache's revision floor
 //! rejects stale stragglers trying to repopulate dropped entries.
+//!
+//! Overload and shutdown are handled here too, as [`OpsConfig`] knobs:
+//!
+//! * **Shedding** — when more than `max_in_flight` requests are being
+//!   handled, new *concretize* requests (the expensive op) are answered
+//!   immediately with a structured `overloaded` error carrying
+//!   `retry_after_ms`, instead of queueing behind saturated workers.
+//!   Cheap ops (ping, stats, shutdown) always get through, so the
+//!   daemon stays observable and stoppable under load. Shed requests
+//!   are counted separately from failures: the client did nothing
+//!   wrong.
+//! * **Drain** — shutdown closes the accept loop, then polls worker
+//!   threads for up to `drain_timeout`. Connection reads use a short
+//!   poll timeout so idle workers notice the flag and exit; a worker
+//!   stuck past the deadline is abandoned (the process is about to exit
+//!   anyway) and reported in the [`DrainReport`] rather than hanging
+//!   `join` forever. Panicked workers are captured and counted, never
+//!   silently dropped and never propagated as a panic of the accept
+//!   loop.
 
 use crate::handle::handle;
 use crate::protocol::{Request, Response, MAX_LINE_BYTES};
@@ -24,11 +43,92 @@ use parking_lot::RwLock;
 use spackle_buildcache::CacheSource;
 use spackle_core::{Concretizer, ConcretizerConfig, GroundCache};
 use spackle_repo::Repository;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often a blocked connection read wakes up to check the shutdown
+/// flag. Also bounds how stale a partial line can sit in the buffer
+/// before the worker notices a drain.
+const READ_POLL: Duration = Duration::from_millis(250);
+
+/// How often the drain loop re-polls unfinished workers.
+const DRAIN_POLL: Duration = Duration::from_millis(25);
+
+/// Operational limits for a running server. All default to "off"
+/// except the drain timeout, which must be finite for `join` to be
+/// reliable.
+#[derive(Clone, Copy, Debug)]
+pub struct OpsConfig {
+    /// Maximum requests being handled at once before new *concretize*
+    /// requests are shed with a structured `overloaded` response.
+    /// `0` disables shedding.
+    pub max_in_flight: usize,
+    /// Wall-clock deadline applied to every concretize request that
+    /// does not carry its own `timeout_ms`. `None` means no default
+    /// deadline.
+    pub default_timeout: Option<Duration>,
+    /// How long shutdown waits for in-flight workers before abandoning
+    /// them.
+    pub drain_timeout: Duration,
+}
+
+impl Default for OpsConfig {
+    fn default() -> OpsConfig {
+        OpsConfig {
+            max_in_flight: 0,
+            default_timeout: None,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What the drain phase of shutdown observed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Worker threads that finished and were joined (panicked workers
+    /// included — they are also counted in `worker_panics`).
+    pub workers_joined: usize,
+    /// Worker threads still running when the drain deadline expired;
+    /// their handles were dropped (the threads are detached).
+    pub workers_abandoned: usize,
+    /// Joined workers whose thread had panicked.
+    pub worker_panics: usize,
+}
+
+/// A structured server lifecycle error (no panics escape `join`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerError {
+    /// The accept loop itself panicked; the payload is the rendered
+    /// panic message.
+    AcceptLoopPanicked(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::AcceptLoopPanicked(msg) => {
+                write!(f, "accept loop panicked: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Render a `JoinHandle::join` panic payload as text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Everything the daemon keeps resident across requests.
 pub struct ServerState {
@@ -37,6 +137,7 @@ pub struct ServerState {
     ground_cache: Arc<GroundCache>,
     telemetry: Telemetry,
     shutdown: AtomicBool,
+    ops: OpsConfig,
 }
 
 impl ServerState {
@@ -49,7 +150,20 @@ impl ServerState {
             ground_cache: GroundCache::shared(),
             telemetry: Telemetry::new(),
             shutdown: AtomicBool::new(false),
+            ops: OpsConfig::default(),
         }
+    }
+
+    /// Replace the operational limits (builder style; call before
+    /// wrapping in an `Arc`).
+    pub fn with_ops(mut self, ops: OpsConfig) -> ServerState {
+        self.ops = ops;
+        self
+    }
+
+    /// The operational limits this server runs under.
+    pub fn ops(&self) -> &OpsConfig {
+        &self.ops
     }
 
     /// The current repository snapshot (cheap: one `Arc` clone under a
@@ -118,7 +232,7 @@ impl ServerState {
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
-    accept: JoinHandle<()>,
+    accept: JoinHandle<DrainReport>,
 }
 
 impl ServerHandle {
@@ -132,10 +246,14 @@ impl ServerHandle {
         &self.state
     }
 
-    /// Block until the server has shut down and every connection thread
-    /// has drained.
-    pub fn join(self) {
-        self.accept.join().expect("accept loop panicked");
+    /// Block until the server has shut down and its workers have
+    /// drained (bounded by [`OpsConfig::drain_timeout`]). An accept-loop
+    /// panic comes back as a structured [`ServerError`], never as a
+    /// panic of the caller.
+    pub fn join(self) -> Result<DrainReport, ServerError> {
+        self.accept
+            .join()
+            .map_err(|payload| ServerError::AcceptLoopPanicked(panic_message(payload)))
     }
 
     /// Request shutdown from outside a connection (tests, signal
@@ -160,11 +278,25 @@ pub fn serve(state: Arc<ServerState>, addr: &str) -> std::io::Result<ServerHandl
     })
 }
 
-fn accept_loop(listener: TcpListener, addr: SocketAddr, state: Arc<ServerState>) {
+fn accept_loop(listener: TcpListener, addr: SocketAddr, state: Arc<ServerState>) -> DrainReport {
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    let mut report = DrainReport::default();
     for stream in listener.incoming() {
         if state.shutdown_requested() {
             break;
+        }
+        // Reap finished workers as we go so a long-lived daemon does
+        // not accumulate handles (and so mid-life panics surface in
+        // telemetry, not only at drain time).
+        let (done, live): (Vec<_>, Vec<_>) =
+            workers.into_iter().partition(JoinHandle::is_finished);
+        workers = live;
+        for w in done {
+            report.workers_joined += 1;
+            if w.join().is_err() {
+                report.worker_panics += 1;
+                state.telemetry().record_worker_panics(1);
+            }
         }
         match stream {
             Ok(stream) => {
@@ -178,31 +310,83 @@ fn accept_loop(listener: TcpListener, addr: SocketAddr, state: Arc<ServerState>)
             Err(_) => continue,
         }
     }
-    for w in workers {
-        let _ = w.join();
+    drain_workers(workers, &state, report)
+}
+
+/// Join workers with a deadline: poll `is_finished`, join what is done
+/// (capturing panics), abandon the rest once `drain_timeout` expires.
+fn drain_workers(
+    mut workers: Vec<JoinHandle<()>>,
+    state: &ServerState,
+    mut report: DrainReport,
+) -> DrainReport {
+    let deadline = Instant::now() + state.ops().drain_timeout;
+    loop {
+        let (done, live): (Vec<_>, Vec<_>) =
+            workers.into_iter().partition(JoinHandle::is_finished);
+        for w in done {
+            report.workers_joined += 1;
+            if w.join().is_err() {
+                report.worker_panics += 1;
+                state.telemetry().record_worker_panics(1);
+            }
+        }
+        if live.is_empty() {
+            return report;
+        }
+        if Instant::now() >= deadline {
+            report.workers_abandoned += live.len();
+            return report;
+        }
+        workers = live;
+        std::thread::sleep(DRAIN_POLL);
     }
+}
+
+/// Should this request be shed? Only *concretize* (the expensive op)
+/// sheds, and only when the in-flight gauge — which already counts this
+/// request, hence the strict `>` — is past the configured limit. Ping,
+/// stats and shutdown always get through, keeping an overloaded daemon
+/// observable and stoppable.
+fn should_shed(state: &ServerState, request: &Request) -> bool {
+    let limit = state.ops().max_in_flight;
+    limit > 0 && request.op == "concretize" && state.telemetry().in_flight() > limit as u64
 }
 
 /// Serve one connection until EOF: read a line, handle it, answer with a
 /// line. Parse failures answer with `ok:false` and keep the connection.
+///
+/// Reads poll on a short timeout so an idle worker notices a drain and
+/// exits instead of blocking shutdown forever. A timeout mid-line keeps
+/// the partial bytes (`read_line` appends, and the buffer is cleared
+/// only after a complete line is processed), so slow writers never get
+/// their requests truncated or spliced together.
 fn serve_connection(stream: TcpStream, addr: SocketAddr, state: &ServerState) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    let _ = read_half.set_read_timeout(Some(READ_POLL));
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     let mut session = Session::new();
     let mut line = String::new();
 
     loop {
-        line.clear();
         match reader.read_line(&mut line) {
             Ok(0) => break, // client hung up
             Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Poll tick: partial bytes stay buffered in `line`.
+                if state.shutdown_requested() {
+                    break;
+                }
+                continue;
+            }
             Err(_) => break,
         }
         let trimmed = line.trim();
         if trimmed.is_empty() {
+            line.clear();
             continue;
         }
 
@@ -215,6 +399,19 @@ fn serve_connection(stream: TcpStream, addr: SocketAddr, state: &ServerState) {
             )
         } else {
             match Request::from_line(trimmed) {
+                Ok(request) if should_shed(state, &request) => {
+                    state.telemetry().record_shed();
+                    let mut r = Response::err_for(
+                        &request,
+                        format!(
+                            "server overloaded ({} requests in flight); retry shortly",
+                            state.telemetry().in_flight()
+                        ),
+                    );
+                    r.error_kind = "overloaded".to_string();
+                    r.retry_after_ms = 100;
+                    r
+                }
                 Ok(request) => handle(state, &mut session, &request),
                 Err(e) => {
                     state.telemetry().record_failure();
@@ -222,6 +419,7 @@ fn serve_connection(stream: TcpStream, addr: SocketAddr, state: &ServerState) {
                 }
             }
         };
+        line.clear();
 
         let is_shutdown = response.ok && response.op == "shutdown";
         if writer

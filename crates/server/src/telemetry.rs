@@ -24,6 +24,11 @@ pub struct Telemetry {
     decisions: AtomicU64,
     propagations: AtomicU64,
     restarts: AtomicU64,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    budget_exhausted: AtomicU64,
+    degraded_solves: AtomicU64,
+    worker_panics: AtomicU64,
 }
 
 impl Default for Telemetry {
@@ -47,6 +52,11 @@ impl Telemetry {
             decisions: AtomicU64::new(0),
             propagations: AtomicU64::new(0),
             restarts: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            budget_exhausted: AtomicU64::new(0),
+            degraded_solves: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
         }
     }
 
@@ -82,6 +92,39 @@ impl Telemetry {
         self.failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one request shed by overload protection. Shed requests are
+    /// deliberately *not* failures: the client did nothing wrong and the
+    /// structured `overloaded` response tells it when to retry.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one concretize request that hit its wall-clock deadline.
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one concretize request that exhausted the conflict budget.
+    pub fn record_budget_exhausted(&self) {
+        self.budget_exhausted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one solve that completed degraded (sources skipped).
+    pub fn record_degraded(&self) {
+        self.degraded_solves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record worker threads found panicked at drain time.
+    pub fn record_worker_panics(&self, n: u64) {
+        self.worker_panics.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current in-flight gauge (cheap single load; used by overload
+    /// protection on the request hot path).
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
     /// Snapshot every counter.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         TelemetrySnapshot {
@@ -96,6 +139,11 @@ impl Telemetry {
             decisions: self.decisions.load(Ordering::Relaxed),
             propagations: self.propagations.load(Ordering::Relaxed),
             restarts: self.restarts.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            budget_exhausted: self.budget_exhausted.load(Ordering::Relaxed),
+            degraded_solves: self.degraded_solves.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
         }
     }
 }
@@ -137,6 +185,16 @@ pub struct TelemetrySnapshot {
     pub propagations: u64,
     /// SAT restarts performed across all concretizations.
     pub restarts: u64,
+    /// Requests shed by overload protection.
+    pub shed: u64,
+    /// Concretize requests that hit their deadline.
+    pub timeouts: u64,
+    /// Concretize requests that exhausted the conflict budget.
+    pub budget_exhausted: u64,
+    /// Solves that completed degraded.
+    pub degraded_solves: u64,
+    /// Worker threads that panicked.
+    pub worker_panics: u64,
 }
 
 #[cfg(test)]

@@ -4,13 +4,14 @@
 //! telemetry adds up exactly, invalidate while solves are in flight,
 //! and shut down cleanly.
 
-use spackle_buildcache::{BuildCache, CacheSource};
+use spackle_buildcache::{BuildCache, CacheSource, FaultConfig, FaultInjector};
 use spackle_core::Concretizer;
 use spackle_repo::{PackageBuilder, Repository};
-use spackle_server::server::ServerState;
-use spackle_server::{serve, Client, Request};
+use spackle_server::server::{OpsConfig, ServerState};
+use spackle_server::{serve, Client, Request, RetryConfig};
 use spackle_spec::parse_spec;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const CLIENT_THREADS: usize = 4;
 const WARM_ROUNDS: usize = 3;
@@ -192,8 +193,124 @@ fn concurrent_clients_share_one_warm_cache() {
     let down = control.shutdown().unwrap();
     assert!(down.ok);
     drop(control);
-    server.join();
+    let report = server.join().expect("clean shutdown");
+    assert_eq!(report.worker_panics, 0);
+    assert_eq!(report.workers_abandoned, 0, "all workers drained: {report:?}");
     assert_eq!(state.telemetry().snapshot().in_flight, 0, "gauge drained");
+}
+
+/// Deadlines and overload shedding against a live server with a
+/// latency-injected cache backend: expired deadlines come back as
+/// structured `timeout` errors, requests past the in-flight cap come
+/// back as structured `overloaded` errors, the telemetry counts both
+/// exactly, no connection is ever dropped, and a retrying client rides
+/// out the saturation.
+#[test]
+fn deadlines_and_overload_shed_with_exact_telemetry() {
+    let repo = test_repo();
+    // Every cache lookup sleeps 40 ms: solves stay correct but slow,
+    // giving the deadline something to expire against and the probes a
+    // wide window in which the held solves are still in flight.
+    let slow: Arc<dyn CacheSource> = Arc::new(
+        FaultInjector::new(seeded_cache(&repo), "local")
+            .with_config(FaultConfig::slow(Duration::from_millis(40))),
+    );
+    let ops = OpsConfig {
+        max_in_flight: 2,
+        default_timeout: None,
+        drain_timeout: Duration::from_secs(5),
+    };
+    let state = Arc::new(ServerState::new(repo, vec![slow]).with_ops(ops));
+    let server = serve(Arc::clone(&state), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    /// Block until `n` requests are being handled (read in-process, so
+    /// the wait itself does not occupy a server slot).
+    fn wait_in_flight(state: &ServerState, n: u64) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while state.telemetry().in_flight() < n {
+            assert!(Instant::now() < deadline, "server never reached {n} in flight");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    // --- Phase 1: deadline expiry is a structured timeout. ---
+    let mut control = Client::connect(addr).expect("connect");
+    let mut timed = Request::concretize("app");
+    timed.timeout_ms = 1; // expires during the first 40 ms cache sleep
+    let r = control.call(timed).unwrap();
+    assert!(!r.ok);
+    assert_eq!(r.error_kind, "timeout", "got: {}", r.error);
+    // The connection survives its own timeout.
+    assert!(control.call(Request::op("ping")).unwrap().ok);
+
+    // --- Phase 2: saturate both slots, then probe; every probe must
+    // shed with a structured answer and the connection stays usable. ---
+    let spawn_held = || {
+        let mut c = Client::connect(addr).expect("connect");
+        std::thread::spawn(move || c.concretize("app").unwrap())
+    };
+    let held = [spawn_held(), spawn_held()];
+    wait_in_flight(&state, 2);
+
+    let mut probe = Client::connect(addr).expect("connect");
+    let mut shed_seen = 0u64;
+    for _ in 0..3 {
+        let r = probe.call(Request::concretize("cmake")).unwrap();
+        assert!(!r.ok, "probe must shed while both slots are busy");
+        assert_eq!(r.error_kind, "overloaded", "got: {}", r.error);
+        assert!(r.retry_after_ms > 0, "shed must carry a retry hint");
+        shed_seen += 1;
+    }
+    // Shedding is per-op: cheap requests pass even at the cap.
+    assert!(probe.call(Request::op("ping")).unwrap().ok);
+
+    for h in held {
+        let resp = h.join().expect("held client");
+        assert!(resp.ok, "held solve failed: {}", resp.error);
+        assert!(!resp.degraded, "latency is not a fault; no degradation");
+    }
+    // The shed connection is still fully functional once load clears.
+    let after = probe.call(Request::concretize("cmake")).unwrap();
+    assert!(after.ok, "{}", after.error);
+
+    let stats = control.stats().unwrap();
+    assert_eq!(stats.timeouts, 1, "exactly the phase-1 deadline");
+    assert_eq!(stats.shed, shed_seen, "exactly the phase-2 probes");
+    assert_eq!(stats.worker_panics, 0);
+    assert_eq!(stats.degraded_solves, 0);
+    assert_eq!(
+        stats.failures, 1,
+        "the timeout is a failure; sheds are deliberately not"
+    );
+
+    // --- Phase 3: a retrying client rides out saturation. ---
+    let held = [spawn_held(), spawn_held()];
+    wait_in_flight(&state, 2);
+    let retry = RetryConfig {
+        max_attempts: 30,
+        base_backoff: Duration::from_millis(10),
+        max_backoff: Duration::from_millis(50),
+        total_deadline: Some(Duration::from_secs(10)),
+    };
+    let mut patient = Client::connect_with(addr, retry).expect("connect");
+    let r = patient.call_retrying(Request::concretize("curl")).unwrap();
+    assert!(r.ok, "retrying client must eventually land: {}", r.error);
+    for h in held {
+        assert!(h.join().expect("held client").ok);
+    }
+    let stats2 = control.stats().unwrap();
+    assert!(stats2.shed > stats.shed, "the retrying client was shed at least once");
+
+    let down = control.shutdown().unwrap();
+    assert!(down.ok);
+    drop(control);
+    drop(probe);
+    drop(patient);
+    let report = server.join().expect("clean shutdown");
+    assert_eq!(report.worker_panics, 0);
+    assert_eq!(report.workers_abandoned, 0, "{report:?}");
+    assert_eq!(state.telemetry().snapshot().in_flight, 0);
 }
 
 /// Per-session defaults are really per-connection: a `set-config` on one
@@ -226,5 +343,5 @@ fn session_config_is_per_connection() {
     assert!(down.ok);
     drop(a);
     drop(b);
-    server.join();
+    server.join().expect("clean shutdown");
 }

@@ -57,7 +57,7 @@ fn main() {
     // The audit reproduces exactly the declaration the mpiabi package
     // carries in its package definition.
     println!("\ndiscovered splice opportunities:");
-    for s in suggest_splices(&cache) {
+    for s in suggest_splices(&cache).expect("in-memory cache cannot fail") {
         println!("  {}", s.directive());
     }
     let declared = &repo

@@ -347,7 +347,13 @@ fn main() -> ExitCode {
             // (the paper's future-work direction, implemented over the
             // synthetic artifacts' symbol tables).
             let cache = load_cache(flag_value(&args, "--cache"));
-            let suggestions = spackle::buildcache::suggest_splices(&cache);
+            let suggestions = match spackle::buildcache::suggest_splices(&cache) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cache unreadable: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             if suggestions.is_empty() {
                 println!("no cross-package ABI-compatible pairs found");
             } else {

@@ -109,7 +109,7 @@ fn splice_provenance_survives_interpretation() {
         .expect("spliced hypre carries provenance");
     // The build spec matches the cached binary we spliced from.
     assert!(
-        fx.cache.get(bs.dag_hash()).is_some(),
+        fx.cache.get(bs.dag_hash()).unwrap().is_some(),
         "provenance points at a cached build"
     );
     // And the provenance's MPI is mpich, while the runtime MPI is mpiabi.
