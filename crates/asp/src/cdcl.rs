@@ -180,6 +180,12 @@ pub struct Sat {
 
     seen: Vec<bool>, // scratch for conflict analysis
 
+    // Final-conflict analysis: after an Unsat result from `solve_with`,
+    // the subset of the assumptions that participated in the conflict
+    // (MiniSat's `conflict` vector). Empty when the formula is
+    // unsatisfiable without any assumptions.
+    final_core: Vec<Lit>,
+
     // Preprocessing residue: variables removed by pure-literal / bounded
     // variable elimination, their saved clauses (chronological order),
     // and the reconstructed model values for them after a Sat result.
@@ -228,6 +234,7 @@ impl Sat {
             heap_index: Vec::new(),
             phase: Vec::new(),
             seen: Vec::new(),
+            final_core: Vec::new(),
             eliminated: Vec::new(),
             elim_trace: Vec::new(),
             ext_val: Vec::new(),
@@ -795,6 +802,7 @@ impl Sat {
     /// remains usable, and only a level-0 conflict marks the formula
     /// globally unsatisfiable.
     pub fn solve_with(&mut self, assumps: &[Lit]) -> SatResult {
+        self.final_core.clear();
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -862,7 +870,7 @@ impl Sat {
             } else {
                 // Re-establish assumptions before free decisions.
                 let mut next: Option<Lit> = None;
-                let mut assumption_conflict = false;
+                let mut assumption_conflict: Option<Lit> = None;
                 while (self.decision_level() as usize) < assumps.len() {
                     let a = assumps[self.decision_level() as usize];
                     match self.lit_value(a) {
@@ -872,7 +880,7 @@ impl Sat {
                             self.trail_lim.push(self.trail.len());
                         }
                         LBool::False => {
-                            assumption_conflict = true;
+                            assumption_conflict = Some(a);
                             break;
                         }
                         LBool::Undef => {
@@ -881,7 +889,8 @@ impl Sat {
                         }
                     }
                 }
-                if assumption_conflict {
+                if let Some(a) = assumption_conflict {
+                    self.analyze_final(a);
                     self.backtrack(0);
                     return SatResult::Unsat;
                 }
@@ -898,6 +907,56 @@ impl Sat {
                 }
             }
         }
+    }
+
+    /// After an `Unsat` answer from [`Sat::solve_with`], the subset of
+    /// the assumptions that participated in the final conflict — an
+    /// (unminimized) assumption core. Empty when the formula is
+    /// unsatisfiable without any assumptions (a level-0 conflict), and
+    /// cleared at the start of every `solve_with` call.
+    pub fn final_core(&self) -> &[Lit] {
+        &self.final_core
+    }
+
+    /// MiniSat-style final-conflict analysis. `a` is an assumption found
+    /// falsified while re-establishing the assumption prefix; every
+    /// trail level below the current one is an assumption level. Walks
+    /// the implication trail backwards from `¬a`, collecting the
+    /// above-level-0 decisions (i.e. earlier assumptions) the conflict
+    /// transitively depends on.
+    fn analyze_final(&mut self, a: Lit) {
+        self.final_core.clear();
+        self.final_core.push(a);
+        if self.trail_lim.is_empty() {
+            // ¬a is implied by the clauses alone at level 0: {a} is the
+            // whole conflicting assumption set.
+            return;
+        }
+        self.seen[a.var() as usize] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var() as usize;
+            if !self.seen[v] {
+                continue;
+            }
+            let r = self.reason[v];
+            if r == NO_REASON {
+                // A decision above level 0 in the assumption-
+                // re-establishment phase is necessarily an assumption.
+                self.final_core.push(l);
+            } else {
+                for &p in self.clauses[r as usize].iter() {
+                    let pv = p.var() as usize;
+                    if pv != v && self.level[pv] > 0 {
+                        self.seen[pv] = true;
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        // ¬a may itself sit at level 0 (implied before any assumption
+        // level); the walk above never clears its scratch bit then.
+        self.seen[a.var() as usize] = false;
     }
 
     /// Model value of `v` after a `Sat` result. Unassigned vars (possible

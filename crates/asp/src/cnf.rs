@@ -34,9 +34,91 @@ impl Translation {
     }
 }
 
+/// Where a clause produced by [`translate`] came from, at ground-program
+/// granularity. Collected by [`translate_collected`] for unsat-core
+/// extraction; the normal solving path ([`translate`] into a [`Sat`])
+/// drops origins without cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ClauseOrigin {
+    /// Definitional circuitry: the `true_var` unit, body-literal aux
+    /// definitions, sequential-counter internals, minimize group
+    /// literals. Never a *reason* for unsatisfiability on its own —
+    /// always kept hard during core extraction.
+    Definition,
+    /// Implication clause of ground rule `i` (`gp.rules[i]`).
+    Rule(u32),
+    /// Bound-assertion clauses of ground choice instance `i`
+    /// (`gp.choices[i]`).
+    Choice(u32),
+    /// The clause of ground integrity constraint `i`
+    /// (`gp.constraints[i]`).
+    Constraint(u32),
+    /// Completion (support) clause of an atom: "the atom may only be
+    /// true if one of its supporting bodies holds".
+    Completion(AtomId),
+}
+
+impl ClauseOrigin {
+    /// Whether clauses with this origin may appear in an unsat core.
+    /// Definitional clauses only introduce fresh auxiliary literals and
+    /// cannot make a formula unsatisfiable by themselves.
+    pub fn is_soft(self) -> bool {
+        !matches!(self, ClauseOrigin::Definition)
+    }
+}
+
+/// Output target of the CNF translation. [`Sat`] implements this by
+/// discarding origins; [`CollectedCnf`] records `(clause, origin)` pairs
+/// for core extraction. Both must allocate variables in call order so
+/// the two paths produce identical literals.
+pub trait CnfSink {
+    /// Allocate a fresh SAT variable.
+    fn new_var(&mut self) -> Var;
+    /// Add a clause with its provenance. Returns false if the formula
+    /// became trivially unsatisfiable (sinks without that knowledge
+    /// return true).
+    fn add(&mut self, lits: &[Lit], origin: ClauseOrigin) -> bool;
+}
+
+impl CnfSink for Sat {
+    fn new_var(&mut self) -> Var {
+        Sat::new_var(self)
+    }
+    fn add(&mut self, lits: &[Lit], _origin: ClauseOrigin) -> bool {
+        self.add_clause(lits)
+    }
+}
+
+/// The raw clause list of a translation, with per-clause provenance —
+/// what [`translate_collected`] produces for the explanation pipeline.
+pub struct CollectedCnf {
+    /// Number of variables allocated (atoms plus auxiliaries).
+    pub num_vars: usize,
+    /// Clauses in emission order with their origin.
+    pub clauses: Vec<(Vec<Lit>, ClauseOrigin)>,
+}
+
+impl CnfSink for CollectedCnf {
+    fn new_var(&mut self) -> Var {
+        let v = self.num_vars as Var;
+        self.num_vars += 1;
+        v
+    }
+    fn add(&mut self, lits: &[Lit], origin: ClauseOrigin) -> bool {
+        self.clauses.push((lits.to_vec(), origin));
+        true
+    }
+}
+
 /// Build a literal equivalent to the conjunction of `pos` atoms and
 /// negated `neg` atoms. Adds both implication directions.
-fn body_lit(sat: &mut Sat, tr_atom: &[Var], true_var: Var, pos: &[AtomId], neg: &[AtomId]) -> Lit {
+fn body_lit<S: CnfSink>(
+    sat: &mut S,
+    tr_atom: &[Var],
+    true_var: Var,
+    pos: &[AtomId],
+    neg: &[AtomId],
+) -> Lit {
     let lits: Vec<Lit> = pos
         .iter()
         .map(|a| Lit::pos(tr_atom[a.0 as usize]))
@@ -49,12 +131,12 @@ fn body_lit(sat: &mut Sat, tr_atom: &[Var], true_var: Var, pos: &[AtomId], neg: 
             let aux = Lit::pos(sat.new_var());
             // aux -> each lit
             for &l in &lits {
-                sat.add_clause(&[aux.negate(), l]);
+                sat.add(&[aux.negate(), l], ClauseOrigin::Definition);
             }
             // conj -> aux
             let mut cl: Vec<Lit> = lits.iter().map(|l| l.negate()).collect();
             cl.push(aux);
-            sat.add_clause(&cl);
+            sat.add(&cl, ClauseOrigin::Definition);
             aux
         }
     }
@@ -66,7 +148,11 @@ fn body_lit(sat: &mut Sat, tr_atom: &[Var], true_var: Var, pos: &[AtomId], neg: 
 /// implied whenever the weighted sum of the remaining items exceeds
 /// `bound`. One-directional (derivation) clauses, sufficient for upper
 /// bounds.
-fn build_counter(sat: &mut Sat, items: &[(i64, Lit)], bound: i64) -> (Vec<Lit>, Option<Lit>) {
+fn build_counter<S: CnfSink>(
+    sat: &mut S,
+    items: &[(i64, Lit)],
+    bound: i64,
+) -> (Vec<Lit>, Option<Lit>) {
     debug_assert!(items.iter().all(|&(w, _)| w >= 0));
     // Normalize by the GCD of the weights: uniform weights (e.g. the
     // concretizer's 100-per-build objective) then become a plain
@@ -187,7 +273,7 @@ fn weight_gcd(items: &[(i64, Lit)]) -> i64 {
 /// [`BoundCounter`]: returns `reg` of width `bound + 1` where `reg[j]`
 /// is implied whenever the weighted sum over `items` (already
 /// normalized) reaches `j + 1`. One-directional derivation clauses.
-fn counter_outputs(sat: &mut Sat, items: &[(i64, Lit)], bound: i64) -> Vec<Option<Lit>> {
+fn counter_outputs<S: CnfSink>(sat: &mut S, items: &[(i64, Lit)], bound: i64) -> Vec<Option<Lit>> {
     let width = (bound + 1).max(0) as usize;
     let mut reg: Vec<Option<Lit>> = vec![None; width];
     for &(w, x) in items {
@@ -207,12 +293,12 @@ fn counter_outputs(sat: &mut Sat, items: &[(i64, Lit)], bound: i64) -> Vec<Optio
             }
             let out = Lit::pos(sat.new_var());
             if let Some(p) = from_prev {
-                sat.add_clause(&[p.negate(), out]);
+                sat.add(&[p.negate(), out], ClauseOrigin::Definition);
             }
             if let Some(ant) = &from_x {
                 let mut cl: Vec<Lit> = ant.iter().map(|l| l.negate()).collect();
                 cl.push(out);
-                sat.add_clause(&cl);
+                sat.add(&cl, ClauseOrigin::Definition);
             }
             reg[ji] = Some(out);
         }
@@ -244,17 +330,29 @@ pub fn add_upper_bound(sat: &mut Sat, items: &[(i64, Lit)], bound: i64) -> bool 
 /// constraint applies only in models where `act` is true. Used for
 /// optimization probes that may be retracted by dropping the assumption.
 pub fn add_upper_bound_guarded(sat: &mut Sat, items: &[(i64, Lit)], bound: i64, act: Lit) -> bool {
+    add_upper_bound_guarded_with(sat, items, bound, act, ClauseOrigin::Definition)
+}
+
+/// [`add_upper_bound_guarded`] with an explicit origin for the
+/// *assertion* clauses (the counter internals stay definitional).
+fn add_upper_bound_guarded_with<S: CnfSink>(
+    sat: &mut S,
+    items: &[(i64, Lit)],
+    bound: i64,
+    act: Lit,
+    origin: ClauseOrigin,
+) -> bool {
     if bound < 0 {
-        return sat.add_clause(&[act.negate()]);
+        return sat.add(&[act.negate()], origin);
     }
     let (heavy, overflow) = build_counter(sat, items, bound);
     for l in heavy {
-        if !sat.add_clause(&[act.negate(), l.negate()]) {
+        if !sat.add(&[act.negate(), l.negate()], origin) {
             return false;
         }
     }
     if let Some(o) = overflow {
-        sat.add_clause(&[act.negate(), o.negate()])
+        sat.add(&[act.negate(), o.negate()], origin)
     } else {
         true
     }
@@ -262,28 +360,47 @@ pub fn add_upper_bound_guarded(sat: &mut Sat, items: &[(i64, Lit)], bound: i64, 
 
 /// Translate the ground program into `sat`.
 pub fn translate(gp: &GroundProgram, sat: &mut Sat) -> Translation {
+    translate_into(gp, sat)
+}
+
+/// Translate the ground program into a raw clause list with per-clause
+/// [`ClauseOrigin`] provenance. Allocates variables in exactly the same
+/// order as [`translate`], so the clauses (and the returned
+/// [`Translation`]) are literal-for-literal identical to the solving
+/// path's.
+pub fn translate_collected(gp: &GroundProgram) -> (CollectedCnf, Translation) {
+    let mut cnf = CollectedCnf {
+        num_vars: 0,
+        clauses: Vec::new(),
+    };
+    let tr = translate_into(gp, &mut cnf);
+    (cnf, tr)
+}
+
+fn translate_into<S: CnfSink>(gp: &GroundProgram, sat: &mut S) -> Translation {
     let n = gp.atom_count();
     let atom_var: Vec<Var> = (0..n).map(|_| sat.new_var()).collect();
     let true_var = sat.new_var();
-    sat.add_clause(&[Lit::pos(true_var)]);
+    sat.add(&[Lit::pos(true_var)], ClauseOrigin::Definition);
 
     // Supports per atom: disjuncts allowing the atom to be true.
     let mut supports: Vec<Vec<Lit>> = vec![Vec::new(); n];
 
     // Normal rules.
     let mut rule_body = Vec::with_capacity(gp.rules.len());
-    for r in &gp.rules {
+    for (ri, r) in gp.rules.iter().enumerate() {
         let beta = body_lit(sat, &atom_var, true_var, &r.pos, &r.neg);
         rule_body.push(beta);
         let head = Lit::pos(atom_var[r.head.0 as usize]);
         // body -> head
-        sat.add_clause(&[beta.negate(), head]);
+        sat.add(&[beta.negate(), head], ClauseOrigin::Rule(ri as u32));
         supports[r.head.0 as usize].push(beta);
     }
 
     // Choice instances.
     let mut choice_body = Vec::with_capacity(gp.choices.len());
-    for c in &gp.choices {
+    for (ci, c) in gp.choices.iter().enumerate() {
+        let origin = ClauseOrigin::Choice(ci as u32);
         let beta = body_lit(sat, &atom_var, true_var, &c.pos, &c.neg);
         choice_body.push(beta);
         for &e in c.elements.iter() {
@@ -297,24 +414,24 @@ pub fn translate(gp: &GroundProgram, sat: &mut Sat) -> Translation {
             .collect();
         if let Some(upper) = c.upper {
             // beta -> at most `upper` of elements.
-            add_cardinality_upper_guarded(sat, &elem_lits, upper as i64, beta);
+            add_upper_bound_guarded_with(sat, &elem_lits, upper as i64, beta, origin);
         }
         if let Some(lower) = c.lower {
             let lower = lower as i64;
             if lower > 0 {
                 if (c.elements.len() as i64) < lower {
                     // Impossible to meet: forbid the body.
-                    sat.add_clause(&[beta.negate()]);
+                    sat.add(&[beta.negate()], origin);
                 } else if lower == 1 {
                     let mut cl: Vec<Lit> = vec![beta.negate()];
                     cl.extend(elem_lits.iter().map(|&(_, l)| l));
-                    sat.add_clause(&cl);
+                    sat.add(&cl, origin);
                 } else {
                     // sum >= lower  <=>  sum of negations <= n - lower.
                     let negs: Vec<(i64, Lit)> =
                         elem_lits.iter().map(|&(w, l)| (w, l.negate())).collect();
                     let bound = c.elements.len() as i64 - lower;
-                    add_cardinality_upper_guarded(sat, &negs, bound, beta);
+                    add_upper_bound_guarded_with(sat, &negs, bound, beta, origin);
                 }
             }
         }
@@ -322,25 +439,26 @@ pub fn translate(gp: &GroundProgram, sat: &mut Sat) -> Translation {
 
     // Completion: every atom needs a support.
     for (i, sup) in supports.iter().enumerate() {
+        let origin = ClauseOrigin::Completion(AtomId(i as u32));
         let a = Lit::pos(atom_var[i]);
         if sup.is_empty() {
-            sat.add_clause(&[a.negate()]);
+            sat.add(&[a.negate()], origin);
         } else {
             let mut cl: Vec<Lit> = vec![a.negate()];
             cl.extend(sup.iter().copied());
-            sat.add_clause(&cl);
+            sat.add(&cl, origin);
         }
     }
 
     // Integrity constraints.
-    for c in &gp.constraints {
+    for (ci, c) in gp.constraints.iter().enumerate() {
         let mut cl: Vec<Lit> = c
             .pos
             .iter()
             .map(|a| Lit::neg(atom_var[a.0 as usize]))
             .collect();
         cl.extend(c.neg.iter().map(|a| Lit::pos(atom_var[a.0 as usize])));
-        sat.add_clause(&cl);
+        sat.add(&cl, ClauseOrigin::Constraint(ci as u32));
     }
 
     // Minimize: one literal per distinct (priority, weight, tuple) that is
@@ -367,11 +485,11 @@ pub fn translate(gp: &GroundProgram, sat: &mut Sat) -> Translation {
         } else {
             let t = Lit::pos(sat.new_var());
             for &c in &conds {
-                sat.add_clause(&[c.negate(), t]);
+                sat.add(&[c.negate(), t], ClauseOrigin::Definition);
             }
             let mut cl: Vec<Lit> = vec![t.negate()];
             cl.extend(conds.iter().copied());
-            sat.add_clause(&cl);
+            sat.add(&cl, ClauseOrigin::Definition);
             t
         };
         if !per_priority.contains_key(&priority) {
@@ -395,12 +513,6 @@ pub fn translate(gp: &GroundProgram, sat: &mut Sat) -> Translation {
         choice_body,
         cost,
     }
-}
-
-/// `guard -> (sum of unit-weight lits <= bound)`. The guard (a choice
-/// body literal) plays the activation-literal role directly.
-fn add_cardinality_upper_guarded(sat: &mut Sat, items: &[(i64, Lit)], bound: i64, guard: Lit) {
-    add_upper_bound_guarded(sat, items, bound, guard);
 }
 
 #[cfg(test)]

@@ -111,6 +111,15 @@ pub struct GroundProgram {
     pub constraints: Vec<GroundConstraint>,
     /// Ground minimize terms.
     pub minimize: Vec<GroundMin>,
+    /// Provenance: for each entry of `rules`, the index of the source
+    /// [`Program`](crate::program::Program) rule that emitted it. When
+    /// two source rules ground to the same (deduplicated) instance, the
+    /// first emitter in rule order wins.
+    pub rule_src: Vec<u32>,
+    /// Provenance: source rule index per entry of `choices`.
+    pub choice_src: Vec<u32>,
+    /// Provenance: source rule index per entry of `constraints`.
+    pub constraint_src: Vec<u32>,
     /// Atoms certain to hold in every model (facts plus negation-free
     /// consequences of facts).
     pub certain: FxHashSet<AtomId>,
@@ -1056,6 +1065,7 @@ pub fn ground_parallel(
     // interning head/negative atoms cannot affect them (candidates come
     // only from the possible relations, which no longer change).
     let mut rules: Vec<GroundRule> = Vec::new();
+    let mut rule_src: Vec<u32> = Vec::new();
     let mut rule_set: FxHashSet<GroundRule> = FxHashSet::default();
     {
         let mut jobs: Vec<JoinJob<'_>> = Vec::new();
@@ -1069,7 +1079,7 @@ pub fn ground_parallel(
             }
         }
         let mut results = g.run_batch(&jobs)?.into_iter();
-        for rp in &plans {
+        for (ri, rp) in plans.iter().enumerate() {
             let HeadPlan::Atom(head) = &rp.head else {
                 continue;
             };
@@ -1088,6 +1098,7 @@ pub fn ground_parallel(
                 };
                 if rule_set.insert(gr.clone()) {
                     rules.push(gr);
+                    rule_src.push(ri as u32);
                 }
                 if rules.len() > g.limits.max_rules {
                     return Err(AspError::ResourceLimit(format!(
@@ -1207,8 +1218,10 @@ pub fn ground_parallel(
     }
 
     let mut choices: Vec<GroundChoice> = Vec::new();
+    let mut choice_src: Vec<u32> = Vec::new();
     let mut choice_set: FxHashSet<GroundChoice> = FxHashSet::default();
     let mut constraints: Vec<GroundConstraint> = Vec::new();
+    let mut constraint_src: Vec<u32> = Vec::new();
     let mut constraint_set: FxHashSet<GroundConstraint> = FxHashSet::default();
     let mut oi = 0usize;
     let mut ci = 0usize;
@@ -1266,6 +1279,7 @@ pub fn ground_parallel(
                     };
                     if choice_set.insert(gc.clone()) {
                         choices.push(gc);
+                        choice_src.push(ri as u32);
                     }
                 }
             }
@@ -1284,6 +1298,7 @@ pub fn ground_parallel(
                     };
                     if constraint_set.insert(gc.clone()) {
                         constraints.push(gc);
+                        constraint_src.push(ri as u32);
                     }
                 }
             }
@@ -1338,6 +1353,9 @@ pub fn ground_parallel(
         choices,
         constraints,
         minimize,
+        rule_src,
+        choice_src,
+        constraint_src,
         certain,
         possible,
     })

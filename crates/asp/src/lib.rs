@@ -42,6 +42,7 @@ pub mod cancel;
 pub mod cdcl;
 pub mod certify;
 pub mod cnf;
+pub mod explain;
 pub mod ground;
 pub mod model;
 pub mod parser;
@@ -57,11 +58,13 @@ pub use analysis::{
 pub use cancel::CancelToken;
 pub use cdcl::SatConfig;
 pub use certify::{certify_model, CertifyError};
+pub use cnf::ClauseOrigin;
+pub use explain::{CoreMember, ExplainConfig, ExplainOutcome, UnsatCore};
 pub use ground::{
     ground_parallel, unsafe_variables, GroundLimits, GroundProgram, SafetyContext, UnsafeVariable,
 };
 pub use model::Model;
-pub use parser::parse_program;
+pub use parser::{parse_program, parse_program_spanned};
 pub use preprocess::{preprocess, PreprocessConfig, PreprocessStats, Preprocessed};
 pub use program::{Program, PruneReport, Rule};
 pub use solve::{SolveOutcome, SolveStats, Solver, SolverConfig, TranslatedProgram};

@@ -500,6 +500,30 @@ pub fn parse_program(text: &str) -> Result<Program> {
     p.parse_program()
 }
 
+/// Parse a complete program, additionally returning the byte offset of
+/// each rule's first token into `text`, indexed exactly like the
+/// returned `Program::rules`. `#minimize` statements contribute no
+/// offset (they never appear in unsat cores). The parsed program is
+/// identical to [`parse_program`]'s.
+pub fn parse_program_spanned(text: &str) -> Result<(Program, Vec<usize>)> {
+    let toks = Lexer::new(text).tokens()?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut prog = Program::new();
+    let mut offsets = Vec::new();
+    while p.peek().is_some() {
+        let off = p.offset();
+        if p.peek() == Some(&Tok::Minimize) {
+            p.bump();
+            let elems = p.parse_minimize_body()?;
+            prog.minimize.extend(elems);
+        } else {
+            prog.rules.push(p.parse_rule()?);
+            offsets.push(off);
+        }
+    }
+    Ok((prog, offsets))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

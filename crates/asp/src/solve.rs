@@ -118,6 +118,14 @@ pub struct SolveStats {
     pub stability_restarts: u64,
     /// Optimization probes (bound-and-resolve steps).
     pub optimize_probes: u64,
+    /// Core extraction: members in the initial (final-conflict) core.
+    pub explain_core_initial: usize,
+    /// Core extraction: members after deletion minimization.
+    pub explain_core_minimized: usize,
+    /// Core extraction: deletion probes run.
+    pub explain_probes: u64,
+    /// Core extraction: wall time spent in `explain_ground`.
+    pub explain_time: Duration,
     /// Wall time spent grounding.
     pub ground_time: Duration,
     /// Wall time spent in translation + search + optimization.
@@ -164,7 +172,7 @@ impl TranslatedProgram {
 /// clauses), and cost literals (bound circuits, cost evaluation). Only
 /// auxiliary encoding variables — sequential-counter internals — remain
 /// eliminable.
-fn frozen_vars(tr: &Translation, num_vars: usize) -> Vec<bool> {
+pub(crate) fn frozen_vars(tr: &Translation, num_vars: usize) -> Vec<bool> {
     let mut frozen = vec![false; num_vars];
     frozen[tr.true_var as usize] = true;
     for &v in &tr.atom_var {
@@ -345,7 +353,7 @@ impl Solver {
     /// For unfounded set `u`: each atom may only be true when some
     /// external support (a rule whose positive body avoids the set) has a
     /// true body.
-    fn add_loop_clauses(
+    pub(crate) fn add_loop_clauses(
         &self,
         gp: &GroundProgram,
         tr: &Translation,

@@ -158,7 +158,7 @@ pub enum GroundTerm {
 /// Every distinct ground term/atom gets a dense integer id; the grounder,
 /// CNF translator, and solver all speak in these ids, so equality is `==`
 /// on a `u32` and maps are keyed by integers.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct GroundStore {
     terms: Vec<GroundTerm>,
     term_map: FxHashMap<GroundTerm, TermId>,

@@ -35,8 +35,9 @@ impl fmt::Display for Severity {
 }
 
 /// Stable diagnostic codes. `R` codes come from the repository level,
-/// `L` codes from the logic-program level. Codes are append-only: a
-/// retired check leaves a hole rather than renumbering.
+/// `L` codes from the logic-program level, `E` codes from unsat-core
+/// explanations (`spackle concretize --explain`). Codes are
+/// append-only: a retired check leaves a hole rather than renumbering.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// Dependency version constraint intersects no declared version of
@@ -73,11 +74,31 @@ pub enum Code {
     /// A predicate is derivable but irrelevant to the goal predicates:
     /// `Program::prune_unreachable` removes its rules.
     L005,
+    /// A goal (or package) is statically unconcretizable: the solver
+    /// proved UNSAT and extracted a minimized core of the responsible
+    /// directives.
+    L006,
+    /// A goal cannot concretize: the unsat-core summary heading an
+    /// explanation (`spackle concretize --explain`).
+    E001,
+    /// A package directive (`depends_on`, `conflicts`, `provides`,
+    /// `can_splice`) participates in the unsat core.
+    E002,
+    /// A goal requirement (a root constraint or a `--forbid` exclusion)
+    /// participates in the unsat core.
+    E003,
+    /// Core minimization did not finish (probe budget, timeout, or
+    /// cancellation): the reported core is correct but possibly
+    /// non-minimal.
+    E004,
+    /// A derived constraint (solver-internal rule, logic fragment, or
+    /// completion clause) participates in the unsat core.
+    E005,
 }
 
 impl Code {
     /// Every code, in order.
-    pub const ALL: [Code; 13] = [
+    pub const ALL: [Code; 19] = [
         Code::R001,
         Code::R002,
         Code::R003,
@@ -91,6 +112,12 @@ impl Code {
         Code::L003,
         Code::L004,
         Code::L005,
+        Code::L006,
+        Code::E001,
+        Code::E002,
+        Code::E003,
+        Code::E004,
+        Code::E005,
     ];
 
     /// The stable string form, e.g. `"SPKL-R001"`.
@@ -109,6 +136,12 @@ impl Code {
             Code::L003 => "SPKL-L003",
             Code::L004 => "SPKL-L004",
             Code::L005 => "SPKL-L005",
+            Code::L006 => "SPKL-L006",
+            Code::E001 => "SPKL-E001",
+            Code::E002 => "SPKL-E002",
+            Code::E003 => "SPKL-E003",
+            Code::E004 => "SPKL-E004",
+            Code::E005 => "SPKL-E005",
         }
     }
 
@@ -128,11 +161,20 @@ impl Code {
     /// Severity when no `--deny` override applies.
     pub fn default_severity(self) -> Severity {
         match self {
-            Code::R001 | Code::R003 | Code::R004 | Code::R005 | Code::R008 | Code::L001 => {
-                Severity::Error
+            Code::R001
+            | Code::R003
+            | Code::R004
+            | Code::R005
+            | Code::R008
+            | Code::L001
+            | Code::L006
+            | Code::E001
+            | Code::E002
+            | Code::E003 => Severity::Error,
+            Code::R002 | Code::R006 | Code::R007 | Code::L002 | Code::L004 | Code::E004 => {
+                Severity::Warning
             }
-            Code::R002 | Code::R006 | Code::R007 | Code::L002 | Code::L004 => Severity::Warning,
-            Code::L003 | Code::L005 => Severity::Note,
+            Code::L003 | Code::L005 | Code::E005 => Severity::Note,
         }
     }
 
@@ -153,6 +195,12 @@ impl Code {
             Code::L003 => "recursion through negation",
             Code::L004 => "rule can never fire",
             Code::L005 => "predicate irrelevant to goals",
+            Code::L006 => "goal statically unconcretizable",
+            Code::E001 => "goal cannot concretize",
+            Code::E002 => "directive in unsat core",
+            Code::E003 => "goal requirement in unsat core",
+            Code::E004 => "unsat core possibly non-minimal",
+            Code::E005 => "derived constraint in unsat core",
         }
     }
 }

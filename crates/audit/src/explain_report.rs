@@ -1,0 +1,346 @@
+//! Rendering provenance-mapped unsat cores (`SPKL-E…`) through the
+//! structured-diagnostics core, plus the L006 concretizability lint.
+//!
+//! [`explanation_report`] converts a
+//! [`spackle_core::Explanation`] — the concretizer's minimized,
+//! provenance-mapped unsat core — into an [`AuditReport`]: one `E001`
+//! summary, one `E002` finding per package directive in the core (with
+//! the directive rendered and the offending token underlined, exactly
+//! like the repository lints), one `E003` finding per goal requirement,
+//! `E005` notes for derived constraints, and an `E004` warning when
+//! minimization stopped early. [`audit_concretizability`] is the audit
+//! entry point: it proves goals statically unconcretizable (L006) and
+//! attaches their minimized cores.
+
+use crate::diag::{AuditReport, Code, Diagnostic, Provenance};
+use crate::repo_check::{directive_text, Focus};
+use spackle_core::{Concretizer, CoreError, EncodeOrigin, Explanation, Goal};
+use spackle_repo::Repository;
+use spackle_spec::VersionReq;
+use std::collections::BTreeSet;
+
+/// Render a directive named by an [`EncodeOrigin`] as the audit lints
+/// would: `kind("spec", when="…")` with a span selecting the most
+/// conflict-relevant token (the version constraint when one exists).
+/// `None` when the origin is not a package directive or the index is
+/// stale with respect to `repo`.
+fn origin_directive(
+    repo: &Repository,
+    origin: &EncodeOrigin,
+) -> Option<(String, String, Option<spackle_spec::Span>)> {
+    match origin {
+        EncodeOrigin::DependsOn { package, index } => {
+            let d = repo.get(*package)?.depends.get(*index)?;
+            let focus = if matches!(d.spec.version, VersionReq::Any) {
+                Focus::None
+            } else {
+                Focus::SpecVersion
+            };
+            let (text, span) = directive_text("depends_on", &d.spec.to_string(), &d.when, focus);
+            Some((package.as_str().to_string(), text, span))
+        }
+        EncodeOrigin::Conflict { package, index } => {
+            let c = repo.get(*package)?.conflicts.get(*index)?;
+            let focus = if matches!(c.spec.version, VersionReq::Any) {
+                Focus::None
+            } else {
+                Focus::SpecVersion
+            };
+            let (text, span) = directive_text("conflicts", &c.spec.to_string(), &c.when, focus);
+            Some((package.as_str().to_string(), text, span))
+        }
+        EncodeOrigin::Provides { package, index } => {
+            let p = repo.get(*package)?.provides.get(*index)?;
+            let (text, span) =
+                directive_text("provides", p.virtual_name.as_str(), &p.when, Focus::None);
+            Some((package.as_str().to_string(), text, span))
+        }
+        EncodeOrigin::CanSplice { package, index } => {
+            let c = repo.get(*package)?.can_splice.get(*index)?;
+            let (text, span) =
+                directive_text("can_splice", &c.target.to_string(), &c.when, Focus::None);
+            Some((package.as_str().to_string(), text, span))
+        }
+        _ => None,
+    }
+}
+
+/// One-line human label for a core member's origin — used in hints and
+/// in the L006 core listing.
+fn origin_label(repo: &Repository, origin: &EncodeOrigin) -> String {
+    match origin_directive(repo, origin) {
+        Some((pkg, text, _)) => format!("{pkg}: {text}"),
+        None => match origin {
+            EncodeOrigin::GoalRoot { root } => format!("goal requirements on {root}"),
+            EncodeOrigin::Forbidden { package } => format!("--forbid {package}"),
+            EncodeOrigin::Reusable { package, hash } => {
+                format!("reusable spec {package}/{hash}")
+            }
+            EncodeOrigin::Logic { fragment } => format!("solver logic ({fragment})"),
+            EncodeOrigin::ProviderWeights => "provider preference weights".to_string(),
+            EncodeOrigin::Environment => "environment facts".to_string(),
+            // Directives whose repo lookup failed fall through here.
+            other => format!("{other:?}"),
+        },
+    }
+}
+
+/// Convert an [`Explanation`] into structured `SPKL-E…` diagnostics.
+///
+/// `goal_label` is the rendered goal (e.g. the spec text the user
+/// typed); it anchors the `E001` summary and the `E004` partial-core
+/// warning. Repeated core members mapping to the same directive (two
+/// ground instances of one rule) are deduplicated.
+pub fn explanation_report(repo: &Repository, goal_label: &str, ex: &Explanation) -> AuditReport {
+    let mut diags = Vec::new();
+    diags.push(
+        Diagnostic::new(
+            Code::E001,
+            format!(
+                "goal `{goal_label}` cannot concretize: {} constraint group(s) are jointly \
+                 unsatisfiable{}",
+                ex.entries.len(),
+                if ex.minimal {
+                    " (minimal core: dropping any one makes the goal satisfiable)"
+                } else {
+                    ""
+                }
+            ),
+            Provenance::Predicate {
+                name: goal_label.to_string(),
+            },
+        )
+        .with_hint(
+            "relax any directive or goal requirement flagged SPKL-E002/E003 below to \
+             restore satisfiability",
+        ),
+    );
+    if !ex.minimal {
+        diags.push(Diagnostic::new(
+            Code::E004,
+            format!(
+                "core minimization stopped early (after {} deletion probes): every finding \
+                 participates in the conflict, but some may be removable",
+                ex.probes
+            ),
+            Provenance::Predicate {
+                name: goal_label.to_string(),
+            },
+        ));
+    }
+
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for e in &ex.entries {
+        match &e.origin {
+            Some(
+                origin @ (EncodeOrigin::DependsOn { .. }
+                | EncodeOrigin::Conflict { .. }
+                | EncodeOrigin::Provides { .. }
+                | EncodeOrigin::CanSplice { .. }),
+            ) => {
+                if !seen.insert(format!("{origin:?}")) {
+                    continue;
+                }
+                let Some((pkg, text, span)) = origin_directive(repo, origin) else {
+                    continue;
+                };
+                diags.push(
+                    Diagnostic::new(
+                        Code::E002,
+                        "this directive participates in the conflict",
+                        Provenance::Package {
+                            package: pkg,
+                            directive: Some(text),
+                            span,
+                        },
+                    )
+                    .with_hint(format!("as ground rule: {}", e.rule)),
+                );
+            }
+            Some(origin @ (EncodeOrigin::GoalRoot { .. } | EncodeOrigin::Forbidden { .. })) => {
+                if !seen.insert(format!("{origin:?}")) {
+                    continue;
+                }
+                let package = match origin {
+                    EncodeOrigin::GoalRoot { root } => root.as_str().to_string(),
+                    EncodeOrigin::Forbidden { package } => package.as_str().to_string(),
+                    _ => unreachable!(),
+                };
+                diags.push(
+                    Diagnostic::new(
+                        Code::E003,
+                        format!(
+                            "{} participate in the conflict",
+                            origin_label(repo, origin)
+                        ),
+                        Provenance::Package {
+                            package,
+                            directive: None,
+                            span: None,
+                        },
+                    )
+                    .with_hint(format!("as ground rule: {}", e.rule)),
+                );
+            }
+            other => {
+                // Derived constraints: solver logic, environment facts,
+                // cache entries, completion clauses. Deduplicate on the
+                // ground-rule rendering.
+                if !seen.insert(e.rule.clone()) {
+                    continue;
+                }
+                let label = match other {
+                    Some(o) => origin_label(repo, o),
+                    None => "derived constraint".to_string(),
+                };
+                diags.push(Diagnostic::new(
+                    Code::E005,
+                    format!("{label} participate(s) in the conflict"),
+                    Provenance::Rule {
+                        index: e.line.unwrap_or(0),
+                        text: e.rule.clone(),
+                    },
+                ));
+            }
+        }
+    }
+    AuditReport::new(diags)
+}
+
+/// Level-2 lint L006: prove goals statically unconcretizable.
+///
+/// For each goal, runs the concretizer's unsat-core extractor
+/// ([`Concretizer::explain_goal`]) with no reusable sources — the
+/// static question is "can this ever build from source as declared".
+/// Satisfiable goals produce nothing; unsatisfiable ones produce one
+/// L006 error carrying the minimized core as its hint. Goals that fail
+/// for other reasons (unknown package, unsupported constructs) are
+/// skipped — other lints already cover those.
+pub fn audit_concretizability(repo: &Repository, goals: &[Goal]) -> Vec<Diagnostic> {
+    let c = Concretizer::new(repo);
+    let mut diags = Vec::new();
+    for goal in goals {
+        let label = goal
+            .roots
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        match c.explain_goal(goal) {
+            Ok(None) | Err(CoreError::BadGoal(_)) | Err(CoreError::Unsupported(_)) => {}
+            Ok(Some(ex)) => {
+                let mut core: Vec<String> = Vec::new();
+                let mut seen = BTreeSet::new();
+                for e in &ex.entries {
+                    if let Some(o) = &e.origin {
+                        let label = origin_label(repo, o);
+                        if seen.insert(label.clone()) {
+                            core.push(label);
+                        }
+                    }
+                }
+                diags.push(
+                    Diagnostic::new(
+                        Code::L006,
+                        format!(
+                            "goal `{label}` can never concretize: {} constraint group(s) \
+                             conflict{}",
+                            ex.entries.len(),
+                            if ex.minimal { " (minimal core)" } else { "" }
+                        ),
+                        Provenance::Predicate { name: label },
+                    )
+                    .with_hint(format!("unsat core: {}", core.join("; "))),
+                );
+            }
+            Err(e) => diags.push(Diagnostic::new(
+                Code::L006,
+                format!("goal `{label}` could not be checked: {e}"),
+                Provenance::Predicate { name: label },
+            )),
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spackle_repo::PackageBuilder;
+    use spackle_spec::parse_spec;
+
+    fn conflicted_repo() -> Repository {
+        let zlib = PackageBuilder::new("zlib")
+            .version("1.3")
+            .version("1.2.11")
+            .build()
+            .unwrap();
+        let liba = PackageBuilder::new("liba")
+            .version("1.0")
+            .depends_on("zlib@1.2")
+            .build()
+            .unwrap();
+        let libb = PackageBuilder::new("libb")
+            .version("1.0")
+            .depends_on("zlib@1.3")
+            .build()
+            .unwrap();
+        let app = PackageBuilder::new("app")
+            .version("2.0")
+            .depends_on("liba")
+            .depends_on("libb")
+            .build()
+            .unwrap();
+        Repository::from_packages([zlib, liba, libb, app]).unwrap()
+    }
+
+    #[test]
+    fn explanation_renders_directives_with_spans() {
+        let repo = conflicted_repo();
+        let c = Concretizer::new(&repo);
+        let goal = Goal::single(parse_spec("app").unwrap());
+        let ex = c.explain_goal(&goal).unwrap().expect("unsat");
+        let report = explanation_report(&repo, "app", &ex);
+
+        assert!(report.has_errors());
+        assert!(report.diagnostics.iter().any(|d| d.code == Code::E001));
+        // Both clashing pins appear as E002 with rendered directives.
+        let e002: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Code::E002)
+            .collect();
+        let has = |pkg: &str, frag: &str| {
+            e002.iter().any(|d| match &d.provenance {
+                Provenance::Package {
+                    package, directive, ..
+                } => package == pkg && directive.as_deref().is_some_and(|t| t.contains(frag)),
+                _ => false,
+            })
+        };
+        assert!(has("liba", "zlib@1.2"), "{:?}", report.render_human());
+        assert!(has("libb", "zlib@1.3"), "{:?}", report.render_human());
+        // Version-pinned directives carry a span for the caret underline.
+        assert!(e002.iter().any(|d| matches!(
+            &d.provenance,
+            Provenance::Package { span: Some(_), .. }
+        )));
+        // Human rendering shows an underline.
+        let human = report.render_human();
+        assert!(human.lines().any(|l| l.trim_start().starts_with('^')), "{human}");
+    }
+
+    #[test]
+    fn concretizability_lint_flags_only_broken_goals() {
+        let repo = conflicted_repo();
+        let goals = vec![
+            Goal::single(parse_spec("liba").unwrap()),
+            Goal::single(parse_spec("app").unwrap()),
+        ];
+        let diags = audit_concretizability(&repo, &goals);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::L006);
+        let hint = diags[0].hint.as_deref().unwrap();
+        assert!(hint.contains("zlib@1.2") && hint.contains("zlib@1.3"), "{hint}");
+    }
+}

@@ -42,10 +42,12 @@
 
 pub mod asp_check;
 pub mod diag;
+pub mod explain_report;
 pub mod repo_check;
 
 pub use asp_check::{audit_program, audit_program_text};
 pub use diag::{AuditReport, Code, Diagnostic, Provenance, Severity};
+pub use explain_report::{audit_concretizability, explanation_report};
 pub use repo_check::audit_repository;
 
 use spackle_asp::Program;

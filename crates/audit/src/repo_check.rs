@@ -25,7 +25,7 @@ pub fn audit_repository(repo: &Repository) -> Vec<Diagnostic> {
 }
 
 /// Which token of the rendered directive a diagnostic underlines.
-enum Focus {
+pub(crate) enum Focus {
     None,
     SpecVersion,
     SpecVariant(Sym),
@@ -37,7 +37,7 @@ enum Focus {
 /// focused token inside the rendered text. Spec rendering round-trips
 /// through the parser, so the spanned re-parse finds the exact bytes
 /// the offending token occupies.
-fn directive_text(
+pub(crate) fn directive_text(
     kind: &str,
     spec_text: &str,
     when: &AbstractSpec,

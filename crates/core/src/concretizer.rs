@@ -8,11 +8,15 @@
 //! CLI call passes plain references and lets the conversion traits copy
 //! what little state there is.
 
-use crate::encode::{cache_error, encode, EncodeConfig, Encoded, Encoding, Goal};
+use crate::encode::{cache_error, encode, EncodeConfig, EncodeOrigin, Encoded, Encoding, Goal};
+use crate::explain::{ExplainEntry, Explanation};
 use crate::ground_cache::{GroundCache, PreparedProgram};
 use crate::interpret::{interpret, Interpretation, SpliceReport};
 use crate::CoreError;
-use spackle_asp::{parse_program, AspError, CancelToken, SolveOutcome, SolveStats, Solver, SolverConfig};
+use spackle_asp::{
+    parse_program, parse_program_spanned, AspError, CancelToken, ExplainConfig, ExplainOutcome,
+    SolveOutcome, SolveStats, Solver, SolverConfig,
+};
 use spackle_buildcache::{CacheSource, IntoCacheSource, SourceFaultStats};
 use spackle_repo::Repository;
 use spackle_spec::{AbstractSpec, ConcreteSpec, Os, Sym, Target};
@@ -352,15 +356,20 @@ impl Concretizer {
     ) -> Result<Encoded, CoreError> {
         let enc_cfg = self.encode_config()?;
         let mut enc = encode(&self.repo, sources, goal, &enc_cfg)?;
-        enc.program.push_str(crate::logic::BASE_PROGRAM);
+        let frag = |enc: &mut Encoded, label: &'static str, text: &str| {
+            enc.ledger
+                .push((enc.program.len(), EncodeOrigin::Logic { fragment: label }));
+            enc.program.push_str(text);
+        };
+        frag(&mut enc, "base", crate::logic::BASE_PROGRAM);
         match enc_cfg.encoding {
-            Encoding::Direct => enc.program.push_str(crate::logic::REUSE_DIRECT),
-            Encoding::Indirect => enc.program.push_str(crate::logic::REUSE_INDIRECT),
+            Encoding::Direct => frag(&mut enc, "reuse-direct", crate::logic::REUSE_DIRECT),
+            Encoding::Indirect => frag(&mut enc, "reuse-indirect", crate::logic::REUSE_INDIRECT),
         }
         if enc_cfg.splicing {
-            enc.program.push_str(crate::logic::SPLICE_FRAGMENT);
+            frag(&mut enc, "splice", crate::logic::SPLICE_FRAGMENT);
         } else {
-            enc.program.push_str(crate::logic::NO_SPLICE_STUB);
+            frag(&mut enc, "no-splice", crate::logic::NO_SPLICE_STUB);
         }
         Ok(enc)
     }
@@ -436,6 +445,7 @@ impl Concretizer {
             program: text,
             root_names,
             reusable_count,
+            ledger: _,
         } = self.program_text_for(goal, sources)?;
         let encode_time = t0.elapsed();
 
@@ -522,6 +532,82 @@ impl Concretizer {
                     });
                 }
                 Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Explain why `goal` cannot concretize — or report that it can.
+    ///
+    /// Returns `Ok(None)` when the goal is satisfiable (concretize it
+    /// normally for the actual solution), or `Ok(Some(explanation))`
+    /// with a provenance-mapped unsat core: a small set of source-level
+    /// directives and goal constraints that are jointly unsatisfiable
+    /// (see [`Explanation`]).
+    ///
+    /// This path deliberately differs from [`Concretizer::concretize_goal`]:
+    ///
+    /// * **No dead-rule pruning and no ground cache.** Provenance needs
+    ///   the identity mapping from parsed-rule index to the grounder's
+    ///   `*_src` tables, and explanation is an off-path diagnostic — it
+    ///   must never pollute or depend on the hot solve pipeline.
+    /// * **Canonical solver configuration.** Core extraction runs under
+    ///   the engine's fixed internal search/preprocess settings
+    ///   regardless of [`SolverConfig`] tuning, so the reported core is
+    ///   stable across solver-knob changes. Only grounding limits and
+    ///   the cancellation token carry over; the configured
+    ///   `conflict_budget` bounds each deletion probe so a configured
+    ///   budget still limits total explain effort.
+    ///
+    /// Cancellation (an explicit kill or a request deadline installed
+    /// via [`Concretizer::with_cancel`]) is honored between probes: the
+    /// call returns promptly with a *partial* core
+    /// ([`Explanation::minimal`]` == false`) if at least one UNSAT
+    /// answer was reached, or [`CoreError::Cancelled`] otherwise.
+    pub fn explain_goal(&self, goal: &Goal) -> Result<Option<Explanation>, CoreError> {
+        self.config.validate()?;
+        let t0 = Instant::now();
+        let enc = self.program_text(goal)?;
+        let (program, rule_offsets) = parse_program_spanned(&enc.program)
+            .map_err(|e| CoreError::Solve(format!("generated program invalid: {e}")))?;
+        let solver = Solver::with_config(self.config.solver.clone());
+        let gp = solver.ground(&program).map_err(solve_error)?;
+        let cfg = ExplainConfig {
+            cancel: self.config.solver.cancel.clone(),
+            probe_conflict_budget: self.config.solver.conflict_budget.min(1 << 20),
+            ..ExplainConfig::default()
+        };
+        let (outcome, stats) = solver.explain_ground(&gp, &cfg).map_err(solve_error)?;
+        match outcome {
+            ExplainOutcome::Satisfiable => Ok(None),
+            ExplainOutcome::Unsat(core) => {
+                let entries = core
+                    .members
+                    .iter()
+                    .map(|m| {
+                        let (line, origin) = match m
+                            .src_rule
+                            .and_then(|ri| rule_offsets.get(ri as usize).copied())
+                        {
+                            Some(off) => (
+                                Some(crate::explain::line_of(&enc.program, off)),
+                                enc.origin_at(off).cloned(),
+                            ),
+                            None => (None, None),
+                        };
+                        ExplainEntry {
+                            origin,
+                            line,
+                            rule: m.text.clone(),
+                        }
+                    })
+                    .collect();
+                Ok(Some(Explanation {
+                    entries,
+                    minimal: core.minimal,
+                    core_initial: stats.explain_core_initial,
+                    probes: stats.explain_probes,
+                    time: t0.elapsed(),
+                }))
             }
         }
     }

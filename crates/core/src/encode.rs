@@ -101,6 +101,72 @@ impl ConstraintTable {
     }
 }
 
+/// Where a region of the encoded program text came from — the
+/// source-level construct (package directive, goal constraint, cache
+/// entry, logic fragment) that emitted it. The encoder's
+/// [`Encoded::ledger`] records one entry per region; mapping any byte
+/// offset of the program back to its origin is a binary search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EncodeOrigin {
+    /// Environment facts (OS/target universe), version/variant
+    /// universes, and other derived facts with no single directive.
+    Environment,
+    /// The `index`-th `depends_on` directive of `package`.
+    DependsOn {
+        /// Declaring package.
+        package: Sym,
+        /// Directive index within the package's `depends` list.
+        index: usize,
+    },
+    /// The `index`-th `provides` directive of `package`.
+    Provides {
+        /// Declaring package.
+        package: Sym,
+        /// Directive index within the package's `provides` list.
+        index: usize,
+    },
+    /// The `index`-th `conflicts` directive of `package`.
+    Conflict {
+        /// Declaring package.
+        package: Sym,
+        /// Directive index within the package's `conflicts` list.
+        index: usize,
+    },
+    /// The `index`-th `can_splice` directive of `package`.
+    CanSplice {
+        /// Declaring package.
+        package: Sym,
+        /// Directive index within the package's `can_splice` list.
+        index: usize,
+    },
+    /// Provider preference weights (repository declaration order).
+    ProviderWeights,
+    /// The goal root `root`: its `attr("root", ...)` fact and every
+    /// constraint the request placed on it.
+    GoalRoot {
+        /// Root package name.
+        root: Sym,
+    },
+    /// A `--forbid` exclusion from the goal.
+    Forbidden {
+        /// Excluded package name.
+        package: Sym,
+    },
+    /// One reusable buildcache entry.
+    Reusable {
+        /// Root package of the cached spec.
+        package: Sym,
+        /// DAG hash of the cached spec (base32).
+        hash: String,
+    },
+    /// A static logic fragment appended after the encoded facts/rules
+    /// (the base program, reuse fragment, splice fragment).
+    Logic {
+        /// Fragment label, e.g. `"base"`, `"reuse"`, `"splice"`.
+        fragment: &'static str,
+    },
+}
+
 /// Everything the interpreter needs to map the model back to specs.
 pub struct Encoded {
     /// The complete program text (facts + rules + logic fragments).
@@ -109,6 +175,22 @@ pub struct Encoded {
     pub root_names: Vec<Sym>,
     /// Number of reusable-spec entries encoded.
     pub reusable_count: usize,
+    /// Provenance ledger: `(byte_offset, origin)` pairs in ascending
+    /// offset order. Each entry covers the program text from its offset
+    /// up to the next entry's. [`Encoded::origin_at`] resolves offsets.
+    pub ledger: Vec<(usize, EncodeOrigin)>,
+}
+
+impl Encoded {
+    /// The origin of the program text at `offset`, via binary search
+    /// over the ledger.
+    pub fn origin_at(&self, offset: usize) -> Option<&EncodeOrigin> {
+        match self.ledger.binary_search_by_key(&offset, |&(o, _)| o) {
+            Ok(i) => Some(&self.ledger[i].1),
+            Err(0) => None,
+            Err(i) => Some(&self.ledger[i - 1].1),
+        }
+    }
 }
 
 /// Lift a backend failure into [`CoreError::Cache`], preserving which
@@ -135,6 +217,11 @@ pub fn encode(
 ) -> Result<Encoded, CoreError> {
     let mut out = String::with_capacity(1 << 16);
     let mut ct = ConstraintTable::default();
+    // Provenance ledger halves: facts land in `out`, directive rules in
+    // `rules`; the two marker lists are merged (with the rules offsets
+    // shifted) at the final concatenation.
+    let mut out_marks: Vec<(usize, EncodeOrigin)> = Vec::new();
+    let mut rule_marks: Vec<(usize, EncodeOrigin)> = Vec::new();
 
     // ---- determine the relevant package closure ----
     let mut root_names: Vec<Sym> = Vec::new();
@@ -246,6 +333,7 @@ pub fn encode(
     };
 
     // ---- environment facts ----
+    out_marks.push((out.len(), EncodeOrigin::Environment));
     writeln!(out, "requested_os({}).", q(cfg.os.name().as_str())).ok();
     writeln!(out, "requested_target({}).", q(cfg.target.name().as_str())).ok();
     let mut targets: BTreeSet<Target> = cache_targets;
@@ -292,11 +380,12 @@ pub fn encode(
         let Some(pkg) = repo.get(pname) else {
             continue; // virtual names in the closure have no package
         };
-        emit_package(&mut rules, repo, pkg, cfg, &mut ct)?;
+        emit_package(&mut rules, &mut rule_marks, repo, pkg, cfg, &mut ct)?;
     }
 
     // ---- provider preference weights (repository declaration order) ----
     {
+        rule_marks.push((rules.len(), EncodeOrigin::ProviderWeights));
         let mut virtuals: BTreeSet<Sym> = BTreeSet::new();
         for &pname in &closure {
             if let Some(pkg) = repo.get(pname) {
@@ -322,9 +411,16 @@ pub fn encode(
 
     // ---- goal ----
     for root in &resolved_roots {
+        rule_marks.push((
+            rules.len(),
+            EncodeOrigin::GoalRoot {
+                root: root.name.expect("resolved above"),
+            },
+        ));
         emit_goal_root(&mut rules, repo, root, &mut ct)?;
     }
     for f in &goal.forbidden {
+        rule_marks.push((rules.len(), EncodeOrigin::Forbidden { package: *f }));
         writeln!(rules, ":- attr(\"node\", node({})).", q(f.as_str())).ok();
     }
 
@@ -335,11 +431,19 @@ pub fn encode(
             if !relevant_entry(&entry.spec) {
                 continue;
             }
+            out_marks.push((
+                out.len(),
+                EncodeOrigin::Reusable {
+                    package: entry.spec.root().name,
+                    hash: entry.spec.dag_hash().to_base32(),
+                },
+            ));
             emit_reusable(&mut out, &entry.spec, cfg);
         }
     }
 
     // ---- declared-version + version_satisfies facts ----
+    out_marks.push((out.len(), EncodeOrigin::Environment));
     for &pname in &closure {
         if repo.get(pname).is_none() {
             continue;
@@ -416,11 +520,15 @@ pub fn encode(
         }
     }
 
+    let shift = out.len();
     out.push_str(&rules);
+    let mut ledger = out_marks;
+    ledger.extend(rule_marks.into_iter().map(|(o, g)| (o + shift, g)));
     Ok(Encoded {
         program: out,
         root_names,
         reusable_count,
+        ledger,
     })
 }
 
@@ -477,6 +585,7 @@ fn when_fragments(
 
 fn emit_package(
     rules: &mut String,
+    marks: &mut Vec<(usize, EncodeOrigin)>,
     repo: &Repository,
     pkg: &spackle_repo::PackageDef,
     cfg: &EncodeConfig,
@@ -489,6 +598,13 @@ fn emit_package(
     // constraints — the stored spec is trusted, directives only shape
     // what gets built (Spack's reuse semantics).
     for (di, dep) in pkg.depends.iter().enumerate() {
+        marks.push((
+            rules.len(),
+            EncodeOrigin::DependsOn {
+                package: pkg.name,
+                index: di,
+            },
+        ));
         let dname = dep.spec.name.expect("validated at build");
         let mut body = vec![
             format!("attr(\"node\", node({pq}))"),
@@ -555,6 +671,13 @@ fn emit_package(
     // provides directives. (Provider *weights* are emitted globally by
     // `encode`, ordered by repository declaration order.)
     for (pi, prov) in pkg.provides.iter().enumerate() {
+        marks.push((
+            rules.len(),
+            EncodeOrigin::Provides {
+                package: pkg.name,
+                index: pi,
+            },
+        ));
         writeln!(
             rules,
             "provider_decl({pq}, {v}).",
@@ -582,6 +705,13 @@ fn emit_package(
 
     // conflicts directives.
     for (ci, conf) in pkg.conflicts.iter().enumerate() {
+        marks.push((
+            rules.len(),
+            EncodeOrigin::Conflict {
+                package: pkg.name,
+                index: ci,
+            },
+        ));
         let mut body = vec![format!("attr(\"node\", node({pq}))")];
         body.extend(when_fragments(pkg.name, &conf.when, &format!("cw{ci}"), ct)?);
         // The conflicting condition itself (node-local parts).
@@ -612,6 +742,13 @@ fn emit_package(
     // can_splice directives (Fig 4a), only in splicing configurations.
     if cfg.splicing {
         for (si, cs) in pkg.can_splice.iter().enumerate() {
+            marks.push((
+                rules.len(),
+                EncodeOrigin::CanSplice {
+                    package: pkg.name,
+                    index: si,
+                },
+            ));
             let target_name = cs.target.name.expect("validated at build");
             let tq = q(target_name.as_str());
             let mut body = vec![format!("installed_hash({tq}, Hash)")];

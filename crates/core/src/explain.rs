@@ -1,0 +1,88 @@
+//! Provenance-mapped UNSAT explanations.
+//!
+//! When a goal cannot concretize, [`Concretizer::explain_goal`] re-runs
+//! the solve through the ASP engine's assumption-based core extractor
+//! ([`spackle_asp::explain`]) and maps every clause of the minimized
+//! unsat core back through two provenance layers:
+//!
+//! 1. the grounder's `rule_src` tables — ground rule → parsed rule
+//!    index → byte offset in the generated program text (via
+//!    [`spackle_asp::parse_program_spanned`]);
+//! 2. the encoder's [`EncodeOrigin`] ledger — byte offset → the source
+//!    construct (a `depends_on`/`conflicts`/`provides` directive, a goal
+//!    constraint, a cache entry, a logic fragment) that emitted it.
+//!
+//! The result is an [`Explanation`]: a small set of source-level
+//! directives that are *jointly* unsatisfiable, such that dropping any
+//! one of them (when the core is minimal) makes the goal concretizable.
+//!
+//! [`Concretizer::explain_goal`]: crate::Concretizer::explain_goal
+
+use crate::encode::EncodeOrigin;
+use std::time::Duration;
+
+/// One member of an unsat core, mapped back to its source construct.
+#[derive(Clone, Debug)]
+pub struct ExplainEntry {
+    /// The source-level construct that emitted the rule, when the clause
+    /// traces to a program rule covered by the encoder's ledger. `None`
+    /// for purely derived clauses (e.g. a completion clause recording
+    /// that nothing can derive an atom).
+    pub origin: Option<EncodeOrigin>,
+    /// 1-based line of the originating rule in the generated program
+    /// text (the text [`Concretizer::program_text`] returns), when known.
+    ///
+    /// [`Concretizer::program_text`]: crate::Concretizer::program_text
+    pub line: Option<usize>,
+    /// Rendering of the ground rule / constraint / completion this core
+    /// member asserts.
+    pub rule: String,
+}
+
+/// Why a goal cannot concretize: a provenance-mapped unsat core.
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// Core members in canonical (clause-origin) order.
+    pub entries: Vec<ExplainEntry>,
+    /// Whether deletion-based minimization ran to completion. When
+    /// `false` (probe budget, timeout, or cancellation hit first) the
+    /// core is still a correct conflict — every member participates —
+    /// but some members might be removable.
+    pub minimal: bool,
+    /// Core size straight out of final-conflict analysis, before
+    /// deletion-based minimization.
+    pub core_initial: usize,
+    /// Deletion probes (full SAT solves) spent minimizing.
+    pub probes: u64,
+    /// Wall time for the whole explanation (encode through minimize).
+    pub time: Duration,
+}
+
+impl Explanation {
+    /// Entries that trace to a package directive or goal constraint —
+    /// the actionable subset renderers lead with.
+    pub fn directive_entries(&self) -> impl Iterator<Item = &ExplainEntry> {
+        self.entries.iter().filter(|e| {
+            matches!(
+                e.origin,
+                Some(
+                    EncodeOrigin::DependsOn { .. }
+                        | EncodeOrigin::Conflict { .. }
+                        | EncodeOrigin::Provides { .. }
+                        | EncodeOrigin::CanSplice { .. }
+                        | EncodeOrigin::GoalRoot { .. }
+                        | EncodeOrigin::Forbidden { .. }
+                )
+            )
+        })
+    }
+}
+
+/// 1-based line number of byte `off` in `text`.
+pub(crate) fn line_of(text: &str, off: usize) -> usize {
+    text.as_bytes()[..off.min(text.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}

@@ -20,12 +20,14 @@
 
 pub mod concretizer;
 pub mod encode;
+pub mod explain;
 pub mod ground_cache;
 pub mod interpret;
 pub mod logic;
 
 pub use concretizer::{ConcretizeStats, Concretizer, ConcretizerConfig, SkippedSource, Solution};
-pub use encode::{EncodeConfig, Encoded, Encoding, Goal};
+pub use encode::{EncodeConfig, EncodeOrigin, Encoded, Encoding, Goal};
+pub use explain::{ExplainEntry, Explanation};
 pub use ground_cache::{GroundCache, GroundCacheStats, PreparedProgram, SHARD_COUNT};
 pub use interpret::SpliceReport;
 

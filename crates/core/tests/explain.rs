@@ -1,0 +1,212 @@
+//! End-to-end `--explain` pipeline tests: provenance-mapped unsat
+//! cores from `Concretizer::explain_goal`.
+
+use spackle_asp::CancelToken;
+use spackle_core::{
+    Concretizer, ConcretizerConfig, CoreError, EncodeOrigin, Explanation, Goal,
+};
+use spackle_repo::{PackageBuilder, Repository};
+use spackle_spec::{parse_spec, Sym};
+
+/// liba pins zlib@1.2, libb pins zlib@1.3; app needs both — a classic
+/// two-directive version conflict on a shared dependency.
+fn conflicted_repo() -> Repository {
+    let zlib = PackageBuilder::new("zlib")
+        .version("1.3")
+        .version("1.2.11")
+        .build()
+        .unwrap();
+    let liba = PackageBuilder::new("liba")
+        .version("1.0")
+        .depends_on("zlib@1.2")
+        .build()
+        .unwrap();
+    let libb = PackageBuilder::new("libb")
+        .version("1.0")
+        .depends_on("zlib@1.3")
+        .build()
+        .unwrap();
+    let app = PackageBuilder::new("app")
+        .version("2.0")
+        .depends_on("liba")
+        .depends_on("libb")
+        .build()
+        .unwrap();
+    let r = Repository::from_packages([zlib, liba, libb, app]).unwrap();
+    r.validate().unwrap();
+    r
+}
+
+fn explain(c: &Concretizer, spec: &str) -> Option<Explanation> {
+    c.explain_goal(&Goal::single(parse_spec(spec).unwrap()))
+        .unwrap()
+}
+
+#[test]
+fn satisfiable_goal_has_no_explanation() {
+    let repo = conflicted_repo();
+    let c = Concretizer::new(&repo);
+    assert!(explain(&c, "liba").is_none());
+    // And the regular path agrees.
+    assert!(c.concretize(&parse_spec("liba").unwrap()).is_ok());
+}
+
+#[test]
+fn version_conflict_core_names_both_directives() {
+    let repo = conflicted_repo();
+    let c = Concretizer::new(&repo);
+    // Sanity: the normal path reports plain UNSAT.
+    assert!(matches!(
+        c.concretize(&parse_spec("app").unwrap()),
+        Err(CoreError::Unsatisfiable)
+    ));
+
+    let ex = explain(&c, "app").expect("app is unsatisfiable");
+    assert!(ex.minimal, "budget is ample; minimization must finish");
+    assert!(!ex.entries.is_empty());
+    assert!(ex.core_initial >= ex.entries.len());
+
+    let directives: Vec<&EncodeOrigin> =
+        ex.directive_entries().filter_map(|e| e.origin.as_ref()).collect();
+    let has_dep = |pkg: &str| {
+        directives.iter().any(|o| {
+            matches!(o, EncodeOrigin::DependsOn { package, .. }
+                     if package.as_str() == pkg)
+        })
+    };
+    // The two clashing pins must both be named...
+    assert!(has_dep("liba"), "liba's zlib@1.2 pin missing: {directives:?}");
+    assert!(has_dep("libb"), "libb's zlib@1.3 pin missing: {directives:?}");
+    // ...and nothing about packages outside the conflict.
+    assert!(
+        !directives.iter().any(|o| matches!(o,
+            EncodeOrigin::DependsOn { package, .. }
+                | EncodeOrigin::Conflict { package, .. }
+                if package.as_str() == "zlib")),
+        "zlib declares nothing conflicting: {directives:?}"
+    );
+}
+
+#[test]
+fn core_lines_point_at_the_generated_rules() {
+    let repo = conflicted_repo();
+    let c = Concretizer::new(&repo);
+    let goal = Goal::single(parse_spec("app").unwrap());
+    let ex = c.explain_goal(&goal).unwrap().expect("unsat");
+    let text = c.program_text(&goal).unwrap();
+    let lines: Vec<&str> = text.program.lines().collect();
+    for e in &ex.entries {
+        let Some(line) = e.line else { continue };
+        let src = lines[line - 1];
+        // A DependsOn entry's line must mention the declaring package.
+        if let Some(EncodeOrigin::DependsOn { package, .. }) = &e.origin {
+            assert!(
+                src.contains(package.as_str()),
+                "line {line} ({src:?}) does not mention {package}"
+            );
+        }
+    }
+    // At least one entry resolved to a concrete line.
+    assert!(ex.entries.iter().any(|e| e.line.is_some()));
+}
+
+#[test]
+fn goal_pinned_variant_conflict_names_the_conflicts_directive() {
+    let tool = PackageBuilder::new("tool")
+        .version("1.0")
+        .variant_bool("cuda", false)
+        .conflicts_when("+cuda", "")
+        .build()
+        .unwrap();
+    let repo = Repository::from_packages([tool]).unwrap();
+    repo.validate().unwrap();
+    let c = Concretizer::new(&repo);
+
+    // Default (~cuda) concretizes fine.
+    assert!(explain(&c, "tool").is_none());
+
+    // Pinning +cuda trips the conflicts directive.
+    let ex = explain(&c, "tool+cuda").expect("unsat");
+    let origins: Vec<&EncodeOrigin> =
+        ex.entries.iter().filter_map(|e| e.origin.as_ref()).collect();
+    assert!(
+        origins.iter().any(|o| matches!(o,
+            EncodeOrigin::Conflict { package, index: 0 }
+                if package.as_str() == "tool")),
+        "conflicts directive missing: {origins:?}"
+    );
+    assert!(
+        origins.iter().any(|o| matches!(o,
+            EncodeOrigin::GoalRoot { root } if root.as_str() == "tool")),
+        "goal pin missing: {origins:?}"
+    );
+}
+
+#[test]
+fn forbidden_sole_provider_is_named() {
+    let mpich = PackageBuilder::new("mpich")
+        .version("3.4")
+        .provides("mpi")
+        .build()
+        .unwrap();
+    let app = PackageBuilder::new("app")
+        .version("1.0")
+        .depends_on("mpi")
+        .build()
+        .unwrap();
+    let repo = Repository::from_packages([mpich, app]).unwrap();
+    repo.validate().unwrap();
+    let c = Concretizer::new(&repo);
+
+    let mut goal = Goal::single(parse_spec("app").unwrap());
+    goal.forbidden.push(Sym::intern("mpich"));
+    let ex = c.explain_goal(&goal).unwrap().expect("unsat");
+    let origins: Vec<&EncodeOrigin> =
+        ex.entries.iter().filter_map(|e| e.origin.as_ref()).collect();
+    assert!(
+        origins.iter().any(|o| matches!(o,
+            EncodeOrigin::Forbidden { package } if package.as_str() == "mpich")),
+        "forbid exclusion missing: {origins:?}"
+    );
+}
+
+#[test]
+fn cancelled_explain_is_an_error_not_a_hang() {
+    let repo = conflicted_repo();
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let c = Concretizer::new(&repo).with_config(ConcretizerConfig {
+        solver: spackle_asp::SolverConfig {
+            cancel,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    match c.explain_goal(&Goal::single(parse_spec("app").unwrap())) {
+        Err(CoreError::Cancelled { deadline: false }) => {}
+        other => panic!("expected cancelled, got {other:?}"),
+    }
+}
+
+#[test]
+fn ledger_is_monotone_and_covers_the_program() {
+    let repo = conflicted_repo();
+    let c = Concretizer::new(&repo);
+    let enc = c
+        .program_text(&Goal::single(parse_spec("app").unwrap()))
+        .unwrap();
+    assert!(!enc.ledger.is_empty());
+    assert_eq!(enc.ledger[0].0, 0, "ledger must start at offset 0");
+    for w in enc.ledger.windows(2) {
+        assert!(w[0].0 <= w[1].0, "ledger offsets must be ascending");
+    }
+    assert!(enc.ledger.last().unwrap().0 <= enc.program.len());
+    // Every offset resolves to some origin.
+    assert!(enc.origin_at(0).is_some());
+    assert!(enc.origin_at(enc.program.len() - 1).is_some());
+    // The tail of the program is the appended logic fragments.
+    assert!(matches!(
+        enc.origin_at(enc.program.len() - 1),
+        Some(EncodeOrigin::Logic { .. })
+    ));
+}

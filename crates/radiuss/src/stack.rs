@@ -55,6 +55,19 @@ fn substrate() -> Vec<PackageDef> {
             .version("1.0.8")
             .variant_bool("shared", true)),
         b(PackageBuilder::new("zstd").version("1.5.5").version("1.5.2")),
+        // --- explain fixture (planted two-directive conflict) ---
+        // `explain-demo+newzlib` is deliberately unsatisfiable: the
+        // unconditional zlib@1.2 pin and the +newzlib-conditional
+        // zlib@1.3 pin can never hold together, so
+        // `spackle concretize "explain-demo+newzlib" --explain` must
+        // name exactly these two depends_on directives. The default
+        // (~newzlib) configuration concretizes fine, keeping the
+        // audit's L006 concretizability sweep green.
+        b(PackageBuilder::new("explain-demo")
+            .version("1.0.0")
+            .variant_bool("newzlib", false)
+            .depends_on("zlib@1.2")
+            .depends_on_when("zlib@1.3", "+newzlib")),
         b(PackageBuilder::new("lz4").version("1.9.4")),
         b(PackageBuilder::new("libpng")
             .version("1.6.39")
@@ -457,6 +470,16 @@ mod tests {
             assert!(repo.get(Sym::intern(r)).is_some(), "missing root {r}");
         }
         assert_eq!(RADIUSS_ROOTS.len(), 32);
+    }
+
+    #[test]
+    fn explain_demo_fixture_is_conditionally_unsat() {
+        // The planted conflict must stay dormant by default (so the
+        // audit L006 sweep passes) and fire exactly under +newzlib.
+        let repo = radiuss_repo();
+        let demo = repo.get(Sym::intern("explain-demo")).expect("fixture exists");
+        assert_eq!(demo.depends.len(), 2);
+        assert!(demo.depends[1].when.to_string().contains("+newzlib"));
     }
 
     #[test]

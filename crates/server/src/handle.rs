@@ -8,7 +8,7 @@ use crate::protocol::{Request, Response, PROTOCOL_VERSION};
 use crate::server::ServerState;
 use crate::session::{config_preset, Session};
 use spackle_asp::CancelToken;
-use spackle_audit::{audit, audit_repository, AuditReport, Severity};
+use spackle_audit::{audit, audit_repository, explanation_report, AuditReport, Severity};
 use spackle_core::{CoreError, Goal};
 use spackle_spec::{parse_spec, Sym};
 use std::time::{Duration, Instant};
@@ -154,6 +154,31 @@ fn concretize(state: &ServerState, session: &mut Session, request: &Request) -> 
             let mut r = Response::err_for(request, e.to_string());
             r.error_kind = e.kind().to_string();
             r.solve_ms = wall.as_secs_f64() * 1e3;
+            // Explain-on-unsat: the client opted in, so spend (deadline
+            // permitting — the concretizer's cancel token still governs
+            // the extractor) on a provenance-mapped unsat core. A core
+            // that ran out of budget mid-minimization still ships, just
+            // flagged non-minimal; an extractor failure ships the plain
+            // unsat answer rather than masking it.
+            if request.explain && matches!(e, CoreError::Unsatisfiable) {
+                if let Ok(Some(ex)) = conc.explain_goal(&goal) {
+                    let label = if request.roots.is_empty() {
+                        request.spec.clone()
+                    } else {
+                        request.roots.join(", ")
+                    };
+                    let report = explanation_report(&state.repo_snapshot(), &label, &ex);
+                    r.explanation = report.render_json();
+                    r.explain_minimal = ex.minimal;
+                    r.explain_core_size = ex.entries.len() as u64;
+                    r.explain_probes = ex.probes;
+                    state.telemetry().record_explain(
+                        ex.entries.len() as u64,
+                        ex.probes,
+                        !ex.minimal,
+                    );
+                }
+            }
             match e {
                 CoreError::Cancelled { deadline: true } => state.telemetry().record_timeout(),
                 // Budget exhaustion carries the solver's effort counters;
@@ -256,6 +281,10 @@ fn stats(state: &ServerState, request: &Request) -> Response {
     r.cache_corrupt_entries = faults.corrupt_entries;
     r.cache_breaker_opens = faults.breaker_opens;
     r.cache_injected_faults = faults.injected_faults;
+    r.explains = telemetry.explains;
+    r.explains_partial = telemetry.explains_partial;
+    r.explain_probes = telemetry.explain_probes;
+    r.explain_core_size = telemetry.explain_core_members;
     r
 }
 
@@ -366,6 +395,69 @@ mod tests {
         assert!(!empty.ok);
         let stats = handle(&state, &mut session, &Request::op("stats"));
         assert_eq!(stats.failures, 3);
+    }
+
+    #[test]
+    fn unsat_with_explain_carries_a_provenance_mapped_core() {
+        // app's two deps pin zlib to disjoint versions: a guaranteed
+        // minimal two-directive conflict.
+        let repo = Repository::from_packages([
+            PackageBuilder::new("zlib")
+                .version("1.3")
+                .version("1.2.11")
+                .build()
+                .unwrap(),
+            PackageBuilder::new("liba")
+                .version("1.0")
+                .depends_on("zlib@1.2")
+                .build()
+                .unwrap(),
+            PackageBuilder::new("libb")
+                .version("1.0")
+                .depends_on("zlib@1.3")
+                .build()
+                .unwrap(),
+            PackageBuilder::new("app")
+                .version("2.0")
+                .depends_on("liba")
+                .depends_on("libb")
+                .build()
+                .unwrap(),
+        ])
+        .unwrap();
+        let state = Arc::new(ServerState::new(repo, Vec::new()));
+        let mut session = Session::new();
+
+        // Without the flag: plain unsat, no explanation paid for.
+        let plain = handle(&state, &mut session, &Request::concretize("app"));
+        assert!(!plain.ok);
+        assert_eq!(plain.error_kind, "unsat");
+        assert!(plain.explanation.is_empty());
+
+        let mut req = Request::concretize("app").with_id(9);
+        req.explain = true;
+        let resp = handle(&state, &mut session, &req);
+        assert!(!resp.ok);
+        assert_eq!(resp.error_kind, "unsat");
+        assert!(resp.explain_minimal, "two disjoint pins minimize fully");
+        assert!(resp.explain_core_size > 0);
+        for frag in ["SPKL-E002", "zlib@1.2", "zlib@1.3"] {
+            assert!(
+                resp.explanation.contains(frag),
+                "explanation must name both pinned directives, missing {frag}: {}",
+                resp.explanation
+            );
+        }
+        // Survives a wire round trip.
+        let back = Response::from_line(&resp.to_line()).unwrap();
+        assert_eq!(back.explanation, resp.explanation);
+        assert_eq!(back.explain_probes, resp.explain_probes);
+
+        let stats = handle(&state, &mut session, &Request::op("stats"));
+        assert_eq!(stats.explains, 1);
+        assert_eq!(stats.explains_partial, 0);
+        assert_eq!(stats.explain_core_size, resp.explain_core_size);
+        assert_eq!(stats.explain_probes, resp.explain_probes);
     }
 
     #[test]

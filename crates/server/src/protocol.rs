@@ -11,7 +11,7 @@
 //! | op           | request fields              | response fields |
 //! |--------------|-----------------------------|-----------------|
 //! | `ping`       | —                           | `ok`, `protocol` |
-//! | `concretize` | `spec` or `roots`, `forbid`, `config` | `hashes`, `reused`, `built`, `spliced`, `ground_cache_hit`, `solve_ms`, `conflicts`, `decisions`, `propagations`, `restarts` |
+//! | `concretize` | `spec` or `roots`, `forbid`, `config`, `explain` | `hashes`, `reused`, `built`, `spliced`, `ground_cache_hit`, `solve_ms`, `conflicts`, `decisions`, `propagations`, `restarts`; on unsat with `explain`: `explanation`, `explain_minimal`, `explain_core_size`, `explain_probes` |
 //! | `last`       | —                           | the previous concretize response for this connection |
 //! | `set-config` | `config`                    | `ok` (session default updated) |
 //! | `audit`      | —                           | `audit_errors`, `audit_warnings`, `audit_report` |
@@ -62,6 +62,12 @@ pub struct Request {
     /// deadline answers `ok:false` with `error_kind:"timeout"`.
     #[serde(default)]
     pub timeout_ms: u64,
+    /// Ask for a provenance-mapped unsat core when a `concretize`
+    /// fails with `error_kind:"unsat"` (`explanation` and the
+    /// `explain_*` response fields). Costs nothing on satisfiable
+    /// goals.
+    #[serde(default)]
+    pub explain: bool,
 }
 
 impl Request {
@@ -163,6 +169,28 @@ pub struct Response {
     /// order they were dropped.
     #[serde(default)]
     pub skipped_sources: Vec<String>,
+
+    // --- unsat explanation (`concretize` with `explain:true` answering
+    //     `error_kind:"unsat"`) ---
+    /// The provenance-mapped unsat core, rendered as a structured
+    /// `SPKL-E…` audit report in JSON (embedded string, same shape as
+    /// `audit_report`). Empty when no explanation was produced.
+    #[serde(default)]
+    pub explanation: String,
+    /// Was the core proven minimal (dropping any member restores
+    /// satisfiability)? `false` means minimization stopped early — on
+    /// the deadline or probe budget — and the core is still a valid
+    /// but possibly reducible conflict set.
+    #[serde(default)]
+    pub explain_minimal: bool,
+    /// Core members after minimization (this explanation's in
+    /// `concretize`/`last`, cumulative since boot in `stats`).
+    #[serde(default)]
+    pub explain_core_size: u64,
+    /// Deletion probes the minimizer ran (per-explanation in
+    /// `concretize`/`last`, cumulative since boot in `stats`).
+    #[serde(default)]
+    pub explain_probes: u64,
 
     // --- search effort (this solve's in `concretize`/`last`,
     //     cumulative since boot in `stats`) ---
@@ -266,6 +294,12 @@ pub struct Response {
     /// Faults injected by chaos wrappers (non-zero only under test).
     #[serde(default)]
     pub cache_injected_faults: u64,
+    /// Unsat explanations produced since boot (`stats`).
+    #[serde(default)]
+    pub explains: u64,
+    /// Explanations whose minimization stopped early (`stats`).
+    #[serde(default)]
+    pub explains_partial: u64,
 }
 
 impl Response {

@@ -29,6 +29,10 @@ pub struct Telemetry {
     budget_exhausted: AtomicU64,
     degraded_solves: AtomicU64,
     worker_panics: AtomicU64,
+    explains: AtomicU64,
+    explains_partial: AtomicU64,
+    explain_probes: AtomicU64,
+    explain_core_members: AtomicU64,
 }
 
 impl Default for Telemetry {
@@ -57,6 +61,10 @@ impl Telemetry {
             budget_exhausted: AtomicU64::new(0),
             degraded_solves: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
+            explains: AtomicU64::new(0),
+            explains_partial: AtomicU64::new(0),
+            explain_probes: AtomicU64::new(0),
+            explain_core_members: AtomicU64::new(0),
         }
     }
 
@@ -119,6 +127,19 @@ impl Telemetry {
         self.worker_panics.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record one unsat explanation: how many core members survived
+    /// minimization, how many deletion probes it cost, and whether
+    /// minimization stopped early (`partial`).
+    pub fn record_explain(&self, core_members: u64, probes: u64, partial: bool) {
+        self.explains.fetch_add(1, Ordering::Relaxed);
+        if partial {
+            self.explains_partial.fetch_add(1, Ordering::Relaxed);
+        }
+        self.explain_probes.fetch_add(probes, Ordering::Relaxed);
+        self.explain_core_members
+            .fetch_add(core_members, Ordering::Relaxed);
+    }
+
     /// Current in-flight gauge (cheap single load; used by overload
     /// protection on the request hot path).
     pub fn in_flight(&self) -> u64 {
@@ -144,6 +165,10 @@ impl Telemetry {
             budget_exhausted: self.budget_exhausted.load(Ordering::Relaxed),
             degraded_solves: self.degraded_solves.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            explains: self.explains.load(Ordering::Relaxed),
+            explains_partial: self.explains_partial.load(Ordering::Relaxed),
+            explain_probes: self.explain_probes.load(Ordering::Relaxed),
+            explain_core_members: self.explain_core_members.load(Ordering::Relaxed),
         }
     }
 }
@@ -195,6 +220,14 @@ pub struct TelemetrySnapshot {
     pub degraded_solves: u64,
     /// Worker threads that panicked.
     pub worker_panics: u64,
+    /// Unsat explanations produced.
+    pub explains: u64,
+    /// Explanations whose minimization stopped early.
+    pub explains_partial: u64,
+    /// Deletion probes run across all explanations.
+    pub explain_probes: u64,
+    /// Core members reported across all explanations (post-minimization).
+    pub explain_core_members: u64,
 }
 
 #[cfg(test)]

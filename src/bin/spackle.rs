@@ -31,6 +31,11 @@ commands:
       --old                        emulate old spack (direct encoding, no splicing)
       --no-splice                  new encoding, splicing disabled
       --forbid PKG                 exclude PKG from the solution (repeatable)
+      --explain                    on UNSAT, extract a minimal core and map every
+                                   member to the source directive that produced it
+      --json                       with --explain: machine-readable explanation
+      --timeout-ms N               cancel the solve (and --explain minimization)
+                                   after N milliseconds
   install <spec> [options]         concretize then install
       --cache FILE                 reuse binaries from FILE
       --root DIR                   install layout root (default ./spackle-store)
@@ -42,6 +47,8 @@ commands:
   audit [options]                  statically check the demo repo and solver program
       --json                       machine-readable report
       --deny CODE                  promote CODE (e.g. SPKL-R002) to an error (repeatable)
+      --goal SPEC                  also prove SPEC concretizable (L006; repeatable;
+                                   default: every package in the repo)
   env <create|add|concretize|install|status> FILE [args]
                                    manage an environment (spack.yaml/lock analogue)
       env create FILE
@@ -158,22 +165,77 @@ fn main() -> ExitCode {
                 }
             };
             let cache = load_cache(flag_value(&args, "--cache").or(flag_value(&args, "--save-cache")));
-            let cfg = if args.iter().any(|a| a == "--old") {
+            let mut cfg = if args.iter().any(|a| a == "--old") {
                 ConcretizerConfig::old_spack()
             } else if args.iter().any(|a| a == "--no-splice") {
                 ConcretizerConfig::splice_spack_disabled()
             } else {
                 ConcretizerConfig::splice_spack()
             };
+            if let Some(ms) = flag_value(&args, "--timeout-ms") {
+                match ms.parse::<u64>() {
+                    Ok(n) => {
+                        cfg.solver.cancel = spackle::asp::CancelToken::with_deadline(
+                            std::time::Duration::from_millis(n),
+                        );
+                    }
+                    Err(_) => {
+                        eprintln!("spackle: --timeout-ms wants a number, got {ms}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             let mut goal = Goal::single(spec);
             for f in flag_values(&args, "--forbid") {
                 goal.forbidden.push(Sym::intern(f));
             }
-            let sol = match Concretizer::new(&repo)
+            let concretizer = Concretizer::new(&repo)
                 .with_config(cfg)
-                .with_reusable(cache.clone())
-                .concretize_goal(&goal)
-            {
+                .with_reusable(cache.clone());
+            if args.iter().any(|a| a == "--explain") {
+                let json = args.iter().any(|a| a == "--json");
+                match concretizer.explain_goal(&goal) {
+                    Ok(None) => {
+                        if json {
+                            println!("{{\"satisfiable\":true}}");
+                            return ExitCode::SUCCESS;
+                        }
+                        println!("goal is satisfiable; concretizing:");
+                        // fall through to the normal solve below
+                    }
+                    Ok(Some(ex)) => {
+                        let report = spackle::audit::explanation_report(&repo, text, &ex);
+                        if json {
+                            println!(
+                                "{{\"satisfiable\":false,\"minimal\":{},\"core_size\":{},\
+                                 \"core_initial\":{},\"probes\":{},\"explain_ms\":{},\
+                                 \"report\":{}}}",
+                                ex.minimal,
+                                ex.entries.len(),
+                                ex.core_initial,
+                                ex.probes,
+                                ex.time.as_millis(),
+                                report.render_json()
+                            );
+                        } else {
+                            print!("{}", report.render_human());
+                            println!(
+                                "explain: core {} -> {} member(s), {} deletion probe(s), {:?}",
+                                ex.core_initial,
+                                ex.entries.len(),
+                                ex.probes,
+                                ex.time
+                            );
+                        }
+                        return ExitCode::FAILURE;
+                    }
+                    Err(e) => {
+                        eprintln!("spackle: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let sol = match concretizer.concretize_goal(&goal) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("spackle: {e}");
@@ -227,6 +289,26 @@ fn main() -> ExitCode {
             // The interpreter reads exactly these predicates from models.
             let goals = [Sym::intern("attr"), Sym::intern("splice_to")];
             let mut report = spackle::audit::audit(&repo, &program, &goals);
+            // L006: prove goals statically concretizable. Explicit
+            // --goal flags win; the default sweeps every package.
+            let explicit: Vec<&str> = flag_values(&args, "--goal");
+            let mut l006_goals = Vec::new();
+            if explicit.is_empty() {
+                for pkg in repo.packages() {
+                    l006_goals.push(Goal::single(AbstractSpec::named(pkg.name.as_str())));
+                }
+            } else {
+                for g in explicit {
+                    match parse_spec(g) {
+                        Ok(s) => l006_goals.push(Goal::single(s)),
+                        Err(e) => {
+                            eprintln!("spackle: --goal {g}: {e}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+            }
+            report.extend(spackle::audit::audit_concretizability(&repo, &l006_goals));
             report.deny(&deny);
             if json {
                 println!("{}", report.render_json());
