@@ -132,6 +132,42 @@ impl GroundProgram {
     pub fn atom_count(&self) -> usize {
         self.store.atom_count()
     }
+
+    /// 128-bit content fingerprint of the *entire* grounding: the term
+    /// and atom interning tables (so `AtomId`s mean the same thing),
+    /// every rule/choice/constraint/minimize instance, the provenance
+    /// tables, and the certain/possible sets. Two programs with equal
+    /// fingerprints are structurally identical, so a CNF translation of
+    /// one is a valid translation of the other — this is the key that
+    /// lets a delta update salvage retained translations when a
+    /// re-ground reproduces the exact same program.
+    pub fn content_fingerprint(&self) -> u128 {
+        use std::hash::{Hash, Hasher};
+        let mut lo = std::collections::hash_map::DefaultHasher::new();
+        // Two independent 64-bit digests (distinct salts) make an
+        // accidental collision — which would splice a wrong CNF into a
+        // bit-identical-output pipeline — astronomically unlikely.
+        let mut hi = std::collections::hash_map::DefaultHasher::new();
+        0x5eedu64.hash(&mut lo);
+        0xfacadeu64.hash(&mut hi);
+        for h in [&mut lo, &mut hi] {
+            self.store.hash_content(h);
+            self.rules.hash(h);
+            self.choices.hash(h);
+            self.constraints.hash(h);
+            self.minimize.hash(h);
+            self.rule_src.hash(h);
+            self.choice_src.hash(h);
+            self.constraint_src.hash(h);
+            let mut certain: Vec<AtomId> = self.certain.iter().copied().collect();
+            certain.sort_unstable();
+            certain.hash(h);
+            let mut possible: Vec<AtomId> = self.possible.iter().copied().collect();
+            possible.sort_unstable();
+            possible.hash(h);
+        }
+        ((hi.finish() as u128) << 64) | lo.finish() as u128
+    }
 }
 
 /// Resource limits for grounding.
@@ -868,17 +904,44 @@ impl Grounder {
         Ok(())
     }
 
+    /// Smallest batch worth spawning workers for: below this, the
+    /// per-round `thread::scope` spawn/join cost exceeds the join work
+    /// itself (measured on the fig5/fig6 workloads, where per-round
+    /// overhead made "parallel" grounding *slower* than sequential).
+    const MIN_PARALLEL_BATCH: usize = 32;
+
+    /// Effective worker count for a batch of `n` jobs: the configured
+    /// thread count, clamped to the host's available parallelism — on a
+    /// 1-CPU box a requested `--ground-threads 4` must take the exact
+    /// sequential code path rather than paying spawn + contention for
+    /// nothing — and to the batch size.
+    fn effective_workers(&self, n: usize) -> usize {
+        let host = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        self.threads.min(host).min(n)
+    }
+
     /// Run a batch of join jobs, possibly on worker threads, returning
     /// match lists **indexed by job**. Workers only read the grounder
     /// (joins never intern), and results are reassembled by job index,
     /// so the outcome — including which error surfaces first — is
     /// independent of the thread count and of scheduling.
+    ///
+    /// Scheduling is segment-shaped: workers claim contiguous *chunks*
+    /// of the job array instead of one job per atomic operation, so a
+    /// round over a large fact segment costs a handful of atomic ops
+    /// rather than one per rule instantiation. Small batches run inline
+    /// (see [`Grounder::MIN_PARALLEL_BATCH`]).
     fn run_batch(&self, jobs: &[JoinJob<'_>]) -> Result<Vec<Vec<Match>>> {
         let n = jobs.len();
-        let workers = self.threads.min(n);
-        if workers <= 1 {
+        let workers = self.effective_workers(n);
+        if workers <= 1 || n < Self::MIN_PARALLEL_BATCH {
             return jobs.iter().map(|j| self.run_job(j)).collect();
         }
+        // Coarse chunks (≈4 claims per worker) keep claiming overhead
+        // negligible while still load-balancing skewed segments.
+        let chunk = (n / (workers * 4)).max(1);
         let next = AtomicUsize::new(0);
         let mut buckets: Vec<Vec<(usize, Result<Vec<Match>>)>> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
@@ -888,11 +951,14 @@ impl Grounder {
                     scope.spawn(move || {
                         let mut mine = Vec::new();
                         loop {
-                            let i = next.fetch_add(1, AtomicOrdering::Relaxed);
-                            if i >= n {
+                            let lo = next.fetch_add(chunk, AtomicOrdering::Relaxed);
+                            if lo >= n {
                                 break;
                             }
-                            mine.push((i, self.run_job(&jobs[i])));
+                            let hi = (lo + chunk).min(n);
+                            for (i, job) in jobs[lo..hi].iter().enumerate() {
+                                mine.push((lo + i, self.run_job(job)));
+                            }
                         }
                         mine
                     })

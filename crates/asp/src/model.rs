@@ -9,6 +9,12 @@ use std::sync::Arc;
 /// A stable model: the set of true atoms plus the ground program that
 /// produced it (needed to decode atoms and to certificate-check the
 /// model), and the achieved cost vector.
+///
+/// Cloning is cheap relative to a solve — the ground program is shared
+/// behind an `Arc` — which is what lets warm caches memoize solved
+/// models per search configuration and replay them on identical
+/// translated programs.
+#[derive(Clone)]
 pub struct Model {
     ground: Arc<GroundProgram>,
     true_atoms: FxHashSet<AtomId>,

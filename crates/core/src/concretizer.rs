@@ -8,10 +8,13 @@
 //! CLI call passes plain references and lets the conversion traits copy
 //! what little state there is.
 
-use crate::encode::{cache_error, encode, EncodeConfig, EncodeOrigin, Encoded, Encoding, Goal};
+use crate::encode::{
+    cache_error, encode, goal_scope, EncodeConfig, EncodeOrigin, Encoded, Encoding, Goal,
+};
 use crate::explain::{ExplainEntry, Explanation};
 use crate::ground_cache::{GroundCache, PreparedProgram};
 use crate::interpret::{interpret, Interpretation, SpliceReport};
+use crate::segment::SegmentSet;
 use crate::CoreError;
 use spackle_asp::{
     parse_program, parse_program_spanned, AspError, CancelToken, ExplainConfig, ExplainOutcome,
@@ -163,6 +166,12 @@ pub struct ConcretizeStats {
     /// Whether this solve reused a memoized ground program (always
     /// `false` without [`Concretizer::with_ground_cache`]).
     pub ground_cache_hit: bool,
+    /// Whether this solve replayed a memoized optimal model (skipping
+    /// the SAT search entirely): a ground-cache hit whose entry already
+    /// solved under the same search configuration. The replayed model
+    /// is bit-identical to what a fresh search would return — the
+    /// engine is deterministic per search config.
+    pub model_memo_hit: bool,
     /// Cumulative hits on the attached [`GroundCache`] *as of this
     /// solve's lookup* — taken from the counter update itself, so the
     /// value is exact even when many threads share the cache.
@@ -376,7 +385,8 @@ impl Concretizer {
 
     /// The memoization key for `goal` under this concretizer: a
     /// fingerprint of every input that determines the prepared ground
-    /// program — repository revision, the reusable-spec fingerprints in
+    /// program — the goal's package-segment fingerprints (see
+    /// [`Concretizer::segment_key`]), the reusable-spec fingerprints in
     /// cache order, the goal, the encode-relevant configuration, the
     /// grounding limits, and the CNF preprocessing configuration (the
     /// cached entry holds the *preprocessed* pristine SAT instance).
@@ -388,27 +398,52 @@ impl Concretizer {
     /// Fallible because fingerprinting a remote source reads its index;
     /// a failure here is degradable like any other cache failure.
     pub fn ground_key(&self, goal: &Goal) -> Result<u64, CoreError> {
-        self.ground_key_for(goal, &self.caches)
+        Ok(self.segment_key_for(goal, &self.caches)?.0)
     }
 
-    /// [`Concretizer::ground_key`] over an explicit source set. Degraded
-    /// solves key on the *surviving* sources' fingerprints, so they can
-    /// never alias a full-fleet entry (or each other) in the ground
-    /// cache.
-    fn ground_key_for(
+    /// The composed memoization key for `goal` plus the [`SegmentSet`]
+    /// it is composed from: one fingerprint per package in the goal's
+    /// encode closure (computed by the same `goal_scope` the encoder
+    /// uses, so the segment boundary can never drift from the fact
+    /// base) and one per reusable-spec source partition. The key is
+    /// **content-addressed**: it contains no repository revision, so a
+    /// delta that leaves every referenced segment untouched leaves the
+    /// key — and the cached entry's validity — untouched too.
+    pub fn segment_key(&self, goal: &Goal) -> Result<(u64, Arc<SegmentSet>), CoreError> {
+        self.segment_key_for(goal, &self.caches)
+    }
+
+    /// [`Concretizer::segment_key`] over an explicit source set.
+    /// Degraded solves key on the *surviving* sources' fingerprints, so
+    /// they can never alias a full-fleet entry (or each other) in the
+    /// ground cache.
+    fn segment_key_for(
         &self,
         goal: &Goal,
         sources: &[Arc<dyn CacheSource>],
-    ) -> Result<u64, CoreError> {
+    ) -> Result<(u64, Arc<SegmentSet>), CoreError> {
         use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.repo.revision().hash(&mut h);
-        sources.len().hash(&mut h);
-        for (ci, c) in sources.iter().enumerate() {
-            c.fingerprint()
-                .map_err(|e| cache_error(ci, c.as_ref(), e))?
-                .hash(&mut h);
+        let enc_cfg = self.encode_config()?;
+        let scope = goal_scope(&self.repo, goal, &enc_cfg)?;
+        let mut segments = SegmentSet::default();
+        for &name in &scope.closure {
+            // Virtual names carry no definition; the provider packages
+            // in the closure (whose fingerprints include their provider
+            // rank) cover them.
+            if let Some(fp) = self.repo.package_fingerprint(name) {
+                segments.packages.push((name, fp));
+            }
         }
+        for (ci, c) in sources.iter().enumerate() {
+            let fp = c
+                .fingerprint()
+                .map_err(|e| cache_error(ci, c.as_ref(), e))?;
+            segments.sources.push((ci, fp));
+        }
+
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        segments.packages.hash(&mut h);
+        segments.sources.hash(&mut h);
         // Goal and the config axes derive Debug deterministically; their
         // renderings are injective enough for a conservative key (a
         // collision between distinct renderings would require two
@@ -428,17 +463,41 @@ impl Concretizer {
         self.config.solver.limits.max_atoms.hash(&mut h);
         self.config.solver.limits.max_rules.hash(&mut h);
         format!("{:?}", self.config.solver.preprocess).hash(&mut h);
-        Ok(h.finish())
+        Ok((h.finish(), Arc::new(segments)))
+    }
+
+    /// Fingerprint of the solver knobs that steer the *search* (and can
+    /// therefore steer which co-optimal model is found): the model memo
+    /// key. `ground_threads` and the cancellation token are excluded —
+    /// neither changes the model the deterministic engine returns.
+    fn search_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.config.solver.conflict_budget.hash(&mut h);
+        self.config.solver.max_stability_loops.hash(&mut h);
+        self.config.solver.incremental_bnb.hash(&mut h);
+        format!("{:?}", self.config.solver.sat).hash(&mut h);
+        h.finish()
     }
 
     /// Run the pre-solve pipeline — encode, parse, optionally prune,
     /// ground — returning the prepared program plus the encode / parse /
     /// ground wall times.
+    ///
+    /// When `salvage` holds a ground cache with parked translations
+    /// (delta-dropped entries), the freshly grounded program's content
+    /// fingerprint is checked against the pool: a hit means this
+    /// re-ground is bit-identical to a dropped entry's, so its retained
+    /// CNF translation — and memoized models — are spliced back in
+    /// instead of re-translating. `AtomId` interning is deterministic
+    /// for identical programs, so the salvaged translation's atom
+    /// numbering matches the fresh grounding exactly.
     fn prepare(
         &self,
         goal: &Goal,
         solver: &Solver,
         sources: &[Arc<dyn CacheSource>],
+        salvage: Option<&GroundCache>,
     ) -> Result<(PreparedProgram, Duration, Duration, Duration), CoreError> {
         let t0 = Instant::now();
         let Encoded {
@@ -468,7 +527,16 @@ impl Concretizer {
         // beyond encode + parse.
         let t2 = Instant::now();
         let ground = solver.ground(&program).map_err(solve_error)?;
-        let translated = Arc::new(solver.translate_ground(ground));
+        let salvaged = salvage
+            .filter(|gc| gc.has_salvage())
+            .and_then(|gc| gc.take_salvaged(ground.content_fingerprint()));
+        let (translated, models) = match salvaged {
+            Some((program, models)) => (program, models),
+            None => (
+                Arc::new(solver.translate_ground(ground)),
+                PreparedProgram::fresh_memo(),
+            ),
+        };
         let ground_time = t2.elapsed();
 
         Ok((
@@ -478,6 +546,7 @@ impl Concretizer {
                 reusable_count,
                 program_bytes: text.len(),
                 pruned_rules,
+                models,
             },
             encode_time,
             parse_time,
@@ -639,7 +708,7 @@ impl Concretizer {
         let mut cache_misses = 0u64;
         let (prepared, encode_time, parse_time, ground_time) = match &self.ground_cache {
             Some(cache) => {
-                let key = self.ground_key_for(goal, sources)?;
+                let (key, segments) = self.segment_key_for(goal, sources)?;
                 let (found, hits, misses) = cache.lookup_counted(key);
                 cache_hits = hits;
                 cache_misses = misses;
@@ -649,13 +718,14 @@ impl Concretizer {
                         (prepared, Duration::ZERO, Duration::ZERO, Duration::ZERO)
                     }
                     None => {
-                        let (prepared, et, pt, gt) = self.prepare(goal, &solver, sources)?;
-                        cache.insert(key, self.repo.revision(), prepared.clone());
+                        let (prepared, et, pt, gt) =
+                            self.prepare(goal, &solver, sources, Some(cache))?;
+                        cache.insert(key, self.repo.revision(), segments, prepared.clone());
                         (prepared, et, pt, gt)
                     }
                 }
             }
-            None => self.prepare(goal, &solver, sources)?,
+            None => self.prepare(goal, &solver, sources, None)?,
         };
         // Stage boundary: catch an expired deadline here even when the
         // search itself would be too quick to poll its token — slow
@@ -670,29 +740,60 @@ impl Concretizer {
             reusable_count,
             program_bytes,
             pruned_rules,
+            models,
         } = prepared;
 
-        let (outcome, mut solver_stats) = solver.solve_translated(&translated).map_err(solve_error)?;
+        // Model memo: a warm entry that already solved under this search
+        // configuration replays the memoized model instead of searching.
+        // Keyed per search config because co-optimal models can differ
+        // across configs; within one config the engine is deterministic,
+        // so the replay is bit-identical to a fresh search (and was
+        // certificate-checked when first produced).
+        let search_key = self.search_fingerprint();
+        let memoized = models.read().get(&search_key).cloned();
+        let mut model_memo_hit = false;
+        let (model, mut solver_stats) = match memoized {
+            Some((model, stats)) => {
+                model_memo_hit = true;
+                let mut stats = stats;
+                // The memo hit does no search or grounding *now*; keep
+                // the search counters (they describe the model's
+                // provenance) but report zero wall time for this solve.
+                stats.solve_time = Duration::ZERO;
+                (model, stats)
+            }
+            None => {
+                let (outcome, stats) =
+                    solver.solve_translated(&translated).map_err(solve_error)?;
+                let model = match outcome {
+                    SolveOutcome::Unsat => return Err(CoreError::Unsatisfiable),
+                    SolveOutcome::Optimal(m) => Arc::new(m),
+                };
+
+                // Debug builds certificate-check the optimal model
+                // against its ground program (rule satisfaction, reduct
+                // minimality, cost honesty) before interpreting it into
+                // specs. A failure here is a solver bug, never a user
+                // error.
+                #[cfg(debug_assertions)]
+                if let Err(e) = spackle_asp::certify::certify_model(&model) {
+                    return Err(CoreError::Solve(format!(
+                        "solver emitted an uncertifiable model: {e}"
+                    )));
+                }
+
+                models
+                    .write()
+                    .entry(search_key)
+                    .or_insert_with(|| (model.clone(), stats));
+                (model, stats)
+            }
+        };
         // `solve_translated` cannot know grounding cost; restore the
         // stats convention that `solver.ground_time` covers this solve's
         // ground + translate work (zero on a cache hit — that is the
         // point).
         solver_stats.ground_time = ground_time;
-        let model = match outcome {
-            SolveOutcome::Unsat => return Err(CoreError::Unsatisfiable),
-            SolveOutcome::Optimal(m) => m,
-        };
-
-        // Debug builds certificate-check the optimal model against its
-        // ground program (rule satisfaction, reduct minimality, cost
-        // honesty) before interpreting it into specs. A failure here is a
-        // solver bug, never a user error.
-        #[cfg(debug_assertions)]
-        if let Err(e) = spackle_asp::certify::certify_model(&model) {
-            return Err(CoreError::Solve(format!(
-                "solver emitted an uncertifiable model: {e}"
-            )));
-        }
 
         let t2 = Instant::now();
         let Interpretation {
@@ -719,6 +820,7 @@ impl Concretizer {
                 program_bytes,
                 pruned_rules,
                 ground_cache_hit,
+                model_memo_hit,
                 ground_cache_hits: cache_hits,
                 ground_cache_misses: cache_misses,
                 solver: solver_stats,

@@ -204,26 +204,31 @@ pub(crate) fn cache_error(idx: usize, source: &dyn CacheSource, e: CacheError) -
     }
 }
 
-/// Compile everything into one ASP program. Caches are shared handles
-/// so the same slice the owned [`Concretizer`] holds can be passed down
-/// without reborrowing gymnastics.
+/// The goal-relevant scope of an encoding: the resolved root specs plus
+/// the package closure whose facts the encoder will emit.
 ///
-/// [`Concretizer`]: crate::Concretizer
-pub fn encode(
+/// This is the *segment boundary* computation: the fact base decomposes
+/// into one segment per closure package (plus one per reusable-spec
+/// source), so the exact same closure must back both the encoder and the
+/// ground-cache segment keys — a key computed over a different closure
+/// would retain entries whose fact base silently changed. Keep this the
+/// single source of truth for both.
+pub(crate) struct GoalScope {
+    /// Root package names, in request order.
+    pub root_names: Vec<Sym>,
+    /// Root specs with virtual roots resolved to their sole provider.
+    pub resolved_roots: Vec<AbstractSpec>,
+    /// Every package (and virtual) name whose facts are in scope.
+    pub closure: BTreeSet<Sym>,
+}
+
+/// Resolve `goal`'s roots against `repo` and compute the package closure
+/// the encoding covers (see [`GoalScope`]).
+pub(crate) fn goal_scope(
     repo: &Repository,
-    caches: &[std::sync::Arc<dyn CacheSource>],
     goal: &Goal,
     cfg: &EncodeConfig,
-) -> Result<Encoded, CoreError> {
-    let mut out = String::with_capacity(1 << 16);
-    let mut ct = ConstraintTable::default();
-    // Provenance ledger halves: facts land in `out`, directive rules in
-    // `rules`; the two marker lists are merged (with the rules offsets
-    // shifted) at the final concatenation.
-    let mut out_marks: Vec<(usize, EncodeOrigin)> = Vec::new();
-    let mut rule_marks: Vec<(usize, EncodeOrigin)> = Vec::new();
-
-    // ---- determine the relevant package closure ----
+) -> Result<GoalScope, CoreError> {
     let mut root_names: Vec<Sym> = Vec::new();
     let mut roots: Vec<Sym> = Vec::new();
     let mut resolved_roots: Vec<AbstractSpec> = Vec::new();
@@ -284,6 +289,38 @@ pub fn encode(
             }
         }
     }
+    Ok(GoalScope {
+        root_names,
+        resolved_roots,
+        closure,
+    })
+}
+
+/// Compile everything into one ASP program. Caches are shared handles
+/// so the same slice the owned [`Concretizer`] holds can be passed down
+/// without reborrowing gymnastics.
+///
+/// [`Concretizer`]: crate::Concretizer
+pub fn encode(
+    repo: &Repository,
+    caches: &[std::sync::Arc<dyn CacheSource>],
+    goal: &Goal,
+    cfg: &EncodeConfig,
+) -> Result<Encoded, CoreError> {
+    let mut out = String::with_capacity(1 << 16);
+    let mut ct = ConstraintTable::default();
+    // Provenance ledger halves: facts land in `out`, directive rules in
+    // `rules`; the two marker lists are merged (with the rules offsets
+    // shifted) at the final concatenation.
+    let mut out_marks: Vec<(usize, EncodeOrigin)> = Vec::new();
+    let mut rule_marks: Vec<(usize, EncodeOrigin)> = Vec::new();
+
+    // ---- determine the relevant package closure ----
+    let GoalScope {
+        root_names,
+        resolved_roots,
+        closure,
+    } = goal_scope(repo, goal, cfg)?;
 
     // ---- version universes (declared + cached) ----
     let mut cache_versions: BTreeMap<Sym, BTreeSet<Version>> = BTreeMap::new();

@@ -5,13 +5,21 @@
 //! repository and one reusable-spec set; encoding, grounding, and
 //! translation dominate their latency. A [`GroundCache`] keys a fully
 //! prepared [`spackle_asp::TranslatedProgram`] by a fingerprint of
-//! everything that determines it — repository revision, the reusable-spec
-//! sets (in cache order), the goal, the encode configuration, and the
-//! grounding limits — so a repeated solve goes straight to
-//! [`spackle_asp::Solver::solve_translated`], which clones the pristine
-//! pre-search SAT instance and searches. The engine is deterministic, so
-//! a cached re-solve returns a bit-identical model (and therefore
-//! identical specs and DAG hashes) to an uncached one.
+//! everything that determines it — the goal's package-segment
+//! fingerprints, the reusable-spec sets (in cache order), the goal, the
+//! encode configuration, and the grounding limits — so a repeated solve
+//! goes straight to [`spackle_asp::Solver::solve_translated`], which
+//! clones the pristine pre-search SAT instance and searches. The engine
+//! is deterministic, so a cached re-solve returns a bit-identical model
+//! (and therefore identical specs and DAG hashes) to an uncached one.
+//!
+//! On top of that, each [`PreparedProgram`] carries a **model memo**: the
+//! optimal model per search configuration, so a warm hit under an
+//! already-seen search config skips the SAT search too and goes straight
+//! to interpretation. Memoized models are keyed by a search-config
+//! fingerprint because co-optimal models may differ *across* search
+//! configs (only the cost vector is guaranteed equal); within one config
+//! the engine is deterministic, so replaying the memo is bit-identical.
 //!
 //! ## Concurrency
 //!
@@ -27,28 +35,52 @@
 //! per-solve statistics must report when other threads are hammering the
 //! same cache.
 //!
+//! ## Segment-keyed partial invalidation
+//!
+//! Every entry records the [`SegmentSet`] it was prepared over — one
+//! fingerprint per closure package plus one per reusable-spec source
+//! partition. A repository or buildcache delta becomes a
+//! [`SegmentDelta`]; [`GroundCache::apply_delta`] drops exactly the
+//! entries whose segments moved and **retains the rest** (their keys are
+//! content-composed, so they keep hitting after the delta). Dropped
+//! entries' translations are parked in a bounded *salvage* pool keyed by
+//! the ground program's content fingerprint: if a re-ground after the
+//! delta reproduces a bit-identical ground program (the mutation was in
+//! the closure but encoding-irrelevant), the retained CNF translation —
+//! and its memoized models — are spliced back in instead of being
+//! rebuilt.
+//!
+//! Stale-segment rejection under concurrency: `apply_delta` publishes
+//! the post-delta fingerprints to a *retired* table **before** sweeping
+//! the shards, and [`GroundCache::insert`] checks that table while
+//! holding the target shard's write lock. An in-flight solve that
+//! prepared against pre-delta content therefore either inserts before
+//! the sweep (and is swept) or after the retire publication (and is
+//! rejected) — a stale program can never survive a delta.
+//!
 //! ## Revision-keyed invalidation
 //!
-//! Every entry records the [`Repository::revision`] it was prepared
-//! against. When a service reloads its repository it calls
-//! [`GroundCache::invalidate_below`] with the *new* revision: entries
-//! prepared against older revisions are dropped, and — because the
-//! floor is sticky — stragglers inserted by solves still in flight on
-//! the old snapshot are rejected on arrival. In-flight solves themselves
-//! are untouched: they own `Arc` handles to their snapshot's repository
-//! and translated program, so they finish (and stay bit-identical)
-//! while new requests re-ground against the fresh revision.
+//! The revision floor remains the *reload* primitive: when a service
+//! swaps in a wholesale re-read repository it calls
+//! [`GroundCache::invalidate_below`] with the new
+//! [`Repository::revision`]; entries prepared against older revisions
+//! are dropped, and — because the floor is sticky — stragglers inserted
+//! by solves still in flight on the old snapshot are rejected on
+//! arrival. In-flight solves themselves are untouched: they own `Arc`
+//! handles to their snapshot's repository and translated program, so
+//! they finish (and stay bit-identical) while new requests re-ground
+//! against the fresh revision.
 //!
-//! Fingerprints use the process-default hasher plus [`Repository::revision`]
-//! (a process-unique stamp), so a cache is only meaningful within one
-//! process — exactly the scope a long-lived service needs. Never persist
-//! the keys.
+//! Fingerprints use the process-default hasher, so a cache is only
+//! meaningful within one process — exactly the scope a long-lived
+//! service needs. Never persist the keys.
 //!
 //! [`Repository::revision`]: spackle_repo::Repository::revision
 
+use crate::segment::{SegmentDelta, SegmentSet};
 use parking_lot::RwLock;
 use rustc_hash::FxHashMap;
-use spackle_asp::TranslatedProgram;
+use spackle_asp::{Model, SolveStats, TranslatedProgram};
 use spackle_spec::Sym;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -57,6 +89,16 @@ use std::sync::Arc;
 /// mask; 16 keeps lock contention negligible for the worker-thread
 /// counts a one-box service runs (requests far outnumber cores).
 pub const SHARD_COUNT: usize = 16;
+
+/// Maximum parked translations in the salvage pool. Salvage hits come
+/// from the handful of goals a delta re-grounds, so a small pool
+/// suffices; overflow clears the pool rather than growing unboundedly.
+const SALVAGE_CAP: usize = 128;
+
+/// Shared memo of optimal models per search-config fingerprint. Lives on
+/// the [`PreparedProgram`] behind an `Arc`, so every clone handed out by
+/// cache lookups writes into (and reads from) the same memo.
+pub type ModelMemo = Arc<RwLock<FxHashMap<u64, (Arc<Model>, SolveStats)>>>;
 
 /// Everything the concretizer needs to resume after the ground and
 /// translate steps: the translated program plus the encode-time
@@ -73,13 +115,43 @@ pub struct PreparedProgram {
     pub program_bytes: usize,
     /// Non-ground rules removed by static pruning before grounding.
     pub pruned_rules: usize,
+    /// Memoized optimal models, one per search-config fingerprint (see
+    /// module docs). Shared across every clone of this entry.
+    pub models: ModelMemo,
+}
+
+impl PreparedProgram {
+    /// An empty, shareable model memo (the state every fresh
+    /// preparation starts with).
+    pub fn fresh_memo() -> ModelMemo {
+        Arc::new(RwLock::new(FxHashMap::default()))
+    }
 }
 
 /// A cached entry: the prepared program tagged with the repository
-/// revision it was prepared against (the invalidation key).
+/// revision it was prepared against (the reload invalidation key) and
+/// the segment fingerprints it was prepared over (the delta
+/// invalidation key).
 struct Entry {
     revision: u64,
+    segments: Arc<SegmentSet>,
     prepared: PreparedProgram,
+}
+
+/// A dropped entry's reusable remains: the CNF translation and the
+/// model memo, both valid for any bit-identical re-ground.
+struct Salvaged {
+    program: Arc<TranslatedProgram>,
+    models: ModelMemo,
+}
+
+/// What one [`GroundCache::apply_delta`] call did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Entries dropped because a segment they depend on moved.
+    pub invalidated: usize,
+    /// Entries retained (no referenced segment moved).
+    pub retained: usize,
 }
 
 /// A coherent point-in-time view of the cache counters, taken with
@@ -92,11 +164,22 @@ pub struct GroundCacheStats {
     pub hits: u64,
     /// Lookups that found nothing.
     pub misses: u64,
-    /// Entries dropped by revision invalidation (including stragglers
-    /// rejected at insert time).
+    /// Entries dropped by revision or delta invalidation (including
+    /// stale stragglers rejected at insert time).
     pub invalidated: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// [`GroundCache::apply_delta`] calls observed.
+    pub delta_updates: u64,
+    /// Cumulative entries dropped by deltas (their segments moved).
+    pub segments_invalidated: u64,
+    /// Cumulative entries retained across deltas (no referenced
+    /// segment moved).
+    pub segments_retained: u64,
+    /// Re-grounds that reproduced a dropped entry's exact ground
+    /// program and spliced its retained CNF translation back in
+    /// instead of re-translating.
+    pub salvaged_translations: u64,
 }
 
 impl GroundCacheStats {
@@ -114,9 +197,9 @@ impl GroundCacheStats {
 
 /// A process-local memo table from solve fingerprints to prepared ground
 /// programs, sharded for concurrent access, with atomic hit/miss
-/// counters and revision-keyed invalidation. One cache may back an
-/// entire service — every worker thread, every session — through a
-/// shared [`Arc<GroundCache>`].
+/// counters, segment-keyed partial invalidation, and revision-keyed
+/// reload invalidation. One cache may back an entire service — every
+/// worker thread, every session — through a shared [`Arc<GroundCache>`].
 pub struct GroundCache {
     shards: [RwLock<FxHashMap<u64, Entry>>; SHARD_COUNT],
     hits: AtomicU64,
@@ -126,6 +209,22 @@ pub struct GroundCache {
     /// so solves finishing on a pre-reload snapshot cannot repopulate
     /// the cache with stale programs.
     floor: AtomicU64,
+    /// Post-delta segment fingerprints (`None` = segment removed):
+    /// inserts referencing a retired fingerprint are rejected. Written
+    /// *before* the shard sweep in [`GroundCache::apply_delta`] and read
+    /// under the shard write lock in [`GroundCache::insert`] — see the
+    /// module docs for why that ordering closes the concurrent-insert
+    /// race.
+    retired_packages: RwLock<FxHashMap<Sym, Option<u64>>>,
+    /// Post-delta source-partition fingerprints, by source index.
+    retired_sources: RwLock<FxHashMap<usize, Option<u64>>>,
+    /// Parked translations of delta-dropped entries, keyed by ground
+    /// program content fingerprint (see module docs).
+    salvage: RwLock<FxHashMap<u128, Salvaged>>,
+    delta_updates: AtomicU64,
+    segments_invalidated: AtomicU64,
+    segments_retained: AtomicU64,
+    salvaged_translations: AtomicU64,
 }
 
 impl Default for GroundCache {
@@ -136,6 +235,13 @@ impl Default for GroundCache {
             misses: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
             floor: AtomicU64::new(0),
+            retired_packages: RwLock::new(FxHashMap::default()),
+            retired_sources: RwLock::new(FxHashMap::default()),
+            salvage: RwLock::new(FxHashMap::default()),
+            delta_updates: AtomicU64::new(0),
+            segments_invalidated: AtomicU64::new(0),
+            segments_retained: AtomicU64::new(0),
+            salvaged_translations: AtomicU64::new(0),
         }
     }
 }
@@ -186,27 +292,156 @@ impl GroundCache {
         }
     }
 
+    /// Does `segments` reference a retired fingerprint — i.e. was it
+    /// computed over pre-delta content for a segment a delta has since
+    /// moved? Must be called with the target shard's write lock held
+    /// (see module docs).
+    fn is_stale(&self, segments: &SegmentSet) -> bool {
+        {
+            let retired = self.retired_packages.read();
+            if segments
+                .packages
+                .iter()
+                .any(|(name, fp)| retired.get(name).is_some_and(|cur| *cur != Some(*fp)))
+            {
+                return true;
+            }
+        }
+        let retired = self.retired_sources.read();
+        segments
+            .sources
+            .iter()
+            .any(|(idx, fp)| retired.get(idx).is_some_and(|cur| *cur != Some(*fp)))
+    }
+
     /// Store the prepared program for `key`, tagged with the repository
-    /// `revision` it was prepared against (last writer wins; entries for
-    /// one key are interchangeable because the preparation pipeline is
-    /// deterministic). Inserts below the invalidation floor are dropped:
-    /// a solve that raced a repository reload cannot resurrect a stale
-    /// program.
-    pub fn insert(&self, key: u64, revision: u64, prepared: PreparedProgram) {
+    /// `revision` and the [`SegmentSet`] it was prepared over (last
+    /// writer wins; entries for one key are interchangeable because the
+    /// preparation pipeline is deterministic). Inserts below the
+    /// invalidation floor, or referencing a segment fingerprint a delta
+    /// has retired, are dropped: a solve that raced a repository reload
+    /// or delta update cannot resurrect a stale program.
+    pub fn insert(
+        &self,
+        key: u64,
+        revision: u64,
+        segments: Arc<SegmentSet>,
+        prepared: PreparedProgram,
+    ) {
         if revision < self.floor.load(Ordering::Acquire) {
             self.invalidated.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        self.shard(key)
-            .write()
-            .insert(key, Entry { revision, prepared });
+        let mut shard = self.shard(key).write();
+        // The stale check must happen under the shard lock: apply_delta
+        // publishes retirements before sweeping, so an insert that
+        // misses the retirement here commits before the sweep and is
+        // swept, and one that sees it is rejected. No interleaving lets
+        // a stale program survive.
+        if self.is_stale(&segments) {
+            self.invalidated.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        shard.insert(
+            key,
+            Entry {
+                revision,
+                segments,
+                prepared,
+            },
+        );
+    }
+
+    /// Apply a segment delta: drop exactly the entries whose recorded
+    /// segments moved, retain the rest, and park the dropped entries'
+    /// translations in the salvage pool for bit-identical re-grounds.
+    /// Future inserts referencing a pre-delta fingerprint of a moved
+    /// segment are rejected (stale-straggler protection, same contract
+    /// as the revision floor). Returns what was dropped vs retained.
+    pub fn apply_delta(&self, delta: &SegmentDelta) -> DeltaReport {
+        // Publish retirements FIRST (see insert's ordering argument).
+        {
+            let mut retired = self.retired_packages.write();
+            for (name, fp) in &delta.packages {
+                retired.insert(*name, *fp);
+            }
+        }
+        {
+            let mut retired = self.retired_sources.write();
+            for (idx, fp) in &delta.sources {
+                retired.insert(*idx, *fp);
+            }
+        }
+        let mut report = DeltaReport::default();
+        for shard in &self.shards {
+            let mut map = shard.write();
+            let stale: Vec<u64> = map
+                .iter()
+                .filter(|(_, e)| e.segments.hit_by(delta))
+                .map(|(k, _)| *k)
+                .collect();
+            for k in stale {
+                let e = map.remove(&k).expect("key collected under this lock");
+                self.park(e);
+                report.invalidated += 1;
+            }
+            report.retained += map.len();
+        }
+        self.delta_updates.fetch_add(1, Ordering::Relaxed);
+        self.invalidated
+            .fetch_add(report.invalidated as u64, Ordering::Relaxed);
+        self.segments_invalidated
+            .fetch_add(report.invalidated as u64, Ordering::Relaxed);
+        self.segments_retained
+            .fetch_add(report.retained as u64, Ordering::Relaxed);
+        report
+    }
+
+    /// Park a dropped entry's translation for possible salvage.
+    fn park(&self, e: Entry) {
+        let fp = e.prepared.program.ground().content_fingerprint();
+        let mut pool = self.salvage.write();
+        if pool.len() >= SALVAGE_CAP {
+            pool.clear();
+        }
+        pool.insert(
+            fp,
+            Salvaged {
+                program: e.prepared.program,
+                models: e.prepared.models,
+            },
+        );
+    }
+
+    /// Is there anything in the salvage pool? Callers use this to skip
+    /// the (linear) content fingerprint of a fresh ground program when
+    /// salvage cannot possibly hit.
+    pub fn has_salvage(&self) -> bool {
+        !self.salvage.read().is_empty()
+    }
+
+    /// Take the parked translation for a ground program with content
+    /// fingerprint `fp`, if any. A hit means the caller's fresh
+    /// re-ground is bit-identical to the dropped entry's, so the parked
+    /// CNF translation (and memoized models) are valid verbatim.
+    pub fn take_salvaged(
+        &self,
+        fp: u128,
+    ) -> Option<(Arc<TranslatedProgram>, ModelMemo)> {
+        let taken = self.salvage.write().remove(&fp);
+        taken.map(|s| {
+            self.salvaged_translations.fetch_add(1, Ordering::Relaxed);
+            (s.program, s.models)
+        })
     }
 
     /// Drop every entry prepared against a repository revision older
     /// than `revision`, and reject future inserts below it. Returns the
     /// number of entries dropped. Idempotent; the floor is monotonic
     /// (calling with a lower revision than a previous call is a no-op
-    /// for the floor but still sweeps).
+    /// for the floor but still sweeps). The salvage pool and retirement
+    /// tables are cleared too — a reload supersedes any pending delta
+    /// bookkeeping.
     ///
     /// This is the graceful-reload primitive: in-flight solves keep
     /// their `Arc` snapshots and finish untouched, new solves against
@@ -220,6 +455,9 @@ impl GroundCache {
             map.retain(|_, e| e.revision >= revision);
             dropped += before - map.len();
         }
+        self.salvage.write().clear();
+        self.retired_packages.write().clear();
+        self.retired_sources.write().clear();
         self.invalidated.fetch_add(dropped as u64, Ordering::Relaxed);
         dropped
     }
@@ -241,6 +479,10 @@ impl GroundCache {
             misses: self.misses(),
             invalidated: self.invalidated.load(Ordering::Relaxed),
             entries: self.len(),
+            delta_updates: self.delta_updates.load(Ordering::Relaxed),
+            segments_invalidated: self.segments_invalidated.load(Ordering::Relaxed),
+            segments_retained: self.segments_retained.load(Ordering::Relaxed),
+            salvaged_translations: self.salvaged_translations.load(Ordering::Relaxed),
         }
     }
 
@@ -260,6 +502,7 @@ impl GroundCache {
         for shard in &self.shards {
             shard.write().clear();
         }
+        self.salvage.write().clear();
     }
 }
 
@@ -277,8 +520,9 @@ mod tests {
     use super::*;
 
     // PreparedProgram requires a TranslatedProgram, which only the
-    // solver can make; unit tests here cover the counter and floor
-    // logic via the public surface exercised by integration tests.
+    // solver can make; unit tests here cover the counter, floor, and
+    // retirement logic via the public surface exercised by integration
+    // tests.
     #[test]
     fn floor_is_monotonic_and_counts() {
         let gc = GroundCache::new();
@@ -295,5 +539,45 @@ mod tests {
         assert!(found.is_none());
         assert_eq!((hits, misses), (0, 1));
         assert_eq!(gc.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_delta_retains_everything_and_counts() {
+        let gc = GroundCache::new();
+        let report = gc.apply_delta(&SegmentDelta::default());
+        assert_eq!(report, DeltaReport::default());
+        let stats = gc.stats();
+        assert_eq!(stats.delta_updates, 1);
+        assert_eq!(stats.segments_invalidated, 0);
+        assert!(!gc.has_salvage());
+    }
+
+    #[test]
+    fn retirement_table_marks_pre_delta_fingerprints_stale() {
+        let gc = GroundCache::new();
+        let zlib = Sym::intern("zlib-gc-test");
+        gc.apply_delta(&SegmentDelta {
+            packages: vec![(zlib, Some(2))],
+            sources: vec![(0, Some(9))],
+        });
+        // Pre-delta fingerprints are stale; post-delta ones are not.
+        let stale = SegmentSet {
+            packages: vec![(zlib, 1)],
+            sources: vec![],
+        };
+        let fresh = SegmentSet {
+            packages: vec![(zlib, 2)],
+            sources: vec![(0, 9)],
+        };
+        let stale_src = SegmentSet {
+            packages: vec![],
+            sources: vec![(0, 8)],
+        };
+        assert!(gc.is_stale(&stale));
+        assert!(!gc.is_stale(&fresh));
+        assert!(gc.is_stale(&stale_src));
+        // A reload supersedes delta bookkeeping entirely.
+        gc.invalidate_below(1);
+        assert!(!gc.is_stale(&stale));
     }
 }

@@ -24,12 +24,16 @@ pub mod explain;
 pub mod ground_cache;
 pub mod interpret;
 pub mod logic;
+pub mod segment;
 
 pub use concretizer::{ConcretizeStats, Concretizer, ConcretizerConfig, SkippedSource, Solution};
 pub use encode::{EncodeConfig, EncodeOrigin, Encoded, Encoding, Goal};
 pub use explain::{ExplainEntry, Explanation};
-pub use ground_cache::{GroundCache, GroundCacheStats, PreparedProgram, SHARD_COUNT};
+pub use ground_cache::{
+    DeltaReport, GroundCache, GroundCacheStats, ModelMemo, PreparedProgram, SHARD_COUNT,
+};
 pub use interpret::SpliceReport;
+pub use segment::{repo_delta, SegmentDelta, SegmentSet};
 
 use std::fmt;
 

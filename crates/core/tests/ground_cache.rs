@@ -56,7 +56,7 @@ fn identical_resolve_hits_and_matches() {
 }
 
 #[test]
-fn repository_change_misses() {
+fn repository_change_misses_only_when_closure_segments_move() {
     let mut repo = tiny_repo();
     let cache = GroundCache::shared();
     let goal = parse_spec("app").unwrap();
@@ -65,17 +65,35 @@ fn repository_change_misses() {
         .concretize(&goal)
         .unwrap();
 
-    // Adding any package bumps the repository revision, so the same
-    // goal misses even though `app`'s closure is untouched (the key is
-    // conservative by design).
+    // Adding a package outside `app`'s closure leaves every segment the
+    // key is composed from untouched: the warm entry keeps hitting.
+    // (The pre-segment cache keyed on the repository revision and would
+    // have missed here.)
     repo.add(PackageBuilder::new("bzip2").version("1.0").build().unwrap())
         .unwrap();
     let sol = Concretizer::new(&repo)
         .with_ground_cache(cache.clone())
         .concretize(&goal)
         .unwrap();
-    assert!(!sol.stats.ground_cache_hit);
-    assert_eq!(cache.hits(), 0);
+    assert!(sol.stats.ground_cache_hit, "unrelated addition must hit");
+    assert_eq!(cache.hits(), 1);
+    assert_eq!(cache.len(), 1);
+
+    // Upserting a closure member moves its segment fingerprint, so the
+    // composed key changes and the solve re-prepares.
+    repo.upsert(
+        PackageBuilder::new("zlib")
+            .version("1.4")
+            .version("1.3")
+            .version("1.2")
+            .build()
+            .unwrap(),
+    );
+    let sol = Concretizer::new(&repo)
+        .with_ground_cache(cache.clone())
+        .concretize(&goal)
+        .unwrap();
+    assert!(!sol.stats.ground_cache_hit, "closure change must miss");
     assert_eq!(cache.misses(), 2);
     assert_eq!(cache.len(), 2);
 }

@@ -105,6 +105,60 @@ impl Repository {
         Ok(())
     }
 
+    /// Insert `pkg`, replacing any existing definition with the same
+    /// name. This is the *delta* primitive for long-lived services: a
+    /// new version of one package lands and the resident repository is
+    /// cloned, upserted, and republished while content-fingerprinted
+    /// caches retain every entry whose segments did not change.
+    ///
+    /// When the replaced definition's `provides` set is unchanged the
+    /// provider index — whose per-virtual ordering is declaration order
+    /// and feeds `provider_weight` facts — is left untouched. Otherwise
+    /// the package is removed from every provider list and re-appended
+    /// for its new virtuals (new provides rank last).
+    pub fn upsert(&mut self, pkg: PackageDef) {
+        let same_provides = self
+            .packages
+            .get(&pkg.name)
+            .is_some_and(|old| old.provides == pkg.provides);
+        if !same_provides {
+            for provs in self.providers.values_mut() {
+                provs.retain(|p| *p != pkg.name);
+            }
+            self.providers.retain(|_, provs| !provs.is_empty());
+            for p in &pkg.provides {
+                self.providers
+                    .entry(p.virtual_name)
+                    .or_default()
+                    .push(pkg.name);
+            }
+        }
+        self.packages.insert(pkg.name, pkg);
+        self.revision = NEXT_REVISION.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Content fingerprint of one package's *segment*: the definition
+    /// itself plus its rank in every provider list it appears in (the
+    /// rank feeds `provider_weight` facts, so a reordering must change
+    /// the fingerprint even when the definition does not). `None` when
+    /// the package is not defined. Deterministic within a process build:
+    /// hashes the `Debug` rendering of the definition, which spells out
+    /// versions, variants, and directives in declaration order.
+    pub fn package_fingerprint(&self, name: Sym) -> Option<u64> {
+        use std::hash::{Hash, Hasher};
+        let pkg = self.packages.get(&name)?;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        format!("{pkg:?}").hash(&mut h);
+        for p in &pkg.provides {
+            let rank = self
+                .providers_of(p.virtual_name)
+                .iter()
+                .position(|x| *x == name);
+            (p.virtual_name.as_str(), rank).hash(&mut h);
+        }
+        Some(h.finish())
+    }
+
     /// A process-unique revision stamp for this repository's contents:
     /// bumped on every successful [`Repository::add`], shared by clones
     /// until one of them is mutated. Equal revisions imply identical
@@ -388,6 +442,70 @@ mod tests {
             .unwrap();
         let r = Repository::from_packages([mpi_pkg, mpich]).unwrap();
         assert!(matches!(r.validate(), Err(RepoError::VirtualCollision(_))));
+    }
+
+    #[test]
+    fn upsert_replaces_and_fingerprints_track_content() {
+        let mut r = mini_repo();
+        let zlib = Sym::intern("zlib");
+        let hdf5 = Sym::intern("hdf5");
+        let fp_zlib = r.package_fingerprint(zlib).unwrap();
+        let fp_hdf5 = r.package_fingerprint(hdf5).unwrap();
+        let rev = r.revision();
+
+        // Upserting a changed definition replaces it, bumps the
+        // revision, and moves only that package's fingerprint.
+        let newer = PackageBuilder::new("zlib")
+            .version("1.3")
+            .version("1.2.11")
+            .version("1.1.0")
+            .build()
+            .unwrap();
+        r.upsert(newer);
+        assert_eq!(r.len(), 4);
+        assert!(r.revision() > rev);
+        assert_ne!(r.package_fingerprint(zlib).unwrap(), fp_zlib);
+        assert_eq!(r.package_fingerprint(hdf5).unwrap(), fp_hdf5);
+        assert_eq!(r.get(zlib).unwrap().versions.len(), 3);
+
+        // Provider order is preserved when provides are unchanged.
+        let provs: Vec<&str> = r
+            .providers_of(Sym::intern("mpi"))
+            .iter()
+            .map(|s| s.as_str())
+            .collect();
+        assert_eq!(provs, vec!["mpich", "openmpi"]);
+
+        // Re-upserting an identical definition restores the fingerprint.
+        let same = PackageBuilder::new("zlib")
+            .version("1.3")
+            .version("1.2.11")
+            .build()
+            .unwrap();
+        r.upsert(same);
+        assert_eq!(r.package_fingerprint(zlib).unwrap(), fp_zlib);
+        assert!(r.package_fingerprint(Sym::intern("ghost")).is_none());
+    }
+
+    #[test]
+    fn upsert_reindexes_providers_when_provides_change() {
+        let mut r = mini_repo();
+        // mpich stops providing mpi; openmpi becomes the sole provider.
+        let mpich = PackageBuilder::new("mpich").version("3.4.3").build().unwrap();
+        let fp_openmpi = r.package_fingerprint(Sym::intern("openmpi")).unwrap();
+        r.upsert(mpich);
+        let provs: Vec<&str> = r
+            .providers_of(Sym::intern("mpi"))
+            .iter()
+            .map(|s| s.as_str())
+            .collect();
+        assert_eq!(provs, vec!["openmpi"]);
+        // openmpi's provider rank changed, so its segment fingerprint
+        // must move even though its definition did not.
+        assert_ne!(
+            r.package_fingerprint(Sym::intern("openmpi")).unwrap(),
+            fp_openmpi
+        );
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //!
 //! Boots the RADIUSS universe (the paper's experimental stack, with the
 //! mpiabi shim package), builds the local and public buildcaches once,
-//! and serves concretize / audit / stats / invalidate requests over
-//! line-delimited JSON on TCP until a client sends `shutdown`.
+//! and serves concretize / audit / stats / update / invalidate requests
+//! over line-delimited JSON on TCP until a client sends `shutdown`.
 //!
 //! ```text
 //! spackled [--listen ADDR] [--public-dags N] [--seed S]
@@ -24,9 +24,9 @@
 //! * `--drain-timeout-ms MS` — how long shutdown waits for in-flight
 //!   workers before abandoning them (default `5000`)
 //! * `--smoke`         — boot on an ephemeral port, run a scripted
-//!   ping / concretize / stats / invalidate / shutdown exchange against
-//!   the live server, and exit nonzero on any protocol mismatch. Used
-//!   by CI's `server-smoke` job.
+//!   ping / concretize / stats / update / invalidate / shutdown
+//!   exchange against the live server, and exit nonzero on any protocol
+//!   mismatch. Used by CI's `server-smoke` job.
 //! * `--chaos-smoke`   — run the fault-injection self-check: a seeded
 //!   sweep of error / corruption / outage schedules solved differentially
 //!   against per-source-subset oracles, plus a live overload + deadline
@@ -260,6 +260,54 @@ fn smoke(public_dags: usize, seed: u64) -> Result<(), String> {
         "fault counters must be zero on a healthy run",
     )?;
     let rev_before = stats.repo_revision;
+
+    // Delta update outside the goal's closure: lua gains a version, but
+    // hypre's segments are untouched — the warm entry must be retained
+    // and keep hitting.
+    let mut unrelated = Request::op("update");
+    unrelated.package = "lua".to_string();
+    unrelated.version = "5.4.6".to_string();
+    let up = client.call(unrelated)?;
+    expect(up.ok, "unrelated update failed")?;
+    expect(up.segments_changed >= 1, "update moved no segments")?;
+    expect(up.invalidated == 0, "unrelated update must invalidate nothing")?;
+    expect(up.retained >= 1, "unrelated update must retain the warm entry")?;
+    expect(up.repo_revision > rev_before, "update must bump the revision")?;
+    let still_warm = client.concretize("hypre ^mpiabi")?;
+    expect(still_warm.ok, "post-update concretize failed")?;
+    expect(
+        still_warm.ground_cache_hit,
+        "retained entry must hit after an unrelated update",
+    )?;
+    expect(still_warm.hashes == cold.hashes, "retained hit changed the answer")?;
+
+    // Delta update inside the closure: hypre itself gains a (least
+    // preferred) version. Its entry is invalidated; the re-solve misses
+    // but concretizes to the same DAG.
+    let mut touching = Request::op("update");
+    touching.package = "hypre".to_string();
+    touching.version = "99.0.0".to_string();
+    let up = client.call(touching)?;
+    expect(up.ok, "touching update failed")?;
+    expect(up.invalidated >= 1, "touching update must drop the warm entry")?;
+    let delta_solve = client.concretize("hypre ^mpiabi")?;
+    expect(delta_solve.ok, "post-delta concretize failed")?;
+    expect(!delta_solve.ground_cache_hit, "touched goal must re-prepare")?;
+    expect(
+        delta_solve.hashes == cold.hashes,
+        "least-preferred version changed the solution",
+    )?;
+
+    // Structured update failures keep the connection alive.
+    let mut ghost = Request::op("update");
+    ghost.package = "no-such-package".to_string();
+    ghost.version = "1.0".to_string();
+    expect(!client.call(ghost)?.ok, "unknown package must fail")?;
+
+    let stats = client.stats()?;
+    expect(stats.delta_updates == 2, "expected 2 delta updates")?;
+    expect(stats.segments_invalidated >= 1, "no segments invalidated")?;
+    expect(stats.segments_retained >= 1, "no segments retained")?;
 
     // Invalidate: revision bumps, warm entries drop, next solve misses
     // but still produces the same answer.

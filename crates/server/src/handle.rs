@@ -38,6 +38,7 @@ pub fn handle(state: &ServerState, session: &mut Session, request: &Request) -> 
         },
         "audit" => run_audit(state, session, request),
         "stats" => stats(state, request),
+        "update" => update(state, request),
         "invalidate" => {
             let (revision, dropped) = state.invalidate();
             let mut r = Response::ok_for(request);
@@ -241,6 +242,28 @@ fn run_audit(state: &ServerState, session: &mut Session, request: &Request) -> R
     r
 }
 
+/// Apply one repository delta: declare a new (least-preferred) version
+/// on an existing package and partially invalidate the warm ground
+/// cache by segment fingerprint. The response reports exactly what the
+/// delta cost: how many segments moved, how many warm entries were
+/// dropped, and how many survived to keep serving hits.
+fn update(state: &ServerState, request: &Request) -> Response {
+    if request.package.is_empty() || request.version.is_empty() {
+        return Response::err_for(request, "update needs `package` and `version`");
+    }
+    match state.update(&request.package, &request.version) {
+        Ok(outcome) => {
+            let mut r = Response::ok_for(request);
+            r.repo_revision = outcome.revision;
+            r.segments_changed = outcome.segments_changed as u64;
+            r.invalidated = outcome.report.invalidated as u64;
+            r.retained = outcome.report.retained as u64;
+            r
+        }
+        Err(e) => Response::err_for(request, e),
+    }
+}
+
 fn stats(state: &ServerState, request: &Request) -> Response {
     let telemetry = state.telemetry().snapshot();
     let cache = state.ground_cache().stats();
@@ -269,6 +292,10 @@ fn stats(state: &ServerState, request: &Request) -> Response {
     r.hit_rate = cache.hit_rate();
     r.cache_entries = cache.entries as u64;
     r.invalidated = cache.invalidated;
+    r.delta_updates = cache.delta_updates;
+    r.segments_invalidated = cache.segments_invalidated;
+    r.segments_retained = cache.segments_retained;
+    r.salvaged_translations = cache.salvaged_translations;
     r.repo_revision = state.repo_snapshot().revision();
     r.shed = telemetry.shed;
     r.timeouts = telemetry.timeouts;
@@ -303,6 +330,9 @@ mod tests {
                 .depends_on("zlib")
                 .build()
                 .unwrap(),
+            // Outside app's closure: its warm entries must survive a
+            // zlib delta untouched.
+            PackageBuilder::new("lua").version("5.4.4").build().unwrap(),
         ])
         .unwrap();
         Arc::new(ServerState::new(repo, Vec::new()))
@@ -383,6 +413,69 @@ mod tests {
         assert!(resp.ok);
         assert!(!resp.ground_cache_hit, "fresh revision misses, then repopulates");
         assert_eq!(state.ground_cache().len(), 1);
+    }
+
+    #[test]
+    fn update_invalidates_touched_segments_and_retains_the_rest() {
+        let state = tiny_state();
+        let mut session = Session::new();
+
+        // Warm two entries: one whose closure contains zlib, one whose
+        // closure does not.
+        let app_cold = handle(&state, &mut session, &Request::concretize("app"));
+        assert!(app_cold.ok, "{}", app_cold.error);
+        let lua_cold = handle(&state, &mut session, &Request::concretize("lua"));
+        assert!(lua_cold.ok, "{}", lua_cold.error);
+        assert_eq!(state.ground_cache().len(), 2);
+
+        let mut req = Request::op("update");
+        req.package = "zlib".to_string();
+        req.version = "1.4".to_string();
+        let resp = handle(&state, &mut session, &req.clone().with_id(5));
+        assert!(resp.ok, "{}", resp.error);
+        assert_eq!(resp.id, 5);
+        assert_eq!(resp.segments_changed, 1, "only zlib's segment moved");
+        assert_eq!(resp.invalidated, 1, "only app's entry references zlib");
+        assert_eq!(resp.retained, 1, "lua's entry must survive");
+        assert_eq!(state.repo_snapshot().revision(), resp.repo_revision);
+        assert_eq!(
+            state
+                .repo_snapshot()
+                .get(spackle_spec::Sym::intern("zlib"))
+                .unwrap()
+                .versions
+                .len(),
+            2
+        );
+
+        // The retained entry keeps hitting; the touched goal re-prepares
+        // against the new world and — the appended version being least
+        // preferred — still concretizes to the same DAG.
+        let lua_warm = handle(&state, &mut session, &Request::concretize("lua"));
+        assert!(lua_warm.ground_cache_hit, "retained entry must keep hitting");
+        assert_eq!(lua_warm.hashes, lua_cold.hashes);
+        let app_post = handle(&state, &mut session, &Request::concretize("app"));
+        assert!(!app_post.ground_cache_hit, "touched goal must re-prepare");
+        assert_eq!(app_post.hashes, app_cold.hashes);
+
+        let stats = handle(&state, &mut session, &Request::op("stats"));
+        assert_eq!(stats.delta_updates, 1);
+        assert_eq!(stats.segments_invalidated, 1);
+        assert_eq!(stats.segments_retained, 1);
+        assert!(stats.hit_rate > 0.0);
+
+        // Structured failures: duplicate version, unknown package,
+        // unparseable version, missing arguments.
+        assert!(!handle(&state, &mut session, &req).ok, "re-declaring 1.4");
+        let mut ghost = Request::op("update");
+        ghost.package = "ghost".to_string();
+        ghost.version = "1.0".to_string();
+        assert!(!handle(&state, &mut session, &ghost).ok);
+        let mut bad = Request::op("update");
+        bad.package = "zlib".to_string();
+        bad.version = "not a version".to_string();
+        assert!(!handle(&state, &mut session, &bad).ok);
+        assert!(!handle(&state, &mut session, &Request::op("update")).ok);
     }
 
     #[test]

@@ -16,8 +16,16 @@
 //! | `set-config` | `config`                    | `ok` (session default updated) |
 //! | `audit`      | —                           | `audit_errors`, `audit_warnings`, `audit_report` |
 //! | `stats`      | —                           | telemetry + ground-cache counters + `repo_revision` |
+//! | `update`     | `package`, `version`        | `repo_revision`, `segments_changed`, `invalidated` (entries whose segments moved), `retained` (entries kept warm) |
 //! | `invalidate` | —                           | `invalidated` (entries dropped), `repo_revision` (new) |
 //! | `shutdown`   | —                           | `ok`; the server stops accepting and drains |
+//!
+//! `update` is the *delta* primitive: it declares one new version on an
+//! existing package (appended, so least preferred — existing solutions
+//! are unchanged), republishes the repository, and partially invalidates
+//! the warm ground cache by segment fingerprint. Goals whose encode
+//! closure avoids the touched package keep hitting their retained
+//! entries; `invalidate` remains the blanket *reload* primitive.
 //!
 //! `config` names a [`spackle_core::ConcretizerConfig`] preset:
 //! `"splice"` (default), `"no-splice"`, `"old"`, or the deliberately
@@ -68,6 +76,14 @@ pub struct Request {
     /// goals.
     #[serde(default)]
     pub explain: bool,
+    /// Package receiving a new version (`update`).
+    #[serde(default)]
+    pub package: String,
+    /// The version to declare on `package` (`update`). Appended to the
+    /// declared list, so it ranks least preferred and existing
+    /// solutions are unchanged.
+    #[serde(default)]
+    pub version: String,
 }
 
 impl Request {
@@ -247,9 +263,30 @@ pub struct Response {
     #[serde(default)]
     pub repo_revision: u64,
     /// Ground-cache entries dropped (cumulative in `stats`; this call's
-    /// count in `invalidate`).
+    /// count in `invalidate` / `update`).
     #[serde(default)]
     pub invalidated: u64,
+    /// Ground-cache entries retained across this `update` (their
+    /// segments did not move, so they keep hitting).
+    #[serde(default)]
+    pub retained: u64,
+    /// Segment fingerprints this `update` moved (the mutated package
+    /// plus any packages whose provider ranks shifted).
+    #[serde(default)]
+    pub segments_changed: u64,
+    /// Delta updates applied to the ground cache since boot (`stats`).
+    #[serde(default)]
+    pub delta_updates: u64,
+    /// Cumulative entries dropped by delta updates (`stats`).
+    #[serde(default)]
+    pub segments_invalidated: u64,
+    /// Cumulative entries retained across delta updates (`stats`).
+    #[serde(default)]
+    pub segments_retained: u64,
+    /// Re-grounds that salvaged a dropped entry's CNF translation
+    /// because the ground program came back bit-identical (`stats`).
+    #[serde(default)]
+    pub salvaged_translations: u64,
     /// Total concretization wall time since boot, milliseconds.
     #[serde(default)]
     pub total_solve_ms: f64,

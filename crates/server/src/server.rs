@@ -41,8 +41,9 @@ use crate::session::Session;
 use crate::telemetry::Telemetry;
 use parking_lot::RwLock;
 use spackle_buildcache::CacheSource;
-use spackle_core::{Concretizer, ConcretizerConfig, GroundCache};
+use spackle_core::{repo_delta, Concretizer, ConcretizerConfig, DeltaReport, GroundCache};
 use spackle_repo::Repository;
+use spackle_spec::{Sym, Version};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -84,6 +85,18 @@ impl Default for OpsConfig {
             drain_timeout: Duration::from_secs(5),
         }
     }
+}
+
+/// What one applied repository delta did (the `update` request).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// The repository revision after republication.
+    pub revision: u64,
+    /// Segment fingerprints the delta moved (the mutated package plus
+    /// any packages whose provider ranks shifted).
+    pub segments_changed: usize,
+    /// What the ground cache dropped vs kept.
+    pub report: DeltaReport,
 }
 
 /// What the drain phase of shutdown observed.
@@ -200,6 +213,43 @@ impl ServerState {
         };
         let dropped = self.ground_cache.invalidate_below(new_revision);
         (new_revision, dropped)
+    }
+
+    /// Delta update: declare `version` on existing package `package`,
+    /// republish the repository, and partially invalidate the warm
+    /// ground cache by segment fingerprint. The new version is appended
+    /// (least preferred), so retained solutions stay optimal; entries
+    /// whose encode closure avoids `package` keep their content-composed
+    /// keys and keep hitting. In-flight solves hold their own snapshot
+    /// `Arc`s and finish untouched; the cache's retirement table rejects
+    /// any of their stale late inserts.
+    pub fn update(&self, package: &str, version: &str) -> Result<UpdateOutcome, String> {
+        let name = Sym::intern(package);
+        let ver = Version::parse(version).map_err(|e| format!("bad version {version:?}: {e}"))?;
+        let (revision, delta) = {
+            let mut slot = self.repo.write();
+            let Some(def) = slot.get(name) else {
+                return Err(format!("no such package: {package}"));
+            };
+            if def.versions.contains(&ver) {
+                return Err(format!("{package} already declares version {version}"));
+            }
+            let mut def = def.clone();
+            def.versions.push(ver); // appended = least preferred
+            let mut fresh = (**slot).clone();
+            fresh.upsert(def);
+            let delta = repo_delta(&slot, &fresh);
+            let revision = fresh.revision();
+            *slot = Arc::new(fresh);
+            (revision, delta)
+        };
+        let report = self.ground_cache.apply_delta(&delta);
+        self.telemetry.record_update();
+        Ok(UpdateOutcome {
+            revision,
+            segments_changed: delta.len(),
+            report,
+        })
     }
 
     /// The shared warm ground cache.
